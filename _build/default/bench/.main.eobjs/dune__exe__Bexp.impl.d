@@ -1,0 +1,1 @@
+bench/bexp.ml: Harness List Printf Reactdb Workloads

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bexp Harness List Printf Reactdb Smallbank Tpcc Util Workloads

@@ -1,0 +1,1 @@
+bench/exp_exchange.ml: Bexp Exchange Harness List Printf Reactdb Util Workloads

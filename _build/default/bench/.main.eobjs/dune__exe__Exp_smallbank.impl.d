@@ -1,0 +1,1 @@
+bench/exp_smallbank.ml: Bexp Costmodel Harness Hashtbl List Printf Reactdb Smallbank Util Wl Workloads

@@ -1,0 +1,1 @@
+bench/exp_tpcc.ml: Array Bexp Costmodel Float Harness Hashtbl List Option Printf Reactdb Tpcc Util Wl Workloads

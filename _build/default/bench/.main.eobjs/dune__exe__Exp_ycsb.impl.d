@@ -1,0 +1,1 @@
+bench/exp_ycsb.ml: Array Bexp Costmodel Float Harness List Printf Reactdb String Util Wl Workloads Ycsb

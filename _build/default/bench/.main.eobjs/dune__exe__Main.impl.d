@@ -1,0 +1,1 @@
+bench/main.ml: Array Bexp Exp_ablation Exp_exchange Exp_smallbank Exp_tpcc Exp_ycsb List Micro Printf String Sys Unix

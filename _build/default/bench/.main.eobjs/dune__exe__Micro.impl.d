@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Btree Hashtbl Instance Int List Occ Printf Query Sim Staged Storage Test Time Toolkit Util

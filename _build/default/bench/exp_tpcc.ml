@@ -1,0 +1,368 @@
+(* TPC-C experiments: Figures 7-10 and 15-18, Table 1, Appendix F.2.
+
+   Deployments follow §3.3: shared-everything-without-affinity (S1),
+   shared-everything-with-affinity (S2) and shared-nothing (S3); the -sync
+   and -async shared-nothing variants differ only in the new-order program
+   (forcing futures immediately vs overlapping), selected via workload
+   parameters — no configuration change, as the paper emphasizes. *)
+
+open Workloads
+
+let sizes = Tpcc.default_sizes
+
+(* New-order-only experiments keep the paper's low item-level contention by
+   using a larger item/stock table (the paper has 100k items; stock-row
+   collisions are what both setups make negligible). *)
+let big_item_sizes = { sizes with Tpcc.items = 20_000 }
+
+type deployment = SE_rr | SE_aff | SN
+
+let deployment_name = function
+  | SE_rr -> "shared-everything-without-affinity"
+  | SE_aff -> "shared-everything-with-affinity"
+  | SN -> "shared-nothing-async"
+
+let config_of deployment ~warehouses ~executors =
+  let ws = Tpcc.warehouses warehouses in
+  match deployment with
+  | SE_rr -> Reactdb.Config.shared_everything ~executors ~affinity:false ws
+  | SE_aff -> Reactdb.Config.shared_everything ~executors ~affinity:true ws
+  | SN -> Reactdb.Config.shared_nothing (List.map (fun w -> [ w ]) ws)
+
+(* One closed-loop load run. Workers have client affinity to warehouses
+   (worker w drives warehouse (w mod n)+1, §4.1.3). The [seq] counter is
+   shared across workers: it provides unique history ids and the logical
+   order-entry clock. *)
+let run_load ?(sizes = sizes) ~fast ~deployment ~warehouses ~executors ~workers
+    ~params ~new_order_only () =
+  let db =
+    Harness.build
+      (Tpcc.decl ~warehouses ~sizes ())
+      (config_of deployment ~warehouses ~executors)
+  in
+  let seq = ref 0 in
+  let gen w rng =
+    let home = 1 + (w mod warehouses) in
+    if new_order_only then begin
+      incr seq;
+      Tpcc.gen_new_order rng params ~home ~clock:(float_of_int !seq)
+    end
+    else Tpcc.gen_mix rng params ~home ~seq
+  in
+  Harness.run_load db (Bexp.load_spec ~fast ~n_workers:workers gen)
+
+(* ---- Figures 7 & 8: standard mix, scale factor 4, varying load ---- *)
+
+let fig7_8 ~fast =
+  let warehouses = 4 in
+  let params = Tpcc.params ~sizes warehouses in
+  let worker_counts = if fast then [ 1; 4; 8 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let t =
+    Util.Tablefmt.create
+      [ "workers"; "deployment"; "tput [Ktxn/s]"; "latency [ms]"; "abort %";
+        "util range" ]
+  in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun d ->
+          let r =
+            run_load ~fast ~deployment:d ~warehouses ~executors:warehouses
+              ~workers ~params ~new_order_only:false ()
+          in
+          let umin = Array.fold_left Float.min 1. r.Harness.utilizations in
+          let umax = Array.fold_left Float.max 0. r.Harness.utilizations in
+          Util.Tablefmt.row t
+            [ string_of_int workers; deployment_name d; Bexp.fmt_tput r;
+              Bexp.fmt_lat r;
+              Util.Tablefmt.fcell ~digits:2 (100. *. r.Harness.abort_rate);
+              Printf.sprintf "%.0f-%.0f%%" (100. *. umin) (100. *. umax) ])
+        [ SE_rr; SN; SE_aff ])
+    worker_counts;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "Expected shape (§4.3.1): shared-everything-with-affinity best\n\
+     throughput/latency; shared-nothing-async close below; without-affinity\n\
+     worst. Abort rates near zero through 4 workers, then rising for the\n\
+     non-affine deployments while with-affinity stays resilient.\n"
+
+(* ---- Figures 9 & 10: new-order-delay, scale factor 8 ---- *)
+
+let fig9_10 ~fast =
+  let warehouses = 8 in
+  let params =
+    Tpcc.params ~sizes:big_item_sizes ~remote_mode:(Tpcc.Per_item 1.0)
+      ~delay_lo:300. ~delay_hi:400. warehouses
+  in
+  let worker_counts = if fast then [ 1; 4; 8 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let t =
+    Util.Tablefmt.create
+      [ "workers"; "deployment"; "tput [txn/s]"; "latency [ms]"; "abort %" ]
+  in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun d ->
+          let r =
+            run_load ~sizes:big_item_sizes ~fast ~deployment:d ~warehouses
+              ~executors:warehouses ~workers ~params ~new_order_only:true ()
+          in
+          Util.Tablefmt.row t
+            [ string_of_int workers; deployment_name d;
+              Util.Tablefmt.fcell ~digits:0 r.Harness.throughput;
+              Bexp.fmt_lat r;
+              Util.Tablefmt.fcell ~digits:2 (100. *. r.Harness.abort_rate) ])
+        [ SN; SE_aff ])
+    worker_counts;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "Expected shape (§4.3.2): with heavy overlappable per-item work,\n\
+     shared-nothing-async roughly doubles shared-everything-with-affinity\n\
+     at 1 worker; under increasing load the advantage erodes and\n\
+     with-affinity eventually wins.\n"
+
+(* ---- Table 1 (App D): new-order observed vs cost-model prediction ---- *)
+
+(* Calibration runs measure the per-item and base processing costs, like the
+   paper's single local+remote item probe. *)
+let calibrate_new_order () =
+  let warehouses = 4 in
+  let probe items =
+    let db =
+      Harness.build
+        (Tpcc.decl ~warehouses ~sizes ())
+        (config_of SN ~warehouses ~executors:warehouses)
+    in
+    let seq = ref 0 in
+    let outs =
+      Harness.measure_txns db ~n:30 (fun rng ->
+          incr seq;
+          let d_id = 1 + Util.Rng.int rng sizes.Tpcc.districts in
+          Wl.request "w1" "new_order"
+            (Wl.vi d_id :: Wl.vi 1 :: Wl.vf 0.
+            :: Wl.vf (float_of_int !seq)
+            :: Wl.vi (List.length items)
+            :: List.concat_map
+                 (fun (i, s, q) -> [ Wl.vi i; Wl.vs s; Wl.vi q ])
+                 items))
+    in
+    Harness.mean_breakdown outs
+  in
+  let one_remote = probe [ (1, "w1", 1); (2, "w2", 1) ] in
+  let two_local = probe [ (3, "w1", 1); (4, "w1", 1) ] in
+  let cs = one_remote.Harness.avg_cs in
+  let cr = one_remote.Harness.avg_cr in
+  let p_remote_unit = one_remote.Harness.avg_async_exec in
+  (* two_local sync = base + 2*p_item; one_remote sync = base + p_item *)
+  let p_item =
+    Float.max 0.5
+      (two_local.Harness.avg_sync_exec -. one_remote.Harness.avg_sync_exec)
+  in
+  let p_base = Float.max 0. (one_remote.Harness.avg_sync_exec -. p_item) in
+  (cs, cr, p_remote_unit, p_item, p_base)
+
+(* Expected realized structure of a new-order under [params]: average local
+   items and remote groups with their sizes, sampled from the generator. *)
+let sample_structure params ~warehouses =
+  let rng = Util.Rng.create 1234 in
+  let trials = 500 in
+  let tot_local = ref 0 and groups = ref [] in
+  for _ = 1 to trials do
+    let req = Tpcc.gen_new_order rng params ~home:1 ~clock:0. in
+    let args = Array.of_list req.Wl.args in
+    let n = Util.Value.to_int args.(4) in
+    let by_w = Hashtbl.create 4 in
+    for j = 0 to n - 1 do
+      let supply = Util.Value.to_str args.(6 + (3 * j)) in
+      if supply = "w1" then incr tot_local
+      else
+        Hashtbl.replace by_w supply
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_w supply))
+    done;
+    groups := Hashtbl.fold (fun _ k acc -> k :: acc) by_w [] :: !groups
+  done;
+  ignore warehouses;
+  let avg_local = float_of_int !tot_local /. float_of_int trials in
+  let avg_groups =
+    float_of_int (List.fold_left (fun a g -> a + List.length g) 0 !groups)
+    /. float_of_int trials
+  in
+  let avg_group_size =
+    let total_items =
+      List.fold_left (fun a g -> a + List.fold_left ( + ) 0 g) 0 !groups
+    in
+    let total_groups =
+      List.fold_left (fun a g -> a + List.length g) 0 !groups
+    in
+    if total_groups = 0 then 0.
+    else float_of_int total_items /. float_of_int total_groups
+  in
+  (avg_local, avg_groups, avg_group_size)
+
+let tab1 ~fast =
+  let warehouses = 4 in
+  let cs, cr, p_remote_unit, p_item, p_base = calibrate_new_order () in
+  let t =
+    Util.Tablefmt.create
+      [ "cross-reactor %"; "workers"; "TPS obs"; "lat obs [ms]";
+        "lat pred [ms]"; "lat pred+C+I [ms]" ]
+  in
+  List.iter
+    (fun pct ->
+      let params =
+        Tpcc.params ~sizes:big_item_sizes
+          ~remote_mode:(Tpcc.Per_item (float_of_int pct /. 100.))
+          warehouses
+      in
+      let avg_local, avg_groups, avg_group_size =
+        sample_structure params ~warehouses
+      in
+      (* Figure 3 shape: home processing then a fan-out of remote stock
+         groups. *)
+      let st =
+        Costmodel.node ~at:0
+          ~p_seq:(p_base +. (avg_local *. p_item))
+          ~async:
+            (List.init
+               (int_of_float (Float.round avg_groups))
+               (fun i ->
+                 Costmodel.leaf ~at:(i + 1) (avg_group_size *. p_remote_unit)))
+          ()
+      in
+      let costs = Costmodel.uniform_costs ~cs ~cr in
+      let pred = Costmodel.latency costs st in
+      List.iter
+        (fun workers ->
+          let r =
+            run_load ~sizes:big_item_sizes ~fast ~deployment:SN ~warehouses
+              ~executors:warehouses ~workers ~params ~new_order_only:true ()
+          in
+          (* Pred+C+I: the Figure 3 prediction plus the measured commit and
+             input-generation costs, exactly as Appendix D does. *)
+          let overhead = r.Harness.breakdown.Harness.avg_overhead in
+          Util.Tablefmt.row t
+            [ string_of_int pct; string_of_int workers;
+              Util.Tablefmt.fcell ~digits:0 r.Harness.throughput;
+              Util.Tablefmt.fcell (Bexp.ms r.Harness.avg_latency);
+              (if workers = 1 then Util.Tablefmt.fcell (Bexp.ms pred) else "-");
+              (if workers = 1 then Util.Tablefmt.fcell (Bexp.ms (pred +. overhead))
+               else "-") ])
+        [ 1; 4 ])
+    [ 1; 100 ];
+  Util.Tablefmt.print t;
+  Printf.printf
+    "Expected shape (App. D): pred+C+I close to 1-worker observations for\n\
+     both 1%% and 100%% cross-reactor accesses; 4-worker latency at 100%%\n\
+     rises beyond the prediction (queueing, outside the model's scope).\n"
+
+(* ---- Figures 15 & 16: % cross-reactor new-orders at peak load ---- *)
+
+let fig15_16 ~fast =
+  let warehouses = 8 in
+  let pcts = if fast then [ 0; 10; 100 ] else [ 0; 10; 20; 30; 40; 50; 100 ] in
+  let t =
+    Util.Tablefmt.create
+      [ "% cross-reactor"; "deployment"; "tput [Ktxn/s]"; "latency [ms]";
+        "abort %" ]
+  in
+  List.iter
+    (fun pct ->
+      let mk_params sync =
+        Tpcc.params ~sizes:big_item_sizes
+          ~remote_mode:(Tpcc.One_item (float_of_int pct /. 100.))
+          ~sync_new_order:sync warehouses
+      in
+      let cases =
+        [ ("shared-everything-without-affinity", SE_rr, mk_params false);
+          ("shared-nothing-async", SN, mk_params false);
+          ("shared-everything-with-affinity", SE_aff, mk_params false);
+          ("shared-nothing-sync", SN, mk_params true) ]
+      in
+      List.iter
+        (fun (name, d, params) ->
+          let r =
+            run_load ~sizes:big_item_sizes ~fast ~deployment:d ~warehouses
+              ~executors:warehouses ~workers:8 ~params ~new_order_only:true ()
+          in
+          Util.Tablefmt.row t
+            [ string_of_int pct; name; Bexp.fmt_tput r; Bexp.fmt_lat r;
+              Util.Tablefmt.fcell ~digits:2 (100. *. r.Harness.abort_rate) ])
+        cases)
+    pcts;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "Expected shape (App. E): sharp drop for both shared-nothing variants\n\
+     from 0%% to 10%%; shared-nothing-async degrades more gracefully than\n\
+     -sync toward 100%% (about 2x better latency there); with-affinity\n\
+     stays nearly flat and wins at peak load.\n"
+
+(* ---- Figures 17 & 18: transactional scale-up ---- *)
+
+let fig17_18 ~fast =
+  let sfs = if fast then [ 1; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let t =
+    Util.Tablefmt.create
+      [ "scale factor"; "deployment"; "tput [Ktxn/s]"; "latency [ms]";
+        "tput/core [Ktxn/s]" ]
+  in
+  List.iter
+    (fun sf ->
+      let params = Tpcc.params ~sizes sf in
+      List.iter
+        (fun d ->
+          let r =
+            run_load ~fast ~deployment:d ~warehouses:sf ~executors:sf
+              ~workers:sf ~params ~new_order_only:false ()
+          in
+          Util.Tablefmt.row t
+            [ string_of_int sf; deployment_name d; Bexp.fmt_tput r;
+              Bexp.fmt_lat r;
+              Util.Tablefmt.fcell ~digits:1
+                (r.Harness.throughput /. 1000. /. float_of_int sf) ])
+        [ SE_rr; SN; SE_aff ])
+    sfs;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "Expected shape (App. F.1): with-affinity and shared-nothing-async\n\
+     scale almost linearly (per-core throughput near-flat, ~87%% of SF1 at\n\
+     SF16 for with-affinity); without-affinity scales worst.\n"
+
+(* ---- Appendix F.2: effect of affinity ---- *)
+
+let fA2 ~fast =
+  let execs = if fast then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16 ] in
+  let params = Tpcc.params ~sizes 1 in
+  let base = ref 0. in
+  let t =
+    Util.Tablefmt.create
+      [ "executors"; "tput [Ktxn/s]"; "relative to 1 executor" ]
+  in
+  List.iter
+    (fun executors ->
+      let r =
+        run_load ~fast ~deployment:SE_rr ~warehouses:1 ~executors ~workers:1
+          ~params ~new_order_only:false ()
+      in
+      if executors = 1 then base := r.Harness.throughput;
+      Util.Tablefmt.row t
+        [ string_of_int executors; Bexp.fmt_tput r;
+          Printf.sprintf "%.0f%%" (100. *. r.Harness.throughput /. !base) ])
+    execs;
+  Util.Tablefmt.print t;
+  Printf.printf
+    "Expected shape (App. F.2): round-robin routing over more executors\n\
+     destroys locality — throughput drops toward ~40%% at 16 executors.\n"
+
+let register () =
+  Bexp.register ~id:"fig7" ~paper:"Figures 7-8"
+    ~title:"TPC-C throughput/latency vs load, scale factor 4" fig7_8;
+  Bexp.register ~id:"fig9" ~paper:"Figures 9-10"
+    ~title:"new-order-delay throughput/latency vs load" fig9_10;
+  Bexp.register ~id:"tab1" ~paper:"Table 1 (App D)"
+    ~title:"TPC-C new-order: observed vs cost-model prediction" tab1;
+  Bexp.register ~id:"fig15" ~paper:"Figures 15-16 (App E)"
+    ~title:"Cross-reactor new-order % sweep at peak load" fig15_16;
+  Bexp.register ~id:"fig17" ~paper:"Figures 17-18 (App F.1)"
+    ~title:"TPC-C transactional scale-up" fig17_18;
+  Bexp.register ~id:"tabF2" ~paper:"Appendix F.2"
+    ~title:"Effect of affinity (round-robin over k executors)" fA2

@@ -1,0 +1,110 @@
+(* Bechamel micro-benchmarks of the engine primitives (real wall-clock time,
+   unlike the virtual-time experiments): B+tree operations, OCC commit
+   cycles, expression evaluation, and simulation-engine event throughput.
+   Run with `--micro`. *)
+
+open Bechamel
+open Toolkit
+
+module BT = Btree.Make (Int)
+
+let bench_btree_insert =
+  Test.make ~name:"btree insert 1k" (Staged.stage (fun () ->
+      let t = BT.create () in
+      for i = 0 to 999 do
+        ignore (BT.insert t i i)
+      done))
+
+let bench_btree_lookup =
+  let t = BT.create () in
+  for i = 0 to 9_999 do
+    ignore (BT.insert t i i)
+  done;
+  let idx = ref 0 in
+  Test.make ~name:"btree lookup" (Staged.stage (fun () ->
+      idx := (!idx + 7919) mod 10_000;
+      ignore (BT.find t !idx)))
+
+let bench_btree_range =
+  let t = BT.create () in
+  for i = 0 to 9_999 do
+    ignore (BT.insert t i i)
+  done;
+  Test.make ~name:"btree range 100" (Staged.stage (fun () ->
+      let n = ref 0 in
+      BT.range t ~lo:5_000 ~hi:5_099 ~f:(fun _ _ ->
+          incr n;
+          true)))
+
+let kv_schema =
+  Storage.Schema.make ~name:"kv"
+    ~columns:[ ("k", Util.Value.TInt); ("v", Util.Value.TInt) ]
+    ~key:[ "k" ]
+
+let bench_occ_commit =
+  let tbl = Storage.Table.create kv_schema in
+  for i = 0 to 999 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false [| Util.Value.Int i; Util.Value.Int 0 |]))
+  done;
+  let ids = ref 0 in
+  Test.make ~name:"occ read-modify-write commit" (Staged.stage (fun () ->
+      incr ids;
+      let txn = Occ.Txn.create ~id:!ids in
+      let key = [| Util.Value.Int (!ids mod 1000) |] in
+      (match Storage.Table.find tbl key with
+      | Some r ->
+        (match Occ.Txn.read txn ~container:0 r with
+        | Some data ->
+          Occ.Txn.write txn ~container:0 ~table:tbl ~key r
+            [| data.(0); Util.Value.Int (Util.Value.to_int data.(1) + 1) |]
+        | None -> ())
+      | None -> ());
+      ignore (Occ.Commit.commit_single txn ~epoch:1 ~container:0)))
+
+let bench_expr =
+  let expr =
+    Query.Expr.(col "v" >. vint 10 &&. (col "k" <. vint 900))
+  in
+  let pred = Query.Expr.compile_pred kv_schema expr in
+  let row = [| Util.Value.Int 5; Util.Value.Int 50 |] in
+  Test.make ~name:"compiled predicate eval" (Staged.stage (fun () -> ignore (pred row)))
+
+let bench_sim_events =
+  Test.make ~name:"sim 10k events" (Staged.stage (fun () ->
+      let e = Sim.Engine.create () in
+      Sim.Engine.spawn e (fun () ->
+          for _ = 1 to 10_000 do
+            Sim.Engine.delay 1.
+          done);
+      ignore (Sim.Engine.run e)))
+
+let bench_zipf =
+  let rng = Util.Rng.create 1 in
+  let g = Util.Rng.Zipf.create ~n:100_000 ~theta:0.99 in
+  Test.make ~name:"zipf sample" (Staged.stage (fun () -> ignore (Util.Rng.Zipf.next rng g)))
+
+let all_tests =
+  [ bench_btree_insert; bench_btree_lookup; bench_btree_range;
+    bench_occ_commit; bench_expr; bench_sim_events; bench_zipf ]
+
+let run () =
+  print_endline "\n== Micro-benchmarks (real time, Bechamel) ==";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2_000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        ols)
+    all_tests

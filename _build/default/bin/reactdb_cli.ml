@@ -1,0 +1,311 @@
+(* reactdb_cli — run ReactDB workloads under configurable deployments.
+
+   The virtualization story of §3.3 as a command line: the workload fixes
+   the application (reactor types, procedures, generators); the deployment
+   comes from a config file or from named-strategy flags, with no change to
+   application code.
+
+   Examples:
+     reactdb_cli run -w tpcc -s 4 --workers 8 --strategy shared-nothing
+     reactdb_cli run -w smallbank --workers 4 --config deploy.cfg --certify
+     reactdb_cli run -w ycsb --theta 0.99 --workers 4
+     reactdb_cli show-config deploy.cfg abc,def,ghi
+     reactdb_cli list *)
+
+open Cmdliner
+module DB = Reactdb.Database
+module W = Workloads
+
+type workload = Tpcc | Smallbank | Ycsb | Exchange
+
+let workload_conv =
+  let parse = function
+    | "tpcc" -> Ok Tpcc
+    | "smallbank" -> Ok Smallbank
+    | "ycsb" -> Ok Ycsb
+    | "exchange" -> Ok Exchange
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  let print ppf w =
+    Fmt.string ppf
+      (match w with
+      | Tpcc -> "tpcc"
+      | Smallbank -> "smallbank"
+      | Ycsb -> "ycsb"
+      | Exchange -> "exchange")
+  in
+  Arg.conv (parse, print)
+
+(* Build (decl, reactor names, generator) for a workload at a scale. *)
+let build_workload workload ~scale ~theta =
+  match workload with
+  | Tpcc ->
+    let sizes = W.Tpcc.default_sizes in
+    let decl = W.Tpcc.decl ~warehouses:scale ~sizes () in
+    let params = W.Tpcc.params ~sizes scale in
+    let seq = ref 0 in
+    let gen w rng = W.Tpcc.gen_mix rng params ~home:(1 + (w mod scale)) ~seq in
+    (decl, W.Tpcc.warehouses scale, gen)
+  | Smallbank ->
+    let n = Stdlib.max 2 (scale * 8) in
+    let decl = W.Smallbank.decl ~customers:n () in
+    let gen _w rng = W.Smallbank.gen_standard rng ~n in
+    (decl, W.Smallbank.customers n, gen)
+  | Ycsb ->
+    let n = Stdlib.max 10 (scale * 1000) in
+    let decl = W.Ycsb.decl ~keys:n () in
+    let params = W.Ycsb.params ~theta n in
+    let containers = Stdlib.max 1 scale in
+    let container_of k =
+      int_of_string (String.sub k 1 (String.length k - 1)) * containers / n
+    in
+    let gen _w rng = W.Ycsb.gen_multi_update rng params ~container_of in
+    (decl, W.Ycsb.keys n, gen)
+  | Exchange ->
+    let providers = Stdlib.max 2 (scale * 4) in
+    let decl = W.Exchange.decl ~providers ~orders_per_provider:500 () in
+    let seq = ref 0 in
+    let gen _w rng =
+      W.Exchange.gen_auth_pay rng ~strategy:`Procedure_par
+        ~n_providers:providers ~window:100 ~sim_cost:50. ~seq
+    in
+    (decl, "exchange" :: W.Exchange.providers providers, gen)
+
+let deployment_of ~config_file ~strategy ~executors ~mpl reactors =
+  match config_file with
+  | Some path -> Reactdb.Config.Spec.build (Reactdb.Config.Spec.of_file path) reactors
+  | None -> (
+    match strategy with
+    | "shared-nothing" ->
+      Reactdb.Config.Spec.build
+        (Reactdb.Config.Spec.of_string
+           (Printf.sprintf "strategy shared-nothing\nmpl %d\ngroups auto %d\n"
+              mpl executors))
+        reactors
+    | "shared-everything" ->
+      Reactdb.Config.shared_everything ~executors ~affinity:true ~mpl reactors
+    | "shared-everything-no-affinity" ->
+      Reactdb.Config.shared_everything ~executors ~affinity:false ~mpl reactors
+    | s -> failwith (Printf.sprintf "unknown strategy %S" s))
+
+let run_cmd workload scale theta workers strategy executors mpl config_file
+    duration_ms certify profile_name =
+  let profile =
+    match profile_name with
+    | "default" | "xeon" -> Reactdb.Profile.default
+    | "opteron" -> Reactdb.Profile.opteron
+    | s -> failwith (Printf.sprintf "unknown profile %S" s)
+  in
+  let decl, reactors, gen = build_workload workload ~scale ~theta in
+  let executors = if executors = 0 then scale else executors in
+  let config = deployment_of ~config_file ~strategy ~executors ~mpl reactors in
+  let db = Harness.build ~profile decl config in
+  if certify then DB.enable_history db;
+  Printf.printf
+    "reactors=%d containers=%d executors=%d mpl=%d workers=%d profile=%s\n%!"
+    (List.length reactors)
+    (Reactdb.Config.n_containers config)
+    (Reactdb.Config.total_executors config)
+    config.Reactdb.Config.mpl workers profile_name;
+  let spec =
+    Harness.spec ~epochs:10
+      ~epoch_us:(duration_ms *. 100.) (* 10 epochs over the duration *)
+      ~warmup_epochs:2 ~n_workers:workers gen
+  in
+  let r = Harness.run_load db spec in
+  Printf.printf "throughput      %12.1f txn/s (±%.1f)\n" r.Harness.throughput
+    r.Harness.throughput_std;
+  Printf.printf "latency         %12.1f µs (±%.1f)\n" r.Harness.avg_latency
+    r.Harness.latency_std;
+  Printf.printf "committed       %12d\n" r.Harness.committed;
+  Printf.printf "aborted         %12d (%.2f%%)\n" r.Harness.aborted
+    (100. *. r.Harness.abort_rate);
+  List.iter
+    (fun (reason, n) -> Printf.printf "  %-14s %12d\n" reason n)
+    r.Harness.aborts_by_reason;
+  Printf.printf "utilization     %s\n"
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun u -> Printf.sprintf "%.0f%%" (100. *. u))
+             r.Harness.utilizations)));
+  if certify then begin
+    let entries =
+      List.map
+        (fun h ->
+          { Histories.Certify.c_txn = h.DB.h_txn; c_tid = h.DB.h_tid;
+            c_reads = h.DB.h_reads; c_writes = h.DB.h_writes })
+        (DB.history db)
+    in
+    match Histories.Certify.check entries with
+    | Ok _ ->
+      Printf.printf "history         serializable (%d transactions)\n"
+        (List.length entries)
+    | Error m -> Printf.printf "history         VIOLATION: %s\n" m
+  end
+
+(* Interactive SQL shell over a loaded workload: every statement runs as
+   one ACID transaction on the chosen reactor. *)
+let sql_cmd workload scale theta strategy executors mpl config_file reactor =
+  let decl, reactors, _gen = build_workload workload ~scale ~theta in
+  (* Expose the generic "sql" procedure on every reactor type. *)
+  let decl = { decl with Reactor.types = List.map Sql.Proc.with_sql decl.Reactor.types } in
+  let executors = if executors = 0 then scale else executors in
+  let config = deployment_of ~config_file ~strategy ~executors ~mpl reactors in
+  let db = Harness.build decl config in
+  let current = ref (match reactor with Some r -> r | None -> List.hd reactors) in
+  Printf.printf
+    "ReactDB SQL shell — statements run as transactions on reactor %s.\n\
+     Commands: \\r NAME (switch reactor), \\l (list reactors), \\q (quit).\n"
+    !current;
+  let rec loop () =
+    Printf.printf "%s> %!" !current;
+    match try Some (input_line stdin) with End_of_file -> None with
+    | None -> print_newline ()
+    | Some "" -> loop ()
+    | Some "\\q" -> ()
+    | Some "\\l" ->
+      List.iter print_endline reactors;
+      loop ()
+    | Some line when String.length line > 3 && String.sub line 0 3 = "\\r " ->
+      let r = String.trim (String.sub line 3 (String.length line - 3)) in
+      if List.mem r reactors then current := r
+      else Printf.printf "unknown reactor %S\n" r;
+      loop ()
+    | Some stmt ->
+      let eng = DB.engine db in
+      Sim.Engine.spawn eng (fun () ->
+          match
+            DB.exec_txn db ~reactor:!current ~proc:"sql"
+              ~args:[ Util.Value.Str stmt ]
+          with
+          | { result = Ok (Util.Value.Str rendered); latency; _ } ->
+            Printf.printf "%s(%.1f µs)\n" rendered latency
+          | { result = Ok v; latency; _ } ->
+            Printf.printf "%s\n(%.1f µs)\n" (Util.Value.to_string v) latency
+          | { result = Error m; _ } -> Printf.printf "ABORTED: %s\n" m);
+      (try ignore (Sim.Engine.run eng) with
+      | Sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+      | Sql.Run.Sql_error m -> Printf.printf "error: %s\n" m
+      | Invalid_argument m -> Printf.printf "error: %s\n" m);
+      loop ()
+  in
+  loop ()
+
+let show_config_cmd path reactors =
+  let reactors = String.split_on_char ',' reactors in
+  let cfg = Reactdb.Config.Spec.build (Reactdb.Config.Spec.of_file path) reactors in
+  Printf.printf "containers: %d\nexecutors:  %s\nmpl:        %d\nrouter:     %s\n"
+    (Reactdb.Config.n_containers cfg)
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int cfg.Reactdb.Config.executors_per_container)))
+    cfg.Reactdb.Config.mpl
+    (match cfg.Reactdb.Config.router with
+    | Reactdb.Config.Round_robin -> "round-robin"
+    | Reactdb.Config.Affinity -> "affinity");
+  List.iter
+    (fun r -> Printf.printf "  %-12s -> container %d\n" r (cfg.Reactdb.Config.placement r))
+    reactors
+
+let list_cmd () =
+  print_endline "workloads: tpcc smallbank ycsb exchange";
+  print_endline
+    "strategies: shared-nothing shared-everything shared-everything-no-affinity";
+  print_endline "profiles: default (xeon) | opteron"
+
+(* --- cmdliner plumbing --- *)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload to run.")
+
+let scale_arg =
+  Arg.(value & opt int 4 & info [ "s"; "scale" ] ~doc:"Scale factor.")
+
+let theta_arg =
+  Arg.(value & opt float 0.5 & info [ "theta" ] ~doc:"YCSB zipfian constant.")
+
+let workers_arg =
+  Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Closed-loop client workers.")
+
+let strategy_arg =
+  Arg.(
+    value & opt string "shared-nothing"
+    & info [ "strategy" ] ~doc:"Deployment strategy (ignored with --config).")
+
+let executors_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "executors" ] ~doc:"Transaction executors (0 = scale factor).")
+
+let mpl_arg =
+  Arg.(value & opt int 8 & info [ "mpl" ] ~doc:"Multiprogramming level per executor.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "config" ] ~doc:"Deployment configuration file.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 100.
+    & info [ "duration" ] ~doc:"Measured virtual duration in ms.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"Record the execution history and certify serializability.")
+
+let profile_arg =
+  Arg.(value & opt string "default" & info [ "profile" ] ~doc:"Hardware profile.")
+
+let run_term =
+  Term.(
+    const run_cmd $ workload_arg $ scale_arg $ theta_arg $ workers_arg
+    $ strategy_arg $ executors_arg $ mpl_arg $ config_arg $ duration_arg
+    $ certify_arg $ profile_arg)
+
+let run_info = Cmd.info "run" ~doc:"Run a workload under a deployment."
+
+let show_config_term =
+  Term.(
+    const show_config_cmd
+    $ Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG")
+    $ Arg.(required & pos 1 (some string) None & info [] ~docv:"REACTORS"))
+
+let show_config_info =
+  Cmd.info "show-config" ~doc:"Parse a config file against a reactor list."
+
+let reactor_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reactor" ] ~doc:"Reactor the shell starts on.")
+
+let sql_term =
+  Term.(
+    const sql_cmd $ workload_arg $ scale_arg $ theta_arg $ strategy_arg
+    $ executors_arg $ mpl_arg $ config_arg $ reactor_arg)
+
+let sql_info =
+  Cmd.info "sql" ~doc:"Interactive SQL shell over a loaded workload."
+
+let list_term = Term.(const list_cmd $ const ())
+let list_info = Cmd.info "list" ~doc:"List workloads, strategies and profiles."
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "reactdb_cli" ~version:"1.0.0"
+             ~doc:"ReactDB: a predictable, virtualized actor database system.")
+          [
+            Cmd.v run_info run_term;
+            Cmd.v sql_info sql_term;
+            Cmd.v show_config_info show_config_term;
+            Cmd.v list_info list_term;
+          ]))

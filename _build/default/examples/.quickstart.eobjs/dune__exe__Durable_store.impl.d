@@ -1,0 +1,1 @@
+examples/durable_store.ml: Array Checkpoint List Printf Query Reactdb Reactor Rng Sim Sql Storage Util Value Wal

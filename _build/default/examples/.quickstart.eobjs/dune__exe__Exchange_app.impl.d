@@ -1,0 +1,1 @@
+examples/exchange_app.ml: Exchange Harness List Printf Reactdb Sim Util Wl Workloads

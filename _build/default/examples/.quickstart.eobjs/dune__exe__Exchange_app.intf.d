@@ -1,0 +1,1 @@
+examples/exchange_app.mli:

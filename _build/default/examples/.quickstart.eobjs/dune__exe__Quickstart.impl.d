@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Query Reactdb Reactor Sim Storage Util Value

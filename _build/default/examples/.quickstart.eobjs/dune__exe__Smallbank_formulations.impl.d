@@ -1,0 +1,1 @@
+examples/smallbank_formulations.ml: Harness List Printf Reactdb Smallbank Util Workloads

@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Harness Histories List Printf Reactdb Tpcc Util Workloads

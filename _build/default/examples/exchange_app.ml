@@ -1,0 +1,90 @@
+(* The digital currency exchange of the paper's Figure 1, end to end.
+
+   An Exchange reactor authorizes credit-card payments against per-provider
+   risk limits; Provider reactors hold their own order books and risk
+   caches. auth_pay fans calc_risk out to all providers asynchronously and
+   aborts the whole transaction if any provider's exposure is above its
+   limit — exactly the program of Fig. 1(b).
+
+   The demo authorizes a few payments, forces an exposure abort, and then
+   contrasts the latency of procedure-level parallelism with the classic
+   sequential formulation of Fig. 1(a) under a heavy risk simulation.
+
+   Run with: dune exec examples/exchange_app.exe *)
+
+open Workloads
+
+let providers = 6
+let orders_per_provider = 500
+let window = 200
+let sim_cost_us = 400.
+
+let run_txn db (req : Wl.request) =
+  Reactdb.Database.exec_txn db ~reactor:req.Wl.reactor ~proc:req.Wl.proc
+    ~args:req.Wl.args
+
+let () =
+  (* Reactor database: exchange + providers, one container each. *)
+  let decl = Exchange.decl ~providers ~orders_per_provider () in
+  let config =
+    Reactdb.Config.shared_nothing
+      ([ "exchange" ] :: List.map (fun p -> [ p ]) (Exchange.providers providers))
+  in
+  let engine = Sim.Engine.create () in
+  let db = Reactdb.Database.create engine decl config Reactdb.Profile.default in
+  let seq = ref 0 in
+  Sim.Engine.spawn engine (fun () ->
+      let rng = Util.Rng.create 2024 in
+      print_endline "Authorizing payments through auth_pay (Fig. 1b):";
+      for _ = 1 to 3 do
+        let req =
+          Exchange.gen_auth_pay rng ~strategy:`Procedure_par
+            ~n_providers:providers ~window ~sim_cost:sim_cost_us ~seq
+        in
+        match run_txn db req with
+        | { result = Ok _; latency; _ } ->
+          Printf.printf "  authorized in %.0f µs (risk checked on %d providers in parallel)\n"
+            latency providers
+        | { result = Error m; _ } -> Printf.printf "  rejected: %s\n" m
+      done;
+      (* Force a provider over its exposure limit by direct calc_risk with a
+         tiny limit: user-defined aborts in sub-transactions abort the whole
+         payment. *)
+      print_endline "A provider over its exposure limit rejects the payment:";
+      (match
+         run_txn db
+           (Wl.request "p0" "calc_risk"
+              [ Wl.vf 1.0; Wl.vi window; Wl.vf 0.; Wl.vf 1e18 ])
+       with
+      | { result = Error m; _ } -> Printf.printf "  aborted as expected: %s\n" m
+      | { result = Ok _; _ } -> print_endline "  unexpectedly authorized!"));
+  ignore (Sim.Engine.run engine);
+  (* Latency comparison: reactor formulation vs the classic sequential one,
+     each in the deployment it calls for. *)
+  print_endline "\nLatency, procedure parallelism (Fig. 1b) vs sequential (Fig. 1a):";
+  let measure strategy =
+    let decl, config =
+      match strategy with
+      | `Sequential ->
+        ( Exchange.mono_decl ~providers ~orders_per_provider (),
+          Reactdb.Config.shared_everything ~executors:1 ~affinity:true [ "mono" ] )
+      | _ ->
+        ( Exchange.decl ~providers ~orders_per_provider (),
+          Reactdb.Config.shared_nothing
+            ([ "exchange" ]
+            :: List.map (fun p -> [ p ]) (Exchange.providers providers)) )
+    in
+    let db = Harness.build decl config in
+    let seq = ref 0 in
+    let outs =
+      Harness.measure_txns db ~warmup:2 ~n:10 (fun rng ->
+          Exchange.gen_auth_pay rng ~strategy ~n_providers:providers ~window
+            ~sim_cost:sim_cost_us ~seq)
+    in
+    Harness.mean_latency outs
+  in
+  let seq_lat = measure `Sequential in
+  let par_lat = measure `Procedure_par in
+  Printf.printf "  sequential at a single reactor : %8.0f µs\n" seq_lat;
+  Printf.printf "  reactors, parallel calc_risk   : %8.0f µs  (%.1fx faster)\n"
+    par_lat (seq_lat /. par_lat)

@@ -1,0 +1,115 @@
+(* Quickstart: a minimal reactor database from scratch.
+
+   We model a tiny inventory service: each [Store] reactor encapsulates a
+   one-table relational schema; a cross-store [restock] transfers items
+   between stores with full ACID guarantees, using an asynchronous call to
+   the peer store.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Util
+
+(* 1. Declare the relational schema a Store reactor encapsulates. *)
+let stock_schema =
+  Storage.Schema.make ~name:"stock"
+    ~columns:[ ("item", Value.TStr); ("qty", Value.TInt) ]
+    ~key:[ "item" ]
+
+(* 2. Write stored procedures against the reactor context: declarative
+   queries on the reactor's own state, asynchronous calls for anything
+   else. *)
+let qty_of ctx item =
+  match Query.Exec.get ctx.Reactor.db "stock" [| Value.Str item |] with
+  | Some row -> Value.to_int row.(1)
+  | None -> 0
+
+let add_qty ctx item delta =
+  let current = qty_of ctx item in
+  let updated = current + delta in
+  if updated < 0 then Reactor.abort "insufficient stock";
+  if current = 0 then
+    Query.Exec.insert ctx.Reactor.db "stock"
+      [| Value.Str item; Value.Int updated |]
+  else
+    ignore
+      (Query.Exec.update_key ctx.Reactor.db "stock" [| Value.Str item |]
+         ~set:(fun row -> Query.Exec.seti row 1 (Value.Int updated)))
+
+let procs =
+  [
+    (* get(item) -> qty *)
+    ( "get",
+      fun ctx args -> Value.Int (qty_of ctx (Reactor.arg_str args 0)) );
+    (* add(item, delta) *)
+    ( "add",
+      fun ctx args ->
+        add_qty ctx (Reactor.arg_str args 0) (Reactor.arg_int args 1);
+        Value.Null );
+    (* restock(item, qty, from_store): take qty of item from another store.
+       The withdrawal on the peer runs as an asynchronous sub-transaction;
+       both effects commit atomically or not at all. *)
+    ( "restock",
+      fun ctx args ->
+        let item = Reactor.arg_str args 0 in
+        let qty = Reactor.arg_int args 1 in
+        let from_store = Reactor.arg_str args 2 in
+        let withdrawal =
+          ctx.Reactor.call ~reactor:from_store ~proc:"add"
+            ~args:[ Value.Str item; Value.Int (-qty) ]
+        in
+        add_qty ctx item qty;
+        ignore (withdrawal.get ());
+        Value.Null );
+  ]
+
+let store_type = Reactor.rtype ~name:"Store" ~schemas:[ stock_schema ] ~procs ()
+
+(* 3. Declare the reactor database: two named stores with initial data. *)
+let decl =
+  let load_downtown catalog =
+    let tbl = Storage.Catalog.table catalog "stock" in
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false
+            [| Value.Str "widget"; Value.Int 100 |]))
+  in
+  Reactor.decl ~types:[ store_type ]
+    ~reactors:[ ("downtown", "Store"); ("uptown", "Store") ]
+    ~loaders:[ ("downtown", load_downtown) ]
+    ()
+
+let () =
+  (* 4. Pick a deployment — here shared-nothing, one container per store.
+     Changing this line (e.g. to shared_everything) requires no change to
+     any of the application code above. *)
+  let config = Reactdb.Config.shared_nothing [ [ "downtown" ]; [ "uptown" ] ] in
+  let engine = Sim.Engine.create () in
+  let db = Reactdb.Database.create engine decl config Reactdb.Profile.default in
+  (* 5. Client code runs as a simulation process and submits root
+     transactions. *)
+  Sim.Engine.spawn engine (fun () ->
+      let exec reactor proc args =
+        match Reactdb.Database.exec_txn db ~reactor ~proc ~args with
+        | { result = Ok v; latency; _ } ->
+          Printf.printf "  %-10s %-28s -> %-6s (%.1f µs)\n" reactor proc
+            (Value.to_string v) latency
+        | { result = Error reason; _ } ->
+          Printf.printf "  %-10s %-28s -> ABORTED: %s\n" reactor proc reason
+      in
+      print_endline "Initial state:";
+      exec "downtown" "get" [ Value.Str "widget" ];
+      exec "uptown" "get" [ Value.Str "widget" ];
+      print_endline "Restock uptown with 30 widgets from downtown:";
+      exec "uptown" "restock"
+        [ Value.Str "widget"; Value.Int 30; Value.Str "downtown" ];
+      exec "downtown" "get" [ Value.Str "widget" ];
+      exec "uptown" "get" [ Value.Str "widget" ];
+      print_endline "Attempt an impossible restock (rolls back everywhere):";
+      exec "uptown" "restock"
+        [ Value.Str "widget"; Value.Int 500; Value.Str "downtown" ];
+      exec "downtown" "get" [ Value.Str "widget" ];
+      exec "uptown" "get" [ Value.Str "widget" ]);
+  ignore (Sim.Engine.run engine);
+  Printf.printf "Committed: %d, aborted: %d\n"
+    (Reactdb.Database.n_committed db)
+    (Reactdb.Database.n_aborted db)

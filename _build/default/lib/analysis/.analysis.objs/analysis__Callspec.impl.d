@@ -1,0 +1,1 @@
+lib/analysis/callspec.ml: Array Fmt Hashtbl List Option Reactor String

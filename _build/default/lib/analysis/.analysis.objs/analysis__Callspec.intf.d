@@ -1,0 +1,1 @@
+lib/analysis/callspec.mli: Format Reactor

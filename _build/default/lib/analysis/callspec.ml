@@ -1,0 +1,173 @@
+type mode = Async | Sync | Self
+
+type call = { target_type : string; target_proc : string; mode : mode }
+
+type t = ((string * string) * call list) list
+
+let make spec = spec
+
+type issue =
+  | Unknown_type of string
+  | Unknown_proc of string * string
+  | Type_cycle of string list
+  | Concurrent_reach of {
+      in_proc : string * string;
+      first : string * string;
+      second : string * string;
+      shared_type : string;
+    }
+
+let pp_issue ppf = function
+  | Unknown_type ty -> Fmt.pf ppf "unknown reactor type %s" ty
+  | Unknown_proc (ty, p) -> Fmt.pf ppf "unknown procedure %s.%s" ty p
+  | Type_cycle tys ->
+    Fmt.pf ppf "cyclic call structure across reactor types: %s"
+      (String.concat " -> " (tys @ [ List.hd tys ]))
+  | Concurrent_reach { in_proc = ty, p; first = ft, fp; second = st, sp;
+                       shared_type } ->
+    Fmt.pf ppf
+      "%s.%s: asynchronous call %s.%s may still be active when %s.%s runs, \
+       and both can reach reactor type %s — dangerous unless the target \
+       reactors are provably distinct"
+      ty p ft fp st sp shared_type
+
+let calls_of spec key = Option.value ~default:[] (List.assoc_opt key spec)
+
+(* Reactor types a procedure's execution can touch, transitively. Self calls
+   stay on the same reactor type but their nested calls still count. *)
+let reach spec (ty, proc) =
+  let seen = Hashtbl.create 16 in
+  let types = Hashtbl.create 16 in
+  let rec go (ty, proc) =
+    if not (Hashtbl.mem seen (ty, proc)) then begin
+      Hashtbl.replace seen (ty, proc) ();
+      List.iter
+        (fun c ->
+          let tty = if c.mode = Self then ty else c.target_type in
+          if c.mode <> Self then Hashtbl.replace types tty ();
+          go (tty, c.target_proc))
+        (calls_of spec (ty, proc))
+    end
+  in
+  go (ty, proc);
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) types [])
+
+(* Type-level call graph: edges between distinct reactor types. *)
+let type_edges spec =
+  List.concat_map
+    (fun ((ty, _), calls) ->
+      List.filter_map
+        (fun c ->
+          if c.mode = Self || c.target_type = ty then None
+          else Some (ty, c.target_type))
+        calls)
+    spec
+  |> List.sort_uniq compare
+
+let find_cycles spec =
+  let edges = type_edges spec in
+  let succs ty =
+    List.filter_map (fun (a, b) -> if a = ty then Some b else None) edges
+  in
+  let nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  let cycles = ref [] in
+  let report path ty =
+    (* path is the stack, most recent first; extract the cycle segment *)
+    let rec upto acc = function
+      | [] -> acc
+      | x :: _ when x = ty -> x :: acc
+      | x :: rest -> upto (x :: acc) rest
+    in
+    let cyc = upto [] path in
+    (* canonicalize: rotate so the smallest element is first *)
+    let n = List.length cyc in
+    if n > 0 then begin
+      let arr = Array.of_list cyc in
+      let min_i = ref 0 in
+      Array.iteri (fun i x -> if x < arr.(!min_i) then min_i := i) arr;
+      let rotated = List.init n (fun i -> arr.((i + !min_i) mod n)) in
+      if not (List.mem rotated !cycles) then cycles := rotated :: !cycles
+    end
+  in
+  let color = Hashtbl.create 16 in
+  let rec visit path ty =
+    match Hashtbl.find_opt color ty with
+    | Some `Done -> ()
+    | Some `Active -> report path ty
+    | None ->
+      Hashtbl.replace color ty `Active;
+      List.iter (visit (ty :: path)) (succs ty);
+      Hashtbl.replace color ty `Done
+  in
+  (* a fresh color table per root would find more cycles; one pass finds at
+     least one representative per SCC, which is enough to fail the check *)
+  List.iter (fun ty -> visit [] ty) nodes;
+  List.rev_map (fun c -> Type_cycle c) !cycles
+
+let validate decl spec =
+  let issues = ref [] in
+  let has_type ty =
+    List.exists (fun t -> t.Reactor.rt_name = ty) decl.Reactor.types
+  in
+  let has_proc ty p =
+    match List.find_opt (fun t -> t.Reactor.rt_name = ty) decl.Reactor.types with
+    | Some t -> List.mem_assoc p t.Reactor.rt_procs
+    | None -> false
+  in
+  let check_ref ty p =
+    if not (has_type ty) then issues := Unknown_type ty :: !issues
+    else if not (has_proc ty p) then issues := Unknown_proc (ty, p) :: !issues
+  in
+  List.iter
+    (fun ((ty, p), calls) ->
+      check_ref ty p;
+      List.iter
+        (fun c ->
+          let tty = if c.mode = Self then ty else c.target_type in
+          check_ref tty c.target_proc)
+        calls)
+    spec;
+  List.rev !issues
+
+(* Concurrent reaches: within each procedure, an Async call at position i is
+   still active while any later call j > i runs; if the reach sets (plus the
+   target types themselves) intersect, the runtime could see two active
+   sub-transactions on one reactor. *)
+let concurrent_reaches spec =
+  let touch (caller_ty : string) c =
+    let tty = if c.mode = Self then caller_ty else c.target_type in
+    (* A Self call touches the calling reactor — which is itself an instance
+       of the caller's type, so an earlier asynchronous call to that type
+       could collide with it (the runtime inlines only literal self-name
+       calls; a dynamic name equal to the caller trips the dynamic check). *)
+    List.sort_uniq String.compare (tty :: reach spec (tty, c.target_proc))
+  in
+  List.concat_map
+    (fun ((ty, p), calls) ->
+      let calls = Array.of_list calls in
+      let issues = ref [] in
+      for i = 0 to Array.length calls - 1 do
+        if calls.(i).mode = Async then
+          for j = i + 1 to Array.length calls - 1 do
+            let ti = touch ty calls.(i) and tj = touch ty calls.(j) in
+            match List.find_opt (fun t -> List.mem t tj) ti with
+            | Some shared ->
+              issues :=
+                Concurrent_reach
+                  {
+                    in_proc = (ty, p);
+                    first = (calls.(i).target_type, calls.(i).target_proc);
+                    second = (calls.(j).target_type, calls.(j).target_proc);
+                    shared_type = shared;
+                  }
+                :: !issues
+            | None -> ()
+          done
+      done;
+      List.rev !issues)
+    spec
+
+let analyze decl spec =
+  match validate decl spec with
+  | _ :: _ as issues -> issues
+  | [] -> find_cycles spec @ concurrent_reaches spec

@@ -1,0 +1,58 @@
+(** Static detection of dangerous call structures.
+
+    §2.2.4 enforces at {e run time} that at most one sub-transaction is
+    active per reactor and root transaction, and names static program
+    checks as future work. This module provides such a check, at the
+    granularity the paper's model affords: since procedures address
+    reactors by dynamic names, developers declare a {e call specification}
+    — which procedures of which reactor types each procedure may invoke,
+    and how (asynchronously, synchronously-forced, or on self) — and the
+    analyzer conservatively flags:
+
+    - {b cycles} across reactor types in the call graph (cyclic execution
+      structures are always aborted by the runtime);
+    - {b concurrent reaches}: two calls issued by one procedure where an
+      earlier asynchronous call is still active while a later call runs,
+      and both can (transitively) touch the same reactor type — dangerous
+      unless the program guarantees the actual target reactors are
+      distinct (which the type-level analysis cannot see; such warnings
+      point at exactly the places needing the §2.2.4 testing discipline).
+
+    The analysis is sound for the structures it models: a program whose
+    specification produces no issues cannot trip the runtime's dynamic
+    safety condition. *)
+
+type mode =
+  | Async  (** future not forced at the call site *)
+  | Sync  (** future forced immediately *)
+  | Self  (** call on the invoking reactor itself (inlined) *)
+
+type call = { target_type : string; target_proc : string; mode : mode }
+
+(** Specification: per (reactor type, procedure), its outgoing calls.
+    Procedures not listed are assumed to make no calls. *)
+type t
+
+val make : ((string * string) * call list) list -> t
+
+type issue =
+  | Unknown_type of string
+  | Unknown_proc of string * string
+  | Type_cycle of string list
+      (** reactor types forming a call cycle, in order *)
+  | Concurrent_reach of {
+      in_proc : string * string;  (** procedure issuing the calls *)
+      first : string * string;  (** earlier asynchronous call *)
+      second : string * string;  (** later call overlapping it *)
+      shared_type : string;  (** reactor type both can touch *)
+    }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** [analyze decl spec] validates the spec against the declaration and
+    returns all issues ([] = statically safe). *)
+val analyze : Reactor.decl -> t -> issue list
+
+(** Reactor types (transitively) reachable from a procedure, excluding
+    pure self-recursion — exposed for tests and tooling. *)
+val reach : t -> string * string -> string list

@@ -1,0 +1,83 @@
+(** In-memory B+tree with leaf-version witnesses.
+
+    This is the ordered index underlying every ReactDB table. It follows the
+    design Silo builds on: data lives only in leaves, leaves are doubly
+    linked for forward and reverse range scans, and every leaf carries a
+    {e version} counter that is bumped on any structural change (key insert,
+    key delete, split). Readers can take a {!witness} of each leaf they
+    touched; optimistic concurrency control re-validates witnesses at commit
+    time to detect phantoms (a key appearing or disappearing in a scanned
+    range necessarily bumps a witnessed leaf's version).
+
+    The tree is not internally synchronized: ReactDB containers serialize
+    structural access per container, and OCC provides transactional
+    isolation on top. Deletion is by unlink-without-rebalance, the usual
+    choice for in-memory OLTP trees (leaves may underflow; they are reclaimed
+    only when empty splits would reuse them, which keeps the version
+    discipline trivially sound). *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) : sig
+  type 'v t
+
+  (** Witness of one leaf's version at read time. *)
+  type witness
+
+  val create : unit -> 'v t
+
+  (** Number of live keys. *)
+  val size : 'v t -> int
+
+  (** [find t k] is the value bound to [k], if any. [on_node], when given,
+      receives a witness of the leaf that holds (or would hold) [k] — needed
+      to validate negative lookups against phantom inserts. *)
+  val find : ?on_node:(witness -> unit) -> 'v t -> K.t -> 'v option
+
+  val mem : 'v t -> K.t -> bool
+
+  (** [insert t k v] binds [k] to [v] and returns the previous binding. *)
+  val insert : 'v t -> K.t -> 'v -> 'v option
+
+  (** [delete t k] removes [k] and returns its binding. *)
+  val delete : 'v t -> K.t -> 'v option
+
+  (** [range t ?lo ?hi ~f] visits bindings with [lo <= k <= hi] in ascending
+      order ([lo]/[hi] default to the extremes); [f] returns [false] to stop
+      early. Every visited leaf is reported to [on_node]. *)
+  val range :
+    ?on_node:(witness -> unit) ->
+    ?lo:K.t ->
+    ?hi:K.t ->
+    'v t ->
+    f:(K.t -> 'v -> bool) ->
+    unit
+
+  (** Like {!range} but descending. *)
+  val range_rev :
+    ?on_node:(witness -> unit) ->
+    ?lo:K.t ->
+    ?hi:K.t ->
+    'v t ->
+    f:(K.t -> 'v -> bool) ->
+    unit
+
+  val iter : 'v t -> f:(K.t -> 'v -> unit) -> unit
+  val fold : 'v t -> init:'a -> f:('a -> K.t -> 'v -> 'a) -> 'a
+  val min_binding : 'v t -> (K.t * 'v) option
+  val max_binding : 'v t -> (K.t * 'v) option
+  val to_list : 'v t -> (K.t * 'v) list
+  val clear : 'v t -> unit
+
+  (** [witness_valid w] is [true] iff the witnessed leaf's version is
+      unchanged since the witness was taken. *)
+  val witness_valid : witness -> bool
+
+  (** Internal consistency check for tests: key ordering, leaf-link
+      integrity, separator invariants. Raises [Failure] when violated. *)
+  val check_invariants : 'v t -> unit
+end

@@ -1,0 +1,107 @@
+type st = {
+  at : int;
+  p_seq : float;
+  sync_seq : st list;
+  async : st list;
+  p_ovp : float;
+  sync_ovp : st list;
+}
+
+type costs = { cs : int -> int -> float; cr : int -> int -> float }
+
+let uniform_costs ~cs ~cr =
+  {
+    cs = (fun src dst -> if src = dst then 0. else cs);
+    cr = (fun dst src -> if src = dst then 0. else cr);
+  }
+
+let leaf ~at p =
+  { at; p_seq = p; sync_seq = []; async = []; p_ovp = 0.; sync_ovp = [] }
+
+let node ~at ?(p_seq = 0.) ?(sync_seq = []) ?(async = []) ?(p_ovp = 0.)
+    ?(sync_ovp = []) () =
+  { at; p_seq; sync_seq; async; p_ovp; sync_ovp }
+
+let sum f xs = List.fold_left (fun acc x -> acc +. f x) 0. xs
+
+(* The equation of Figure 3, applied recursively. *)
+let rec latency c st =
+  let k = st.at in
+  let seq_part =
+    st.p_seq
+    +. sum (latency c) st.sync_seq
+    +. sum (fun child -> c.cs k child.at +. c.cr child.at k) st.sync_seq
+  in
+  let ovp_part =
+    st.p_ovp
+    +. sum (latency c) st.sync_ovp
+    +. sum (fun child -> c.cs k child.at +. c.cr child.at k) st.sync_ovp
+  in
+  (* Each asynchronous child's completion time includes the send costs of
+     every child launched before it (sends are issued sequentially). *)
+  let rec async_part acc_send best = function
+    | [] -> best
+    | child :: rest ->
+      let acc_send = acc_send +. c.cs k child.at in
+      let t = latency c child +. c.cr child.at k +. acc_send in
+      async_part acc_send (Float.max best t) rest
+  in
+  let fork_join = Float.max (async_part 0. 0. st.async) ovp_part in
+  seq_part +. fork_join
+
+type decomposition = {
+  d_sync_exec : float;
+  d_cs : float;
+  d_cr : float;
+  d_async : float;
+}
+
+let rec decompose c st =
+  let k = st.at in
+  let children = List.map (decompose c) st.sync_seq in
+  let d_sync_exec =
+    st.p_seq +. sum (fun d -> d.d_sync_exec) children
+  in
+  (* Sends to asynchronous children are serial work on the caller's
+     critical path: bill them to Cs, like the runtime's profiler does. *)
+  let d_cs =
+    sum (fun child -> c.cs k child.at) st.sync_seq
+    +. sum (fun child -> c.cs k child.at) st.async
+    +. sum (fun d -> d.d_cs) children
+  in
+  let d_cr =
+    sum (fun child -> c.cr child.at k) st.sync_seq
+    +. sum (fun d -> d.d_cr) children
+  in
+  (* Everything not on the sequential critical path is the fork–join window
+     (the max term), including async windows nested in synchronous
+     children. *)
+  let d_async = latency c st -. (d_sync_exec +. d_cs +. d_cr) in
+  { d_sync_exec; d_cs; d_cr; d_async }
+
+let rec sequential_work st =
+  st.p_seq +. st.p_ovp
+  +. sum sequential_work st.sync_seq
+  +. sum sequential_work st.sync_ovp
+  +. sum sequential_work st.async
+
+type fit = { intercept : float; slope : float; r2 : float }
+
+let linear_fit points =
+  let n = float_of_int (List.length points) in
+  if List.length points < 2 then invalid_arg "Costmodel.linear_fit: need >= 2 points";
+  let sx = sum fst points and sy = sum snd points in
+  let sxx = sum (fun (x, _) -> x *. x) points in
+  let sxy = sum (fun (x, y) -> x *. y) points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Costmodel.linear_fit: x values are all equal";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  let mean_y = sy /. n in
+  let ss_tot = sum (fun (_, y) -> (y -. mean_y) ** 2.) points in
+  let ss_res =
+    sum (fun (x, y) -> (y -. (intercept +. (slope *. x))) ** 2.) points
+  in
+  let r2 = if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot) in
+  { intercept; slope; r2 }

@@ -1,0 +1,82 @@
+(** The computational cost model of §2.4 (Figure 3).
+
+    Fork–join sub-transactions are described as trees: sequential processing
+    with synchronous children, followed by one fork point where asynchronous
+    children are launched, overlapped with further processing and
+    synchronous children, then joined. [latency] evaluates the recursive
+    equation of Figure 3 under given communication cost functions, assuming
+    the encoded parallelism is fully realized.
+
+    Developers (and our benchmarks, which validate the model against
+    ReactDB measurements — Figs. 6, 13, Table 1) use it to compare program
+    formulations: more asynchrony, more overlap, or less processing depth
+    must never predict higher latency. *)
+
+(** A fork–join sub-transaction. [at] names the reactor (or executor) the
+    sub-transaction runs on; destinations drive the communication costs. *)
+type st = {
+  at : int;
+  p_seq : float;  (** sequential processing cost, [Pseq] *)
+  sync_seq : st list;  (** synchronous children invoked sequentially *)
+  async : st list;  (** asynchronous children, launched at the fork point *)
+  p_ovp : float;  (** processing overlapped with the asynchronous children *)
+  sync_ovp : st list;  (** synchronous children overlapped likewise *)
+}
+
+(** Communication costs: [cs src dst] to send an invocation, [cr dst src] to
+    receive a result back. *)
+type costs = { cs : int -> int -> float; cr : int -> int -> float }
+
+(** Uniform costs, zero when source = destination (same executor). *)
+val uniform_costs : cs:float -> cr:float -> costs
+
+(** Leaf helper: sequential processing only. *)
+val leaf : at:int -> float -> st
+
+(** Build a node. Defaults: no children, no overlapped processing. *)
+val node :
+  at:int ->
+  ?p_seq:float ->
+  ?sync_seq:st list ->
+  ?async:st list ->
+  ?p_ovp:float ->
+  ?sync_ovp:st list ->
+  unit ->
+  st
+
+(** Latency of a sub-transaction per Figure 3. A root transaction is a
+    sub-transaction without a parent; add commitment overhead separately. *)
+val latency : costs -> st -> float
+
+(** Decomposition of the predicted latency into the buckets plotted in
+    Figure 6: sequential execution (processing + synchronous children),
+    send and receive costs on the critical path, and the asynchronous
+    window. Buckets sum to [latency]. *)
+type decomposition = {
+  d_sync_exec : float;
+  d_cs : float;
+  d_cr : float;
+  d_async : float;
+}
+
+val decompose : costs -> st -> decomposition
+
+(** Total processing cost if everything ran sequentially on one core —
+    the lower bound a sequential formulation approaches with zero
+    communication. *)
+val sequential_work : st -> float
+
+(** {1 Calibration}
+
+    The paper calibrates cost-model parameters from profiled runs (§4.2.2,
+    App. C/D). For the common case of a latency that is affine in a swept
+    parameter (e.g. fully-sync latency in the transaction size, where the
+    slope bundles per-transfer processing plus Cs + Cr), a least-squares
+    line fit recovers intercept and slope with a goodness-of-fit measure. *)
+
+type fit = { intercept : float; slope : float; r2 : float }
+
+(** [linear_fit points] over (x, y) observations. Requires at least two
+    distinct x values; raises [Invalid_argument] otherwise. [r2] is 1 for a
+    perfect fit (and defined as 1 when y is constant). *)
+val linear_fit : (float * float) list -> fit

@@ -1,0 +1,169 @@
+open Util
+module DB = Reactdb.Database
+
+type breakdown_avg = {
+  avg_sync_exec : float;
+  avg_cs : float;
+  avg_cr : float;
+  avg_async_exec : float;
+  avg_overhead : float;
+}
+
+type run_result = {
+  throughput : float;
+  throughput_std : float;
+  avg_latency : float;
+  latency_std : float;
+  abort_rate : float;
+  committed : int;
+  aborted : int;
+  breakdown : breakdown_avg;
+  utilizations : float array;
+  aborts_by_reason : (string * int) list;
+}
+
+type spec = {
+  n_workers : int;
+  gen : int -> Rng.t -> Workloads.Wl.request;
+  epochs : int;
+  epoch_us : float;
+  warmup_epochs : int;
+  seed : int;
+}
+
+let spec ?(epochs = 20) ?(epoch_us = 20_000.) ?(warmup_epochs = 3) ?(seed = 42)
+    ~n_workers gen =
+  { n_workers; gen; epochs; epoch_us; warmup_epochs; seed }
+
+let build ?(profile = Reactdb.Profile.default) decl config =
+  let eng = Sim.Engine.create () in
+  DB.create eng decl config profile
+
+let zero_bd =
+  { avg_sync_exec = 0.; avg_cs = 0.; avg_cr = 0.; avg_async_exec = 0.;
+    avg_overhead = 0. }
+
+let add_bd acc (b : DB.breakdown) =
+  {
+    avg_sync_exec = acc.avg_sync_exec +. b.DB.bd_sync_exec;
+    avg_cs = acc.avg_cs +. b.DB.bd_cs;
+    avg_cr = acc.avg_cr +. b.DB.bd_cr;
+    avg_async_exec = acc.avg_async_exec +. b.DB.bd_async_exec;
+    avg_overhead = acc.avg_overhead +. b.DB.bd_overhead;
+  }
+
+let scale_bd acc n =
+  let d = Float.max 1. (float_of_int n) in
+  {
+    avg_sync_exec = acc.avg_sync_exec /. d;
+    avg_cs = acc.avg_cs /. d;
+    avg_cr = acc.avg_cr /. d;
+    avg_async_exec = acc.avg_async_exec /. d;
+    avg_overhead = acc.avg_overhead /. d;
+  }
+
+let run_load db s =
+  let eng = DB.engine db in
+  let stop = ref false in
+  let measuring = ref false in
+  let epoch_lat = ref (Stats.create ()) in
+  let bd_sum = ref zero_bd in
+  let bd_count = ref 0 in
+  (* Closed-loop workers. *)
+  for w = 0 to s.n_workers - 1 do
+    Sim.Engine.spawn eng (fun () ->
+        let rng = Rng.create (s.seed + (w * 7919)) in
+        let rec loop () =
+          if not !stop then begin
+            let req = s.gen w rng in
+            let out =
+              DB.exec_txn db ~reactor:req.Workloads.Wl.reactor
+                ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args
+            in
+            (if !measuring then
+               match out.DB.result with
+               | Ok _ ->
+                 Stats.add !epoch_lat out.DB.latency;
+                 bd_sum := add_bd !bd_sum out.DB.breakdown;
+                 incr bd_count
+               | Error _ -> ());
+            loop ()
+          end
+        in
+        loop ())
+  done;
+  (* Epoch monitor. *)
+  let tputs = Stats.create () in
+  let lat_means = Stats.create () in
+  let finished = ref false in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.delay (s.epoch_us *. float_of_int s.warmup_epochs);
+      DB.reset_stats db;
+      measuring := true;
+      let prev_committed = ref 0 in
+      for _ = 1 to s.epochs do
+        epoch_lat := Stats.create ();
+        Sim.Engine.delay s.epoch_us;
+        let c = DB.n_committed db in
+        Stats.add tputs
+          (float_of_int (c - !prev_committed) /. s.epoch_us *. 1e6);
+        prev_committed := c;
+        if Stats.count !epoch_lat > 0 then
+          Stats.add lat_means (Stats.mean !epoch_lat)
+      done;
+      measuring := false;
+      stop := true;
+      finished := true);
+  ignore (Sim.Engine.run eng);
+  if not !finished then failwith "Harness.run_load: monitor did not finish";
+  {
+    throughput = Stats.mean tputs;
+    throughput_std = Stats.stddev tputs;
+    avg_latency = Stats.mean lat_means;
+    latency_std = Stats.stddev lat_means;
+    abort_rate =
+      (let c = DB.n_committed db and a = DB.n_aborted db in
+       if c + a = 0 then 0. else float_of_int a /. float_of_int (c + a));
+    committed = DB.n_committed db;
+    aborted = DB.n_aborted db;
+    breakdown = scale_bd !bd_sum !bd_count;
+    utilizations = DB.utilizations db;
+    aborts_by_reason = DB.aborts_by_reason db;
+  }
+
+let measure_txns db ?(warmup = 5) ?(seed = 42) ~n gen =
+  let eng = DB.engine db in
+  let outs = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      let rng = Rng.create seed in
+      for _ = 1 to warmup do
+        let req = gen rng in
+        ignore
+          (DB.exec_txn db ~reactor:req.Workloads.Wl.reactor
+             ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args)
+      done;
+      for _ = 1 to n do
+        let req = gen rng in
+        outs :=
+          DB.exec_txn db ~reactor:req.Workloads.Wl.reactor
+            ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args
+          :: !outs
+      done);
+  ignore (Sim.Engine.run eng);
+  List.rev !outs
+
+let committed_outcomes outs =
+  List.filter (fun o -> Result.is_ok o.DB.result) outs
+
+let mean_latency outs =
+  let ok = committed_outcomes outs in
+  if ok = [] then 0.
+  else
+    List.fold_left (fun acc o -> acc +. o.DB.latency) 0. ok
+    /. float_of_int (List.length ok)
+
+let mean_breakdown outs =
+  let ok = committed_outcomes outs in
+  scale_bd
+    (List.fold_left (fun acc o -> add_bd acc o.DB.breakdown) zero_bd ok)
+    (List.length ok)

@@ -1,0 +1,79 @@
+(** Experiment harness: closed-loop client workers and epoch-based
+    measurement (§4.1.2, following OLTP-Bench).
+
+    Workers are simulation processes in a separate "worker container" (they
+    do not contend for transaction-executor cores, matching the paper's
+    setup of worker threads pinned to their own cores). Measurements report
+    averages and standard deviations across measurement epochs; warm-up
+    epochs are discarded. All timings are virtual µs. *)
+
+type breakdown_avg = {
+  avg_sync_exec : float;
+  avg_cs : float;
+  avg_cr : float;
+  avg_async_exec : float;
+  avg_overhead : float;
+}
+
+type run_result = {
+  throughput : float;  (** committed txns per second, mean across epochs *)
+  throughput_std : float;
+  avg_latency : float;  (** µs, committed transactions, mean across epochs *)
+  latency_std : float;  (** std of per-epoch mean latencies *)
+  abort_rate : float;  (** aborts / attempts, post-warm-up *)
+  committed : int;
+  aborted : int;
+  breakdown : breakdown_avg;  (** averaged over committed transactions *)
+  utilizations : float array;  (** per-executor busy fraction *)
+  aborts_by_reason : (string * int) list;
+}
+
+(** Load specification. [gen worker rng] produces the next request of
+    [worker]; each worker has an independent, seeded RNG. *)
+type spec = {
+  n_workers : int;
+  gen : int -> Util.Rng.t -> Workloads.Wl.request;
+  epochs : int;  (** measurement epochs (the paper uses 50) *)
+  epoch_us : float;
+  warmup_epochs : int;
+  seed : int;
+}
+
+val spec :
+  ?epochs:int ->
+  ?epoch_us:float ->
+  ?warmup_epochs:int ->
+  ?seed:int ->
+  n_workers:int ->
+  (int -> Util.Rng.t -> Workloads.Wl.request) ->
+  spec
+
+(** Run a closed-loop load experiment: spawns workers, runs warm-up, resets
+    statistics, measures, stops the workers, and drains the simulation.
+    Must be called with a freshly created database whose engine has not run
+    yet. *)
+val run_load : Reactdb.Database.t -> spec -> run_result
+
+(** Measure [n] sequential transactions from a single worker (the setup of
+    the latency experiments, §4.2): returns the per-transaction outcomes
+    after [warmup] unrecorded requests. *)
+val measure_txns :
+  Reactdb.Database.t ->
+  ?warmup:int ->
+  ?seed:int ->
+  n:int ->
+  (Util.Rng.t -> Workloads.Wl.request) ->
+  Reactdb.Database.outcome list
+
+(** Mean latency in µs of the committed outcomes. *)
+val mean_latency : Reactdb.Database.outcome list -> float
+
+(** Average the breakdowns of committed outcomes. *)
+val mean_breakdown : Reactdb.Database.outcome list -> breakdown_avg
+
+(** [build decl config] creates an engine and database pair. *)
+val build :
+  ?profile:Reactdb.Profile.t ->
+  Reactor.decl ->
+  Reactdb.Config.t ->
+  Reactdb.Database.t

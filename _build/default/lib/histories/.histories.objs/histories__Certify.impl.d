@@ -1,0 +1,1 @@
+lib/histories/certify.ml: Hashtbl Int List Map Model Option Printf

@@ -1,0 +1,1 @@
+lib/histories/model.ml: Array Hashtbl Int List Map Option Printf Set

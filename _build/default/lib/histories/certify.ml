@@ -1,0 +1,95 @@
+type entry = {
+  c_txn : int;
+  c_tid : int;
+  c_reads : (int * int) list;
+  c_writes : int list;
+}
+
+module IntMap = Map.Make (Int)
+
+let check entries =
+  (* Versions per record: (tid, writer txn), sorted by tid. TID 0 is the
+     initial loaded version with no writer. *)
+  let versions = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun rid ->
+          let vs = Option.value ~default:[] (Hashtbl.find_opt versions rid) in
+          Hashtbl.replace versions rid ((e.c_tid, e.c_txn) :: vs))
+        e.c_writes)
+    entries;
+  Hashtbl.iter
+    (fun rid vs ->
+      Hashtbl.replace versions rid
+        (List.sort (fun (a, _) (b, _) -> Int.compare a b) vs))
+    versions;
+  let error = ref None in
+  let edges = Hashtbl.create 256 in
+  let add_edge a b = if a <> b then Hashtbl.replace edges (a, b) () in
+  (* ww edges *)
+  Hashtbl.iter
+    (fun _rid vs ->
+      let rec chain = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+          add_edge a b;
+          chain rest
+        | _ -> ()
+      in
+      chain vs)
+    versions;
+  (* wr and rw edges *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (rid, observed) ->
+          let vs = Option.value ~default:[] (Hashtbl.find_opt versions rid) in
+          (match List.assoc_opt observed vs with
+          | Some writer -> add_edge writer e.c_txn
+          | None ->
+            if observed <> 0 then
+              error :=
+                Some
+                  (Printf.sprintf
+                     "txn %d read tid %d of record %d, never installed"
+                     e.c_txn observed rid));
+          (* first version with tid greater than the observed one *)
+          match List.find_opt (fun (t, _) -> t > observed) vs with
+          | Some (_, next_writer) -> add_edge e.c_txn next_writer
+          | None -> ())
+        e.c_reads)
+    entries;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let adjacency =
+      let by_src = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun (a, b) () ->
+          Hashtbl.replace by_src a
+            (b :: Option.value ~default:[] (Hashtbl.find_opt by_src a)))
+        edges;
+      Hashtbl.fold (fun a bs acc -> (a, bs) :: acc) by_src []
+    in
+    if Model.has_cycle adjacency then
+      Error "serialization graph has a cycle"
+    else begin
+      (* Witness order: topological sort over all transactions. *)
+      let nodes = List.map (fun e -> e.c_txn) entries in
+      let adj =
+        List.fold_left
+          (fun m (v, ns) -> IntMap.add v ns m)
+          IntMap.empty adjacency
+      in
+      let visited = Hashtbl.create 64 in
+      let out = ref [] in
+      let rec visit v =
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.replace visited v ();
+          List.iter visit (Option.value ~default:[] (IntMap.find_opt v adj));
+          out := v :: !out
+        end
+      in
+      List.iter visit nodes;
+      Ok !out
+    end

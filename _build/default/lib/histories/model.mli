@@ -1,0 +1,54 @@
+(** Executable form of the §2.3 formalism: nested reactor-model histories,
+    their projection into the classic transactional model (Defs. 2.3–2.6),
+    and conflict-serializability checking in both models.
+
+    A history is represented as a totally ordered event trace (every
+    concrete execution yields one); the partial orders of the formalism are
+    recovered from conflicts, exactly as the definitions prescribe. The
+    property test accompanying this module exercises Theorem 2.7: a history
+    is serializable in the reactor model iff its projection is serializable
+    in the classic model. *)
+
+(** A leaf (basic) operation of sub-transaction [st] of transaction [txn] on
+    data item [item] of reactor [reactor]. [st] identifies the
+    sub-transaction within its transaction (nested sub-transactions get
+    distinct ids). *)
+type event = {
+  e_txn : int;
+  e_st : int;
+  e_reactor : int;
+  e_item : string;
+  e_write : bool;
+}
+
+(** The trace, in execution order; only committed transactions included. *)
+type history = event list
+
+(** {1 Classic model} *)
+
+(** Projected operation: the reactor id is folded into the item name
+    ([k ◦ x], Def. 2.3); sub-transaction structure is erased (Defs.
+    2.4–2.6). *)
+type classic_op = { c_txn : int; c_item : string; c_write : bool }
+
+val project : history -> classic_op list
+
+(** Conflict-serializability of a classic history: acyclicity of the
+    serialization graph (edge Ti→Tj when an operation of Ti precedes and
+    conflicts with one of Tj, i≠j). *)
+val classic_serializable : classic_op list -> bool
+
+(** {1 Reactor model}
+
+    Serializability checked at sub-transaction granularity: two
+    sub-transactions conflict iff the basic operations of at least one
+    contain a write and both reference the same item of the same reactor
+    (§2.3.2); the serialization graph is built over transactions from
+    sub-transaction conflict order. *)
+val reactor_serializable : history -> bool
+
+(** A witness serial order of the transactions, when serializable. *)
+val serial_order : history -> int list option
+
+(** Generic cycle detection over an adjacency list (exposed for tests). *)
+val has_cycle : (int * int list) list -> bool

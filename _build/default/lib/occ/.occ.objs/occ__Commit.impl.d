@@ -1,0 +1,1 @@
+lib/occ/commit.ml: Int List Storage Txn

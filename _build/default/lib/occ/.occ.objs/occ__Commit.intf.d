@@ -1,0 +1,1 @@
+lib/occ/commit.mli: Txn

@@ -1,0 +1,1 @@
+lib/occ/txn.ml: Hashtbl Int List Set Storage Util

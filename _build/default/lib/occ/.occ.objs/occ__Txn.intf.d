@@ -1,0 +1,1 @@
+lib/occ/txn.mli: Storage Util

@@ -1,0 +1,115 @@
+open Txn
+
+let locked_kind e = match e.kind with Update _ | Delete -> true | Insert -> false
+
+(* Remove a reserved insert from its table if the reservation happened. *)
+let unreserve e =
+  match Storage.Table.find e.wtable e.wkey with
+  | Some r when r == e.wrec -> ignore (Storage.Table.remove e.wtable e.wkey)
+  | _ -> ()
+
+let release txn ~container =
+  let id = Txn.id txn in
+  List.iter
+    (fun e ->
+      if locked_kind e then Storage.Record.unlock e.wrec ~txn:id
+      else unreserve e)
+    (writes_in txn ~container)
+
+let prepare txn ~container =
+  let id = Txn.id txn in
+  let writes = writes_in txn ~container in
+  let lockable =
+    List.sort
+      (fun a b -> Int.compare a.wrec.Storage.Record.rid b.wrec.Storage.Record.rid)
+      (List.filter locked_kind writes)
+  in
+  let rec lock_all acquired = function
+    | [] -> Ok acquired
+    | e :: rest ->
+      if Storage.Record.try_lock e.wrec ~txn:id then
+        lock_all (e :: acquired) rest
+      else Error acquired
+  in
+  let unlock_list l = List.iter (fun e -> Storage.Record.unlock e.wrec ~txn:id) l in
+  match lock_all [] lockable with
+  | Error acquired ->
+    unlock_list acquired;
+    false
+  | Ok acquired ->
+    let reads_ok =
+      List.for_all
+        (fun (r, observed) ->
+          r.Storage.Record.tid = observed
+          && (match Storage.Record.locked_by r with
+             | None -> true
+             | Some owner -> owner = id))
+        (reads_in txn ~container)
+    in
+    let nodes_ok =
+      reads_ok
+      && List.for_all Storage.Table.Idx.witness_valid (nodes_in txn ~container)
+    in
+    if not nodes_ok then begin
+      unlock_list acquired;
+      false
+    end
+    else begin
+      (* Reserve inserts; a conflict here (concurrent installer beat us past
+         our witness) rolls back this container's work. *)
+      let rec reserve done_ = function
+        | [] -> true
+        | e :: rest when e.kind = Insert -> (
+          match Storage.Table.find e.wtable e.wkey with
+          | Some _ ->
+            List.iter unreserve done_;
+            unlock_list acquired;
+            false
+          | None ->
+            ignore (Storage.Table.insert e.wtable e.wrec);
+            reserve (e :: done_) rest)
+        | _ :: rest -> reserve done_ rest
+      in
+      reserve [] writes
+    end
+
+let compute_tid txn ~epoch =
+  let observed =
+    List.map (fun (_, tid) -> tid)
+      (List.concat_map
+         (fun c -> Txn.reads_in txn ~container:c)
+         (Txn.containers txn))
+  in
+  let overwritten =
+    List.map (fun e -> e.wrec.Storage.Record.tid) (Txn.all_writes txn)
+  in
+  Storage.Record.next_tid ~epoch (List.rev_append observed overwritten)
+
+let install txn ~container ~tid =
+  let id = Txn.id txn in
+  List.iter
+    (fun e ->
+      let r = e.wrec in
+      (match e.kind with
+      | Update data ->
+        (* update_data relocates secondary-index entries when indexed
+           columns changed *)
+        Storage.Table.update_data e.wtable r data;
+        r.Storage.Record.tid <- tid
+      | Delete ->
+        r.Storage.Record.absent <- true;
+        r.Storage.Record.tid <- tid;
+        ignore (Storage.Table.remove e.wtable e.wkey)
+      | Insert ->
+        r.Storage.Record.absent <- false;
+        r.Storage.Record.tid <- tid);
+      Storage.Record.unlock r ~txn:id)
+    (writes_in txn ~container)
+
+let commit_single txn ~epoch ~container =
+  if prepare txn ~container then begin
+    let tid = compute_tid txn ~epoch in
+    install txn ~container ~tid;
+    Ok tid
+  end
+  else Error "validation failed"

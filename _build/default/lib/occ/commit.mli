@@ -1,0 +1,42 @@
+(** The Silo validation/commit protocol, containerized.
+
+    Each function operates on one container's slice of a transaction and must
+    be executed atomically with respect to that container (ReactDB arranges
+    this: a container's commit step runs as one uninterrupted event on one of
+    its executors).
+
+    Single-container transactions call {!commit_single}. Multi-container
+    transactions follow two-phase commit, exactly as §3.2.2 prescribes:
+    {!prepare} on every touched container (phase one — Silo validation with
+    write-set locks acquired and held), then {!install} everywhere with the
+    TID from {!compute_tid} on success, or {!release} everywhere on failure.
+
+    Prepare order within a container: (1) lock updates/deletes in global
+    record order (no-wait), (2) validate the read set (observed TID unchanged
+    and record not locked by another transaction), (3) validate the node set
+    (leaf versions unchanged — phantom freedom), (4) reserve buffered inserts
+    in the index as absent, locked records. Reservation comes last so the
+    transaction's own structural changes cannot invalidate its own
+    witnesses. *)
+
+(** [prepare txn ~container] runs phase one on [container]. On failure all
+    locks and reservations taken in this container are rolled back and
+    [false] is returned; other containers are untouched. *)
+val prepare : Txn.t -> container:int -> bool
+
+(** TID for this commit: greater than every observed and overwritten TID,
+    in at least [epoch] (Silo's assignment rule). *)
+val compute_tid : Txn.t -> epoch:int -> int
+
+(** Phase two, success: make writes visible in [container] at [tid] and drop
+    all locks. *)
+val install : Txn.t -> container:int -> tid:int -> unit
+
+(** Phase two, failure (or local validation failure): undo reservations and
+    drop locks in [container]. Idempotent, also safe if [prepare] was never
+    run on [container]. *)
+val release : Txn.t -> container:int -> unit
+
+(** Validate and commit a transaction that touched only [container].
+    [Error reason] means the transaction was aborted and rolled back. *)
+val commit_single : Txn.t -> epoch:int -> container:int -> (int, string) result

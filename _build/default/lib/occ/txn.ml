@@ -1,0 +1,166 @@
+exception Abort of string
+
+type write_kind =
+  | Update of Util.Value.t array
+  | Insert
+  | Delete
+
+type write_entry = {
+  wrec : Storage.Record.t;
+  mutable kind : write_kind;
+  wtable : Storage.Table.t;
+  wkey : Storage.Table.Key.t;
+  wcontainer : int;
+}
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  tid : int;
+  mutable containers : IntSet.t;
+  reads : (int, Storage.Record.t * int * int) Hashtbl.t;
+  (* rid -> (record, observed tid, container); first observation wins *)
+  writes : (int, write_entry) Hashtbl.t; (* rid -> entry *)
+  inserts : (int * Storage.Table.Key.t, write_entry) Hashtbl.t;
+  (* (table uid, key) -> entry; includes only live buffered inserts *)
+  mutable nodes : (int * Storage.Table.witness) list;
+}
+
+let create ~id =
+  {
+    tid = id;
+    containers = IntSet.empty;
+    reads = Hashtbl.create 64;
+    writes = Hashtbl.create 16;
+    inserts = Hashtbl.create 16;
+    nodes = [];
+  }
+
+let id t = t.tid
+let containers t = IntSet.elements t.containers
+let touch t c = t.containers <- IntSet.add c t.containers
+
+let own_write t record = Hashtbl.find_opt t.writes record.Storage.Record.rid
+
+let own_insert t ~table ~key =
+  Hashtbl.find_opt t.inserts (table.Storage.Table.uid, key)
+
+let own_updates_for t ~table =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.kind with
+      | Update data when e.wtable.Storage.Table.uid = table.Storage.Table.uid ->
+        (e.wkey, data) :: acc
+      | _ -> acc)
+    t.writes []
+
+let own_inserts_for t ~table =
+  Hashtbl.fold
+    (fun (uid, key) e acc ->
+      if uid = table.Storage.Table.uid then (key, e.wrec.Storage.Record.data) :: acc
+      else acc)
+    t.inserts []
+
+let note_read t ~container record =
+  let rid = record.Storage.Record.rid in
+  if not (Hashtbl.mem t.reads rid) then
+    Hashtbl.add t.reads rid (record, record.Storage.Record.tid, container);
+  touch t container
+
+let read t ~container record =
+  match own_write t record with
+  | Some { kind = Update data; _ } -> Some data
+  | Some { kind = Delete; _ } -> None
+  | Some { kind = Insert; wrec; _ } ->
+    (* Own buffered insert: visible without read-set tracking (the record is
+       private to this transaction until install). *)
+    Some wrec.Storage.Record.data
+  | None ->
+    note_read t ~container record;
+    if record.Storage.Record.absent then None
+    else Some record.Storage.Record.data
+
+let write t ~container ~table ~key record data =
+  Storage.Schema.validate table.Storage.Table.schema data;
+  touch t container;
+  match own_write t record with
+  | Some ({ kind = Update _; _ } as e) -> e.kind <- Update data
+  | Some ({ kind = Insert; wrec; _ } as e) ->
+    wrec.Storage.Record.data <- data;
+    ignore e
+  | Some { kind = Delete; _ } -> raise (Abort "write after delete of same record")
+  | None ->
+    Hashtbl.add t.writes record.Storage.Record.rid
+      { wrec = record; kind = Update data; wtable = table; wkey = key;
+        wcontainer = container }
+
+let insert t ~container ~table tuple =
+  Storage.Schema.validate table.Storage.Table.schema tuple;
+  touch t container;
+  let key = Storage.Table.key_of_tuple table tuple in
+  if Hashtbl.mem t.inserts (table.Storage.Table.uid, key) then
+    raise (Abort "duplicate key (own insert)");
+  (* Execution-time uniqueness probe. The leaf witness protects against a
+     concurrent committer inserting the same key before we install. *)
+  let clash = ref false in
+  (match
+     Storage.Table.find
+       ~on_node:(fun w -> t.nodes <- (container, w) :: t.nodes)
+       table key
+   with
+  | Some existing ->
+    if existing.Storage.Record.absent then begin
+      (* Reserved by a concurrent preparer, or a committed delete. In the
+         former case the key is effectively taken; in the latter the record
+         is a tombstone we must not collide with structurally — observe it
+         and treat present-flip as a conflict. *)
+      note_read t ~container existing;
+      if Storage.Record.is_locked existing then clash := true
+    end
+    else clash := true
+  | None -> ());
+  if !clash then raise (Abort "duplicate key");
+  let record = Storage.Record.fresh ~absent:true tuple in
+  (* Hold the record's lock from creation: once reserved in the index during
+     prepare, concurrent validators must see it as another's lock. *)
+  ignore (Storage.Record.try_lock record ~txn:t.tid);
+  let entry =
+    { wrec = record; kind = Insert; wtable = table; wkey = key;
+      wcontainer = container }
+  in
+  Hashtbl.add t.writes record.Storage.Record.rid entry;
+  Hashtbl.add t.inserts (table.Storage.Table.uid, key) entry
+
+let delete t ~container ~table ~key record =
+  touch t container;
+  match own_write t record with
+  | Some { kind = Insert; wrec; _ } ->
+    Hashtbl.remove t.writes wrec.Storage.Record.rid;
+    Hashtbl.remove t.inserts (table.Storage.Table.uid, key)
+  | Some ({ kind = Update _; _ } as e) -> e.kind <- Delete
+  | Some { kind = Delete; _ } -> ()
+  | None ->
+    Hashtbl.add t.writes record.Storage.Record.rid
+      { wrec = record; kind = Delete; wtable = table; wkey = key;
+        wcontainer = container }
+
+let note_node t ~container w =
+  touch t container;
+  t.nodes <- (container, w) :: t.nodes
+
+let reads_in t ~container =
+  Hashtbl.fold
+    (fun _ (r, observed, c) acc -> if c = container then (r, observed) :: acc else acc)
+    t.reads []
+
+let writes_in t ~container =
+  Hashtbl.fold
+    (fun _ e acc -> if e.wcontainer = container then e :: acc else acc)
+    t.writes []
+
+let nodes_in t ~container =
+  List.filter_map (fun (c, w) -> if c = container then Some w else None) t.nodes
+
+let all_writes t = Hashtbl.fold (fun _ e acc -> e :: acc) t.writes []
+let read_count t = Hashtbl.length t.reads
+let write_count t = Hashtbl.length t.writes

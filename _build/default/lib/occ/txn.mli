@@ -1,0 +1,110 @@
+(** Transaction contexts for Silo-style optimistic concurrency control.
+
+    A context accumulates, per root transaction (sub-transactions share their
+    root's context, §2.2.3):
+
+    - a {e read set} of (record, observed TID) pairs,
+    - a {e write set} of buffered updates, deletes and inserts,
+    - a {e node set} of B+tree leaf witnesses for phantom validation,
+
+    each entry tagged with the container it belongs to, so that the commit
+    protocol ({!Commit}) can validate and install per container — locally for
+    single-container transactions and via two-phase commit otherwise.
+
+    Inserts are buffered: the new record is created immediately but only
+    placed into the index (absent-marked and locked, i.e. "reserved") during
+    the prepare phase, and made visible during install. Execution-time reads
+    observe the transaction's own buffered writes; merged visibility for
+    scans is provided by the query layer. *)
+
+exception Abort of string
+(** Raised to abort the enclosing root transaction: user-defined aborts
+    (e.g. business-rule failures), uniqueness violations, validation
+    failures and dangerous call structures all surface as [Abort]. *)
+
+type write_kind =
+  | Update of Util.Value.t array
+  | Insert
+  | Delete
+
+type write_entry = {
+  wrec : Storage.Record.t;
+  mutable kind : write_kind;
+  wtable : Storage.Table.t;
+  wkey : Storage.Table.Key.t;
+  wcontainer : int;
+}
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+
+(** Containers touched by any read, write or scan, ascending. *)
+val containers : t -> int list
+
+(** {1 Data operations} *)
+
+(** [read t ~container record] is the tuple visible to [t] in [record]:
+    buffered writes win; otherwise the committed version is returned ([None]
+    if logically absent) and the observation is recorded for validation. *)
+val read : t -> container:int -> Storage.Record.t -> Util.Value.t array option
+
+(** [write t ~container ~table ~key record data] buffers an update of
+    [record] to [data]. *)
+val write :
+  t ->
+  container:int ->
+  table:Storage.Table.t ->
+  key:Storage.Table.Key.t ->
+  Storage.Record.t ->
+  Util.Value.t array ->
+  unit
+
+(** [insert t ~container ~table tuple] buffers insertion of a fresh record.
+    Raises [Abort] on a primary-key conflict with a committed record or
+    another transaction's reservation; checks are re-validated at commit via
+    the node set. *)
+val insert :
+  t -> container:int -> table:Storage.Table.t -> Util.Value.t array -> unit
+
+(** [delete t ~container ~table ~key record] buffers deletion. Deleting a
+    record inserted by [t] itself simply drops the buffered insert. *)
+val delete :
+  t ->
+  container:int ->
+  table:Storage.Table.t ->
+  key:Storage.Table.Key.t ->
+  Storage.Record.t ->
+  unit
+
+(** Record a B+tree leaf witness produced during a scan or point lookup. *)
+val note_node : t -> container:int -> Storage.Table.witness -> unit
+
+(** {1 Own-write visibility helpers (used by the query layer)} *)
+
+(** Buffered write covering [record], if any. *)
+val own_write : t -> Storage.Record.t -> write_entry option
+
+(** Buffered insert into [table] under [key], if any. *)
+val own_insert :
+  t -> table:Storage.Table.t -> key:Storage.Table.Key.t -> write_entry option
+
+(** All buffered inserts into [table] (unordered). *)
+val own_inserts_for :
+  t -> table:Storage.Table.t -> (Storage.Table.Key.t * Util.Value.t array) list
+
+(** All buffered updates of [table] as (primary key, new tuple), unordered —
+    used by the query layer to relocate rows in secondary-index scans whose
+    indexed columns were updated in this transaction. *)
+val own_updates_for :
+  t -> table:Storage.Table.t -> (Storage.Table.Key.t * Util.Value.t array) list
+
+(** {1 Introspection for the commit protocol and tests} *)
+
+val reads_in : t -> container:int -> (Storage.Record.t * int) list
+val writes_in : t -> container:int -> write_entry list
+val nodes_in : t -> container:int -> Storage.Table.witness list
+val all_writes : t -> write_entry list
+val read_count : t -> int
+val write_count : t -> int

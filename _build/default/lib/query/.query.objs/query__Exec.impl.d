@@ -1,0 +1,1 @@
+lib/query/exec.ml: Array Expr Hashtbl List Occ Printf Stdlib Storage Util Value

@@ -1,0 +1,1 @@
+lib/query/exec.mli: Expr Occ Storage Util

@@ -1,0 +1,1 @@
+lib/query/expr.ml: Array Float Fmt Printf Stdlib Storage Util Value

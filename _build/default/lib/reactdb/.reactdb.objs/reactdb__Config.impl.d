@@ -1,0 +1,1 @@
+lib/reactdb/config.ml: Array Hashtbl List Printf String

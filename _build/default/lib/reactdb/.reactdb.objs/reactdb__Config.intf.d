@@ -1,0 +1,1 @@
+lib/reactdb/config.mli:

@@ -1,0 +1,1 @@
+lib/reactdb/database.ml: Array Config Engine Float Hashtbl List Occ Option Printf Profile Query Queue Reactor Sim Storage String Util Wal

@@ -1,0 +1,1 @@
+lib/reactdb/database.mli: Config Profile Reactor Sim Storage Util Wal

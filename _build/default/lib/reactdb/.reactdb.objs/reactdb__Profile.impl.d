@@ -1,0 +1,1 @@
+lib/reactdb/profile.ml: Fmt

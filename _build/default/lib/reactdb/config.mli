@@ -1,0 +1,79 @@
+(** Deployment configuration: virtualization of database architecture (§3.3).
+
+    A deployment fixes, at bootstrap time and without touching application
+    code: how many containers exist, how many transaction executors each
+    container owns, which container each reactor lives in (first-level
+    mapping), how root transactions are routed to executors within a
+    container (second-level mapping), and the multiprogramming level per
+    executor.
+
+    The three named strategies of §3.3 are provided as builders; arbitrary
+    hybrids can be described directly. Configurations can also be parsed
+    from the small text format used by [bin/reactdb_cli], fulfilling the
+    "change a configuration file, not the application" claim. *)
+
+type router = Round_robin | Affinity
+
+type t = {
+  executors_per_container : int array;
+      (** length = number of containers; entry = executors in it *)
+  router : router;
+  mpl : int;  (** max concurrently admitted root transactions per executor *)
+  placement : string -> int;  (** reactor name -> container index *)
+  affinity_slot : string -> int;
+      (** reactor name -> executor slot (taken modulo the container's
+          executor count); used by the [Affinity] router and for stable
+          executor choice of cross-container sub-transactions *)
+  machine_of : int -> int;
+      (** container index -> machine id. Messages between containers on
+          different machines pay {!Profile.t.cost_network}. Single-machine
+          deployments map everything to machine 0 (the default). *)
+}
+
+(** [shared_everything ~executors ~affinity reactors] — one container,
+    [executors] executors. With [affinity = false] this is strategy S1
+    (round-robin routing); with [true] it is S2 (each reactor is pinned to
+    an executor, assigned round-robin over the declaration order). *)
+val shared_everything :
+  executors:int -> affinity:bool -> ?mpl:int -> string list -> t
+
+(** [shared_nothing groups] — strategy S3: one container with one executor
+    per group; group [i]'s reactors are placed in container [i]. Whether the
+    deployment behaves as shared-nothing-sync or -async is decided by the
+    application programs (how they use futures), not by the config. *)
+val shared_nothing : ?mpl:int -> string list list -> t
+
+(** Fully explicit deployment. *)
+val custom :
+  executors_per_container:int array ->
+  router:router ->
+  ?mpl:int ->
+  placement:(string -> int) ->
+  ?affinity_slot:(string -> int) ->
+  ?machine_of:(int -> int) ->
+  unit ->
+  t
+
+(** [on_machines t machine_of] re-places [t]'s containers onto machines —
+    the cluster story of §6: no application or deployment logic changes,
+    only the physical mapping. *)
+val on_machines : t -> (int -> int) -> t
+
+val n_containers : t -> int
+val total_executors : t -> int
+
+(** Parse the textual config format. Lines: [strategy shared-nothing] |
+    [strategy shared-everything], [executors N] (shared-everything),
+    [affinity on|off], [mpl N], [groups a,b;c,d] (shared-nothing; reactors
+    not listed fall into group 0 — or round-robin over groups when
+    [groups auto N] is used with the reactor list given at build time).
+    Comments start with [#]. [build spec reactors] instantiates the parsed
+    spec against the declared reactor names. Raises [Invalid_argument] on
+    malformed input. *)
+module Spec : sig
+  type spec
+
+  val of_string : string -> spec
+  val of_file : string -> spec
+  val build : spec -> string list -> t
+end

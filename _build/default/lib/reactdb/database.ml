@@ -1,0 +1,738 @@
+open Sim
+
+type breakdown = {
+  mutable bd_sync_exec : float;
+  mutable bd_cs : float;
+  mutable bd_cr : float;
+  mutable bd_async_exec : float;
+  mutable bd_overhead : float;
+}
+
+let zero_breakdown () =
+  { bd_sync_exec = 0.; bd_cs = 0.; bd_cr = 0.; bd_async_exec = 0.;
+    bd_overhead = 0. }
+
+type outcome = {
+  result : (Util.Value.t, string) result;
+  latency : float;
+  breakdown : breakdown;
+  containers_touched : int;
+}
+
+type executor = {
+  xid : int;
+  cid : int;
+  queue : (unit -> unit) Engine.Mailbox.mb;
+  core_waiters : (unit -> unit) Queue.t;
+  mutable core_busy : bool;
+  mutable active_roots : int;
+  mutable slot_waiter : (unit -> unit) option;
+  mutable busy_accum : float;
+  mutable held_since : float;
+}
+
+type container = { mutable rr : int; cexecutors : executor array }
+
+type rstate = {
+  rname : string;
+  rtype : Reactor.rtype;
+  rcatalog : Storage.Catalog.t;
+  home : int;
+  mutable cache_recency : int list;
+      (* executors that recently touched this reactor's data, most recent
+         first; drives a graded cache-miss penalty (warmest = free, colder
+         positions pay proportionally, absent = full penalty) *)
+}
+
+type hist_entry = {
+  h_txn : int;
+  h_tid : int;
+  h_reads : (int * int) list;
+  h_writes : int list;
+}
+
+type t = {
+  eng : Engine.t;
+  decl : Reactor.decl;
+  cfg : Config.t;
+  prof : Profile.t;
+  containers : container array;
+  reactors : (string, rstate) Hashtbl.t;
+  mutable txn_counter : int;
+  mutable committed : int;
+  mutable aborted : int;
+  abort_reasons : (string, int) Hashtbl.t;
+  mutable record_history : bool;
+  mutable hist : hist_entry list;
+  mutable stats_since : float;
+  table_owner : (int, string * string) Hashtbl.t;
+      (* table uid -> (reactor, table name), for redo logging *)
+  mutable wal : Wal.t option;
+}
+
+let engine t = t.eng
+let config t = t.cfg
+let profile t = t.prof
+
+(* ------------------------------------------------------------------ *)
+(* Core (CPU) ownership: one coroutine runs on an executor at a time.
+   Blocking operations release the core; release transfers ownership to the
+   longest-waiting coroutine, keeping the core busy without gaps. *)
+
+let acquire_core ex =
+  if ex.core_busy then
+    Engine.suspend (fun waker -> Queue.add waker ex.core_waiters);
+  ex.core_busy <- true;
+  ex.held_since <- Engine.current_time ()
+
+let release_core ex =
+  ex.busy_accum <- ex.busy_accum +. (Engine.current_time () -. ex.held_since);
+  if Queue.is_empty ex.core_waiters then ex.core_busy <- false
+  else (Queue.take ex.core_waiters) ()
+
+(* ------------------------------------------------------------------ *)
+(* Root transaction state, shared by all its (sub-)transactions. *)
+
+type subresult = (Util.Value.t, exn) result
+
+type sub = { sfid : int; siv : subresult Engine.Ivar.ivar }
+
+type root = {
+  txn : Occ.Txn.t;
+  bd : breakdown;
+  active_set : (string, unit) Hashtbl.t;
+  mutable exec_of_container : (int * executor) list;
+  mutable last_call : int;
+  mutable call_ctr : int;
+  mutable worked_since_call : bool;
+  mutable doomed : string option;
+      (* set when any sub-transaction aborted: the root may not commit even
+         if application code swallowed the exception (§2.2.3) *)
+}
+
+(* Invocation frame: one (sub-)transaction execution on one reactor. *)
+type frame = {
+  froot : root;
+  frstate : rstate;
+  fex : executor;
+  on_root_path : bool;
+  mutable children : sub list;
+  fpenalty : float; (* cache-miss penalty fraction for this invocation *)
+}
+
+let reactor_state db name =
+  match Hashtbl.find_opt db.reactors name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "ReactDB: unknown reactor %S" name)
+
+let route db rst =
+  let cont = db.containers.(rst.home) in
+  let n = Array.length cont.cexecutors in
+  match db.cfg.router with
+  | Config.Round_robin ->
+    cont.rr <- cont.rr + 1;
+    cont.cexecutors.((cont.rr - 1) mod n)
+  | Config.Affinity -> cont.cexecutors.(db.cfg.affinity_slot rst.rname mod n)
+
+let current_epoch db = 1 + int_of_float (Engine.now db.eng /. 40_000.)
+
+(* Extra one-way cost when two containers live on different machines. *)
+let net db c1 c2 =
+  if db.cfg.Config.machine_of c1 = db.cfg.Config.machine_of c2 then 0.
+  else db.prof.Profile.cost_network
+
+(* Charge [d] µs of processing on the current coroutine's core; attribute to
+   the root's sync-execution bucket when on the root's critical path. *)
+let work frame d =
+  if d > 0. then Engine.delay d;
+  if frame.on_root_path then begin
+    frame.froot.bd.bd_sync_exec <- frame.froot.bd.bd_sync_exec +. d;
+    frame.froot.worked_since_call <- true
+  end
+
+(* Graded cache model: how cold is executor [xid] for this reactor's data?
+   Position 0 in the recency list is free; deeper positions pay a growing
+   fraction of the full miss penalty; executors not in the list pay it all.
+   This reproduces the progressive locality loss the paper measures when
+   round-robin routing spreads one reactor over more cores (App. F.2). *)
+let recency_depth = 8
+
+let cache_penalty rstate xid =
+  let rec find i = function
+    | [] -> 1.
+    | x :: _ when x = xid -> float_of_int i /. float_of_int recency_depth
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 rstate.cache_recency
+
+let touch_cache rstate xid =
+  let rest = List.filter (fun x -> x <> xid) rstate.cache_recency in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: r -> x :: take (n - 1) r
+  in
+  rstate.cache_recency <- xid :: take (recency_depth - 1) rest
+
+let charge_data db frame kind n =
+  let p = db.prof in
+  let base =
+    match kind with
+    | `Read -> p.Profile.cost_read
+    | `Write -> p.Profile.cost_write
+    | `Scan_step -> p.Profile.cost_scan_step
+  in
+  let per = base +. (frame.fpenalty *. p.Profile.cost_cache_miss) in
+  work frame (per *. float_of_int n)
+
+(* Await a child sub-transaction. Returns its result without raising. If the
+   future is already resolved this is free; otherwise the caller yields its
+   core, pays Cr on wake, and the blocked window is attributed to
+   sync-execution (immediate get, no intervening work: the "synchronous
+   call" pattern) or to async-execution (deferred get: overlap window). *)
+let await_sub db frame sub =
+  match Engine.Ivar.peek sub.siv with
+  | Some r -> r
+  | None ->
+    let root = frame.froot in
+    let sync_class =
+      frame.on_root_path && root.last_call = sub.sfid
+      && not root.worked_since_call
+    in
+    let t0 = Engine.current_time () in
+    release_core frame.fex;
+    let r = Engine.Ivar.read sub.siv in
+    acquire_core frame.fex;
+    let blocked = Engine.current_time () -. t0 in
+    Engine.delay db.prof.Profile.cost_recv;
+    if frame.on_root_path then begin
+      root.bd.bd_cr <- root.bd.bd_cr +. db.prof.Profile.cost_recv;
+      if sync_class then root.bd.bd_sync_exec <- root.bd.bd_sync_exec +. blocked
+      else root.bd.bd_async_exec <- root.bd.bd_async_exec +. blocked;
+      root.worked_since_call <- true
+    end;
+    r
+
+let set_exec_of root cid ex =
+  if not (List.mem_assoc cid root.exec_of_container) then
+    root.exec_of_container <- (cid, ex) :: root.exec_of_container
+
+let rec run_procedure db ~root ~rstate ~ex ~on_root_path ~proc_name ~args =
+  let procfn = Reactor.find_proc rstate.rtype proc_name in
+  let frame =
+    { froot = root; frstate = rstate; fex = ex; on_root_path; children = [];
+      fpenalty = cache_penalty rstate ex.xid }
+  in
+  set_exec_of root rstate.home ex;
+  work frame db.prof.Profile.cost_proc_base;
+  let ctx =
+    {
+      Reactor.db =
+        Query.Exec.make_ctx ~txn:root.txn ~container:rstate.home
+          ~catalog:rstate.rcatalog
+          ~charge:(fun kind n -> charge_data db frame kind n)
+          ~work:(fun us -> work frame us);
+      self = rstate.rname;
+      call = (fun ~reactor ~proc ~args -> do_call db frame ~reactor ~proc ~args);
+    }
+  in
+  let result = try Ok (procfn ctx args) with e -> Error e in
+  touch_cache rstate ex.xid;
+  (* Implicit synchronization: a (sub-)transaction completes only when all
+     its children complete — even on the abort path, since in-flight children
+     mutate the shared transaction context. *)
+  let first_err = ref (match result with Error e -> Some e | Ok _ -> None) in
+  List.iter
+    (fun sub ->
+      match await_sub db frame sub with
+      | Ok _ -> ()
+      | Error e -> if !first_err = None then first_err := Some e)
+    (List.rev frame.children);
+  match !first_err with
+  | Some e -> raise e
+  | None -> (match result with Ok v -> v | Error _ -> assert false)
+
+and do_call db frame ~reactor ~proc ~args =
+  let root = frame.froot in
+  if reactor = frame.frstate.rname then begin
+    (* Self-call: inlined synchronously in the same execution context
+       (§2.2.4); the result is immediately available. *)
+    let v =
+      run_procedure db ~root ~rstate:frame.frstate ~ex:frame.fex
+        ~on_root_path:frame.on_root_path ~proc_name:proc ~args
+    in
+    { Reactor.get = (fun () -> v) }
+  end
+  else begin
+    let tstate = reactor_state db reactor in
+    (* Dynamic safety condition (§2.2.4): at most one execution context may
+       be active per reactor and root transaction. *)
+    if Hashtbl.mem root.active_set reactor then
+      raise
+        (Occ.Txn.Abort
+           (Printf.sprintf "dangerous call structure: reactor %s already active"
+              reactor));
+    if tstate.home = frame.frstate.home then begin
+      (* Same container: execute synchronously in the caller's executor to
+         avoid migration-of-control overhead (§3.2.1). *)
+      Hashtbl.add root.active_set reactor ();
+      let finally () = Hashtbl.remove root.active_set reactor in
+      let v =
+        try
+          run_procedure db ~root ~rstate:tstate ~ex:frame.fex
+            ~on_root_path:frame.on_root_path ~proc_name:proc ~args
+        with e ->
+          finally ();
+          raise e
+      in
+      finally ();
+      { Reactor.get = (fun () -> v) }
+    end
+    else begin
+      (* Cross-container: asynchronous dispatch through the transport to an
+         executor of the destination container. *)
+      Hashtbl.add root.active_set reactor ();
+      root.call_ctr <- root.call_ctr + 1;
+      let fid = root.call_ctr in
+      let send_cost =
+        db.prof.Profile.cost_send +. net db frame.frstate.home tstate.home
+      in
+      Engine.delay send_cost;
+      if frame.on_root_path then begin
+        root.bd.bd_cs <- root.bd.bd_cs +. send_cost;
+        root.last_call <- fid;
+        root.worked_since_call <- false
+      end;
+      let rex = route db tstate in
+      set_exec_of root tstate.home rex;
+      let iv = Engine.Ivar.create () in
+      let caller_home = frame.frstate.home in
+      let body () =
+        acquire_core rex;
+        (* the result message back to the caller also crosses the network *)
+        Engine.delay
+          (db.prof.Profile.cost_sub_dispatch +. net db caller_home tstate.home);
+        let res =
+          try
+            Ok
+              (run_procedure db ~root ~rstate:tstate ~ex:rex
+                 ~on_root_path:false ~proc_name:proc ~args)
+          with e -> Error e
+        in
+        (match res with
+        | Error (Occ.Txn.Abort m) -> if root.doomed = None then root.doomed <- Some m
+        | _ -> ());
+        release_core rex;
+        Hashtbl.remove root.active_set reactor;
+        Engine.Ivar.fill iv res
+      in
+      (* Sub-transactions bypass root admission control (they belong to an
+         already-admitted root) but contend for the destination core. *)
+      Engine.spawn_here body;
+      let sub = { sfid = fid; siv = iv } in
+      frame.children <- sub :: frame.children;
+      {
+        Reactor.get =
+          (fun () ->
+            match await_sub db frame sub with
+            | Ok v -> v
+            | Error e -> raise e);
+      }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Commit protocols. *)
+
+let ops_in txn c =
+  List.length (Occ.Txn.reads_in txn ~container:c)
+  + List.length (Occ.Txn.writes_in txn ~container:c)
+
+let validation_cost db txn c =
+  db.prof.Profile.cost_commit_base
+  +. (db.prof.Profile.cost_commit_per_op *. float_of_int (ops_in txn c))
+
+let wal_log db root tid =
+  match db.wal with
+  | None -> ()
+  | Some log ->
+    let writes =
+      List.map
+        (fun e ->
+          let reactor, table =
+            match Hashtbl.find_opt db.table_owner e.Occ.Txn.wtable.Storage.Table.uid with
+            | Some rt -> rt
+            | None -> ("?", e.Occ.Txn.wtable.Storage.Table.schema.Storage.Schema.sname)
+          in
+          match e.Occ.Txn.kind with
+          | Occ.Txn.Update row -> Wal.Put { reactor; table; row }
+          | Occ.Txn.Insert ->
+            Wal.Put { reactor; table; row = e.Occ.Txn.wrec.Storage.Record.data }
+          | Occ.Txn.Delete -> Wal.Del { reactor; table; key = e.Occ.Txn.wkey })
+        (Occ.Txn.all_writes root.txn)
+    in
+    if writes <> [] then
+      Wal.append log
+        { Wal.le_txn = Occ.Txn.id root.txn; le_tid = tid; le_writes = writes }
+
+let note_history db root tid =
+  wal_log db root tid;
+  if db.record_history then begin
+    let reads =
+      List.concat_map
+        (fun c ->
+          List.map
+            (fun (r, observed) -> (r.Storage.Record.rid, observed))
+            (Occ.Txn.reads_in root.txn ~container:c))
+        (Occ.Txn.containers root.txn)
+    in
+    let writes =
+      List.map
+        (fun e -> e.Occ.Txn.wrec.Storage.Record.rid)
+        (Occ.Txn.all_writes root.txn)
+    in
+    db.hist <-
+      { h_txn = Occ.Txn.id root.txn; h_tid = tid; h_reads = reads;
+        h_writes = writes }
+      :: db.hist
+  end
+
+(* Two-phase commit (§3.2.2): phase one runs Silo validation with locks on
+   every participant; phase two installs or releases. Remote phases execute
+   as control steps on an executor of the participant container (the one
+   that ran the transaction's sub-transactions there), each step atomic in
+   virtual time. The coordinator yields its core while waiting. *)
+let two_phase db root ex containers ~epoch =
+  let p = db.prof in
+  let executor_for c =
+    match List.assoc_opt c root.exec_of_container with
+    | Some e -> e
+    | None -> db.containers.(c).cexecutors.(0)
+  in
+  let remote_step c f =
+    Engine.delay (p.Profile.cost_2pc_msg +. net db ex.cid c);
+    let iv = Engine.Ivar.create () in
+    let rex = executor_for c in
+    Engine.spawn_here (fun () ->
+        acquire_core rex;
+        Engine.delay p.Profile.cost_sub_dispatch;
+        let r = f () in
+        release_core rex;
+        Engine.Ivar.fill iv r);
+    iv
+  in
+  let wait iv =
+    match Engine.Ivar.peek iv with
+    | Some r -> r
+    | None ->
+      release_core ex;
+      let r = Engine.Ivar.read iv in
+      acquire_core ex;
+      r
+  in
+  (* Phase 1. *)
+  let prepares =
+    List.map
+      (fun c ->
+        if c = ex.cid then begin
+          Engine.delay (validation_cost db root.txn c);
+          (c, `Done (Occ.Commit.prepare root.txn ~container:c))
+        end
+        else
+          ( c,
+            `Pending
+              (remote_step c (fun () ->
+                   Engine.delay (validation_cost db root.txn c);
+                   Occ.Commit.prepare root.txn ~container:c)) ))
+      containers
+  in
+  let resolved =
+    List.map
+      (fun (c, r) ->
+        match r with `Done ok -> (c, ok) | `Pending iv -> (c, wait iv))
+      prepares
+  in
+  if List.for_all snd resolved then begin
+    let tid = Occ.Commit.compute_tid root.txn ~epoch in
+    (* Phase 2: install. *)
+    let acks =
+      List.map
+        (fun c ->
+          if c = ex.cid then begin
+            Engine.delay p.Profile.cost_commit_base;
+            Occ.Commit.install root.txn ~container:c ~tid;
+            None
+          end
+          else
+            Some
+              (remote_step c (fun () ->
+                   Engine.delay p.Profile.cost_commit_base;
+                   Occ.Commit.install root.txn ~container:c ~tid)))
+        containers
+    in
+    List.iter (function Some iv -> wait iv | None -> ()) acks;
+    note_history db root tid;
+    Ok ()
+  end
+  else begin
+    (* Phase 2: rollback every prepared participant. *)
+    let acks =
+      List.filter_map
+        (fun (c, ok) ->
+          if not ok then None
+          else if c = ex.cid then begin
+            Occ.Commit.release root.txn ~container:c;
+            None
+          end
+          else
+            Some (remote_step c (fun () -> Occ.Commit.release root.txn ~container:c)))
+        resolved
+    in
+    List.iter wait acks;
+    Error "validation failed (2pc)"
+  end
+
+let do_commit db root ex =
+  let epoch = current_epoch db in
+  match Occ.Txn.containers root.txn with
+  | [] ->
+    Engine.delay db.prof.Profile.cost_commit_base;
+    Ok ()
+  | [ c ] when c = ex.cid ->
+    Engine.delay (validation_cost db root.txn c);
+    (match Occ.Commit.commit_single root.txn ~epoch ~container:c with
+    | Ok tid ->
+      note_history db root tid;
+      Ok ()
+    | Error m -> Error m)
+  | containers -> two_phase db root ex containers ~epoch
+
+(* ------------------------------------------------------------------ *)
+
+let bump db tbl key =
+  ignore db;
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let exec_txn db ~reactor ~proc ~args =
+  let p = db.prof in
+  let t_start = Engine.current_time () in
+  Engine.delay p.Profile.cost_input_gen;
+  db.txn_counter <- db.txn_counter + 1;
+  let txn = Occ.Txn.create ~id:db.txn_counter in
+  let bd = zero_breakdown () in
+  let root =
+    { txn; bd; active_set = Hashtbl.create 8; exec_of_container = [];
+      last_call = 0; call_ctr = 0; worked_since_call = false; doomed = None }
+  in
+  let rst = reactor_state db reactor in
+  let ex = route db rst in
+  Engine.delay p.Profile.cost_client_dispatch;
+  let done_iv = Engine.Ivar.create () in
+  let body () =
+    acquire_core ex;
+    Hashtbl.add root.active_set reactor ();
+    let res =
+      try
+        let v =
+          run_procedure db ~root ~rstate:rst ~ex ~on_root_path:true
+            ~proc_name:proc ~args
+        in
+        match root.doomed with
+        | Some m -> Error (Occ.Txn.Abort m)
+        | None -> Ok v
+      with e -> Error e
+    in
+    Hashtbl.remove root.active_set reactor;
+    let out =
+      match res with
+      | Ok v -> (
+        match do_commit db root ex with
+        | Ok () -> Ok v
+        | Error m -> Error m)
+      | Error (Occ.Txn.Abort m) -> Error m
+      | Error e ->
+        (* Programming errors (not aborts) escape to the engine. *)
+        release_core ex;
+        raise e
+    in
+    release_core ex;
+    Engine.Ivar.fill done_iv out
+  in
+  Engine.Mailbox.push ex.queue body;
+  let result = Engine.Ivar.read done_iv in
+  let latency = Engine.current_time () -. t_start in
+  (* Overhead bucket = everything not attributed to the execution-path
+     buckets: input generation, dispatch, commit, queueing. *)
+  bd.bd_overhead <-
+    Float.max 0.
+      (latency -. bd.bd_sync_exec -. bd.bd_cs -. bd.bd_cr -. bd.bd_async_exec);
+  (match result with
+  | Ok _ -> db.committed <- db.committed + 1
+  | Error m ->
+    db.aborted <- db.aborted + 1;
+    let contains sub =
+      let n = String.length sub and l = String.length m in
+      let rec go i = i + n <= l && (String.sub m i n = sub || go (i + 1)) in
+      go 0
+    in
+    let bucket =
+      (* Duplicate-key failures under concurrency are conflict aborts: the
+         competing inserter won the key. *)
+      if m = "validation failed" || m = "validation failed (2pc)"
+         || contains "duplicate key" then "validation"
+      else if String.length m >= 9 && String.sub m 0 9 = "dangerous" then
+        "dangerous-structure"
+      else "user"
+    in
+    bump db db.abort_reasons bucket);
+  {
+    result;
+    latency;
+    breakdown = bd;
+    containers_touched = List.length (Occ.Txn.containers txn);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap. *)
+
+let rec dispatcher db ex () =
+  let body = Engine.Mailbox.pop ex.queue in
+  if ex.active_roots >= db.cfg.Config.mpl then
+    Engine.suspend (fun waker -> ex.slot_waiter <- Some waker);
+  ex.active_roots <- ex.active_roots + 1;
+  Engine.spawn_here (fun () ->
+      body ();
+      ex.active_roots <- ex.active_roots - 1;
+      match ex.slot_waiter with
+      | Some w ->
+        ex.slot_waiter <- None;
+        w ()
+      | None -> ());
+  dispatcher db ex ()
+
+let create eng decl cfg prof =
+  Reactor.validate decl;
+  let xid = ref 0 in
+  let containers =
+    Array.map
+      (fun nexec ->
+        let cexecutors =
+          Array.init nexec (fun _ ->
+              incr xid;
+              {
+                xid = !xid;
+                cid = 0 (* fixed below *);
+                queue = Engine.Mailbox.create ();
+                core_waiters = Queue.create ();
+                core_busy = false;
+                active_roots = 0;
+                slot_waiter = None;
+                busy_accum = 0.;
+                held_since = 0.;
+              })
+        in
+        { rr = 0; cexecutors })
+      cfg.Config.executors_per_container
+  in
+  Array.iteri
+    (fun ci cont ->
+      Array.iteri
+        (fun i ex -> cont.cexecutors.(i) <- { ex with cid = ci })
+        cont.cexecutors)
+    containers;
+  let db =
+    {
+      eng;
+      decl;
+      cfg;
+      prof;
+      containers;
+      reactors = Hashtbl.create 256;
+      txn_counter = 0;
+      committed = 0;
+      aborted = 0;
+      abort_reasons = Hashtbl.create 8;
+      record_history = false;
+      hist = [];
+      stats_since = Engine.now eng;
+      table_owner = Hashtbl.create 256;
+      wal = None;
+    }
+  in
+  List.iter
+    (fun (name, tyname) ->
+      let rt = Reactor.find_type decl tyname in
+      let catalog = Storage.Catalog.create () in
+      List.iter
+        (fun schema ->
+          let secondaries =
+            List.assoc_opt schema.Storage.Schema.sname rt.Reactor.rt_indexes
+          in
+          ignore (Storage.Catalog.create_table ?secondaries catalog schema))
+        rt.Reactor.rt_schemas;
+      let home = cfg.Config.placement name in
+      if home < 0 || home >= Array.length containers then
+        invalid_arg
+          (Printf.sprintf "ReactDB: reactor %S placed in bad container %d" name
+             home);
+      List.iter
+        (fun (tname, tbl) ->
+          Hashtbl.replace db.table_owner tbl.Storage.Table.uid (name, tname))
+        (Storage.Catalog.tables catalog);
+      Hashtbl.add db.reactors name
+        { rname = name; rtype = rt; rcatalog = catalog; home;
+          cache_recency = [] })
+    decl.Reactor.reactors;
+  List.iter
+    (fun (rname, loader) -> loader (reactor_state db rname).rcatalog)
+    decl.Reactor.loaders;
+  Array.iter
+    (fun cont ->
+      Array.iter (fun ex -> Engine.spawn eng (dispatcher db ex)) cont.cexecutors)
+    containers;
+  db
+
+let catalog_of db name = (reactor_state db name).rcatalog
+let container_of db name = (reactor_state db name).home
+let n_committed db = db.committed
+let n_aborted db = db.aborted
+
+let aborts_by_reason db =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) db.abort_reasons []
+
+let utilizations db =
+  let total = Float.max 1e-9 (Engine.now db.eng -. db.stats_since) in
+  let out = ref [] in
+  Array.iter
+    (fun cont ->
+      Array.iter
+        (fun ex ->
+          let busy =
+            ex.busy_accum
+            +. (if ex.core_busy then Engine.now db.eng -. ex.held_since else 0.)
+          in
+          out := (busy /. total) :: !out)
+        cont.cexecutors)
+    db.containers;
+  Array.of_list (List.rev !out)
+
+let reset_stats db =
+  db.committed <- 0;
+  db.aborted <- 0;
+  Hashtbl.reset db.abort_reasons;
+  (* The history log is NOT cleared: serializability certification needs
+     every installed version, including warm-up transactions whose writes
+     later transactions read. *)
+  db.stats_since <- Engine.now db.eng;
+  Array.iter
+    (fun cont ->
+      Array.iter
+        (fun ex ->
+          ex.busy_accum <- 0.;
+          if ex.core_busy then ex.held_since <- Engine.now db.eng)
+        cont.cexecutors)
+    db.containers
+
+let attach_wal db log = db.wal <- Some log
+let enable_history db = db.record_history <- true
+let history db = List.rev db.hist

@@ -1,0 +1,110 @@
+(** The ReactDB runtime (§3): containers, transaction executors, routers,
+    transport, commit coordination — all running on the simulated machine.
+
+    A {!t} is bootstrapped from a reactor database declaration, a deployment
+    {!Config.t} and a hardware {!Profile.t} against a simulation engine.
+    Client code (workers, tests, examples) runs as engine processes and
+    submits root transactions with {!exec_txn}, which blocks the calling
+    process until the transaction commits or aborts and reports its latency
+    and cost-component breakdown.
+
+    Execution model (§3.2): each transaction executor is a simulated core
+    with a request queue. Root transactions are admission-controlled by the
+    executor's MPL; sub-transactions and commit-protocol steps bypass
+    admission (they belong to already-admitted roots) but still contend for
+    the core. A (sub-)transaction holds its executor's core while running
+    and releases it when blocking on a remote future — cooperative
+    multitasking; re-acquisition on wake pays the receive cost Cr.
+    Sub-transactions on reactors in the caller's container (including
+    self-calls) execute synchronously inline in the caller's executor.
+    Single-container transactions commit with container-local Silo
+    validation; cross-container transactions run two-phase commit whose
+    prepare is container-local validation with locks held. *)
+
+type t
+
+(** Per-transaction cost-component breakdown (the buckets of Figure 6).
+    [overhead] covers input generation, client dispatch and commit —
+    reported together as the paper's "commit + input-gen" bucket. *)
+type breakdown = {
+  mutable bd_sync_exec : float;
+  mutable bd_cs : float;
+  mutable bd_cr : float;
+  mutable bd_async_exec : float;
+  mutable bd_overhead : float;
+}
+
+type outcome = {
+  result : (Util.Value.t, string) result;
+  latency : float;  (** µs, input generation through commit/abort *)
+  breakdown : breakdown;
+  containers_touched : int;
+}
+
+(** [create engine decl config profile] validates [decl], builds containers
+    and executors, applies loaders, and starts executor dispatchers.
+    Call before [Engine.run]. *)
+val create :
+  Sim.Engine.t -> Reactor.decl -> Config.t -> Profile.t -> t
+
+val engine : t -> Sim.Engine.t
+val config : t -> Config.t
+val profile : t -> Profile.t
+
+(** [exec_txn t ~reactor ~proc ~args] submits a root transaction and blocks
+    the calling engine process until it completes. Aborted transactions
+    (user aborts, dangerous call structures, validation failures) yield
+    [Error reason]; they are fully rolled back. *)
+val exec_txn :
+  t ->
+  reactor:string ->
+  proc:string ->
+  args:Util.Value.t list ->
+  outcome
+
+(** Direct physical access to a reactor's catalog — for loaders, tests and
+    integrity checks only; bypasses concurrency control. *)
+val catalog_of : t -> string -> Storage.Catalog.t
+
+(** Container index hosting a reactor. *)
+val container_of : t -> string -> int
+
+(** {1 Statistics} *)
+
+val n_committed : t -> int
+val n_aborted : t -> int
+
+(** Aborts by reason substring bucket: "validation", "dangerous", user. *)
+val aborts_by_reason : t -> (string * int) list
+
+(** Fraction of virtual time each executor's core was busy since bootstrap,
+    in executor order (container-major). *)
+val utilizations : t -> float array
+
+(** Reset commit/abort counters and utilization accumulators (used between
+    warm-up and measurement epochs). *)
+val reset_stats : t -> unit
+
+(** {1 Durability (extension beyond the paper — see DESIGN.md)} *)
+
+(** [attach_wal t log] makes every subsequent commit append a redo record
+    (TID + physical after-images) to [log]. Recovery: load a fresh database
+    from the same declaration, then [Wal.replay (Wal.entries log)
+    ~catalog_of:(catalog_of fresh_db)]. *)
+val attach_wal : t -> Wal.t -> unit
+
+(** {1 History recording (for serializability checking in tests)}
+
+    When enabled, every committed transaction appends (txn id, TID,
+    container set, read set, write set) to the history log. *)
+
+val enable_history : t -> unit
+
+type hist_entry = {
+  h_txn : int;
+  h_tid : int;
+  h_reads : (int * int) list;  (** (record rid, observed TID) *)
+  h_writes : int list;  (** record rids written *)
+}
+
+val history : t -> hist_entry list

@@ -1,0 +1,79 @@
+type t = {
+  cost_read : float;
+  cost_write : float;
+  cost_scan_step : float;
+  cost_proc_base : float;
+  cost_send : float;
+  cost_sub_dispatch : float;
+  cost_recv : float;
+  cost_commit_base : float;
+  cost_commit_per_op : float;
+  cost_2pc_msg : float;
+  cost_input_gen : float;
+  cost_client_dispatch : float;
+  cost_cache_miss : float;
+  cost_network : float;
+}
+
+let default =
+  {
+    cost_read = 0.5;
+    cost_write = 0.7;
+    cost_scan_step = 0.25;
+    cost_proc_base = 1.0;
+    cost_send = 2.0;
+    cost_sub_dispatch = 2.0;
+    cost_recv = 7.0;
+    cost_commit_base = 2.5;
+    cost_commit_per_op = 0.15;
+    cost_2pc_msg = 1.5;
+    cost_input_gen = 2.0;
+    cost_client_dispatch = 14.0;
+    cost_cache_miss = 0.8;
+    cost_network = 25.0;
+  }
+
+(* Slower cores, pricier cross-core traffic and cache misses: the 2.1 GHz
+   two-socket Opteron of §4.1.1. *)
+let opteron =
+  {
+    cost_read = 0.8;
+    cost_write = 1.1;
+    cost_scan_step = 0.4;
+    cost_proc_base = 1.6;
+    cost_send = 3.0;
+    cost_sub_dispatch = 3.0;
+    cost_recv = 10.0;
+    cost_commit_base = 4.0;
+    cost_commit_per_op = 0.25;
+    cost_2pc_msg = 2.5;
+    cost_input_gen = 3.0;
+    cost_client_dispatch = 18.0;
+    cost_cache_miss = 1.6;
+    cost_network = 30.0;
+  }
+
+let free =
+  {
+    cost_read = 0.;
+    cost_write = 0.;
+    cost_scan_step = 0.;
+    cost_proc_base = 0.;
+    cost_send = 0.;
+    cost_sub_dispatch = 0.;
+    cost_recv = 0.;
+    cost_commit_base = 0.;
+    cost_commit_per_op = 0.;
+    cost_2pc_msg = 0.;
+    cost_input_gen = 0.;
+    cost_client_dispatch = 0.;
+    cost_cache_miss = 0.;
+    cost_network = 0.;
+  }
+
+let pp ppf p =
+  Fmt.pf ppf
+    "{read=%.2f write=%.2f scan=%.2f proc=%.2f Cs=%.2f Cr=%.2f commit=%.2f+%.2f/op 2pc=%.2f input=%.2f dispatch=%.2f miss=%.2f}"
+    p.cost_read p.cost_write p.cost_scan_step p.cost_proc_base p.cost_send
+    p.cost_recv p.cost_commit_base p.cost_commit_per_op p.cost_2pc_msg
+    p.cost_input_gen p.cost_client_dispatch p.cost_cache_miss

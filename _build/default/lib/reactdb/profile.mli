@@ -1,0 +1,51 @@
+(** Hardware cost profiles for the simulated machine.
+
+    All costs are in µs of virtual time. The default profile is calibrated
+    so that the micro-measurements the paper reports re-emerge: a cheap
+    send path vs. an expensive receive path (Cs ≪ Cr, §4.2.1), a ~20 µs
+    per-invocation containerization overhead (App. F.3), and record
+    operations in the sub-µs range typical of Silo-class engines. Profiles
+    are plain records: experiments that need a different machine (e.g. the
+    32-thread Opteron box with accentuated cross-core costs, §4.1.1) tweak
+    fields functionally. *)
+
+type t = {
+  cost_read : float;  (** per record point-read *)
+  cost_write : float;  (** per record write/insert/delete buffering *)
+  cost_scan_step : float;  (** per record visited in a scan *)
+  cost_proc_base : float;  (** fixed cost of entering a procedure body *)
+  cost_send : float;  (** Cs: dispatch a sub-transaction to another container *)
+  cost_sub_dispatch : float;
+      (** destination-side cost to dequeue and start a remote
+          sub-transaction or commit-protocol step *)
+  cost_recv : float;
+      (** Cr: thread-switch on the receive path when a blocked caller is
+          resumed by a future completion *)
+  cost_commit_base : float;  (** fixed validation/install cost per container *)
+  cost_commit_per_op : float;  (** validation cost per read/write-set entry *)
+  cost_2pc_msg : float;  (** coordinator cost per participant per 2PC phase *)
+  cost_input_gen : float;  (** client-side input generation per transaction *)
+  cost_client_dispatch : float;
+      (** worker-to-executor invocation overhead (cross-core switch) *)
+  cost_cache_miss : float;
+      (** extra per data operation when the executing core has no cache
+          affinity with the reactor's data *)
+  cost_network : float;
+      (** extra one-way cost per message between containers placed on
+          different machines (cluster deployments — §6's future-work
+          direction; 0-cost within a machine) *)
+}
+
+(** Calibrated default (the 4-core Xeon-like profile used for the latency
+    experiments of §4.2). *)
+val default : t
+
+(** The two-socket Opteron-like profile (§4.3): higher cross-core
+    communication and cache-miss penalties. *)
+val opteron : t
+
+(** An idealized zero-cost profile: all costs zero. With it, virtual time
+    stands still — useful in unit tests that only check semantics. *)
+val free : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type future = { get : unit -> Util.Value.t }
+
+type ctx = {
+  db : Query.Exec.ctx;
+  self : string;
+  call : reactor:string -> proc:string -> args:Util.Value.t list -> future;
+}
+
+type proc = ctx -> Util.Value.t list -> Util.Value.t
+
+type rtype = {
+  rt_name : string;
+  rt_schemas : Storage.Schema.t list;
+  rt_indexes : (string * (string * string list) list) list;
+  rt_procs : (string * proc) list;
+}
+
+let rtype ~name ~schemas ?(indexes = []) ~procs () =
+  { rt_name = name; rt_schemas = schemas; rt_indexes = indexes;
+    rt_procs = procs }
+
+type decl = {
+  types : rtype list;
+  reactors : (string * string) list;
+  loaders : (string * (Storage.Catalog.t -> unit)) list;
+}
+
+let decl ~types ~reactors ?(loaders = []) () = { types; reactors; loaders }
+
+let abort msg = raise (Occ.Txn.Abort msg)
+
+let find_type d name =
+  match List.find_opt (fun t -> t.rt_name = name) d.types with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Reactor: unknown reactor type %S" name)
+
+let type_of_reactor d name =
+  match List.assoc_opt name d.reactors with
+  | Some tyname -> find_type d tyname
+  | None -> invalid_arg (Printf.sprintf "Reactor: unknown reactor %S" name)
+
+let find_proc rt name =
+  match List.assoc_opt name rt.rt_procs with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Reactor: type %s has no procedure %S" rt.rt_name name)
+
+let check_unique what names =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Reactor: duplicate %s %S" what n);
+      Hashtbl.add seen n ())
+    names
+
+let validate d =
+  check_unique "reactor type" (List.map (fun t -> t.rt_name) d.types);
+  check_unique "reactor" (List.map fst d.reactors);
+  List.iter
+    (fun t ->
+      check_unique
+        (Printf.sprintf "procedure in type %s" t.rt_name)
+        (List.map fst t.rt_procs);
+      check_unique
+        (Printf.sprintf "schema in type %s" t.rt_name)
+        (List.map (fun s -> s.Storage.Schema.sname) t.rt_schemas);
+      List.iter
+        (fun (table, _) ->
+          if
+            not
+              (List.exists
+                 (fun s -> s.Storage.Schema.sname = table)
+                 t.rt_schemas)
+          then
+            invalid_arg
+              (Printf.sprintf "Reactor: type %s declares indexes on unknown table %S"
+                 t.rt_name table))
+        t.rt_indexes)
+    d.types;
+  List.iter (fun (_, ty) -> ignore (find_type d ty)) d.reactors;
+  List.iter (fun (r, _) -> ignore (type_of_reactor d r)) d.loaders
+
+let arg args i =
+  match List.nth_opt args i with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Reactor: missing argument %d" i)
+
+let arg_int args i = Util.Value.to_int (arg args i)
+let arg_float args i = Util.Value.to_number (arg args i)
+let arg_str args i = Util.Value.to_str (arg args i)

@@ -1,0 +1,59 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable n : int }
+
+let create () = { arr = [||]; n = 0 }
+let is_empty t = t.n = 0
+let size t = t.n
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.arr.(i) in
+  t.arr.(i) <- t.arr.(j);
+  t.arr.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less t.arr.(i) t.arr.(p) then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.n && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+  if r < t.n && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time ~seq payload =
+  let e = { time; seq; payload } in
+  if t.n = Array.length t.arr then begin
+    let cap = Stdlib.max 16 (2 * t.n) in
+    let arr = Array.make cap e in
+    Array.blit t.arr 0 arr 0 t.n;
+    t.arr <- arr
+  end;
+  t.arr.(t.n) <- e;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.arr.(0) <- t.arr.(t.n);
+      sift_down t 0
+    end;
+    Some (top.time, top.seq, top.payload)
+  end
+
+let peek_time t = if t.n = 0 then None else Some t.arr.(0).time

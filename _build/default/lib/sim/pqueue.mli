@@ -1,0 +1,17 @@
+(** Minimal binary min-heap keyed by [(time, sequence)].
+
+    The event queue of the discrete-event engine: ties in virtual time are
+    broken by insertion sequence, which makes simulations fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Smallest (time, seq) element, or [None] when empty. *)
+val pop : 'a t -> (float * int * 'a) option
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,1 @@
+lib/sql/proc.ml: Fmt List Reactor Run Util

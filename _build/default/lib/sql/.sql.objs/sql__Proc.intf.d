@@ -1,0 +1,1 @@
+lib/sql/proc.mli: Reactor

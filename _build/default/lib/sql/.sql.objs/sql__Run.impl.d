@@ -1,0 +1,1 @@
+lib/sql/run.ml: Array Ast Float Fmt Hashtbl List Option Parser Printf Query Storage String Util Value

@@ -1,0 +1,1 @@
+lib/sql/run.mli: Ast Format Query Util

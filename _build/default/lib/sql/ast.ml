@@ -1,0 +1,181 @@
+type expr =
+  | Col of string option * string
+  | Lit of Util.Value.t
+  | Param of int
+  | Cmp of Query.Expr.cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Arith of Query.Expr.arith * expr * expr
+  | Neg of expr
+  | Is_null of expr
+  | In of expr * expr list
+  | Between of expr * expr * expr
+  | Like of expr * string
+
+type agg_fn = Sum | Count | Min | Max | Avg
+
+type sel_item =
+  | Star
+  | Expr_item of expr * string option
+  | Agg of agg_fn * expr option * string option
+
+type order = { ord_col : string; ord_desc : bool }
+
+type join = {
+  j_table : string;
+  j_alias : string option;
+  j_left : string option * string;
+  j_right : string option * string;
+}
+
+type select = {
+  sel_items : sel_item list;
+  sel_table : string;
+  sel_alias : string option;
+  sel_join : join option;
+  sel_where : expr option;
+  sel_group : (string option * string) list;
+  sel_order : order option;
+  sel_limit : int option;
+}
+
+type stmt =
+  | Select of select
+  | Insert of { ins_table : string; ins_cols : string list option; ins_values : expr list }
+  | Update of { upd_table : string; upd_sets : (string * expr) list; upd_where : expr option }
+  | Delete of { del_table : string; del_where : expr option }
+
+let pp_qcol ppf (q, c) =
+  match q with Some t -> Fmt.pf ppf "%s.%s" t c | None -> Fmt.string ppf c
+
+(* Literals print in re-lexable SQL form: single-quoted strings with ''
+   escapes, floats always with a decimal point or exponent. *)
+let pp_lit ppf = function
+  | Util.Value.Null -> Fmt.string ppf "NULL"
+  | Util.Value.Bool b -> Fmt.string ppf (if b then "TRUE" else "FALSE")
+  | Util.Value.Int i -> Fmt.int ppf i
+  | Util.Value.Float f ->
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'E'
+    then Fmt.string ppf s
+    else Fmt.pf ppf "%s.0" s
+  | Util.Value.Str s ->
+    Fmt.pf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+
+let cmp_str = function
+  | Query.Expr.Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+  | Ge -> ">="
+
+let arith_str = function
+  | Query.Expr.Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp_expr ppf = function
+  | Col (q, c) -> pp_qcol ppf (q, c)
+  | Lit v -> pp_lit ppf v
+  | Param i -> Fmt.pf ppf "?%d" i
+  | Cmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (cmp_str op) pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not a -> Fmt.pf ppf "(NOT %a)" pp_expr a
+  | Arith (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (arith_str op) pp_expr b
+  | Neg a -> Fmt.pf ppf "(-%a)" pp_expr a
+  | Is_null a -> Fmt.pf ppf "(%a IS NULL)" pp_expr a
+  | In (a, vs) ->
+    Fmt.pf ppf "(%a IN (%a))" pp_expr a
+      (Fmt.list ~sep:(Fmt.any ", ") pp_expr) vs
+  | Between (a, lo, hi) ->
+    Fmt.pf ppf "(%a BETWEEN %a AND %a)" pp_expr a pp_expr lo pp_expr hi
+  | Like (a, pat) -> Fmt.pf ppf "(%a LIKE %a)" pp_expr a pp_lit (Util.Value.Str pat)
+
+let agg_str = function
+  | Sum -> "SUM" | Count -> "COUNT" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG"
+
+let pp_item ppf = function
+  | Star -> Fmt.string ppf "*"
+  | Expr_item (e, alias) -> (
+    pp_expr ppf e;
+    match alias with Some a -> Fmt.pf ppf " AS %s" a | None -> ())
+  | Agg (fn, arg, alias) -> (
+    (match arg with
+    | None -> Fmt.pf ppf "%s(*)" (agg_str fn)
+    | Some e -> Fmt.pf ppf "%s(%a)" (agg_str fn) pp_expr e);
+    match alias with Some a -> Fmt.pf ppf " AS %s" a | None -> ())
+
+let pp_stmt ppf = function
+  | Select s ->
+    Fmt.pf ppf "SELECT %a FROM %s"
+      (Fmt.list ~sep:(Fmt.any ", ") pp_item)
+      s.sel_items s.sel_table;
+    (match s.sel_alias with Some a -> Fmt.pf ppf " %s" a | None -> ());
+    (match s.sel_join with
+    | Some j ->
+      Fmt.pf ppf " JOIN %s%s ON %a = %a" j.j_table
+        (match j.j_alias with Some a -> " " ^ a | None -> "")
+        pp_qcol j.j_left pp_qcol j.j_right
+    | None -> ());
+    (match s.sel_where with
+    | Some e -> Fmt.pf ppf " WHERE %a" pp_expr e
+    | None -> ());
+    (match s.sel_group with
+    | [] -> ()
+    | g -> Fmt.pf ppf " GROUP BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_qcol) g);
+    (match s.sel_order with
+    | Some o ->
+      Fmt.pf ppf " ORDER BY %s %s" o.ord_col (if o.ord_desc then "DESC" else "ASC")
+    | None -> ());
+    (match s.sel_limit with Some n -> Fmt.pf ppf " LIMIT %d" n | None -> ())
+  | Insert { ins_table; ins_cols; ins_values } ->
+    Fmt.pf ppf "INSERT INTO %s" ins_table;
+    (match ins_cols with
+    | Some cols -> Fmt.pf ppf " (%a)" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) cols
+    | None -> ());
+    Fmt.pf ppf " VALUES (%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) ins_values
+  | Update { upd_table; upd_sets; upd_where } ->
+    Fmt.pf ppf "UPDATE %s SET %a" upd_table
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (c, e) ->
+           Fmt.pf ppf "%s = %a" c pp_expr e))
+      upd_sets;
+    (match upd_where with
+    | Some e -> Fmt.pf ppf " WHERE %a" pp_expr e
+    | None -> ())
+  | Delete { del_table; del_where } -> (
+    Fmt.pf ppf "DELETE FROM %s" del_table;
+    match del_where with
+    | Some e -> Fmt.pf ppf " WHERE %a" pp_expr e
+    | None -> ())
+
+let rec expr_params = function
+  | Param i -> i + 1
+  | Col _ | Lit _ -> 0
+  | Cmp (_, a, b) | And (a, b) | Or (a, b) | Arith (_, a, b) ->
+    Stdlib.max (expr_params a) (expr_params b)
+  | Not a | Neg a | Is_null a -> expr_params a
+  | In (a, vs) ->
+    List.fold_left (fun acc e -> Stdlib.max acc (expr_params e)) (expr_params a) vs
+  | Between (a, lo, hi) ->
+    Stdlib.max (expr_params a) (Stdlib.max (expr_params lo) (expr_params hi))
+  | Like (a, _) -> expr_params a
+
+let opt_params = function Some e -> expr_params e | None -> 0
+
+let item_params = function
+  | Star -> 0
+  | Expr_item (e, _) -> expr_params e
+  | Agg (_, Some e, _) -> expr_params e
+  | Agg (_, None, _) -> 0
+
+let param_count = function
+  | Select s ->
+    List.fold_left
+      (fun acc it -> Stdlib.max acc (item_params it))
+      (opt_params s.sel_where) s.sel_items
+  | Insert { ins_values; _ } ->
+    List.fold_left (fun acc e -> Stdlib.max acc (expr_params e)) 0 ins_values
+  | Update { upd_sets; upd_where; _ } ->
+    List.fold_left
+      (fun acc (_, e) -> Stdlib.max acc (expr_params e))
+      (opt_params upd_where) upd_sets
+  | Delete { del_where; _ } -> opt_params del_where

@@ -1,0 +1,63 @@
+(** Abstract syntax for the SQL subset supported on reactor state.
+
+    The subset covers what the paper's stored procedures use (Fig. 1, 20,
+    21): single-table scans with predicates, one optional inner join,
+    aggregates with GROUP BY, ordering and limits, and single-table DML.
+    Cross-reactor queries are deliberately impossible — reactors expose
+    declarative querying only over their own relations (§2.2.1). *)
+
+type expr =
+  | Col of string option * string  (** optionally table-qualified *)
+  | Lit of Util.Value.t
+  | Param of int  (** [?] placeholders, numbered left to right from 0 *)
+  | Cmp of Query.Expr.cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Arith of Query.Expr.arith * expr * expr
+  | Neg of expr
+  | Is_null of expr
+  | In of expr * expr list
+  | Between of expr * expr * expr
+  | Like of expr * string
+      (** SQL LIKE with [%] (any run) and [_] (any one character) *)
+
+type agg_fn = Sum | Count | Min | Max | Avg
+
+type sel_item =
+  | Star
+  | Expr_item of expr * string option  (** expression [AS alias] *)
+  | Agg of agg_fn * expr option * string option
+      (** [Agg (Count, None, _)] is a COUNT over all rows *)
+
+type order = { ord_col : string; ord_desc : bool }
+
+type join = {
+  j_table : string;
+  j_alias : string option;
+  j_left : string option * string;  (** ON left column *)
+  j_right : string option * string;  (** = right column *)
+}
+
+type select = {
+  sel_items : sel_item list;
+  sel_table : string;
+  sel_alias : string option;
+  sel_join : join option;
+  sel_where : expr option;
+  sel_group : (string option * string) list;
+  sel_order : order option;
+  sel_limit : int option;
+}
+
+type stmt =
+  | Select of select
+  | Insert of { ins_table : string; ins_cols : string list option; ins_values : expr list }
+  | Update of { upd_table : string; upd_sets : (string * expr) list; upd_where : expr option }
+  | Delete of { del_table : string; del_where : expr option }
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+(** Number of distinct [?] parameters (max index + 1). *)
+val param_count : stmt -> int

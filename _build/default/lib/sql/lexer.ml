@@ -1,0 +1,177 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | QMARK
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | EOF
+
+exception Lex_error of string
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "IS"; "NULL"; "INSERT";
+    "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE"; "ORDER"; "BY"; "ASC";
+    "DESC"; "LIMIT"; "GROUP"; "JOIN"; "INNER"; "ON"; "AS"; "SUM"; "COUNT";
+    "MIN"; "MAX"; "AVG"; "TRUE"; "FALSE"; "IN"; "BETWEEN"; "LIKE" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | Some '-' when !pos + 1 < n && src.[!pos + 1] = '-' ->
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < n && is_ident_char src.[!pos] do
+      incr pos
+    done;
+    let word = String.sub src start (!pos - start) in
+    let upper = String.uppercase_ascii word in
+    if List.mem upper keywords then emit (KW upper) else emit (IDENT word)
+  in
+  let lex_number () =
+    let start = !pos in
+    while !pos < n && is_digit src.[!pos] do
+      incr pos
+    done;
+    let has_dot =
+      !pos < n && src.[!pos] = '.' && !pos + 1 < n && is_digit src.[!pos + 1]
+    in
+    if has_dot then begin
+      incr pos;
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done
+    end;
+    let has_exp =
+      !pos < n
+      && (src.[!pos] = 'e' || src.[!pos] = 'E')
+      && (!pos + 1 < n
+          && (is_digit src.[!pos + 1]
+             || ((src.[!pos + 1] = '+' || src.[!pos + 1] = '-')
+                && !pos + 2 < n && is_digit src.[!pos + 2])))
+    in
+    if has_exp then begin
+      incr pos;
+      if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done
+    end;
+    if has_dot || has_exp then
+      emit (FLOAT (float_of_string (String.sub src start (!pos - start))))
+    else emit (INT (int_of_string (String.sub src start (!pos - start))))
+  in
+  let lex_string () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Lex_error "unterminated string literal")
+      else if src.[!pos] = '\'' then
+        if !pos + 1 < n && src.[!pos + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          pos := !pos + 2;
+          go ()
+        end
+        else incr pos
+      else begin
+        Buffer.add_char buf src.[!pos];
+        incr pos;
+        go ()
+      end
+    in
+    go ();
+    emit (STRING (Buffer.contents buf))
+  in
+  let rec loop () =
+    skip_ws ();
+    match peek () with
+    | None -> emit EOF
+    | Some c ->
+      (if is_ident_start c then lex_ident ()
+       else if is_digit c then lex_number ()
+       else if c = '\'' then lex_string ()
+       else begin
+         incr pos;
+         match c with
+         | '(' -> emit LPAREN
+         | ')' -> emit RPAREN
+         | ',' -> emit COMMA
+         | '.' -> emit DOT
+         | '*' -> emit STAR
+         | '?' -> emit QMARK
+         | '+' -> emit PLUS
+         | '-' -> emit MINUS
+         | '/' -> emit SLASH
+         | '=' -> emit EQ
+         | '<' -> (
+           match peek () with
+           | Some '=' ->
+             incr pos;
+             emit LE
+           | Some '>' ->
+             incr pos;
+             emit NE
+           | _ -> emit LT)
+         | '>' -> (
+           match peek () with
+           | Some '=' ->
+             incr pos;
+             emit GE
+           | _ -> emit GT)
+         | '!' -> (
+           match peek () with
+           | Some '=' ->
+             incr pos;
+             emit NE
+           | _ -> raise (Lex_error "unexpected '!'"))
+         | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+       end);
+      if (match !out with EOF :: _ -> false | _ -> true) then loop ()
+  in
+  loop ();
+  List.rev !out
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | KW k -> k
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | DOT -> "." | STAR -> "*"
+  | QMARK -> "?" | EQ -> "=" | NE -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">"
+  | GE -> ">=" | PLUS -> "+" | MINUS -> "-" | SLASH -> "/" | EOF -> "<eof>"

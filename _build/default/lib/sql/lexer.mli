@@ -1,0 +1,33 @@
+(** Hand-written SQL lexer.
+
+    Keywords are case-insensitive; identifiers keep their case. String
+    literals use single quotes with [''] as the escape for a quote. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercase keyword: SELECT, FROM, ... *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | QMARK
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+
+val token_to_string : token -> string

@@ -1,0 +1,345 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { toks : token array; mutable pos : int; mutable params : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at %s)" msg (token_to_string (peek st))))
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (token_to_string tok))
+
+let kw st k =
+  match peek st with
+  | KW k' when k' = k -> advance st
+  | _ -> fail st (Printf.sprintf "expected %s" k)
+
+let try_kw st k =
+  match peek st with
+  | KW k' when k' = k ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+(* column reference, possibly table-qualified *)
+let qualified_col st =
+  let first = ident st in
+  if peek st = DOT then begin
+    advance st;
+    (Some first, ident st)
+  end
+  else (None, first)
+
+(* --- expressions, by descending precedence: OR, AND, NOT, comparison /
+   IS NULL, additive, multiplicative, unary --- *)
+
+let rec expr_or st =
+  let a = expr_and st in
+  if try_kw st "OR" then Ast.Or (a, expr_or st) else a
+
+and expr_and st =
+  let a = expr_not st in
+  if try_kw st "AND" then Ast.And (a, expr_and st) else a
+
+and expr_not st =
+  if try_kw st "NOT" then Ast.Not (expr_not st) else expr_cmp st
+
+and expr_cmp st =
+  let a = expr_add st in
+  match peek st with
+  | EQ -> advance st; Ast.Cmp (Query.Expr.Eq, a, expr_add st)
+  | NE -> advance st; Ast.Cmp (Query.Expr.Ne, a, expr_add st)
+  | LT -> advance st; Ast.Cmp (Query.Expr.Lt, a, expr_add st)
+  | LE -> advance st; Ast.Cmp (Query.Expr.Le, a, expr_add st)
+  | GT -> advance st; Ast.Cmp (Query.Expr.Gt, a, expr_add st)
+  | GE -> advance st; Ast.Cmp (Query.Expr.Ge, a, expr_add st)
+  | KW "IS" ->
+    advance st;
+    let negated = try_kw st "NOT" in
+    kw st "NULL";
+    if negated then Ast.Not (Ast.Is_null a) else Ast.Is_null a
+  | KW "IN" ->
+    advance st;
+    eat st LPAREN;
+    let vs = in_list st in
+    eat st RPAREN;
+    Ast.In (a, vs)
+  | KW "BETWEEN" ->
+    advance st;
+    let lo = expr_add st in
+    kw st "AND";
+    let hi = expr_add st in
+    Ast.Between (a, lo, hi)
+  | KW "LIKE" -> (
+    advance st;
+    match peek st with
+    | STRING pat ->
+      advance st;
+      Ast.Like (a, pat)
+    | _ -> fail st "expected string pattern after LIKE")
+  | KW "NOT" when st.toks.(st.pos + 1) = KW "IN"
+                  || st.toks.(st.pos + 1) = KW "BETWEEN"
+                  || st.toks.(st.pos + 1) = KW "LIKE" ->
+    advance st;
+    (match expr_cmp_tail st a with
+    | Some e -> Ast.Not e
+    | None -> fail st "expected IN, BETWEEN or LIKE after NOT")
+  | _ -> a
+
+(* the postfix NOT variants share the positive parses *)
+and expr_cmp_tail st a =
+  match peek st with
+  | KW "IN" ->
+    advance st;
+    eat st LPAREN;
+    let vs = in_list st in
+    eat st RPAREN;
+    Some (Ast.In (a, vs))
+  | KW "BETWEEN" ->
+    advance st;
+    let lo = expr_add st in
+    kw st "AND";
+    let hi = expr_add st in
+    Some (Ast.Between (a, lo, hi))
+  | KW "LIKE" -> (
+    advance st;
+    match peek st with
+    | STRING pat ->
+      advance st;
+      Some (Ast.Like (a, pat))
+    | _ -> fail st "expected string pattern after LIKE")
+  | _ -> None
+
+and in_list st =
+  let x = expr_or st in
+  if peek st = COMMA then begin
+    advance st;
+    x :: in_list st
+  end
+  else [ x ]
+
+and expr_add st =
+  let rec go a =
+    match peek st with
+    | PLUS -> advance st; go (Ast.Arith (Query.Expr.Add, a, expr_mul st))
+    | MINUS -> advance st; go (Ast.Arith (Query.Expr.Sub, a, expr_mul st))
+    | _ -> a
+  in
+  go (expr_mul st)
+
+and expr_mul st =
+  let rec go a =
+    match peek st with
+    | STAR -> advance st; go (Ast.Arith (Query.Expr.Mul, a, expr_unary st))
+    | SLASH -> advance st; go (Ast.Arith (Query.Expr.Div, a, expr_unary st))
+    | _ -> a
+  in
+  go (expr_unary st)
+
+and expr_unary st =
+  match peek st with
+  | MINUS ->
+    advance st;
+    Ast.Neg (expr_unary st)
+  | _ -> expr_atom st
+
+and expr_atom st =
+  match peek st with
+  | INT i -> advance st; Ast.Lit (Util.Value.Int i)
+  | FLOAT f -> advance st; Ast.Lit (Util.Value.Float f)
+  | STRING s -> advance st; Ast.Lit (Util.Value.Str s)
+  | KW "NULL" -> advance st; Ast.Lit Util.Value.Null
+  | KW "TRUE" -> advance st; Ast.Lit (Util.Value.Bool true)
+  | KW "FALSE" -> advance st; Ast.Lit (Util.Value.Bool false)
+  | QMARK ->
+    advance st;
+    let i = st.params in
+    st.params <- st.params + 1;
+    Ast.Param i
+  | LPAREN ->
+    advance st;
+    let e = expr_or st in
+    eat st RPAREN;
+    e
+  | IDENT _ ->
+    let q, c = qualified_col st in
+    Ast.Col (q, c)
+  | _ -> fail st "expected expression"
+
+(* --- select list --- *)
+
+let agg_of_kw = function
+  | "SUM" -> Some Ast.Sum
+  | "COUNT" -> Some Ast.Count
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | "AVG" -> Some Ast.Avg
+  | _ -> None
+
+let alias_opt st =
+  if try_kw st "AS" then Some (ident st)
+  else match peek st with IDENT _ -> Some (ident st) | _ -> None
+
+let sel_item st =
+  match peek st with
+  | STAR ->
+    advance st;
+    Ast.Star
+  | KW k when agg_of_kw k <> None ->
+    advance st;
+    let fn = Option.get (agg_of_kw k) in
+    eat st LPAREN;
+    let arg =
+      if peek st = STAR then begin
+        advance st;
+        None
+      end
+      else Some (expr_or st)
+    in
+    eat st RPAREN;
+    Ast.Agg (fn, arg, alias_opt st)
+  | _ ->
+    let e = expr_or st in
+    Ast.Expr_item (e, alias_opt st)
+
+let rec comma_list st f =
+  let x = f st in
+  if peek st = COMMA then begin
+    advance st;
+    x :: comma_list st f
+  end
+  else [ x ]
+
+(* --- statements --- *)
+
+let parse_select st =
+  kw st "SELECT";
+  let items = comma_list st sel_item in
+  kw st "FROM";
+  let table = ident st in
+  let alias = match peek st with IDENT _ -> Some (ident st) | _ -> None in
+  let join =
+    let inner = try_kw st "INNER" in
+    if inner || peek st = KW "JOIN" then begin
+      kw st "JOIN";
+      let j_table = ident st in
+      let j_alias = match peek st with IDENT _ -> Some (ident st) | _ -> None in
+      kw st "ON";
+      let left = qualified_col st in
+      eat st EQ;
+      let right = qualified_col st in
+      Some { Ast.j_table; j_alias; j_left = left; j_right = right }
+    end
+    else None
+  in
+  let where = if try_kw st "WHERE" then Some (expr_or st) else None in
+  let group =
+    if try_kw st "GROUP" then begin
+      kw st "BY";
+      comma_list st qualified_col
+    end
+    else []
+  in
+  let order =
+    if try_kw st "ORDER" then begin
+      kw st "BY";
+      let col = ident st in
+      let desc =
+        if try_kw st "DESC" then true
+        else begin
+          ignore (try_kw st "ASC");
+          false
+        end
+      in
+      Some { Ast.ord_col = col; ord_desc = desc }
+    end
+    else None
+  in
+  let limit =
+    if try_kw st "LIMIT" then (
+      match peek st with
+      | INT n ->
+        advance st;
+        Some n
+      | _ -> fail st "expected integer after LIMIT")
+    else None
+  in
+  Ast.Select
+    { sel_items = items; sel_table = table; sel_alias = alias; sel_join = join;
+      sel_where = where; sel_group = group; sel_order = order;
+      sel_limit = limit }
+
+let parse_insert st =
+  kw st "INSERT";
+  kw st "INTO";
+  let table = ident st in
+  let cols =
+    if peek st = LPAREN then begin
+      advance st;
+      let cs = comma_list st ident in
+      eat st RPAREN;
+      Some cs
+    end
+    else None
+  in
+  kw st "VALUES";
+  eat st LPAREN;
+  let values = comma_list st expr_or in
+  eat st RPAREN;
+  Ast.Insert { ins_table = table; ins_cols = cols; ins_values = values }
+
+let parse_update st =
+  kw st "UPDATE";
+  let table = ident st in
+  kw st "SET";
+  let sets =
+    comma_list st (fun st ->
+        let c = ident st in
+        eat st EQ;
+        (c, expr_or st))
+  in
+  let where = if try_kw st "WHERE" then Some (expr_or st) else None in
+  Ast.Update { upd_table = table; upd_sets = sets; upd_where = where }
+
+let parse_delete st =
+  kw st "DELETE";
+  kw st "FROM";
+  let table = ident st in
+  let where = if try_kw st "WHERE" then Some (expr_or st) else None in
+  Ast.Delete { del_table = table; del_where = where }
+
+let make_state src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0; params = 0 }
+
+let parse src =
+  let st = try make_state src with Lex_error m -> raise (Parse_error m) in
+  let stmt =
+    match peek st with
+    | KW "SELECT" -> parse_select st
+    | KW "INSERT" -> parse_insert st
+    | KW "UPDATE" -> parse_update st
+    | KW "DELETE" -> parse_delete st
+    | _ -> fail st "expected SELECT, INSERT, UPDATE or DELETE"
+  in
+  if peek st <> EOF then fail st "trailing input";
+  stmt
+
+let parse_expr src =
+  let st = try make_state src with Lex_error m -> raise (Parse_error m) in
+  let e = expr_or st in
+  if peek st <> EOF then fail st "trailing input";
+  e

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}).
+
+    Parameters ([?]) are numbered left to right from 0. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt
+
+(** Parse an expression alone (tests, interactive use). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,13 @@
+let sql_proc (ctx : Reactor.ctx) args =
+  match args with
+  | [] -> Reactor.abort "sql: missing statement"
+  | stmt :: params -> (
+    let stmt = Util.Value.to_str stmt in
+    match Run.exec ctx.Reactor.db ~params stmt with
+    | Run.Affected n -> Util.Value.Int n
+    | Run.Rows { rows = [ [| v |] ]; _ } -> v
+    | result -> Util.Value.Str (Fmt.str "%a" Run.pp_result result))
+
+let with_sql rt =
+  if List.mem_assoc "sql" rt.Reactor.rt_procs then rt
+  else { rt with Reactor.rt_procs = ("sql", sql_proc) :: rt.Reactor.rt_procs }

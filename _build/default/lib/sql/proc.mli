@@ -1,0 +1,18 @@
+(** SQL as a stored procedure.
+
+    [sql_proc] is a generic reactor procedure executing one SQL statement
+    against the reactor's own relations: arguments are the statement string
+    followed by its positional parameters. The whole statement runs inside
+    the calling (sub-)transaction, with full OCC semantics.
+
+    Results are encoded into a single value: DML returns the affected-row
+    count as [Int]; a single-cell SELECT returns that cell; any other
+    SELECT returns the rendered result table as [Str] (this is what the
+    interactive shell displays).
+
+    [with_sql rt] derives a reactor type with the ["sql"] procedure added —
+    handy for ad-hoc inspection of any reactor database. *)
+
+val sql_proc : Reactor.proc
+
+val with_sql : Reactor.rtype -> Reactor.rtype

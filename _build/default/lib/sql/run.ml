@@ -1,0 +1,514 @@
+open Util
+
+exception Sql_error of string
+
+type result =
+  | Rows of { cols : string list; rows : Value.t array list }
+  | Affected of int
+
+let err fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
+
+(* --- name environment: columns of the (possibly joined) row --- *)
+
+type env = {
+  (* (qualifier aliases that match, column name) per slot *)
+  slots : (string list * string) array;
+}
+
+let env_of_schema ~names schema =
+  {
+    slots =
+      Array.map
+        (fun c -> (names, c.Storage.Schema.cname))
+        schema.Storage.Schema.columns;
+  }
+
+let env_concat a b = { slots = Array.append a.slots b.slots }
+
+let resolve env (qualifier, name) =
+  let matches i =
+    let quals, cname = env.slots.(i) in
+    cname = name
+    && match qualifier with Some q -> List.mem q quals | None -> true
+  in
+  let rec go i found =
+    if i = Array.length env.slots then found
+    else if matches i then
+      match found with
+      | Some _ -> err "ambiguous column %s" name
+      | None -> go (i + 1) (Some i)
+    else go (i + 1) found
+  in
+  match go 0 None with
+  | Some i -> i
+  | None ->
+    err "unknown column %s%s"
+      (match qualifier with Some q -> q ^ "." | None -> "")
+      name
+
+(* SQL LIKE: % matches any run, _ matches one character. *)
+let like_match pat str =
+  let np = String.length pat and ns = String.length str in
+  (* memoized recursion over (pi, si) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi = np then si = ns
+        else
+          match pat.[pi] with
+          | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+          | '_' -> si < ns && go (pi + 1) (si + 1)
+          | c -> si < ns && str.[si] = c && go (pi + 1) (si + 1)
+      in
+      Hashtbl.replace memo (pi, si) r;
+      r
+  in
+  go 0 0
+
+(* --- expression evaluation (same null semantics as Query.Expr) --- *)
+
+let rec eval env params row = function
+  | Ast.Col (q, c) -> row.(resolve env (q, c))
+  | Ast.Lit v -> v
+  | Ast.Param i -> (
+    match List.nth_opt params i with
+    | Some v -> v
+    | None -> err "missing parameter ?%d" i)
+  | Ast.Cmp (op, a, b) ->
+    let va = eval env params row a and vb = eval env params row b in
+    if Value.is_null va || Value.is_null vb then Value.Bool false
+    else
+      let c =
+        match va, vb with
+        | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+          Float.compare (Value.to_number va) (Value.to_number vb)
+        | _ -> Value.compare va vb
+      in
+      Value.Bool
+        (match op with
+        | Query.Expr.Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0)
+  | Ast.And (a, b) ->
+    Value.Bool
+      (Value.to_bool (eval env params row a)
+      && Value.to_bool (eval env params row b))
+  | Ast.Or (a, b) ->
+    Value.Bool
+      (Value.to_bool (eval env params row a)
+      || Value.to_bool (eval env params row b))
+  | Ast.Not a -> Value.Bool (not (Value.to_bool (eval env params row a)))
+  | Ast.Arith (op, a, b) -> (
+    let va = eval env params row a and vb = eval env params row b in
+    match va, vb with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | Value.Int x, Value.Int y -> (
+      match op with
+      | Query.Expr.Add -> Value.Int (x + y)
+      | Sub -> Value.Int (x - y)
+      | Mul -> Value.Int (x * y)
+      | Div -> Value.Float (float_of_int x /. float_of_int y))
+    | _ ->
+      let x = Value.to_number va and y = Value.to_number vb in
+      Value.Float
+        (match op with
+        | Query.Expr.Add -> x +. y
+        | Sub -> x -. y
+        | Mul -> x *. y
+        | Div -> x /. y))
+  | Ast.Neg a -> (
+    match eval env params row a with
+    | Value.Null -> Value.Null
+    | Value.Int i -> Value.Int (-i)
+    | Value.Float f -> Value.Float (-.f)
+    | v -> err "cannot negate %s" (Value.to_string v))
+  | Ast.Is_null a -> Value.Bool (Value.is_null (eval env params row a))
+  | Ast.In (a, vs) ->
+    let va = eval env params row a in
+    if Value.is_null va then Value.Bool false
+    else
+      Value.Bool
+        (List.exists
+           (fun e ->
+             let v = eval env params row e in
+             (not (Value.is_null v)) && Value.compare va v = 0)
+           vs)
+  | Ast.Between (a, lo, hi) ->
+    let va = eval env params row a in
+    let vlo = eval env params row lo and vhi = eval env params row hi in
+    if Value.is_null va || Value.is_null vlo || Value.is_null vhi then
+      Value.Bool false
+    else
+      let num v = match v with Value.Int _ | Value.Float _ -> true | _ -> false in
+      let cmp x y =
+        if num x && num y then Float.compare (Value.to_number x) (Value.to_number y)
+        else Value.compare x y
+      in
+      Value.Bool (cmp vlo va <= 0 && cmp va vhi <= 0)
+  | Ast.Like (a, pat) -> (
+    match eval env params row a with
+    | Value.Str s -> Value.Bool (like_match pat s)
+    | Value.Null -> Value.Bool false
+    | v -> err "LIKE on non-string %s" (Value.to_string v))
+
+let truthy env params row e =
+  match eval env params row e with Value.Bool b -> b | _ -> false
+
+(* --- base-table access --- *)
+
+let base_rows ctx table = Query.Exec.scan ctx table ()
+
+(* --- aggregates --- *)
+
+let agg_name fn arg alias =
+  match alias with
+  | Some a -> a
+  | None -> (
+    let f =
+      match fn with
+      | Ast.Sum -> "sum"
+      | Count -> "count"
+      | Min -> "min"
+      | Max -> "max"
+      | Avg -> "avg"
+    in
+    match arg with
+    | Some (Ast.Col (_, c)) -> f ^ "(" ^ c ^ ")"
+    | _ -> f)
+
+let compute_agg env params rows fn arg =
+  let values =
+    match arg with
+    | None -> List.map (fun _ -> Value.Int 1) rows
+    | Some e ->
+      List.filter_map
+        (fun row ->
+          match eval env params row e with
+          | Value.Null -> None
+          | v -> Some v)
+        rows
+  in
+  match fn with
+  | Ast.Count -> Value.Int (List.length values)
+  | Ast.Sum ->
+    if values = [] then Value.Null
+    else if List.for_all (function Value.Int _ -> true | _ -> false) values
+    then Value.Int (List.fold_left (fun a v -> a + Value.to_int v) 0 values)
+    else
+      Value.Float (List.fold_left (fun a v -> a +. Value.to_number v) 0. values)
+  | Ast.Min ->
+    List.fold_left
+      (fun acc v ->
+        match acc with
+        | Value.Null -> v
+        | _ -> if Value.compare v acc < 0 then v else acc)
+      Value.Null values
+  | Ast.Max ->
+    List.fold_left
+      (fun acc v ->
+        match acc with
+        | Value.Null -> v
+        | _ -> if Value.compare v acc > 0 then v else acc)
+      Value.Null values
+  | Ast.Avg ->
+    if values = [] then Value.Null
+    else
+      Value.Float
+        (List.fold_left (fun a v -> a +. Value.to_number v) 0. values
+        /. float_of_int (List.length values))
+
+(* --- SELECT --- *)
+
+let has_agg items =
+  List.exists (function Ast.Agg _ -> true | _ -> false) items
+
+let item_name env = function
+  | Ast.Star -> err "cannot name *"
+  | Ast.Expr_item (Ast.Col (q, c), None) ->
+    ignore (resolve env (q, c));
+    c
+  | Ast.Expr_item (_, Some a) -> a
+  | Ast.Expr_item (e, None) -> Fmt.str "%a" Ast.pp_expr e
+  | Ast.Agg (fn, arg, alias) -> agg_name fn arg alias
+
+let select ctx params (s : Ast.select) =
+  let table_names tbl alias =
+    match alias with Some a -> [ tbl; a ] | None -> [ tbl ]
+  in
+  let left_schema = Query.Exec.schema ctx s.Ast.sel_table in
+  let left_env =
+    env_of_schema ~names:(table_names s.Ast.sel_table s.Ast.sel_alias) left_schema
+  in
+  (* Build the working row set and its environment. *)
+  let env, rows =
+    match s.Ast.sel_join with
+    | None -> (left_env, base_rows ctx s.Ast.sel_table)
+    | Some j ->
+      let right_schema = Query.Exec.schema ctx j.Ast.j_table in
+      let right_env =
+        env_of_schema ~names:(table_names j.Ast.j_table j.Ast.j_alias) right_schema
+      in
+      let env = env_concat left_env right_env in
+      let li = resolve env j.Ast.j_left and ri = resolve env j.Ast.j_right in
+      (* Hash join on the equality condition. *)
+      let lrows = base_rows ctx s.Ast.sel_table in
+      let rrows = base_rows ctx j.Ast.j_table in
+      let lwidth = Array.length left_env.slots in
+      let by_key = Hashtbl.create 64 in
+      if ri >= lwidth then begin
+        (* join key: left side indexes into left rows *)
+        List.iter
+          (fun rrow ->
+            let key = rrow.(ri - lwidth) in
+            Hashtbl.add by_key key rrow)
+          rrows;
+        ( env,
+          List.concat_map
+            (fun lrow ->
+              List.map
+                (fun rrow -> Array.append lrow rrow)
+                (Hashtbl.find_all by_key lrow.(li)))
+            lrows )
+      end
+      else begin
+        List.iter
+          (fun rrow ->
+            let key = rrow.(li - lwidth) in
+            Hashtbl.add by_key key rrow)
+          rrows;
+        ( env,
+          List.concat_map
+            (fun lrow ->
+              List.map
+                (fun rrow -> Array.append lrow rrow)
+                (Hashtbl.find_all by_key lrow.(ri)))
+            lrows )
+      end
+  in
+  let rows =
+    match s.Ast.sel_where with
+    | None -> rows
+    | Some e -> List.filter (fun row -> truthy env params row e) rows
+  in
+  (* Projection. *)
+  let cols, rows =
+    if s.Ast.sel_group <> [] then begin
+      let key_idxs = List.map (resolve env) s.Ast.sel_group in
+      let groups = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let key = List.map (fun i -> row.(i)) key_idxs in
+          if not (Hashtbl.mem groups key) then order := key :: !order;
+          Hashtbl.replace groups key
+            (row :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+        rows;
+      let cols = List.map (item_name env) s.Ast.sel_items in
+      let project key grouped =
+        Array.of_list
+          (List.map
+             (fun item ->
+               match item with
+               | Ast.Star -> err "* not allowed with GROUP BY"
+               | Ast.Expr_item (Ast.Col (q, c), _) ->
+                 (* must be a grouping column *)
+                 let i = resolve env (q, c) in
+                 (match
+                    List.find_index (fun ki -> ki = i) key_idxs
+                  with
+                 | Some pos -> List.nth key pos
+                 | None -> err "column %s not in GROUP BY" c)
+               | Ast.Expr_item _ -> err "only columns and aggregates with GROUP BY"
+               | Ast.Agg (fn, arg, _) ->
+                 compute_agg env params (List.rev grouped) fn arg)
+             s.Ast.sel_items)
+      in
+      ( cols,
+        List.rev_map
+          (fun key -> project key (Hashtbl.find groups key))
+          !order )
+    end
+    else if has_agg s.Ast.sel_items then begin
+      (* one output row over the full set *)
+      let cols = List.map (item_name env) s.Ast.sel_items in
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | Ast.Agg (fn, arg, _) -> compute_agg env params rows fn arg
+               | Ast.Star -> err "* cannot mix with aggregates"
+               | Ast.Expr_item _ ->
+                 err "non-aggregate column without GROUP BY")
+             s.Ast.sel_items)
+      in
+      (cols, [ row ])
+    end
+    else begin
+      let star_cols =
+        Array.to_list (Array.map (fun (_, c) -> c) env.slots)
+      in
+      let cols =
+        List.concat_map
+          (function
+            | Ast.Star -> star_cols
+            | item -> [ item_name env item ])
+          s.Ast.sel_items
+      in
+      let project row =
+        Array.of_list
+          (List.concat_map
+             (function
+               | Ast.Star -> Array.to_list row
+               | Ast.Expr_item (e, _) -> [ eval env params row e ]
+               | Ast.Agg _ -> assert false)
+             s.Ast.sel_items)
+      in
+      (cols, List.map project rows)
+    end
+  in
+  (* ORDER BY names an output column (or, failing that, an input column of a
+     non-aggregate query — resolved before projection is not supported for
+     simplicity). *)
+  let rows =
+    match s.Ast.sel_order with
+    | None -> rows
+    | Some o -> (
+      match List.find_index (fun c -> c = o.Ast.ord_col) cols with
+      | None -> err "ORDER BY column %s not in select list" o.Ast.ord_col
+      | Some i ->
+        let cmp a b =
+          let c = Value.compare a.(i) b.(i) in
+          if o.Ast.ord_desc then -c else c
+        in
+        List.stable_sort cmp rows)
+  in
+  let rows =
+    match s.Ast.sel_limit with
+    | None -> rows
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+  in
+  Rows { cols; rows }
+
+(* --- DML --- *)
+
+(* DML runs by row-level evaluation: scan the visible rows, filter with the
+   full expression evaluator (so every predicate form works), and apply
+   per-key writes through the transactional combinators. *)
+let matching_keys ctx params ~table ~where =
+  let schema = Query.Exec.schema ctx table in
+  let env = env_of_schema ~names:[ table ] schema in
+  let rows = base_rows ctx table in
+  let rows =
+    match where with
+    | None -> rows
+    | Some e -> List.filter (fun row -> truthy env params row e) rows
+  in
+  (env, List.map (fun row -> Storage.Schema.key_of_tuple schema row) rows)
+
+let insert ctx params ~table ~cols ~values =
+  let schema = Query.Exec.schema ctx table in
+  let arity = Storage.Schema.arity schema in
+  let env = env_of_schema ~names:[ table ] schema in
+  let vals = List.map (fun e -> eval env params [||] e) values in
+  let tuple =
+    match cols with
+    | None ->
+      if List.length vals <> arity then
+        err "INSERT arity: %d values for %d columns" (List.length vals) arity;
+      Array.of_list vals
+    | Some cols ->
+      if List.length cols <> List.length vals then
+        err "INSERT: %d columns but %d values" (List.length cols)
+          (List.length vals);
+      let tuple = Array.make arity Value.Null in
+      List.iter2
+        (fun c v ->
+          let i =
+            try Storage.Schema.column_index schema c
+            with Not_found -> err "unknown column %s" c
+          in
+          tuple.(i) <- v)
+        cols vals;
+      tuple
+  in
+  Query.Exec.insert ctx table tuple;
+  Affected 1
+
+let update ctx params ~table ~sets ~where =
+  let schema = Query.Exec.schema ctx table in
+  let set_idx =
+    List.map
+      (fun (c, e) ->
+        let i =
+          try Storage.Schema.column_index schema c
+          with Not_found -> err "unknown column %s" c
+        in
+        (i, e))
+      sets
+  in
+  let env, keys = matching_keys ctx params ~table ~where in
+  let n = ref 0 in
+  List.iter
+    (fun key ->
+      if
+        Query.Exec.update_key ctx table key ~set:(fun row ->
+            let out = Array.copy row in
+            List.iter (fun (i, e) -> out.(i) <- eval env params row e) set_idx;
+            out)
+      then incr n)
+    keys;
+  Affected !n
+
+let delete ctx params ~table ~where =
+  let _, keys = matching_keys ctx params ~table ~where in
+  let n = ref 0 in
+  List.iter (fun key -> if Query.Exec.delete_key ctx table key then incr n) keys;
+  Affected !n
+
+let exec_stmt ctx ?(params = []) stmt =
+  match stmt with
+  | Ast.Select s -> select ctx params s
+  | Ast.Insert { ins_table; ins_cols; ins_values } ->
+    insert ctx params ~table:ins_table ~cols:ins_cols ~values:ins_values
+  | Ast.Update { upd_table; upd_sets; upd_where } ->
+    update ctx params ~table:upd_table ~sets:upd_sets ~where:upd_where
+  | Ast.Delete { del_table; del_where } ->
+    delete ctx params ~table:del_table ~where:del_where
+
+let exec ctx ?params src = exec_stmt ctx ?params (Parser.parse src)
+
+let query ctx ?params src =
+  match exec ctx ?params src with
+  | Rows { rows; _ } -> rows
+  | Affected _ -> err "expected a SELECT"
+
+let query1 ctx ?params src =
+  match query ctx ?params src with [] -> None | r :: _ -> Some r
+
+let scalar ctx ?params src =
+  match query ctx ?params src with
+  | [ [| v |] ] -> v
+  | [] -> err "scalar: no rows"
+  | _ -> err "scalar: more than one row/column"
+
+let execute ctx ?params src =
+  match exec ctx ?params src with
+  | Affected n -> n
+  | Rows _ -> err "expected a DML statement"
+
+let pp_result ppf = function
+  | Affected n -> Fmt.pf ppf "%d row(s) affected@." n
+  | Rows { cols; rows } ->
+    let t = Util.Tablefmt.create cols in
+    List.iter
+      (fun row ->
+        Util.Tablefmt.row t
+          (List.map Value.to_string (Array.to_list row)))
+      rows;
+    Fmt.pf ppf "%s(%d row(s))@." (Util.Tablefmt.to_string t) (List.length rows)

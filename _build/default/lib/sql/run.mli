@@ -1,0 +1,45 @@
+(** SQL execution over a reactor's transactional context.
+
+    Statements run with the same visibility and concurrency-control
+    semantics as the {!Query.Exec} combinators they compile to: reads are
+    validated, scans are phantom-protected, writes are buffered in the
+    enclosing (sub-)transaction. Parameters ([?]) are bound positionally.
+
+    Supported: single-table SELECT with WHERE / ORDER BY one column /
+    LIMIT, one INNER JOIN with an equality ON condition, aggregates
+    (SUM/COUNT/MIN/MAX/AVG) with optional GROUP BY, and single-table
+    INSERT / UPDATE / DELETE. *)
+
+exception Sql_error of string
+
+type result =
+  | Rows of { cols : string list; rows : Util.Value.t array list }
+  | Affected of int
+
+(** Execute a parsed statement. *)
+val exec_stmt :
+  Query.Exec.ctx -> ?params:Util.Value.t list -> Ast.stmt -> result
+
+(** Parse and execute. Raises {!Parser.Parse_error} or {!Sql_error}. *)
+val exec : Query.Exec.ctx -> ?params:Util.Value.t list -> string -> result
+
+(** {1 Convenience wrappers} *)
+
+(** Rows of a SELECT; raises [Sql_error] on DML. *)
+val query :
+  Query.Exec.ctx -> ?params:Util.Value.t list -> string -> Util.Value.t array list
+
+(** First row, if any. *)
+val query1 :
+  Query.Exec.ctx -> ?params:Util.Value.t list -> string ->
+  Util.Value.t array option
+
+(** Single scalar of a single-row, single-column SELECT; raises [Sql_error]
+    otherwise (including zero rows). *)
+val scalar : Query.Exec.ctx -> ?params:Util.Value.t list -> string -> Util.Value.t
+
+(** Affected-row count of a DML statement; raises [Sql_error] on SELECT. *)
+val execute : Query.Exec.ctx -> ?params:Util.Value.t list -> string -> int
+
+(** Render a result as an ASCII table (REPL, tests). *)
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/storage/record.ml: List Stdlib Util

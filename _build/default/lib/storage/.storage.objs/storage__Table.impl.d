@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Btree Int List Printf Record Schema Stdlib String Util

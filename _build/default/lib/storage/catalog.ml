@@ -1,0 +1,23 @@
+type t = (string, Table.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let create_table ?secondaries t schema =
+  let name = schema.Schema.sname in
+  if Hashtbl.mem t name then
+    invalid_arg (Printf.sprintf "Catalog.create_table: %S already exists" name);
+  let table = Table.create ?secondaries schema in
+  Hashtbl.add t name table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t name with
+  | Some tbl -> tbl
+  | None -> raise Not_found
+
+let mem = Hashtbl.mem
+
+let tables t = Hashtbl.fold (fun name tbl acc -> (name, tbl) :: acc) t []
+
+let total_records t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Table.size tbl) t 0

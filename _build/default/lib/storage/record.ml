@@ -1,0 +1,41 @@
+type t = {
+  rid : int;
+  mutable data : Util.Value.t array;
+  mutable tid : int;
+  mutable lock : int;
+  mutable absent : bool;
+}
+
+let counter = ref 0
+
+let fresh ~absent data =
+  incr counter;
+  { rid = !counter; data; tid = 0; lock = 0; absent }
+
+let seq_bits = 32
+let seq_mask = (1 lsl seq_bits) - 1
+
+let tid_make ~epoch ~seq =
+  if seq > seq_mask then invalid_arg "Record.tid_make: sequence overflow";
+  (epoch lsl seq_bits) lor seq
+
+let tid_epoch tid = tid lsr seq_bits
+let tid_seq tid = tid land seq_mask
+
+let next_tid ~epoch observed =
+  let mx = List.fold_left Stdlib.max 0 observed in
+  let e = Stdlib.max epoch (tid_epoch mx) in
+  if e > tid_epoch mx then tid_make ~epoch:e ~seq:1
+  else tid_make ~epoch:e ~seq:(tid_seq mx + 1)
+
+let is_locked r = r.lock <> 0
+let locked_by r = if r.lock = 0 then None else Some r.lock
+
+let try_lock r ~txn =
+  if r.lock = 0 then begin
+    r.lock <- txn;
+    true
+  end
+  else r.lock = txn
+
+let unlock r ~txn = if r.lock = txn then r.lock <- 0

@@ -1,0 +1,45 @@
+(** Physical records with Silo-style TID words.
+
+    A record is the unit of concurrency control: it carries the version
+    ([tid]) observed by optimistic readers, a no-wait lock owner field used
+    during commit, and an [absent] flag used both for not-yet-committed
+    inserts (visible only to the inserting transaction) and for logical
+    deletes (readers observing a bumped TID on an absent record fail
+    validation).
+
+    Lock order across records is defined by the globally unique [rid],
+    preventing deadlock among committers that lock their write sets in
+    sorted order. *)
+
+type t = {
+  rid : int;
+  mutable data : Util.Value.t array;
+  mutable tid : int;
+  mutable lock : int; (* 0 when free, otherwise the owning transaction id *)
+  mutable absent : bool;
+}
+
+(** [fresh ~absent data] allocates a record with a new [rid] and TID 0. *)
+val fresh : absent:bool -> Util.Value.t array -> t
+
+(** TID packing: high bits epoch, low 32 bits sequence number. *)
+
+val tid_make : epoch:int -> seq:int -> int
+
+val tid_epoch : int -> int
+val tid_seq : int -> int
+
+(** [next_tid ~epoch observed] is a TID strictly greater than every TID in
+    [observed] and belonging to at least [epoch] (Silo's TID assignment
+    rule). *)
+val next_tid : epoch:int -> int list -> int
+
+val is_locked : t -> bool
+val locked_by : t -> int option
+
+(** [try_lock r ~txn] acquires the no-wait lock; [true] on success or if
+    already held by [txn]. *)
+val try_lock : t -> txn:int -> bool
+
+(** [unlock r ~txn] releases the lock if held by [txn]; no-op otherwise. *)
+val unlock : t -> txn:int -> unit

@@ -1,0 +1,66 @@
+type column = { cname : string; ctype : Util.Value.ty }
+
+type t = { sname : string; columns : column array; key : int array }
+
+let make ~name ~columns ~key =
+  let cols =
+    Array.of_list (List.map (fun (cname, ctype) -> { cname; ctype }) columns)
+  in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c.cname then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c.cname);
+      Hashtbl.add seen c.cname ())
+    cols;
+  if key = [] then invalid_arg "Schema.make: empty primary key";
+  let index_of n =
+    let rec go i =
+      if i = Array.length cols then
+        invalid_arg (Printf.sprintf "Schema.make: unknown key column %S" n)
+      else if cols.(i).cname = n then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  { sname = name; columns = cols; key = Array.of_list (List.map index_of key) }
+
+let column_index t name =
+  let rec go i =
+    if i = Array.length t.columns then raise Not_found
+    else if t.columns.(i).cname = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let arity t = Array.length t.columns
+
+let validate t tuple =
+  if Array.length tuple <> arity t then
+    invalid_arg
+      (Printf.sprintf "Schema.validate(%s): arity %d, expected %d" t.sname
+         (Array.length tuple) (arity t));
+  Array.iteri
+    (fun i c ->
+      if not (Util.Value.conforms tuple.(i) c.ctype) then
+        invalid_arg
+          (Printf.sprintf "Schema.validate(%s): column %s expects %s, got %s"
+             t.sname c.cname
+             (Util.Value.ty_to_string c.ctype)
+             (Util.Value.to_string tuple.(i))))
+    t.columns;
+  Array.iter
+    (fun ki ->
+      if Util.Value.is_null tuple.(ki) then
+        invalid_arg
+          (Printf.sprintf "Schema.validate(%s): key column %s is NULL" t.sname
+             t.columns.(ki).cname))
+    t.key
+
+let key_of_tuple t tuple = Array.map (fun ki -> tuple.(ki)) t.key
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" t.sname
+    (Fmt.array ~sep:(Fmt.any ", ") (fun ppf c ->
+         Fmt.pf ppf "%s:%s" c.cname (Util.Value.ty_to_string c.ctype)))
+    t.columns

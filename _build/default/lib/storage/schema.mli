@@ -1,0 +1,34 @@
+(** Relation schemas.
+
+    A schema names its columns, fixes their types, and designates a primary
+    key (an ordered subset of columns). Every reactor type declares the
+    schemas its instances encapsulate (§2.2.1); tables are instantiated from
+    schemas per reactor. *)
+
+type column = { cname : string; ctype : Util.Value.ty }
+
+type t = private {
+  sname : string;
+  columns : column array;
+  key : int array; (* indexes into [columns] forming the primary key *)
+}
+
+(** [make ~name ~columns ~key] builds a schema. [key] lists primary-key
+    column names in order. Raises [Invalid_argument] on duplicate or unknown
+    column names, or an empty key. *)
+val make : name:string -> columns:(string * Util.Value.ty) list -> key:string list -> t
+
+(** Index of a column by name. Raises [Not_found]. *)
+val column_index : t -> string -> int
+
+val arity : t -> int
+
+(** [validate s tuple] checks arity and column types ([Null] allowed
+    anywhere except key columns). Raises [Invalid_argument] with a message
+    naming the offending column. *)
+val validate : t -> Util.Value.t array -> unit
+
+(** Extract the primary-key values of a tuple, in key order. *)
+val key_of_tuple : t -> Util.Value.t array -> Util.Value.t array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+module Key = struct
+  type t = Util.Value.t array
+
+  let compare a b =
+    let la = Array.length a and lb = Array.length b in
+    let n = Stdlib.min la lb in
+    let rec go i =
+      if i = n then Int.compare la lb
+      else
+        let c = Util.Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+end
+
+module Idx = Btree.Make (Key)
+
+(* A secondary index maps (indexed columns @ primary key) -> record; the
+   primary-key suffix makes entries unique and gives deterministic order
+   among equal secondary keys. *)
+type secondary = {
+  sec_name : string;
+  sec_cols : int array;
+  sec_idx : Record.t Idx.t;
+}
+
+type t = {
+  uid : int;
+  schema : Schema.t;
+  idx : Record.t Idx.t;
+  secondaries : secondary list;
+}
+
+type witness = Idx.witness
+
+let uid_counter = ref 0
+
+let create ?(secondaries = []) schema =
+  incr uid_counter;
+  let mk (sec_name, cols) =
+    let sec_cols =
+      Array.of_list
+        (List.map
+           (fun c ->
+             try Schema.column_index schema c
+             with Not_found ->
+               invalid_arg
+                 (Printf.sprintf "Table.create: index %S on unknown column %S"
+                    sec_name c))
+           cols)
+    in
+    { sec_name; sec_cols; sec_idx = Idx.create () }
+  in
+  let secondaries = List.map mk secondaries in
+  let names = List.map (fun s -> s.sec_name) secondaries in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Table.create: duplicate index name";
+  { uid = !uid_counter; schema; idx = Idx.create (); secondaries }
+
+let secondary t name =
+  match List.find_opt (fun s -> s.sec_name = name) t.secondaries with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Table: no index %S on %s" name t.schema.Schema.sname)
+
+(* Secondary key of a tuple under index [s]: indexed columns then the
+   primary key. *)
+let sec_key_of t s data =
+  Array.append
+    (Array.map (fun i -> data.(i)) s.sec_cols)
+    (Schema.key_of_tuple t.schema data)
+
+let sec_insert t record =
+  List.iter
+    (fun s ->
+      ignore (Idx.insert s.sec_idx (sec_key_of t s record.Record.data) record))
+    t.secondaries
+
+let sec_remove t data =
+  List.iter
+    (fun s -> ignore (Idx.delete s.sec_idx (sec_key_of t s data)))
+    t.secondaries
+let size t = Idx.size t.idx
+let find ?on_node t key = Idx.find ?on_node t.idx key
+
+let insert t record =
+  Schema.validate t.schema record.Record.data;
+  let prev = Idx.insert t.idx (Schema.key_of_tuple t.schema record.Record.data) record in
+  (match prev with Some old -> sec_remove t old.Record.data | None -> ());
+  sec_insert t record;
+  prev
+
+let remove t key =
+  match Idx.delete t.idx key with
+  | Some record as r ->
+    sec_remove t record.Record.data;
+    r
+  | None -> None
+
+(* In-place data update with secondary-index maintenance; the primary key
+   must be unchanged (the query layer enforces this). Called by the commit
+   protocol's install phase. *)
+let update_data t record data =
+  List.iter
+    (fun s ->
+      let old_key = sec_key_of t s record.Record.data in
+      let new_key = sec_key_of t s data in
+      if Key.compare old_key new_key <> 0 then begin
+        ignore (Idx.delete s.sec_idx old_key);
+        ignore (Idx.insert s.sec_idx new_key record)
+      end)
+    t.secondaries;
+  record.Record.data <- data
+
+let scan_secondary ?on_node ?lo ?hi ?(rev = false) t ~index ~f =
+  let s = secondary t index in
+  if rev then Idx.range_rev ?on_node ?lo ?hi s.sec_idx ~f:(fun _ r -> f r)
+  else Idx.range ?on_node ?lo ?hi s.sec_idx ~f:(fun _ r -> f r)
+
+(* [Str "\255..."] sentinel would be fragile; instead rely on the
+   prefix-order property of Key.compare: extensions of [prefix] sort
+   immediately after [prefix] and before [prefix'] where [prefix'] bumps the
+   last component. We append a maximal sentinel component instead, which is
+   simpler: no real column value compares above it because schemas never
+   store it. *)
+let sentinel_hi = Util.Value.Str "\xff\xff\xff\xff\xff\xff\xff\xff"
+
+let key_prefix_bounds prefix =
+  (prefix, Array.append prefix [| sentinel_hi |])
+
+let range ?on_node ?lo ?hi t ~f = Idx.range ?on_node ?lo ?hi t.idx ~f:(fun _ r -> f r)
+
+let range_rev ?on_node ?lo ?hi t ~f =
+  Idx.range_rev ?on_node ?lo ?hi t.idx ~f:(fun _ r -> f r)
+
+let key_of_tuple t tuple = Schema.key_of_tuple t.schema tuple

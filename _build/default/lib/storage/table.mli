@@ -1,0 +1,101 @@
+(** Tables: a schema plus a primary-key B+tree over {!Record.t}.
+
+    Table operations are {e physical}: they manipulate the index and records
+    directly and perform no concurrency control. Transactional reads and
+    writes go through [Occ.Txn], which layers read/write-set tracking and
+    validation over these primitives. Phantom witnesses from the underlying
+    B+tree are surfaced so that scans can be validated. *)
+
+module Key : sig
+  type t = Util.Value.t array
+
+  (** Lexicographic order; shorter keys that are a prefix of longer ones
+      compare smaller, so partial-key prefixes can bound range scans. *)
+  val compare : t -> t -> int
+end
+
+module Idx : module type of Btree.Make (Key)
+
+(** A secondary index: selected columns, suffixed with the primary key for
+    uniqueness, mapping to the same records as the primary index. Maintained
+    by {!insert}, {!remove} and {!update_data}; scans over it take leaf
+    witnesses for phantom validation exactly like primary scans. *)
+type secondary = private {
+  sec_name : string;
+  sec_cols : int array;
+  sec_idx : Record.t Idx.t;
+}
+
+type t = {
+  uid : int;  (** globally unique; identifies the table in write sets *)
+  schema : Schema.t;
+  idx : Record.t Idx.t;
+  secondaries : secondary list;
+}
+
+type witness = Idx.witness
+
+(** [create ?secondaries schema] — [secondaries] are (index name, column
+    names) pairs. Raises [Invalid_argument] on unknown columns or duplicate
+    index names. *)
+val create : ?secondaries:(string * string list) list -> Schema.t -> t
+
+(** Raises [Invalid_argument] for unknown index names. *)
+val secondary : t -> string -> secondary
+
+(** Secondary key (indexed columns @ primary key) of a tuple. *)
+val sec_key_of : t -> secondary -> Util.Value.t array -> Key.t
+
+(** [update_data t record data] replaces the record's tuple in place,
+    relocating its secondary-index entries as needed. The primary key must
+    be unchanged. *)
+val update_data : t -> Record.t -> Util.Value.t array -> unit
+
+(** Ordered scan over a secondary index (bounds are secondary keys; use
+    {!key_prefix_bounds} on an indexed-column prefix). *)
+val scan_secondary :
+  ?on_node:(witness -> unit) ->
+  ?lo:Key.t ->
+  ?hi:Key.t ->
+  ?rev:bool ->
+  t ->
+  index:string ->
+  f:(Record.t -> bool) ->
+  unit
+val size : t -> int
+
+(** [find t key] locates the record currently indexed under [key] (present
+    or absent-marked). *)
+val find : ?on_node:(witness -> unit) -> t -> Key.t -> Record.t option
+
+(** [insert t record] indexes [record] under its tuple's primary key.
+    Returns the record previously indexed under that key, if any (the caller
+    decides whether that is a uniqueness violation). *)
+val insert : t -> Record.t -> Record.t option
+
+(** Remove the index entry for [key]; returns the unlinked record. *)
+val remove : t -> Key.t -> Record.t option
+
+(** [key_prefix_bounds prefix] gives [(lo, hi)] bounds covering exactly the
+    keys extending [prefix]; pass them to {!range}. [hi] is a sentinel upper
+    bound that compares greater than any extension of [prefix]. *)
+val key_prefix_bounds : Key.t -> Key.t * Key.t
+
+val range :
+  ?on_node:(witness -> unit) ->
+  ?lo:Key.t ->
+  ?hi:Key.t ->
+  t ->
+  f:(Record.t -> bool) ->
+  unit
+
+val range_rev :
+  ?on_node:(witness -> unit) ->
+  ?lo:Key.t ->
+  ?hi:Key.t ->
+  t ->
+  f:(Record.t -> bool) ->
+  unit
+
+(** Key of a tuple under this table's schema. *)
+val key_of_tuple : t -> Util.Value.t array -> Key.t

@@ -1,0 +1,1 @@
+lib/util/tablefmt.ml: Array Fmt List Printf String

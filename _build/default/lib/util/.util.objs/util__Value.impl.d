@@ -1,0 +1,1 @@
+lib/util/value.ml: Bool Float Fmt Hashtbl Int String

@@ -1,0 +1,124 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next64 t }
+
+(* 63 bits, non-negative. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 1)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
+
+let int_incl t lo hi =
+  if hi < lo then invalid_arg "Rng.int_incl: empty range";
+  lo + int t (hi - lo + 1)
+
+(* Draw 53 mantissa bits so u in [0,1) is exact; clamp guards against the
+   multiplication rounding up to [bound]. *)
+let float t bound =
+  let u = float_of_int (bits t land ((1 lsl 53) - 1)) *. 0x1p-53 in
+  let v = bound *. u in
+  if v < bound then v else Float.pred bound
+
+let bool t = bits t land 1 = 1
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_except t n excl =
+  if n < 2 then invalid_arg "Rng.pick_except: need n >= 2";
+  let v = int t (n - 1) in
+  if v >= excl then v + 1 else v
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let alphastring t len =
+  String.init len (fun _ -> Char.chr (Char.code 'A' + int t 26))
+
+let nurand t ~a ~c ~x ~y =
+  (((int_incl t 0 a lor int_incl t x y) + c) mod (y - x + 1)) + x
+
+module Zipf = struct
+  type gen = {
+    n : int;
+    theta : float;
+    alpha : float;
+    zetan : float;
+    eta : float;
+    half_pow : float; (* (1 + 0.5^theta) threshold term *)
+  }
+
+  let zeta n theta =
+    let acc = ref 0. in
+    for i = 1 to n do
+      acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+    done;
+    !acc
+
+  let create ~n ~theta =
+    if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+    if theta < 0. then invalid_arg "Zipf.create: theta must be >= 0";
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      if n = 1 then 0.
+      else
+        (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+        /. (1. -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta; half_pow = 1. +. Float.pow 0.5 theta }
+
+  let next t g =
+    if g.n = 1 then 0
+    else if Float.abs (g.theta -. 1.) < 1e-9 then begin
+      (* theta = 1: the closed form degenerates; use inverse CDF by search on
+         the harmonic numbers via exponential approximation. *)
+      let u = float t 1. in
+      let target = u *. g.zetan in
+      let acc = ref 0. and k = ref 0 in
+      while !acc < target && !k < g.n do
+        incr k;
+        acc := !acc +. (1. /. float_of_int !k)
+      done;
+      max 0 (!k - 1)
+    end
+    else
+      let u = float t 1. in
+      let uz = u *. g.zetan in
+      if uz < 1. then 0
+      else if uz < g.half_pow then 1
+      else
+        let v =
+          float_of_int g.n
+          *. Float.pow ((g.eta *. u) -. g.eta +. 1.) g.alpha
+        in
+        let v = int_of_float v in
+        if v >= g.n then g.n - 1 else if v < 0 then 0 else v
+end

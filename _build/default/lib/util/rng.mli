@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random number generation for workload drivers.
+
+    All experiment inputs are generated from explicitly seeded generators so
+    that every benchmark run and test is reproducible. The core generator is
+    splitmix64, which has good statistical quality for workload generation
+    and is trivially splittable. *)
+
+type t
+
+(** [create seed] makes an independent generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [split t] derives a new generator whose stream is independent of
+    subsequent draws from [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit value (as an OCaml [int], so 63 bits, non-negative). *)
+val bits : t -> int
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_incl t lo hi] draws uniformly from [lo, hi] inclusive. *)
+val int_incl : t -> int -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [pick t arr] draws a uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [pick_except t n excl] draws uniformly from [0, n) excluding value
+    [excl]. Requires [n >= 2]. *)
+val pick_except : t -> int -> int -> int
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [alphastring t len] draws a random string of uppercase letters. *)
+val alphastring : t -> int -> string
+
+(** TPC-C NURand(A, x, y) non-uniform distribution (clause 2.1.6). [c] is the
+    runtime constant. *)
+val nurand : t -> a:int -> c:int -> x:int -> y:int -> int
+
+(** Zipfian generator over [0, n) with exponent [theta], using the
+    Gray et al. / YCSB closed-form sampling method. Item 0 is the most
+    popular. Construction is O(n) (computes the generalized harmonic
+    number); sampling is O(1). *)
+module Zipf : sig
+  type gen
+
+  (** [create ~n ~theta]. Requires [n >= 1] and [theta >= 0.]. [theta = 0.]
+      degenerates to the uniform distribution. *)
+  val create : n:int -> theta:float -> gen
+
+  val next : t -> gen -> int
+end

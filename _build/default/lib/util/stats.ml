@@ -1,0 +1,97 @@
+type t = {
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache for percentile queries *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { samples = []; sorted = None; n = 0; sum = 0.; sumsq = 0.;
+    mn = infinity; mx = neg_infinity }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted <- None;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.
+  else
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.) in
+    sqrt (Float.max var 0.)
+
+let min t = t.mn
+let max t = t.mx
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile";
+  let a = sorted t in
+  if Array.length a = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int (Array.length a))) in
+    a.(Stdlib.max 0 (Stdlib.min (Array.length a - 1) (rank - 1)))
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) a.samples;
+  List.iter (add t) b.samples;
+  t
+
+module Histogram = struct
+  type h = { lo : float; hi : float; bins : int array; mutable n : int }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 || hi <= lo then invalid_arg "Histogram.create";
+    { lo; hi; bins = Array.make buckets 0; n = 0 }
+
+  let add h x =
+    let b = Array.length h.bins in
+    let i =
+      int_of_float (float_of_int b *. (x -. h.lo) /. (h.hi -. h.lo))
+    in
+    let i = Stdlib.max 0 (Stdlib.min (b - 1) i) in
+    h.bins.(i) <- h.bins.(i) + 1;
+    h.n <- h.n + 1
+
+  let counts h = Array.copy h.bins
+  let total h = h.n
+
+  let pp ppf h =
+    let width = 40 in
+    let mx = Array.fold_left Stdlib.max 1 h.bins in
+    let b = Array.length h.bins in
+    let step = (h.hi -. h.lo) /. float_of_int b in
+    Array.iteri
+      (fun i c ->
+        let bar = String.make (c * width / mx) '#' in
+        Fmt.pf ppf "[%8.3f,%8.3f) %6d %s@." (h.lo +. (float_of_int i *. step))
+          (h.lo +. (float_of_int (i + 1) *. step))
+          c bar)
+      h.bins
+end

@@ -1,0 +1,43 @@
+(** Sample statistics for the experiment harness.
+
+    The paper's methodology (§4.1.2) reports averages across 50 measurement
+    epochs with standard deviations; these helpers implement that plus the
+    distribution summaries used by latency plots. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+
+(** Sample standard deviation (Bessel-corrected); [0.] for fewer than two
+    samples. *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+
+(** [percentile t p] with [p] in [0, 100]; nearest-rank on the sorted sample.
+    O(n log n) on first call after additions (sorts a snapshot). *)
+val percentile : t -> float -> float
+
+val of_list : float list -> t
+
+(** Merge samples of both into a fresh accumulator. *)
+val merge : t -> t -> t
+
+(** Fixed-width histogram over [lo, hi) with [buckets] bins; out-of-range
+    samples are clamped into the edge bins. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  val counts : h -> int array
+  val total : h -> int
+
+  (** Render as an ASCII bar chart, one bucket per line. *)
+  val pp : Format.formatter -> h -> unit
+end

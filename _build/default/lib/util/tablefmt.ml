@@ -1,0 +1,49 @@
+type t = {
+  title : string option;
+  headers : string list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ?title headers = { title; headers; rows = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.row: arity mismatch";
+  t.rows <- cells :: t.rows
+
+let fcell ?(digits = 3) f = Printf.sprintf "%.*f" digits f
+let icell = string_of_int
+
+let widths t =
+  let n = List.length t.headers in
+  let w = Array.make n 0 in
+  let touch cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  touch t.headers;
+  List.iter touch t.rows;
+  w
+
+let pp ppf t =
+  let w = widths t in
+  let pad i c =
+    let missing = w.(i) - String.length c in
+    if i = 0 then c ^ String.make missing ' ' else String.make missing ' ' ^ c
+  in
+  let render cells =
+    String.concat "  " (List.mapi pad cells)
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  (match t.title with
+  | Some s -> Fmt.pf ppf "== %s ==@." s
+  | None -> ());
+  Fmt.pf ppf "%s@.%s@." (render t.headers) rule;
+  List.iter (fun r -> Fmt.pf ppf "%s@." (render r)) (List.rev t.rows)
+
+let to_string t = Fmt.str "%a" pp t
+
+let print t =
+  print_string (to_string t);
+  print_newline ()

@@ -1,0 +1,26 @@
+(** Plain-text table rendering for benchmark and experiment output.
+
+    Columns are right-aligned except the first, widths are computed from the
+    data, and an optional title/rule make the output scannable in a terminal
+    log (the style used by EXPERIMENTS.md transcripts). *)
+
+type t
+
+(** [create ~title headers] starts a table with the given column headers. *)
+val create : ?title:string -> string list -> t
+
+(** Append one row; must have the same arity as the headers. *)
+val row : t -> string list -> unit
+
+(** Convenience: format a float cell with [digits] decimals. *)
+val fcell : ?digits:int -> float -> string
+
+val icell : int -> string
+
+(** Render the full table. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [print t] writes the table to stdout followed by a blank line. *)
+val print : t -> unit

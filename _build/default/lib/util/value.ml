@@ -1,0 +1,74 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = TBool | TInt | TFloat | TStr
+
+exception Type_error of string
+
+let tag = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let type_of = function
+  | Null -> invalid_arg "Value.type_of: Null"
+  | Bool _ -> TBool
+  | Int _ -> TInt
+  | Float _ -> TFloat
+  | Str _ -> TStr
+
+let ty_to_string = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+
+let conforms v ty = match v with Null -> true | _ -> type_of v = ty
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "%S" s
+
+let to_string v = Fmt.str "%a" pp v
+
+let type_err want v =
+  raise (Type_error (Fmt.str "expected %s, got %s" want (to_string v)))
+
+let to_bool = function Bool b -> b | v -> type_err "bool" v
+let to_int = function Int i -> i | v -> type_err "int" v
+let to_float = function Float f -> f | v -> type_err "float" v
+
+let to_number = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_err "number" v
+
+let to_str = function Str s -> s | v -> type_err "string" v
+let is_null = function Null -> true | _ -> false
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 43
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s

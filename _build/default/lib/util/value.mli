@@ -1,0 +1,52 @@
+(** Dynamically typed column values.
+
+    ReactDB stores relations whose columns hold values of one of a small set
+    of runtime types. [Value.t] is the universal cell type used by the storage
+    layer, the query combinators and stored-procedure arguments/results. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = TBool | TInt | TFloat | TStr
+
+(** Total order over values. Values of distinct types are ordered by type tag
+    ([Null < Bool < Int < Float < Str]); this makes composite keys containing
+    heterogeneous columns well-ordered, which the B+tree requires. [Int] and
+    [Float] do {e not} compare numerically across types by design: schemas fix
+    the type of each column, so cross-type comparisons only ever order
+    distinct key spaces. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Type of a non-null value. Raises [Invalid_argument] on [Null]. *)
+val type_of : t -> ty
+
+val ty_to_string : ty -> string
+
+(** [conforms v ty] holds if [v] is [Null] or has type [ty]. *)
+val conforms : t -> ty -> bool
+
+(** Accessors: raise [Type_error] with a descriptive message on mismatch. *)
+
+exception Type_error of string
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+
+(** [to_number] widens [Int] to [float]; accepts [Int] and [Float]. *)
+val to_number : t -> float
+
+val to_str : t -> string
+val is_null : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Hash compatible with [equal]. *)
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/wal/checkpoint.ml: Array List Printf Storage String Util Wal

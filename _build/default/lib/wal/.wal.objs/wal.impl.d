@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Array Buffer Char Int List Printf Storage String Util Value

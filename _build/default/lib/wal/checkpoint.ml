@@ -1,0 +1,90 @@
+type t = {
+  ck_tid : int;
+  ck_rows : (string * string * Util.Value.t array) list;
+}
+
+let capture ~tid catalogs =
+  let rows = ref [] in
+  List.iter
+    (fun (rname, catalog) ->
+      List.iter
+        (fun (tname, tbl) ->
+          Storage.Table.range tbl ~f:(fun r ->
+              if not r.Storage.Record.absent then
+                rows := (rname, tname, Array.copy r.Storage.Record.data) :: !rows;
+              true))
+        (Storage.Catalog.tables catalog))
+    catalogs;
+  { ck_tid = tid; ck_rows = List.rev !rows }
+
+let restore ck ~catalog_of =
+  (* Clear all tables of every reactor the checkpoint covers, then insert.
+     Clearing first makes restore idempotent and removes loader data. *)
+  let reactors =
+    List.sort_uniq String.compare (List.map (fun (r, _, _) -> r) ck.ck_rows)
+  in
+  List.iter
+    (fun rname ->
+      List.iter
+        (fun (_, tbl) -> Storage.Table.Idx.clear tbl.Storage.Table.idx)
+        (Storage.Catalog.tables (catalog_of rname)))
+    reactors;
+  let n = ref 0 in
+  List.iter
+    (fun (rname, tname, row) ->
+      incr n;
+      let tbl = Storage.Catalog.table (catalog_of rname) tname in
+      let record = Storage.Record.fresh ~absent:false row in
+      record.Storage.Record.tid <- ck.ck_tid;
+      ignore (Storage.Table.insert tbl record))
+    ck.ck_rows;
+  !n
+
+(* File format: first line "tid <n>", then one line per row reusing the
+   Wal entry encoding with a Put write. *)
+
+let write_file path ck =
+  let oc = open_out path in
+  Printf.fprintf oc "tid\t%d\n" ck.ck_tid;
+  List.iter
+    (fun (reactor, table, row) ->
+      output_string oc
+        (Wal.encode_entry
+           { Wal.le_txn = 0; le_tid = ck.ck_tid;
+             le_writes = [ Wal.Put { reactor; table; row } ] });
+      output_char oc '\n')
+    ck.ck_rows;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let header = input_line ic in
+  let ck_tid =
+    match String.split_on_char '\t' header with
+    | [ "tid"; n ] -> int_of_string n
+    | _ ->
+      close_in ic;
+      failwith "Checkpoint.read_file: bad header"
+  in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if line <> "" then
+         match (Wal.decode_entry line).Wal.le_writes with
+         | [ Wal.Put { reactor; table; row } ] ->
+           rows := (reactor, table, row) :: !rows
+         | _ ->
+           close_in ic;
+           failwith "Checkpoint.read_file: bad row line"
+     done
+   with End_of_file -> close_in ic);
+  { ck_tid; ck_rows = List.rev !rows }
+
+let recover ~checkpoint ~log ~catalog_of =
+  let restored = restore checkpoint ~catalog_of in
+  let tail =
+    List.filter (fun e -> e.Wal.le_tid > checkpoint.ck_tid) log
+  in
+  let replayed = Wal.replay tail ~catalog_of in
+  (restored, replayed)

@@ -1,0 +1,38 @@
+(** Checkpoints: bounded-log recovery.
+
+    A checkpoint is a consistent physical dump of every reactor's relations
+    plus the highest committed TID it includes. Recovery then needs only the
+    log suffix: restore the checkpoint into a freshly declared database and
+    replay WAL entries with TIDs above the checkpoint's watermark.
+
+    Checkpoints must be taken from quiescent state (between [Engine.run]s,
+    or before workers start) — the distributed-snapshot machinery the paper
+    cites ([24]) for online checkpoints is out of scope. *)
+
+type t = {
+  ck_tid : int;  (** highest TID whose effects are included *)
+  ck_rows : (string * string * Util.Value.t array) list;
+      (** (reactor, table, row) *)
+}
+
+(** [capture ~tid catalogs] snapshots [(reactor, catalog)] pairs. *)
+val capture : tid:int -> (string * Storage.Catalog.t) list -> t
+
+(** [restore ck ~catalog_of] clears every table mentioned by the checkpoint
+    target database and installs the snapshot rows. Returns the number of
+    rows installed. Tables present in the target but absent from the
+    checkpoint's reactors are cleared too (they were empty at capture). *)
+val restore : t -> catalog_of:(string -> Storage.Catalog.t) -> int
+
+(** File round-trip (same line format family as {!Wal}). *)
+
+val write_file : string -> t -> unit
+val read_file : string -> t
+
+(** [recover ~checkpoint ~log ~catalog_of] = restore + replay of entries
+    above the watermark; returns (rows restored, writes replayed). *)
+val recover :
+  checkpoint:t ->
+  log:Wal.entry list ->
+  catalog_of:(string -> Storage.Catalog.t) ->
+  int * int

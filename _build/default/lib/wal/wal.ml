@@ -1,0 +1,154 @@
+open Util
+
+type write =
+  | Put of { reactor : string; table : string; row : Value.t array }
+  | Del of { reactor : string; table : string; key : Value.t array }
+
+type entry = { le_txn : int; le_tid : int; le_writes : write list }
+
+type sink = Memory of entry list ref | File of out_channel
+
+type t = { sink : sink; mutable count : int }
+
+let in_memory () = { sink = Memory (ref []); count = 0 }
+
+let to_file path = { sink = File (open_out_gen [ Open_append; Open_creat ] 0o644 path); count = 0 }
+
+(* --- encoding: one entry per line ---
+   txn<TAB>tid<TAB>write;write;...
+   write  := P|D , reactor , table , value,value,...
+   value  := N | B:0/1 | I:n | F:hex-float | S:hexbytes
+   Strings are hex-encoded so no separator can collide. *)
+
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let unhex s =
+  if String.length s mod 2 <> 0 then failwith "Wal: odd hex length";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let encode_value = function
+  | Value.Null -> "N"
+  | Value.Bool b -> if b then "B:1" else "B:0"
+  | Value.Int i -> "I:" ^ string_of_int i
+  | Value.Float f -> Printf.sprintf "F:%h" f
+  | Value.Str s -> "S:" ^ hex s
+
+let decode_value s =
+  if s = "N" then Value.Null
+  else
+    match String.index_opt s ':' with
+    | None -> failwith ("Wal: bad value " ^ s)
+    | Some i -> (
+      let tag = String.sub s 0 i in
+      let payload = String.sub s (i + 1) (String.length s - i - 1) in
+      match tag with
+      | "B" -> Value.Bool (payload = "1")
+      | "I" -> Value.Int (int_of_string payload)
+      | "F" -> Value.Float (float_of_string payload)
+      | "S" -> Value.Str (unhex payload)
+      | _ -> failwith ("Wal: bad value tag " ^ tag))
+
+let encode_write w =
+  let kind, reactor, table, vals =
+    match w with
+    | Put { reactor; table; row } -> ("P", reactor, table, row)
+    | Del { reactor; table; key } -> ("D", reactor, table, key)
+  in
+  String.concat ","
+    (kind :: hex reactor :: hex table
+    :: Array.to_list (Array.map encode_value vals))
+
+let decode_write s =
+  match String.split_on_char ',' s with
+  | kind :: reactor :: table :: vals ->
+    let reactor = unhex reactor and table = unhex table in
+    let vals = Array.of_list (List.map decode_value vals) in
+    (match kind with
+    | "P" -> Put { reactor; table; row = vals }
+    | "D" -> Del { reactor; table; key = vals }
+    | _ -> failwith ("Wal: bad write kind " ^ kind))
+  | _ -> failwith ("Wal: bad write " ^ s)
+
+let encode_entry e =
+  Printf.sprintf "%d\t%d\t%s" e.le_txn e.le_tid
+    (String.concat ";" (List.map encode_write e.le_writes))
+
+let decode_entry line =
+  match String.split_on_char '\t' line with
+  | [ txn; tid; writes ] ->
+    let ws =
+      if writes = "" then []
+      else List.map decode_write (String.split_on_char ';' writes)
+    in
+    { le_txn = int_of_string txn; le_tid = int_of_string tid; le_writes = ws }
+  | _ -> failwith ("Wal: bad entry line " ^ line)
+
+let append t e =
+  (match t.sink with
+  | Memory r -> r := e :: !r
+  | File oc ->
+    output_string oc (encode_entry e);
+    output_char oc '\n');
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let entries t =
+  match t.sink with
+  | Memory r -> List.rev !r
+  | File _ -> invalid_arg "Wal.entries: file-backed log (use read_file)"
+
+let close t = match t.sink with Memory _ -> () | File oc -> close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let out = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = input_line ic in
+       if line <> "" then
+         out :=
+           (try decode_entry line
+            with Failure m ->
+              close_in ic;
+              failwith (Printf.sprintf "%s (line %d)" m !lineno))
+           :: !out
+     done
+   with End_of_file -> close_in ic);
+  List.rev !out
+
+let replay entries ~catalog_of =
+  let ordered =
+    List.sort (fun a b -> Int.compare a.le_tid b.le_tid) entries
+  in
+  let applied = ref 0 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun w ->
+          incr applied;
+          match w with
+          | Put { reactor; table; row } ->
+            let tbl = Storage.Catalog.table (catalog_of reactor) table in
+            let key = Storage.Table.key_of_tuple tbl row in
+            (match Storage.Table.find tbl key with
+            | Some record ->
+              record.Storage.Record.data <- row;
+              record.Storage.Record.tid <- e.le_tid;
+              record.Storage.Record.absent <- false
+            | None ->
+              let record = Storage.Record.fresh ~absent:false row in
+              record.Storage.Record.tid <- e.le_tid;
+              ignore (Storage.Table.insert tbl record))
+          | Del { reactor; table; key } ->
+            let tbl = Storage.Catalog.table (catalog_of reactor) table in
+            ignore (Storage.Table.remove tbl key))
+        e.le_writes)
+    ordered;
+  !applied

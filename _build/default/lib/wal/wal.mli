@@ -1,0 +1,56 @@
+(** Redo logging and recovery.
+
+    The paper's prototype has no durability (§3.1) and points to
+    log-based recovery as the natural mechanism; this module provides it as
+    an extension. ReactDB appends one redo record per committed transaction
+    — its Silo TID and physical after-images of every write, qualified by
+    reactor and table. Because TIDs totally order conflicting commits
+    (Silo's invariant), replaying records in TID order onto a
+    freshly-loaded database reconstructs exactly the committed state.
+
+    The log can live purely in memory (tests, simulations) or stream to a
+    file in a line-oriented text format that survives process restarts. *)
+
+(** One write in a committed transaction. *)
+type write =
+  | Put of { reactor : string; table : string; row : Util.Value.t array }
+      (** insert-or-replace of a full row *)
+  | Del of { reactor : string; table : string; key : Util.Value.t array }
+
+type entry = { le_txn : int; le_tid : int; le_writes : write list }
+
+type t
+
+(** In-memory log. *)
+val in_memory : unit -> t
+
+(** File-backed log (appends; the file is created if missing). Call
+    {!close} to flush. *)
+val to_file : string -> t
+
+val append : t -> entry -> unit
+
+(** Number of entries appended so far. *)
+val length : t -> int
+
+(** Entries in append order (in-memory logs only; raises
+    [Invalid_argument] on file-backed logs — use {!read_file}). *)
+val entries : t -> entry list
+
+val close : t -> unit
+
+(** Parse a log file written by {!to_file}. Raises [Failure] on corrupt
+    input, identifying the line. *)
+val read_file : string -> entry list
+
+(** [replay entries ~catalog_of] applies entries in TID order: [Put]s
+    insert-or-replace rows, [Del]s unlink keys. [catalog_of] resolves each
+    reactor's catalog (e.g. [Reactdb.Database.catalog_of]). Returns the
+    number of writes applied. *)
+val replay :
+  entry list -> catalog_of:(string -> Storage.Catalog.t) -> int
+
+(** {1 Encoding (exposed for tests)} *)
+
+val encode_entry : entry -> string
+val decode_entry : string -> entry

@@ -1,0 +1,1 @@
+lib/workloads/exchange.ml: Array List Printf Query Reactor Rng Storage Util Value Wl

@@ -1,0 +1,1 @@
+lib/workloads/exchange.mli: Reactor Util Wl

@@ -1,0 +1,1 @@
+lib/workloads/smallbank.ml: Array List Printf Query Reactor Rng Storage String Util Value Wl

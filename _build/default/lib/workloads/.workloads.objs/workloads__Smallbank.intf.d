@@ -1,0 +1,1 @@
+lib/workloads/smallbank.mli: Reactor Storage Util Wl

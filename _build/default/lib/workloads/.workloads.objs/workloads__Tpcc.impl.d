@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Array Hashtbl List Option Printf Query Reactor Rng Stdlib Storage String Util Value Wl

@@ -1,0 +1,1 @@
+lib/workloads/wl.ml: Printf Storage Util Value

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Array Hashtbl Int List Printf Query Reactor Rng Storage String Util Value Wl

@@ -1,0 +1,326 @@
+(** The digital currency exchange of Figure 1 and Appendix G.
+
+    Two modelings are provided:
+
+    - The {e reactor database} of Fig. 1(b): an [Exchange] reactor
+      (relations [settlement_risk], [provider_names]) and one [Provider]
+      reactor per credit-card provider (relations [provider_info],
+      [orders]). [auth_pay] fans [calc_risk] out to all providers
+      asynchronously — {e procedure-level parallelism}: the risk
+      simulation runs on the provider reactors.
+    - The {e classic} formulation of Fig. 1(a) for comparison:
+      [auth_pay_query_par] still scans provider order fragments in parallel
+      (what a parallel query plan would do) but runs every risk simulation
+      sequentially at the exchange; and a [Monolith] reactor holds all
+      relations unpartitioned for the fully sequential plan.
+
+    The risk simulation [sim_risk] is modeled as [sim_cost] µs of
+    computation (the paper itself simulates it by generating random
+    numbers). Freshness of cached risk is controlled by the [now] argument
+    against [provider_info.time]/[window]; experiment loaders set these so
+    the simulation always runs (App. G). *)
+
+open Util
+open Reactor
+
+(* --- Provider reactor --- *)
+
+let s_provider_info =
+  Storage.Schema.make ~name:"provider_info"
+    ~columns:
+      [ ("id", Value.TInt); ("risk", Value.TFloat); ("time", Value.TFloat);
+        ("window", Value.TFloat) ]
+    ~key:[ "id" ]
+
+let s_orders =
+  Storage.Schema.make ~name:"orders"
+    ~columns:
+      [ ("ts", Value.TInt); ("wallet", Value.TInt); ("value", Value.TFloat);
+        ("settled", Value.TStr) ]
+    ~key:[ "ts" ]
+
+(* Unsettled exposure over the most recent [window_records] orders (the
+   pre-configured settlement window of App. G), via reverse range scan. *)
+let exposure ctx window_records =
+  let scanned = ref 0 in
+  let total = ref 0. in
+  let tbl = Query.Exec.table ctx.db "orders" in
+  ignore tbl;
+  let rows =
+    Query.Exec.scan ctx.db "orders" ~rev:true ~limit:window_records ()
+  in
+  List.iter
+    (fun row ->
+      incr scanned;
+      if Value.to_str row.(3) = "N" then total := !total +. Value.to_number row.(2))
+    rows;
+  !total
+
+(* calc_risk(p_exposure, window_records, sim_cost, now) -> risk *)
+let calc_risk ctx args =
+  let p_exposure = arg_float args 0 in
+  let window_records = arg_int args 1 in
+  let sim_cost = arg_float args 2 in
+  let now = arg_float args 3 in
+  let expo = exposure ctx window_records in
+  if expo > p_exposure then abort "provider exposure above limit";
+  match Query.Exec.get ctx.db "provider_info" [| Wl.vi 0 |] with
+  | None -> abort "missing provider_info"
+  | Some row ->
+    let risk = Value.to_number row.(1) in
+    let time = Value.to_number row.(2) in
+    let window = Value.to_number row.(3) in
+    if time < now -. window then begin
+      (* Stale: run the risk simulation and cache the result. *)
+      ctx.db.Query.Exec.work sim_cost;
+      let new_risk = expo *. 0.01 in
+      ignore
+        (Query.Exec.update_key ctx.db "provider_info" [| Wl.vi 0 |]
+           ~set:(fun r ->
+             let r = Query.Exec.seti r 1 (Wl.vf new_risk) in
+             Query.Exec.seti r 2 (Wl.vf now)));
+      Wl.vf new_risk
+    end
+    else Wl.vf risk
+
+(* exposure_of(window_records): the scan-only leg used by the
+   query-parallel plan. *)
+let exposure_of ctx args = Wl.vf (exposure ctx (arg_int args 0))
+
+let add_entry ctx args =
+  let ts = arg_int args 0 and wallet = arg_int args 1 in
+  let value = arg_float args 2 in
+  Query.Exec.insert ctx.db "orders"
+    [| Wl.vi ts; Wl.vi wallet; Wl.vf value; Wl.vs "N" |];
+  Value.Null
+
+let provider_type =
+  rtype ~name:"Provider"
+    ~schemas:[ s_provider_info; s_orders ]
+    ~procs:
+      [ ("calc_risk", calc_risk); ("exposure_of", exposure_of);
+        ("add_entry", add_entry) ]
+    ()
+
+(* --- Exchange reactor --- *)
+
+let s_settlement_risk =
+  Storage.Schema.make ~name:"settlement_risk"
+    ~columns:
+      [ ("id", Value.TInt); ("p_exposure", Value.TFloat);
+        ("g_risk", Value.TFloat) ]
+    ~key:[ "id" ]
+
+let s_provider_names =
+  Storage.Schema.make ~name:"provider_names"
+    ~columns:[ ("value", Value.TStr) ]
+    ~key:[ "value" ]
+
+let limits ctx =
+  match Query.Exec.get ctx.db "settlement_risk" [| Wl.vi 0 |] with
+  | Some row -> (Value.to_number row.(1), Value.to_number row.(2))
+  | None -> abort "missing settlement_risk"
+
+let provider_list ctx =
+  List.map (fun row -> Value.to_str row.(0))
+    (Query.Exec.scan ctx.db "provider_names" ())
+
+(* auth_pay(provider, ts, wallet, value, window_records, sim_cost, now):
+   Fig. 1(b) — procedure-level parallelism. *)
+let auth_pay ctx args =
+  let pprovider = arg_str args 0 in
+  let ts = arg_int args 1 and wallet = arg_int args 2 in
+  let value = arg_float args 3 in
+  let window_records = arg_int args 4 in
+  let sim_cost = arg_float args 5 in
+  let now = arg_float args 6 in
+  let p_exposure, g_risk = limits ctx in
+  let results =
+    List.map
+      (fun p ->
+        ctx.call ~reactor:p ~proc:"calc_risk"
+          ~args:[ Wl.vf p_exposure; Wl.vi window_records; Wl.vf sim_cost;
+                  Wl.vf now ])
+      (provider_list ctx)
+  in
+  let total_risk =
+    List.fold_left (fun acc f -> acc +. Value.to_number (f.get ())) 0. results
+  in
+  if total_risk +. value < g_risk then begin
+    ignore
+      (ctx.call ~reactor:pprovider ~proc:"add_entry"
+         ~args:[ Wl.vi ts; Wl.vi wallet; Wl.vf value ]);
+    Value.Null
+  end
+  else abort "global risk limit exceeded"
+
+(* auth_pay_query_par: parallel scan legs (what a parallel join plan gives a
+   classic engine), risk simulations sequential at the exchange. *)
+let auth_pay_query_par ctx args =
+  let pprovider = arg_str args 0 in
+  let ts = arg_int args 1 and wallet = arg_int args 2 in
+  let value = arg_float args 3 in
+  let window_records = arg_int args 4 in
+  let sim_cost = arg_float args 5 in
+  let _now = arg_float args 6 in
+  let p_exposure, g_risk = limits ctx in
+  let scans =
+    List.map
+      (fun p ->
+        (p, ctx.call ~reactor:p ~proc:"exposure_of" ~args:[ Wl.vi window_records ]))
+      (provider_list ctx)
+  in
+  let total_risk =
+    List.fold_left
+      (fun acc (_p, f) ->
+        let expo = Value.to_number (f.get ()) in
+        if expo > p_exposure then abort "provider exposure above limit";
+        (* sim_risk runs here, at the exchange, once per provider. *)
+        ctx.db.Query.Exec.work sim_cost;
+        acc +. (expo *. 0.01))
+      0. scans
+  in
+  if total_risk +. value < g_risk then begin
+    ignore
+      (ctx.call ~reactor:pprovider ~proc:"add_entry"
+         ~args:[ Wl.vi ts; Wl.vi wallet; Wl.vf value ]);
+    Value.Null
+  end
+  else abort "global risk limit exceeded"
+
+let exchange_type =
+  rtype ~name:"Exchange"
+    ~schemas:[ s_settlement_risk; s_provider_names ]
+    ~procs:
+      [ ("auth_pay", auth_pay); ("auth_pay_query_par", auth_pay_query_par) ]
+    ()
+
+(* --- Monolith: the classic formulation of Fig. 1(a), fully sequential --- *)
+
+let s_mono_provider =
+  Storage.Schema.make ~name:"provider"
+    ~columns:
+      [ ("name", Value.TStr); ("risk", Value.TFloat); ("time", Value.TFloat);
+        ("window", Value.TFloat) ]
+    ~key:[ "name" ]
+
+let s_mono_orders =
+  Storage.Schema.make ~name:"orders"
+    ~columns:
+      [ ("provider", Value.TStr); ("ts", Value.TInt); ("wallet", Value.TInt);
+        ("value", Value.TFloat); ("settled", Value.TStr) ]
+    ~key:[ "provider"; "ts" ]
+
+(* auth_pay_seq: join provider × orders sequentially, simulate risk per
+   provider in place. *)
+let auth_pay_seq ctx args =
+  let pprovider = arg_str args 0 in
+  let ts = arg_int args 1 and wallet = arg_int args 2 in
+  let value = arg_float args 3 in
+  let window_records = arg_int args 4 in
+  let sim_cost = arg_float args 5 in
+  let _now = arg_float args 6 in
+  let p_exposure, g_risk = limits ctx in
+  let providers = Query.Exec.scan ctx.db "provider" () in
+  let total_risk =
+    List.fold_left
+      (fun acc prow ->
+        let pname = Value.to_str prow.(0) in
+        let rows =
+          Query.Exec.scan ctx.db "orders" ~prefix:[| Wl.vs pname |] ~rev:true
+            ~limit:window_records ()
+        in
+        let expo =
+          List.fold_left
+            (fun e row ->
+              if Value.to_str row.(4) = "N" then e +. Value.to_number row.(3)
+              else e)
+            0. rows
+        in
+        if expo > p_exposure then abort "provider exposure above limit";
+        ctx.db.Query.Exec.work sim_cost;
+        acc +. (expo *. 0.01))
+      0. providers
+  in
+  if total_risk +. value < g_risk then begin
+    Query.Exec.insert ctx.db "orders"
+      [| Wl.vs pprovider; Wl.vi ts; Wl.vi wallet; Wl.vf value; Wl.vs "N" |];
+    Value.Null
+  end
+  else abort "global risk limit exceeded"
+
+let monolith_type =
+  rtype ~name:"Monolith"
+    ~schemas:[ s_settlement_risk; s_mono_provider; s_mono_orders ]
+    ~procs:[ ("auth_pay_seq", auth_pay_seq) ]
+    ()
+
+(* --- declarations and loading --- *)
+
+let provider_name i = Printf.sprintf "p%d" i
+let providers n = List.init n provider_name
+
+(** Reactor database of Fig. 1(b): one Exchange ("exchange") plus [n]
+    providers, each loaded with [orders_per_provider] unsettled orders.
+    Limits are set high so [auth_pay] never aborts on business rules, and
+    provider risk caches are loaded stale so [sim_risk] always runs
+    (App. G). *)
+let decl ~providers:n ~orders_per_provider () =
+  let provider_loader catalog =
+    Wl.load catalog "provider_info" [| Wl.vi 0; Wl.vf 0.; Wl.vf (-1e18); Wl.vf 1. |];
+    for ts = 1 to orders_per_provider do
+      Wl.load catalog "orders"
+        [| Wl.vi ts; Wl.vi ts; Wl.vf 10.; Wl.vs "N" |]
+    done
+  in
+  let exchange_loader catalog =
+    Wl.load catalog "settlement_risk" [| Wl.vi 0; Wl.vf 1e15; Wl.vf 1e15 |];
+    List.iter
+      (fun p -> Wl.load catalog "provider_names" [| Wl.vs p |])
+      (providers n)
+  in
+  Reactor.decl
+    ~types:[ exchange_type; provider_type ]
+    ~reactors:
+      (("exchange", "Exchange") :: List.map (fun p -> (p, "Provider")) (providers n))
+    ~loaders:
+      (("exchange", exchange_loader)
+      :: List.map (fun p -> (p, provider_loader)) (providers n))
+    ()
+
+(** Classic single-reactor database of Fig. 1(a). *)
+let mono_decl ~providers:n ~orders_per_provider () =
+  let loader catalog =
+    Wl.load catalog "settlement_risk" [| Wl.vi 0; Wl.vf 1e15; Wl.vf 1e15 |];
+    List.iter
+      (fun p ->
+        Wl.load catalog "provider" [| Wl.vs p; Wl.vf 0.; Wl.vf (-1e18); Wl.vf 1. |];
+        for ts = 1 to orders_per_provider do
+          Wl.load catalog "orders"
+            [| Wl.vs p; Wl.vi ts; Wl.vi ts; Wl.vf 10.; Wl.vs "N" |]
+        done)
+      (providers n)
+  in
+  Reactor.decl ~types:[ monolith_type ]
+    ~reactors:[ ("mono", "Monolith") ]
+    ~loaders:[ ("mono", loader) ]
+    ()
+
+(** auth_pay request. [strategy] picks the procedure (and must match the
+    declaration used: [`Sequential] with {!mono_decl}, others with
+    {!decl}). *)
+let gen_auth_pay rng ~strategy ~n_providers ~window ~sim_cost ~seq =
+  incr seq;
+  let ts = 1_000_000 + !seq in
+  let provider = provider_name (Rng.int rng n_providers) in
+  (* Advance [now] by more than the loaded freshness window (1.0) per
+     transaction, so every auth_pay finds the cached risk stale and re-runs
+     the simulation (App. G's "sim_risk is always invoked"). *)
+  let args =
+    [ Wl.vs provider; Wl.vi ts; Wl.vi (Rng.int rng 10_000); Wl.vf 1.;
+      Wl.vi window; Wl.vf sim_cost; Wl.vf (2. *. float_of_int !seq) ]
+  in
+  match strategy with
+  | `Procedure_par -> Wl.request "exchange" "auth_pay" args
+  | `Query_par -> Wl.request "exchange" "auth_pay_query_par" args
+  | `Sequential -> Wl.request "mono" "auth_pay_seq" args

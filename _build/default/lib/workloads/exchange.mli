@@ -1,0 +1,46 @@
+(** The digital currency exchange of Figure 1 and Appendix G.
+
+    Two modelings: the reactor database of Fig. 1(b) — an [Exchange]
+    reactor plus [Provider] reactors, with [auth_pay] fanning [calc_risk]
+    out asynchronously ({e procedure-level parallelism}) or only the order
+    scans ({e query-level parallelism}) — and the classic single-reactor
+    [Monolith] of Fig. 1(a) for the fully sequential plan.
+
+    The risk simulation is modeled as [sim_cost] µs of computation (the
+    paper simulates it by random-number generation). *)
+
+(** Procedures: [calc_risk], [exposure_of], [add_entry]. *)
+val provider_type : Reactor.rtype
+
+(** Procedures: [auth_pay] (Fig. 1(b)), [auth_pay_query_par]. *)
+val exchange_type : Reactor.rtype
+
+(** Procedures: [auth_pay_seq] (Fig. 1(a)). *)
+val monolith_type : Reactor.rtype
+
+val provider_name : int -> string
+val providers : int -> string list
+
+(** Reactor database: one "exchange" + [n] providers, each loaded with
+    [orders_per_provider] unsettled orders; limits set so business rules
+    never trip, risk caches loaded stale so the simulation always runs
+    (App. G). *)
+val decl : providers:int -> orders_per_provider:int -> unit -> Reactor.decl
+
+(** Classic single-reactor database ("mono") of Fig. 1(a). *)
+val mono_decl :
+  providers:int -> orders_per_provider:int -> unit -> Reactor.decl
+
+(** Generate an auth_pay request. [strategy] selects the plan and must match
+    the declaration used ([`Sequential] with {!mono_decl}, the others with
+    {!decl}). [window] is the settlement window in records; [seq] provides
+    unique order timestamps and advances the freshness clock so every
+    transaction re-runs the risk simulation. *)
+val gen_auth_pay :
+  Util.Rng.t ->
+  strategy:[ `Procedure_par | `Query_par | `Sequential ] ->
+  n_providers:int ->
+  window:int ->
+  sim_cost:float ->
+  seq:int ref ->
+  Wl.request

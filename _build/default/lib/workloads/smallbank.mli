@@ -1,0 +1,44 @@
+(** The extended Smallbank benchmark (§4.1.3, Appendices B and H).
+
+    Each customer is a reactor encapsulating [account], [savings] and
+    [checking] (Fig. 20). Implements the standard Smallbank mix plus the
+    paper's multi-transfer extension in the four program formulations of
+    Fig. 21. *)
+
+(** The Customer reactor type. Procedures: [transact_saving],
+    [transact_checking], [transfer_seq], [transfer_ovp],
+    [multi_transfer_sync], [multi_transfer_partial],
+    [multi_transfer_fully_async], [multi_transfer_opt], [balance],
+    [deposit_checking], [write_check], [amalgamate], [send_payment],
+    [noop]. *)
+val customer_type : Reactor.rtype
+
+val customer_name : int -> string
+
+(** [customers n] — the first [n] customer reactor names, in declaration
+    order. *)
+val customers : int -> string list
+
+(** [decl ~customers:n ~initial ()] declares [n] customer reactors, each
+    loaded with [initial] (default 10000) in savings and in checking. *)
+val decl : customers:int -> ?initial:float -> unit -> Reactor.decl
+
+(** The four multi-transfer formulations of §4.1.4, ordered from least to
+    most asynchronous. *)
+type formulation = Fully_sync | Partially_async | Fully_async | Opt
+
+val formulation_proc : formulation -> string
+val formulation_name : formulation -> string
+
+(** Build a multi-transfer request: transfer [amount] from [src] to each of
+    [dests]. *)
+val multi_transfer_request :
+  formulation -> src:string -> dests:string list -> amount:float -> Wl.request
+
+(** One request of the standard Smallbank mix over [n] customers (H-Store
+    weights: 15/15/15/15/15/25). *)
+val gen_standard : Util.Rng.t -> n:int -> Wl.request
+
+(** Physical sum of all savings and checking balances over the given
+    catalogs — the conservation invariant used in tests. *)
+val total_money : Storage.Catalog.t list -> float

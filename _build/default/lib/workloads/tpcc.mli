@@ -1,0 +1,81 @@
+(** TPC-C in the reactor model (§4.1.3): each warehouse is a reactor
+    encapsulating the nine TPC-C relations (the read-only [item] table is
+    replicated per warehouse). All five transactions are implemented after
+    the OLTP-Bench port the paper uses.
+
+    Cross-reactor accesses: new-order items supplied by remote warehouses
+    are grouped into one asynchronous sub-transaction per distinct remote
+    warehouse; payments for customers of remote warehouses update the
+    customer on its home warehouse reactor. *)
+
+(** Scaled-down (shape-preserving) cardinalities; see EXPERIMENTS.md. *)
+type sizes = {
+  districts : int;
+  customers_per_district : int;
+  items : int;
+  preloaded_orders : int;  (** per district; the most recent 30% undelivered *)
+}
+
+val default_sizes : sizes
+
+(** Tiny sizes for unit tests. *)
+val small_sizes : sizes
+
+(** The Warehouse reactor type. Procedures: [new_order], [new_order_sync],
+    [stock_updates], [payment], [payment_customer], [order_status],
+    [delivery], [stock_level]. *)
+val warehouse_type : Reactor.rtype
+
+(** [warehouse_name i] for the 1-based warehouse index. *)
+val warehouse_name : int -> string
+
+val warehouses : int -> string list
+
+(** TPC-C customer last names (spec clause 4.3.2.3). *)
+val last_name : int -> string
+
+(** [decl ~warehouses:n ~sizes ()] — [n] fully loaded warehouse reactors. *)
+val decl : warehouses:int -> ?sizes:sizes -> unit -> Reactor.decl
+
+(** How new-order picks remote items: [Per_item p] draws each item remotely
+    with probability [p] (§4.3.2); [One_item p] makes the transaction
+    cross-reactor with probability [p] via exactly one remote item
+    (App. E). *)
+type remote_mode = Per_item of float | One_item of float
+
+type params = {
+  n_warehouses : int;
+  sizes : sizes;
+  remote_mode : remote_mode;
+  remote_payment_prob : float;
+  delay_lo : float;
+  delay_hi : float;
+      (** per-item stock-replenishment delay range in µs (the
+          new-order-delay variant of §4.3.2); 0 disables *)
+  sync_new_order : bool;  (** use the shared-nothing-sync program variant *)
+}
+
+val params :
+  ?sizes:sizes ->
+  ?remote_mode:remote_mode ->
+  ?remote_payment_prob:float ->
+  ?delay_lo:float ->
+  ?delay_hi:float ->
+  ?sync_new_order:bool ->
+  int ->
+  params
+
+(** {1 Input generators}
+
+    [home] is the 1-based warehouse a client worker is bound to (client
+    affinity, §4.1.3). *)
+
+val gen_new_order : Util.Rng.t -> params -> home:int -> clock:float -> Wl.request
+val gen_payment : Util.Rng.t -> params -> home:int -> h_id:int -> Wl.request
+val gen_order_status : Util.Rng.t -> params -> home:int -> Wl.request
+val gen_delivery : Util.Rng.t -> home:int -> clock:float -> Wl.request
+val gen_stock_level : Util.Rng.t -> params -> home:int -> Wl.request
+
+(** The standard mix (45/43/4/4/4). [seq] must be shared across all workers
+    of a run: it provides unique history ids and the logical clock. *)
+val gen_mix : Util.Rng.t -> params -> home:int -> seq:int ref -> Wl.request

@@ -1,0 +1,23 @@
+(* Shared helpers for workload implementations: loading physical rows and
+   small value shorthands used throughout stored-procedure code. *)
+
+open Util
+
+let vi i = Value.Int i
+let vf f = Value.Float f
+let vs s = Value.Str s
+
+(* Physical (non-transactional) row load, used only by bootstrap loaders. *)
+let load catalog table row =
+  let tbl = Storage.Catalog.table catalog table in
+  match Storage.Table.insert tbl (Storage.Record.fresh ~absent:false row) with
+  | None -> ()
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Wl.load: duplicate key while loading table %S" table)
+
+(* A transaction request: which reactor/procedure to invoke with which
+   arguments. Generators produce these; the harness executes them. *)
+type request = { reactor : string; proc : string; args : Value.t list }
+
+let request reactor proc args = { reactor; proc; args }

@@ -1,0 +1,18 @@
+(** Shared helpers for workload implementations. *)
+
+(** Value shorthands used throughout stored-procedure code. *)
+
+val vi : int -> Util.Value.t
+val vf : float -> Util.Value.t
+val vs : string -> Util.Value.t
+
+(** [load catalog table row] inserts a row physically (no concurrency
+    control) — bootstrap loaders only. Raises [Invalid_argument] on
+    duplicate keys. *)
+val load : Storage.Catalog.t -> string -> Util.Value.t array -> unit
+
+(** A transaction request: the root reactor, procedure and arguments.
+    Workload generators produce requests; the harness executes them. *)
+type request = { reactor : string; proc : string; args : Util.Value.t list }
+
+val request : string -> string -> Util.Value.t list -> request

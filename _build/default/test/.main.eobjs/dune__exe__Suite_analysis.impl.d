@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Analysis Callspec Fmt List Reactor String Util Workloads

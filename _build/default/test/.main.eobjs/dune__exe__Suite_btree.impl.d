@@ -1,0 +1,1 @@
+test/suite_btree.ml: Alcotest Btree Gen Int List Map Printf QCheck QCheck_alcotest String

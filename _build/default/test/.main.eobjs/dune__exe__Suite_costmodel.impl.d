@@ -1,0 +1,1 @@
+test/suite_costmodel.ml: Alcotest Costmodel Float Gen List QCheck QCheck_alcotest

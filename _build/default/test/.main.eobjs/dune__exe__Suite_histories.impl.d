@@ -1,0 +1,1 @@
+test/suite_histories.ml: Alcotest Certify Char Histories List Model QCheck QCheck_alcotest Reactdb Result String Testlib

@@ -1,0 +1,1 @@
+test/suite_misc.ml: Alcotest Array Fmt Harness List Printf Reactdb Reactor Sim Storage String Testlib Util Value Workloads

@@ -1,0 +1,1 @@
+test/suite_occ.ml: Alcotest Array Occ Result Storage Util Value

@@ -1,0 +1,1 @@
+test/suite_query.ml: Alcotest Array Fmt List Occ Query Result Storage String Util Value

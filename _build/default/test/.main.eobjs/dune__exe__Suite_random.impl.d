@@ -1,0 +1,1 @@
+test/suite_random.ml: Alcotest Float Hashtbl Histories List Printf QCheck QCheck_alcotest Reactdb Result Rng Sim Testlib Util Value

@@ -1,0 +1,1 @@
+test/suite_reactdb.ml: Alcotest Array List Printf Reactdb Result Sim String Testlib Util Value

@@ -1,0 +1,1 @@
+test/suite_secondary.ml: Alcotest Array Gen Hashtbl Int List Occ Printf QCheck QCheck_alcotest Query Result Storage Util Value

@@ -1,0 +1,1 @@
+test/suite_sql.ml: Alcotest Array Fmt Harness Histories List Occ Option Printf Query Reactdb Reactor Sim Sql Storage Util Value

@@ -1,0 +1,1 @@
+test/suite_storage.ml: Alcotest Array List Storage Util Value

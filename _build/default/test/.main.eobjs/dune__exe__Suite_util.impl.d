@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Rng Stats String Tablefmt Util Value

@@ -1,0 +1,1 @@
+test/suite_wal.ml: Alcotest Array Checkpoint Filename Float Harness List Option QCheck QCheck_alcotest Reactdb Rng Sim Stdlib Storage String Sys Testlib Util Value Wal Workloads

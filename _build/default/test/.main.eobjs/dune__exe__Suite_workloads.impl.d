@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Array Harness Histories List Printf Reactdb Rng Sim Stdlib Storage String Util Value Workloads

@@ -1,0 +1,1 @@
+test/testlib.ml: Array List Printf Query Reactdb Reactor Rng Sim Storage Util Value

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "reactdb"
+    [
+      Suite_util.suite;
+      Suite_btree.suite;
+      Suite_storage.suite;
+      Suite_occ.suite;
+      Suite_query.suite;
+      Suite_secondary.suite;
+      Suite_sim.suite;
+      Suite_costmodel.suite;
+      Suite_histories.suite;
+      Suite_reactdb.suite;
+      Suite_workloads.suite;
+      Suite_wal.suite;
+      Suite_sql.suite;
+      Suite_analysis.suite;
+      Suite_random.suite;
+      Suite_misc.suite;
+    ]

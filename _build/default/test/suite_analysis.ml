@@ -1,0 +1,195 @@
+(* Tests for the static call-structure analysis (the future-work item of
+   §2.2.4): cycle detection, concurrent-reach warnings, spec validation,
+   and soundness against the runtime's dynamic condition. *)
+
+open Analysis
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A declaration with two reactor types for spec validation. *)
+let dummy_proc _ctx _args = Util.Value.Null
+
+let decl2 =
+  Reactor.decl
+    ~types:
+      [
+        Reactor.rtype ~name:"A" ~schemas:[]
+          ~procs:[ ("root", dummy_proc); ("leafa", dummy_proc) ] ();
+        Reactor.rtype ~name:"B" ~schemas:[]
+          ~procs:[ ("leafb", dummy_proc); ("back", dummy_proc) ] ();
+      ]
+    ~reactors:[ ("a0", "A"); ("b0", "B") ]
+    ()
+
+let call ?(mode = Callspec.Async) target_type target_proc =
+  { Callspec.target_type; target_proc; mode }
+
+let test_clean_pipeline () =
+  (* root -> async B.leafb once, then sync B.back: second call overlaps the
+     first asynchronous one and both touch type B -> flagged. A purely
+     synchronous version is clean. *)
+  let sync_spec =
+    Callspec.make
+      [ (("A", "root"), [ call ~mode:Callspec.Sync "B" "leafb";
+                          call ~mode:Callspec.Sync "B" "back" ]) ]
+  in
+  check_int "all-sync clean" 0 (List.length (Callspec.analyze decl2 sync_spec));
+  let one_async =
+    Callspec.make [ (("A", "root"), [ call "B" "leafb" ]) ]
+  in
+  check_int "single async clean" 0 (List.length (Callspec.analyze decl2 one_async))
+
+let test_concurrent_reach_flagged () =
+  let spec =
+    Callspec.make
+      [ (("A", "root"), [ call "B" "leafb"; call ~mode:Callspec.Sync "B" "back" ]) ]
+  in
+  match Callspec.analyze decl2 spec with
+  | [ Callspec.Concurrent_reach { shared_type; first; second; _ } ] ->
+    check_bool "shared type B" true (shared_type = "B");
+    check_bool "first is async call" true (first = ("B", "leafb"));
+    check_bool "second overlaps" true (second = ("B", "back"))
+  | issues ->
+    Alcotest.failf "expected one concurrent-reach, got %d" (List.length issues)
+
+let test_transitive_reach_flagged () =
+  (* A.root asynchronously calls B.leafb; then asynchronously calls A.leafa
+     — which itself calls B.back: the overlap is transitive. *)
+  let decl3 =
+    Reactor.decl
+      ~types:
+        [
+          Reactor.rtype ~name:"A" ~schemas:[]
+            ~procs:[ ("root", dummy_proc); ("leafa", dummy_proc) ] ();
+          Reactor.rtype ~name:"B" ~schemas:[] ~procs:[ ("leafb", dummy_proc) ] ();
+          Reactor.rtype ~name:"C" ~schemas:[] ~procs:[ ("mid", dummy_proc) ] ();
+        ]
+      ~reactors:[ ("a0", "A") ]
+      ()
+  in
+  let spec =
+    Callspec.make
+      [
+        (("A", "root"), [ call "B" "leafb"; call "C" "mid" ]);
+        (("C", "mid"), [ call ~mode:Callspec.Sync "B" "leafb" ]);
+      ]
+  in
+  let issues = Callspec.analyze decl3 spec in
+  check_bool "transitive overlap found" true
+    (List.exists
+       (function
+         | Callspec.Concurrent_reach { shared_type = "B"; _ } -> true
+         | _ -> false)
+       issues)
+
+let test_cycle_detection () =
+  let spec =
+    Callspec.make
+      [
+        (("A", "root"), [ call ~mode:Callspec.Sync "B" "back" ]);
+        (("B", "back"), [ call ~mode:Callspec.Sync "A" "leafa" ]);
+      ]
+  in
+  let issues = Callspec.analyze decl2 spec in
+  check_bool "cycle reported" true
+    (List.exists (function Callspec.Type_cycle _ -> true | _ -> false) issues)
+
+let test_self_calls_are_safe () =
+  (* Self-recursion and self-calls are inlined by the runtime: no cycle, no
+     concurrency. Mirrors Smallbank's multi_transfer issuing several debits
+     on itself. *)
+  let decl1 =
+    Reactor.decl
+      ~types:
+        [ Reactor.rtype ~name:"A" ~schemas:[]
+            ~procs:[ ("root", dummy_proc); ("debit", dummy_proc) ] () ]
+      ~reactors:[ ("a0", "A") ]
+      ()
+  in
+  let spec =
+    Callspec.make
+      [ (("A", "root"),
+         [ call ~mode:Callspec.Self "A" "debit";
+           call ~mode:Callspec.Self "A" "debit" ]) ]
+  in
+  check_int "self calls clean" 0 (List.length (Callspec.analyze decl1 spec))
+
+let test_validation () =
+  let bad_ty = Callspec.make [ (("Z", "p"), []) ] in
+  check_bool "unknown type" true
+    (List.exists
+       (function Callspec.Unknown_type "Z" -> true | _ -> false)
+       (Callspec.analyze decl2 bad_ty));
+  let bad_proc = Callspec.make [ (("A", "root"), [ call "B" "nope" ]) ] in
+  check_bool "unknown proc" true
+    (List.exists
+       (function Callspec.Unknown_proc ("B", "nope") -> true | _ -> false)
+       (Callspec.analyze decl2 bad_proc))
+
+let test_reach () =
+  let spec =
+    Callspec.make
+      [
+        (("A", "root"), [ call "B" "leafb"; call ~mode:Callspec.Self "A" "leafa" ]);
+        (("A", "leafa"), [ call ~mode:Callspec.Sync "B" "back" ]);
+      ]
+  in
+  Alcotest.(check (list string)) "reach" [ "B" ] (Callspec.reach spec ("A", "root"))
+
+(* Smallbank's multi-transfer, specified: the fully-async formulation calls
+   transact_saving asynchronously on Customer destinations and then on
+   itself — the analyzer warns (targets must be distinct customers), which
+   is exactly the §2.2.4 discipline the paper asks developers to test for. *)
+let test_smallbank_spec () =
+  let decl = Workloads.Smallbank.decl ~customers:2 () in
+  let spec =
+    Callspec.make
+      [
+        (("Customer", "multi_transfer_fully_async"),
+         [ call "Customer" "transact_saving";
+           call ~mode:Callspec.Self "Customer" "transact_saving" ]);
+        (("Customer", "multi_transfer_sync"),
+         [ call ~mode:Callspec.Sync "Customer" "transfer_seq";
+           call ~mode:Callspec.Sync "Customer" "transfer_seq" ]);
+      ]
+  in
+  let issues = Callspec.analyze decl spec in
+  check_bool "fully-async flagged for distinctness" true
+    (List.exists
+       (function
+         | Callspec.Concurrent_reach { in_proc = _, "multi_transfer_fully_async"; _ }
+           -> true
+         | _ -> false)
+       issues);
+  check_bool "sync formulation not flagged" true
+    (not
+       (List.exists
+          (function
+            | Callspec.Concurrent_reach { in_proc = _, "multi_transfer_sync"; _ }
+              -> true
+            | _ -> false)
+          issues))
+
+let test_pp () =
+  let s =
+    Fmt.str "%a" Callspec.pp_issue
+      (Callspec.Concurrent_reach
+         { in_proc = ("A", "p"); first = ("B", "x"); second = ("B", "y");
+           shared_type = "B" })
+  in
+  check_bool "message readable" true (String.length s > 40)
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "clean specs" `Quick test_clean_pipeline;
+      Alcotest.test_case "concurrent reach" `Quick test_concurrent_reach_flagged;
+      Alcotest.test_case "transitive reach" `Quick test_transitive_reach_flagged;
+      Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+      Alcotest.test_case "self calls safe" `Quick test_self_calls_are_safe;
+      Alcotest.test_case "spec validation" `Quick test_validation;
+      Alcotest.test_case "reach sets" `Quick test_reach;
+      Alcotest.test_case "smallbank spec" `Quick test_smallbank_spec;
+      Alcotest.test_case "issue printing" `Quick test_pp;
+    ] )

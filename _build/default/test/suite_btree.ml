@@ -1,0 +1,270 @@
+(* Unit and property tests for the B+tree, including the leaf-version
+   witness discipline that OCC's phantom detection depends on. *)
+
+module T = Btree.Make (Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build n =
+  let t = T.create () in
+  for i = 0 to n - 1 do
+    ignore (T.insert t i (i * 10))
+  done;
+  t
+
+let test_insert_find () =
+  let t = build 1000 in
+  check_int "size" 1000 (T.size t);
+  for i = 0 to 999 do
+    Alcotest.(check (option int)) "find" (Some (i * 10)) (T.find t i)
+  done;
+  Alcotest.(check (option int)) "missing" None (T.find t 5000);
+  T.check_invariants t
+
+let test_insert_replace () =
+  let t = build 10 in
+  Alcotest.(check (option int)) "replace returns prev" (Some 50) (T.insert t 5 99);
+  Alcotest.(check (option int)) "new value" (Some 99) (T.find t 5);
+  check_int "size unchanged" 10 (T.size t)
+
+let test_delete () =
+  let t = build 100 in
+  Alcotest.(check (option int)) "delete existing" (Some 70) (T.delete t 7);
+  Alcotest.(check (option int)) "gone" None (T.find t 7);
+  Alcotest.(check (option int)) "delete missing" None (T.delete t 7);
+  check_int "size" 99 (T.size t);
+  T.check_invariants t
+
+let test_reverse_insert_order () =
+  let t = T.create () in
+  for i = 999 downto 0 do
+    ignore (T.insert t i i)
+  done;
+  T.check_invariants t;
+  check_int "size" 1000 (T.size t);
+  Alcotest.(check (option (pair int int))) "min" (Some (0, 0)) (T.min_binding t);
+  Alcotest.(check (option (pair int int)))
+    "max" (Some (999, 999)) (T.max_binding t)
+
+let test_range () =
+  let t = build 100 in
+  let seen = ref [] in
+  T.range t ~lo:10 ~hi:15 ~f:(fun k _ ->
+      seen := k :: !seen;
+      true);
+  Alcotest.(check (list int)) "range keys" [ 10; 11; 12; 13; 14; 15 ]
+    (List.rev !seen);
+  (* early stop *)
+  let seen = ref [] in
+  T.range t ~lo:0 ~f:(fun k _ ->
+      seen := k :: !seen;
+      List.length !seen < 3);
+  check_int "early stop" 3 (List.length !seen)
+
+let test_range_unbounded () =
+  let t = build 50 in
+  let n = ref 0 in
+  T.range t ~f:(fun _ _ -> incr n; true);
+  check_int "full scan" 50 !n;
+  let n = ref 0 in
+  T.range t ~lo:40 ~f:(fun _ _ -> incr n; true);
+  check_int "lo only" 10 !n;
+  let n = ref 0 in
+  T.range t ~hi:9 ~f:(fun _ _ -> incr n; true);
+  check_int "hi only" 10 !n
+
+let test_range_rev () =
+  let t = build 100 in
+  let seen = ref [] in
+  T.range_rev t ~lo:95 ~f:(fun k _ ->
+      seen := k :: !seen;
+      true);
+  Alcotest.(check (list int)) "descending tail" [ 99; 98; 97; 96; 95 ]
+    (List.rev !seen);
+  let seen = ref [] in
+  T.range_rev t ~lo:10 ~hi:12 ~f:(fun k _ ->
+      seen := k :: !seen;
+      true);
+  Alcotest.(check (list int)) "bounded reverse" [ 12; 11; 10 ] (List.rev !seen)
+
+let test_range_empty_tree () =
+  let t : int T.t = T.create () in
+  let n = ref 0 in
+  T.range t ~f:(fun _ _ -> incr n; true);
+  T.range_rev t ~f:(fun _ _ -> incr n; true);
+  check_int "no visits on empty tree" 0 !n;
+  Alcotest.(check (option (pair int int))) "min empty" None (T.min_binding t)
+
+let test_witness_stable_read () =
+  let t = build 100 in
+  let ws = ref [] in
+  T.range t ~on_node:(fun w -> ws := w :: !ws) ~lo:10 ~hi:40 ~f:(fun _ _ -> true);
+  check_bool "witnesses taken" true (List.length !ws > 0);
+  check_bool "valid when untouched" true (List.for_all T.witness_valid !ws);
+  (* An update of a value (no structural change) must keep witnesses valid. *)
+  ignore (T.insert t 20 12345);
+  check_bool "value replace keeps witnesses" true (List.for_all T.witness_valid !ws)
+
+let test_witness_detects_insert () =
+  (* Even keys only, so odd keys inside the range are genuine phantoms. *)
+  let t = T.create () in
+  for i = 0 to 99 do
+    ignore (T.insert t (2 * i) i)
+  done;
+  let ws = ref [] in
+  T.range t ~on_node:(fun w -> ws := w :: !ws) ~lo:10 ~hi:40 ~f:(fun _ _ -> true);
+  check_bool "valid before" true (List.for_all T.witness_valid !ws);
+  ignore (T.insert t 25 1);
+  check_bool "phantom insert invalidates a witness" true
+    (not (List.for_all T.witness_valid !ws))
+
+let test_witness_detects_delete () =
+  let t = build 100 in
+  let ws = ref [] in
+  T.range t ~on_node:(fun w -> ws := w :: !ws) ~lo:10 ~hi:40 ~f:(fun _ _ -> true);
+  ignore (T.delete t 25);
+  check_bool "delete invalidates a witness" true
+    (not (List.for_all T.witness_valid !ws))
+
+let test_witness_point_miss () =
+  let t = build 10 in
+  let ws = ref [] in
+  Alcotest.(check (option int)) "miss" None
+    (T.find t 55 ~on_node:(fun w -> ws := w :: !ws));
+  check_int "one witness on miss" 1 (List.length !ws);
+  ignore (T.insert t 55 1);
+  check_bool "later insert of that key invalidates" true
+    (not (List.for_all T.witness_valid !ws))
+
+(* Model-based property test against Stdlib.Map. *)
+module M = Map.Make (Int)
+
+type op = Ins of int * int | Del of int | Find of int
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Ins (k, v)) (int_bound 500) (int_bound 10_000));
+        (2, map (fun k -> Del k) (int_bound 500));
+        (2, map (fun k -> Find k) (int_bound 500));
+      ])
+
+let show_op = function
+  | Ins (k, v) -> Printf.sprintf "Ins(%d,%d)" k v
+  | Del k -> Printf.sprintf "Del(%d)" k
+  | Find k -> Printf.sprintf "Find(%d)" k
+
+let prop_model =
+  QCheck.Test.make ~name:"btree behaves like Map" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 400) gen_op)
+       ~print:(fun ops -> String.concat ";" (List.map show_op ops)))
+    (fun ops ->
+      let t = T.create () in
+      let m = ref M.empty in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Ins (k, v) ->
+            let prev = T.insert t k v in
+            if prev <> M.find_opt k !m then ok := false;
+            m := M.add k v !m
+          | Del k ->
+            let prev = T.delete t k in
+            if prev <> M.find_opt k !m then ok := false;
+            m := M.remove k !m
+          | Find k -> if T.find t k <> M.find_opt k !m then ok := false)
+        ops;
+      T.check_invariants t;
+      !ok
+      && T.size t = M.cardinal !m
+      && T.to_list t = M.bindings !m)
+
+let prop_range_matches_model =
+  QCheck.Test.make ~name:"btree range = Map filtered bindings" ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 300) (int_bound 1000))
+        (int_bound 1000) (int_bound 1000))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = T.create () in
+      let m =
+        List.fold_left
+          (fun m k ->
+            ignore (T.insert t k (k * 2));
+            M.add k (k * 2) m)
+          M.empty keys
+      in
+      let fwd = ref [] in
+      T.range t ~lo ~hi ~f:(fun k v ->
+          fwd := (k, v) :: !fwd;
+          true);
+      let rev = ref [] in
+      T.range_rev t ~lo ~hi ~f:(fun k v ->
+          rev := (k, v) :: !rev;
+          true);
+      let expected =
+        List.filter (fun (k, _) -> k >= lo && k <= hi) (M.bindings m)
+      in
+      List.rev !fwd = expected && !rev = expected)
+
+(* Soundness of phantom detection: take witnesses over a range, apply a
+   random batch of structural operations, and check that whenever the
+   range's CONTENT changed, at least one witness is invalid. (The converse
+   — no false positives — is deliberately not required: leaf-granularity
+   validation is conservative.) *)
+let prop_witness_soundness =
+  QCheck.Test.make ~name:"witnesses catch every range-content change" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(0 -- 150) (int_bound 300))
+        (pair (int_bound 300) (int_bound 300))
+        (list_of_size Gen.(1 -- 30) (pair bool (int_bound 300))))
+    (fun (initial, (a, b), ops) ->
+      let lo = min a b and hi = max a b in
+      let t = T.create () in
+      List.iter (fun k -> ignore (T.insert t k k)) initial;
+      let contents () =
+        let out = ref [] in
+        T.range t ~lo ~hi ~f:(fun k _ ->
+            out := k :: !out;
+            true);
+        List.rev !out
+      in
+      let before = contents () in
+      let ws = ref [] in
+      T.range t ~on_node:(fun w -> ws := w :: !ws) ~lo ~hi ~f:(fun _ _ -> true);
+      (* ensure the boundary leaf is witnessed even when the range is empty *)
+      ignore (T.find t lo ~on_node:(fun w -> ws := w :: !ws));
+      List.iter
+        (fun (ins, k) ->
+          if ins then ignore (T.insert t k k) else ignore (T.delete t k))
+        ops;
+      let after = contents () in
+      let all_valid = List.for_all T.witness_valid !ws in
+      (* content changed => some witness invalid *)
+      (not (before <> after)) || not all_valid)
+
+let suite =
+  ( "btree",
+    [
+      Alcotest.test_case "insert/find" `Quick test_insert_find;
+      Alcotest.test_case "insert replace" `Quick test_insert_replace;
+      Alcotest.test_case "delete" `Quick test_delete;
+      Alcotest.test_case "reverse insert order" `Quick test_reverse_insert_order;
+      Alcotest.test_case "range" `Quick test_range;
+      Alcotest.test_case "range unbounded" `Quick test_range_unbounded;
+      Alcotest.test_case "range_rev" `Quick test_range_rev;
+      Alcotest.test_case "empty tree ranges" `Quick test_range_empty_tree;
+      Alcotest.test_case "witness stable on reads" `Quick test_witness_stable_read;
+      Alcotest.test_case "witness detects insert" `Quick test_witness_detects_insert;
+      Alcotest.test_case "witness detects delete" `Quick test_witness_detects_delete;
+      Alcotest.test_case "witness on point miss" `Quick test_witness_point_miss;
+      QCheck_alcotest.to_alcotest prop_model;
+      QCheck_alcotest.to_alcotest prop_range_matches_model;
+      QCheck_alcotest.to_alcotest prop_witness_soundness;
+    ] )

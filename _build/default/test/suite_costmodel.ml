@@ -1,0 +1,175 @@
+(* Tests for the Figure 3 cost model: hand-computed cases, bucket
+   decomposition, and monotonicity properties. *)
+
+open Costmodel
+
+let checkf = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let c = uniform_costs ~cs:2. ~cr:7.
+
+let test_leaf () = checkf "leaf is its processing" 5. (latency c (leaf ~at:1 5.))
+
+let test_sync_children () =
+  (* root at 0, two sync children at 1 and 2, 3µs each, plus 4µs local:
+     4 + (3+2+7) + (3+2+7) = 28 *)
+  let st =
+    node ~at:0 ~p_seq:4. ~sync_seq:[ leaf ~at:1 3.; leaf ~at:2 3. ] ()
+  in
+  checkf "sync chain" 28. (latency c st)
+
+let test_sync_same_executor_free_comm () =
+  let st = node ~at:0 ~p_seq:4. ~sync_seq:[ leaf ~at:0 3. ] () in
+  checkf "no comm to self" 7. (latency c st)
+
+let test_async_max () =
+  (* root at 0, three async children 10µs at 1..3:
+     sends accumulate: child i completes at (2*i) + 10 + 7.
+     child 3: 6 + 17 = 23. *)
+  let st =
+    node ~at:0 ~async:[ leaf ~at:1 10.; leaf ~at:2 10.; leaf ~at:3 10. ] ()
+  in
+  checkf "async fork-join" 23. (latency c st)
+
+let test_overlap_hides_async () =
+  (* 50µs of overlapped processing dominates the 19µs async child. *)
+  let st = node ~at:0 ~async:[ leaf ~at:1 10. ] ~p_ovp:50. () in
+  checkf "overlap dominates" 50. (latency c st);
+  let st2 = node ~at:0 ~async:[ leaf ~at:1 100. ] ~p_ovp:50. () in
+  checkf "async dominates" 109. (latency c st2)
+
+let test_nested () =
+  (* async child itself has a sync child: L(child) = 5 + (1 + 2 + 7) = 15;
+     root: send 2 + 15 + recv 7 = 24. *)
+  let child = node ~at:1 ~p_seq:5. ~sync_seq:[ leaf ~at:2 1. ] () in
+  let st = node ~at:0 ~async:[ child ] () in
+  checkf "nested" 24. (latency c st)
+
+let test_decompose_sums () =
+  let st =
+    node ~at:0 ~p_seq:4.
+      ~sync_seq:[ node ~at:1 ~p_seq:3. ~sync_seq:[ leaf ~at:2 1. ] () ]
+      ~async:[ leaf ~at:3 10.; leaf ~at:4 2. ]
+      ~p_ovp:1. ()
+  in
+  let d = decompose c st in
+  checkf "buckets sum to latency" (latency c st)
+    (d.d_sync_exec +. d.d_cs +. d.d_cr +. d.d_async);
+  checkf "sync bucket is pure processing" 8. d.d_sync_exec;
+  check_bool "cs bucket positive" true (d.d_cs > 0.)
+
+let test_sequential_work () =
+  let st =
+    node ~at:0 ~p_seq:4. ~sync_seq:[ leaf ~at:1 3. ]
+      ~async:[ leaf ~at:2 5.; leaf ~at:3 6. ]
+      ~p_ovp:2. ()
+  in
+  checkf "total work" 20. (sequential_work st)
+
+(* Property: moving a child from sync_seq to async never increases
+   latency under uniform costs with cr >= 0 and no other children...
+   — in general asynchrony can cost more when communication dominates
+   processing; the paper's claim is about *overlap*. The robust property:
+   latency is monotone in processing costs. *)
+let prop_monotone_processing =
+  QCheck.Test.make ~name:"latency monotone in processing cost" ~count:200
+    QCheck.(
+      triple (float_bound_exclusive 50.) (float_bound_exclusive 50.)
+        (list_of_size Gen.(1 -- 5) (float_bound_exclusive 50.)))
+    (fun (p, extra, asyncs) ->
+      let mk p_seq =
+        node ~at:0 ~p_seq
+          ~async:(List.mapi (fun i d -> leaf ~at:(i + 1) d) asyncs)
+          ()
+      in
+      latency c (mk (p +. extra)) >= latency c (mk p) -. 1e-9)
+
+(* Property: fully-async (all children async) is never slower than
+   fully-sync (same children synchronous) when the async send/recv pattern
+   matches the sync one (cs and cr both paid per child in the sync case,
+   and at most that in the async max term). *)
+let prop_async_no_slower_than_sync =
+  QCheck.Test.make ~name:"async formulation <= sync formulation" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 8) (float_bound_exclusive 100.))
+    (fun durations ->
+      let children = List.mapi (fun i d -> leaf ~at:(i + 1) d) durations in
+      let sync = node ~at:0 ~sync_seq:children () in
+      let asyn = node ~at:0 ~async:children () in
+      latency c asyn <= latency c sync +. 1e-9)
+
+(* Property: decomposition buckets always sum to the latency. *)
+let gen_st =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then
+      map2 (fun at p -> leaf ~at p) (int_bound 5) (float_bound_exclusive 20.)
+    else
+      map2
+        (fun (at, p_seq, p_ovp) (ss, aa) ->
+          node ~at ~p_seq ~sync_seq:ss ~async:aa ~p_ovp ())
+        (triple (int_bound 5) (float_bound_exclusive 20.)
+           (float_bound_exclusive 20.))
+        (pair
+           (list_size (int_bound 2) (go (depth - 1)))
+           (list_size (int_bound 3) (go (depth - 1))))
+  in
+  go 2
+
+let prop_decompose_sums =
+  QCheck.Test.make ~name:"decomposition sums to latency" ~count:300
+    (QCheck.make gen_st)
+    (fun st ->
+      let d = decompose c st in
+      Float.abs (latency c st -. (d.d_sync_exec +. d.d_cs +. d.d_cr +. d.d_async))
+      < 1e-6)
+
+let test_linear_fit () =
+  let f = linear_fit [ (1., 5.); (2., 7.); (3., 9.) ] in
+  checkf "slope" 2. f.slope;
+  checkf "intercept" 3. f.intercept;
+  checkf "perfect r2" 1. f.r2;
+  let noisy = linear_fit [ (0., 1.); (1., 2.9); (2., 5.1); (3., 7.) ] in
+  check_bool "noisy slope near 2" true (Float.abs (noisy.slope -. 2.) < 0.1);
+  check_bool "noisy r2 high" true (noisy.r2 > 0.99);
+  check_bool "degenerate x rejected" true
+    (try ignore (linear_fit [ (1., 1.); (1., 2.) ]); false
+     with Invalid_argument _ -> true);
+  checkf "constant y" 1. (linear_fit [ (1., 4.); (2., 4.) ]).r2
+
+let test_fit_recovers_model_slope () =
+  (* Fit the fully-sync family L(n) = base + n*(P + Cs + Cr) generated by
+     the equation itself: the recovered slope must equal P + Cs + Cr. *)
+  let p = 6. in
+  let points =
+    List.map
+      (fun n ->
+        let st =
+          node ~at:0
+            ~sync_seq:(List.init n (fun i -> leaf ~at:(i + 1) p))
+            ()
+        in
+        (float_of_int n, latency c st))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let f = linear_fit points in
+  checkf "slope = P + Cs + Cr" (p +. 2. +. 7.) f.slope;
+  checkf "r2 exact" 1. f.r2
+
+let suite =
+  ( "costmodel",
+    [
+      Alcotest.test_case "leaf" `Quick test_leaf;
+      Alcotest.test_case "sync children" `Quick test_sync_children;
+      Alcotest.test_case "self comm free" `Quick test_sync_same_executor_free_comm;
+      Alcotest.test_case "async max term" `Quick test_async_max;
+      Alcotest.test_case "overlap" `Quick test_overlap_hides_async;
+      Alcotest.test_case "nested" `Quick test_nested;
+      Alcotest.test_case "decompose sums" `Quick test_decompose_sums;
+      Alcotest.test_case "sequential work" `Quick test_sequential_work;
+      QCheck_alcotest.to_alcotest prop_monotone_processing;
+      QCheck_alcotest.to_alcotest prop_async_no_slower_than_sync;
+      QCheck_alcotest.to_alcotest prop_decompose_sums;
+      Alcotest.test_case "linear fit" `Quick test_linear_fit;
+      Alcotest.test_case "fit recovers model slope" `Quick
+        test_fit_recovers_model_slope;
+    ] )

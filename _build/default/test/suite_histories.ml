@@ -1,0 +1,162 @@
+(* Tests for the §2.3 formal machinery: projection, serializability
+   checking in both models, Theorem 2.7 as a property, and certification
+   of actual runtime histories. *)
+
+open Histories
+
+let check_bool = Alcotest.(check bool)
+
+let ev ?(st = 0) t r item w =
+  { Model.e_txn = t; e_st = st; e_reactor = r; e_item = item; e_write = w }
+
+let test_serial_history_serializable () =
+  (* T1 fully before T2, conflicting on the same item. *)
+  let h = [ ev 1 0 "x" true; ev 1 0 "y" false; ev 2 0 "x" true ] in
+  check_bool "reactor model" true (Model.reactor_serializable h);
+  check_bool "classic model" true (Model.classic_serializable (Model.project h))
+
+let test_cycle_not_serializable () =
+  (* T1 reads x then writes y; T2 writes x after T1's read but reads y before
+     T1's write: T1 -> T2 (rw on x), T2 -> T1 (rw on y). *)
+  let h =
+    [ ev 1 0 "x" false; ev 2 0 "y" false; ev 2 0 "x" true; ev 1 0 "y" true ]
+  in
+  check_bool "reactor model detects cycle" false (Model.reactor_serializable h);
+  check_bool "classic model detects cycle" false
+    (Model.classic_serializable (Model.project h))
+
+let test_same_item_different_reactors_no_conflict () =
+  (* The same item name in different reactors is a different data item
+     (disjoint state, §2.3.2): no conflict, hence serializable. *)
+  let h =
+    [ ev 1 0 "x" false; ev 2 1 "x" true; ev 2 0 "q" true; ev 1 1 "q" true ]
+  in
+  (* cross pattern but on (reactor, item) pairs that do not collide *)
+  check_bool "disjoint reactors" true (Model.reactor_serializable h);
+  (* projection must preserve that: k ◦ x names differ *)
+  check_bool "projection too" true (Model.classic_serializable (Model.project h))
+
+let test_projection_name_mapping () =
+  let h = [ ev 1 3 "x" true; ev 1 7 "x" true ] in
+  match Model.project h with
+  | [ a; b ] ->
+    check_bool "distinct projected items" true (a.Model.c_item <> b.Model.c_item)
+  | _ -> Alcotest.fail "arity"
+
+let test_serial_order_witness () =
+  let h = [ ev 2 0 "x" true; ev 1 0 "x" true ] in
+  (match Model.serial_order h with
+  | Some order -> Alcotest.(check (list int)) "T2 before T1" [ 2; 1 ] order
+  | None -> Alcotest.fail "serializable");
+  let bad =
+    [ ev 1 0 "x" true; ev 2 0 "x" true; ev 2 0 "y" true; ev 1 0 "y" true ]
+  in
+  check_bool "no witness for cycle" true (Model.serial_order bad = None)
+
+let test_has_cycle () =
+  check_bool "cycle" true (Model.has_cycle [ (1, [ 2 ]); (2, [ 3 ]); (3, [ 1 ]) ]);
+  check_bool "dag" false (Model.has_cycle [ (1, [ 2; 3 ]); (2, [ 3 ]) ]);
+  check_bool "self loop" true (Model.has_cycle [ (1, [ 1 ]) ])
+
+(* Theorem 2.7 as a property: for random histories (nested sub-transaction
+   structure, several reactors/items), reactor-model serializability agrees
+   with classic-model serializability of the projection. *)
+let gen_history =
+  QCheck.Gen.(
+    list_size (int_range 0 30)
+      (map
+         (fun (t, st, r, item, w) ->
+           {
+             Model.e_txn = 1 + t;
+             e_st = st;
+             e_reactor = r;
+             e_item = String.make 1 (Char.chr (Char.code 'a' + item));
+             e_write = w;
+           })
+         (tup5 (int_bound 4) (int_bound 3) (int_bound 2) (int_bound 2) bool)))
+
+let prop_theorem_2_7 =
+  QCheck.Test.make ~name:"Theorem 2.7: serializable iff projection is"
+    ~count:500 (QCheck.make gen_history)
+    (fun h ->
+      Model.reactor_serializable h
+      = Model.classic_serializable (Model.project h))
+
+(* --- runtime certification --- *)
+
+let test_certify_clean () =
+  let entries =
+    [
+      { Certify.c_txn = 1; c_tid = 10; c_reads = [ (100, 0) ]; c_writes = [ 100 ] };
+      { Certify.c_txn = 2; c_tid = 20; c_reads = [ (100, 10) ]; c_writes = [ 100 ] };
+    ]
+  in
+  match Certify.check entries with
+  | Ok order -> Alcotest.(check (list int)) "order" [ 1; 2 ] order
+  | Error m -> Alcotest.failf "unexpected: %s" m
+
+let test_certify_detects_cycle () =
+  (* T1 read x@0 and wrote y@10; T2 read y@0 and wrote x@10: each read the
+     version preceding the other's write — classic write-skew cycle. *)
+  let entries =
+    [
+      { Certify.c_txn = 1; c_tid = 10; c_reads = [ (1, 0) ]; c_writes = [ 2 ] };
+      { Certify.c_txn = 2; c_tid = 10; c_reads = [ (2, 0) ]; c_writes = [ 1 ] };
+    ]
+  in
+  check_bool "write-skew cycle" true (Result.is_error (Certify.check entries))
+
+let test_certify_detects_impossible_read () =
+  let entries =
+    [ { Certify.c_txn = 1; c_tid = 10; c_reads = [ (1, 77) ]; c_writes = [] } ]
+  in
+  check_bool "phantom tid" true (Result.is_error (Certify.check entries))
+
+(* End-to-end: record histories from adversarial runtime executions under
+   every deployment and certify them. *)
+let certify_run ?(accounts = 4) config =
+  Testlib.with_db ~n:accounts config (fun db ->
+      Reactdb.Database.enable_history db;
+      Testlib.run_conflict_workload ~accounts db ~workers:6 ~per_worker:30;
+      let entries =
+        List.map
+          (fun h ->
+            {
+              Certify.c_txn = h.Reactdb.Database.h_txn;
+              c_tid = h.Reactdb.Database.h_tid;
+              c_reads = h.Reactdb.Database.h_reads;
+              c_writes = h.Reactdb.Database.h_writes;
+            })
+          (Reactdb.Database.history db)
+      in
+      check_bool "history non-trivial" true (List.length entries > 50);
+      match Certify.check entries with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "execution not serializable: %s" m)
+
+let test_certify_runtime_se () = certify_run (Testlib.se_config ~affinity:false 4 4)
+let test_certify_runtime_sn () = certify_run ~accounts:16 (Testlib.sn_config 16)
+
+let test_certify_runtime_affinity () =
+  certify_run (Testlib.se_config ~affinity:true 2 4)
+
+let suite =
+  ( "histories",
+    [
+      Alcotest.test_case "serial history" `Quick test_serial_history_serializable;
+      Alcotest.test_case "cycle detected" `Quick test_cycle_not_serializable;
+      Alcotest.test_case "reactor state disjoint" `Quick
+        test_same_item_different_reactors_no_conflict;
+      Alcotest.test_case "projection naming" `Quick test_projection_name_mapping;
+      Alcotest.test_case "serial order witness" `Quick test_serial_order_witness;
+      Alcotest.test_case "cycle detection" `Quick test_has_cycle;
+      QCheck_alcotest.to_alcotest prop_theorem_2_7;
+      Alcotest.test_case "certify clean" `Quick test_certify_clean;
+      Alcotest.test_case "certify cycle" `Quick test_certify_detects_cycle;
+      Alcotest.test_case "certify impossible read" `Quick
+        test_certify_detects_impossible_read;
+      Alcotest.test_case "certify runtime SE" `Quick test_certify_runtime_se;
+      Alcotest.test_case "certify runtime SN" `Quick test_certify_runtime_sn;
+      Alcotest.test_case "certify runtime affinity" `Quick
+        test_certify_runtime_affinity;
+    ] )

@@ -1,0 +1,272 @@
+(* Unit tests for the Silo-style OCC layer: visibility, validation,
+   phantom protection, and the 2PC primitives. *)
+
+open Util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sch =
+  Storage.Schema.make ~name:"kv"
+    ~columns:[ ("k", Value.TInt); ("v", Value.TInt) ]
+    ~key:[ "k" ]
+
+let fresh_table () =
+  let tbl = Storage.Table.create sch in
+  for i = 0 to 9 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false [| Value.Int i; Value.Int (100 + i) |]))
+  done;
+  tbl
+
+let ids = ref 0
+
+let fresh_txn () =
+  incr ids;
+  Occ.Txn.create ~id:!ids
+
+let key i = [| Value.Int i |]
+
+let read_v txn ~c tbl i =
+  match Storage.Table.find tbl (key i) with
+  | None -> None
+  | Some r -> (
+    match Occ.Txn.read txn ~container:c r with
+    | Some data -> Some (Value.to_int data.(1))
+    | None -> None)
+
+let write_v txn ~c tbl i v =
+  match Storage.Table.find tbl (key i) with
+  | None -> Alcotest.fail "missing record"
+  | Some r ->
+    Occ.Txn.write txn ~container:c ~table:tbl ~key:(key i) r
+      [| Value.Int i; Value.Int v |]
+
+let test_read_own_writes () =
+  let tbl = fresh_table () in
+  let t = fresh_txn () in
+  write_v t ~c:0 tbl 3 999;
+  Alcotest.(check (option int)) "sees own write" (Some 999) (read_v t ~c:0 tbl 3);
+  Occ.Txn.insert t ~container:0 ~table:tbl [| Value.Int 50; Value.Int 1 |];
+  (match Occ.Txn.own_insert t ~table:tbl ~key:(key 50) with
+  | Some e ->
+    check_int "own insert visible" 1
+      (Value.to_int e.Occ.Txn.wrec.Storage.Record.data.(1))
+  | None -> Alcotest.fail "own insert missing");
+  (* Buffered insert is not physically in the table pre-commit. *)
+  check_bool "not yet physical" true (Storage.Table.find tbl (key 50) = None)
+
+let test_commit_installs () =
+  let tbl = fresh_table () in
+  let t = fresh_txn () in
+  write_v t ~c:0 tbl 1 42;
+  Occ.Txn.insert t ~container:0 ~table:tbl [| Value.Int 60; Value.Int 2 |];
+  (match Storage.Table.find tbl (key 2) with
+  | Some r ->
+    Occ.Txn.delete t ~container:0 ~table:tbl ~key:(key 2) r
+  | None -> Alcotest.fail "missing");
+  (match Occ.Commit.commit_single t ~epoch:1 ~container:0 with
+  | Ok tid -> check_bool "tid positive" true (tid > 0)
+  | Error m -> Alcotest.failf "commit failed: %s" m);
+  let t2 = fresh_txn () in
+  Alcotest.(check (option int)) "update visible" (Some 42) (read_v t2 ~c:0 tbl 1);
+  check_bool "insert installed" true (Storage.Table.find tbl (key 60) <> None);
+  check_bool "delete removed" true (Storage.Table.find tbl (key 2) = None)
+
+let test_write_write_conflict () =
+  let tbl = fresh_table () in
+  let t1 = fresh_txn () and t2 = fresh_txn () in
+  (* Both read-modify-write key 4; t1 commits first; t2 must fail
+     validation on its stale read. *)
+  ignore (read_v t1 ~c:0 tbl 4);
+  ignore (read_v t2 ~c:0 tbl 4);
+  write_v t1 ~c:0 tbl 4 1;
+  write_v t2 ~c:0 tbl 4 2;
+  check_bool "t1 commits" true
+    (Result.is_ok (Occ.Commit.commit_single t1 ~epoch:1 ~container:0));
+  check_bool "t2 aborts" true
+    (Result.is_error (Occ.Commit.commit_single t2 ~epoch:1 ~container:0));
+  let t3 = fresh_txn () in
+  Alcotest.(check (option int)) "t1's write survives" (Some 1) (read_v t3 ~c:0 tbl 4)
+
+let test_blind_write_no_conflict () =
+  (* Blind writes (no read) of disjoint values: both commit, last wins. *)
+  let tbl = fresh_table () in
+  let t1 = fresh_txn () and t2 = fresh_txn () in
+  write_v t1 ~c:0 tbl 5 1;
+  write_v t2 ~c:0 tbl 5 2;
+  check_bool "t1 ok" true
+    (Result.is_ok (Occ.Commit.commit_single t1 ~epoch:1 ~container:0));
+  check_bool "t2 ok (no read validation)" true
+    (Result.is_ok (Occ.Commit.commit_single t2 ~epoch:1 ~container:0));
+  let t3 = fresh_txn () in
+  Alcotest.(check (option int)) "last wins" (Some 2) (read_v t3 ~c:0 tbl 5)
+
+let test_phantom_protection () =
+  let tbl = fresh_table () in
+  (* t1 scans keys [20, 30] (empty), t2 inserts 25 and commits, t1 must
+     fail validation through its node set. *)
+  let t1 = fresh_txn () and t2 = fresh_txn () in
+  let seen = ref 0 in
+  Storage.Table.range tbl ~lo:(key 20) ~hi:(key 30)
+    ~on_node:(fun w -> Occ.Txn.note_node t1 ~container:0 w)
+    ~f:(fun _ -> incr seen; true);
+  check_int "empty range" 0 !seen;
+  (* t1 must also write something, else it has nothing to validate against;
+     give it a write to force full validation. *)
+  write_v t1 ~c:0 tbl 0 7;
+  Occ.Txn.insert t2 ~container:0 ~table:tbl [| Value.Int 25; Value.Int 1 |];
+  check_bool "t2 commits" true
+    (Result.is_ok (Occ.Commit.commit_single t2 ~epoch:1 ~container:0));
+  check_bool "t1 aborts on phantom" true
+    (Result.is_error (Occ.Commit.commit_single t1 ~epoch:1 ~container:0))
+
+let test_insert_insert_conflict () =
+  let tbl = fresh_table () in
+  let t1 = fresh_txn () and t2 = fresh_txn () in
+  Occ.Txn.insert t1 ~container:0 ~table:tbl [| Value.Int 77; Value.Int 1 |];
+  Occ.Txn.insert t2 ~container:0 ~table:tbl [| Value.Int 77; Value.Int 2 |];
+  check_bool "t1 commits" true
+    (Result.is_ok (Occ.Commit.commit_single t1 ~epoch:1 ~container:0));
+  check_bool "t2 aborts (duplicate)" true
+    (Result.is_error (Occ.Commit.commit_single t2 ~epoch:1 ~container:0));
+  let t3 = fresh_txn () in
+  Alcotest.(check (option int)) "t1's row" (Some 1) (read_v t3 ~c:0 tbl 77)
+
+let test_insert_existing_aborts_immediately () =
+  let tbl = fresh_table () in
+  let t = fresh_txn () in
+  check_bool "duplicate key raises Abort" true
+    (try
+       Occ.Txn.insert t ~container:0 ~table:tbl [| Value.Int 3; Value.Int 0 |];
+       false
+     with Occ.Txn.Abort _ -> true)
+
+let test_delete_then_reinsert_other_txn () =
+  let tbl = fresh_table () in
+  let t1 = fresh_txn () in
+  (match Storage.Table.find tbl (key 7) with
+  | Some r -> Occ.Txn.delete t1 ~container:0 ~table:tbl ~key:(key 7) r
+  | None -> Alcotest.fail "missing");
+  check_bool "t1 commits delete" true
+    (Result.is_ok (Occ.Commit.commit_single t1 ~epoch:1 ~container:0));
+  let t2 = fresh_txn () in
+  Occ.Txn.insert t2 ~container:0 ~table:tbl [| Value.Int 7; Value.Int 5 |];
+  check_bool "reinsert commits" true
+    (Result.is_ok (Occ.Commit.commit_single t2 ~epoch:1 ~container:0));
+  let t3 = fresh_txn () in
+  Alcotest.(check (option int)) "new row" (Some 5) (read_v t3 ~c:0 tbl 7)
+
+let test_2pc_prepare_release () =
+  (* Two containers, each with its own table; release after one prepare
+     leaves no residue. *)
+  let tbl0 = fresh_table () and tbl1 = fresh_table () in
+  let t = fresh_txn () in
+  write_v t ~c:0 tbl0 1 11;
+  write_v t ~c:1 tbl1 2 22;
+  check_bool "prepare c0" true (Occ.Commit.prepare t ~container:0);
+  (* Simulate failure on container 1: release both. *)
+  Occ.Commit.release t ~container:0;
+  Occ.Commit.release t ~container:1;
+  let t2 = fresh_txn () in
+  Alcotest.(check (option int)) "no residue c0" (Some 101) (read_v t2 ~c:0 tbl0 1);
+  (match Storage.Table.find tbl0 (key 1) with
+  | Some r -> check_bool "unlocked" false (Storage.Record.is_locked r)
+  | None -> Alcotest.fail "missing")
+
+let test_2pc_full_commit () =
+  let tbl0 = fresh_table () and tbl1 = fresh_table () in
+  let t = fresh_txn () in
+  write_v t ~c:0 tbl0 1 11;
+  Occ.Txn.insert t ~container:1 ~table:tbl1 [| Value.Int 88; Value.Int 8 |];
+  Alcotest.(check (list int)) "containers" [ 0; 1 ] (Occ.Txn.containers t);
+  check_bool "prepare c0" true (Occ.Commit.prepare t ~container:0);
+  check_bool "prepare c1" true (Occ.Commit.prepare t ~container:1);
+  let tid = Occ.Commit.compute_tid t ~epoch:2 in
+  Occ.Commit.install t ~container:0 ~tid;
+  Occ.Commit.install t ~container:1 ~tid;
+  let t2 = fresh_txn () in
+  Alcotest.(check (option int)) "c0 installed" (Some 11) (read_v t2 ~c:0 tbl0 1);
+  Alcotest.(check (option int)) "c1 installed" (Some 8) (read_v t2 ~c:1 tbl1 88);
+  check_int "tid epoch" 2 (Storage.Record.tid_epoch tid)
+
+let test_prepare_locked_by_other_fails () =
+  let tbl = fresh_table () in
+  let t1 = fresh_txn () and t2 = fresh_txn () in
+  write_v t1 ~c:0 tbl 1 11;
+  write_v t2 ~c:0 tbl 1 22;
+  check_bool "t1 prepares (locks)" true (Occ.Commit.prepare t1 ~container:0);
+  check_bool "t2 prepare fails on lock" false (Occ.Commit.prepare t2 ~container:0);
+  (* t2 read-validating against a locked record also fails. *)
+  let t3 = fresh_txn () in
+  ignore (read_v t3 ~c:0 tbl 1);
+  write_v t3 ~c:0 tbl 2 0;
+  check_bool "reader of locked record fails validation" false
+    (Occ.Commit.prepare t3 ~container:0);
+  Occ.Commit.release t1 ~container:0
+
+let test_reserved_insert_blocks_concurrent_insert () =
+  let tbl = fresh_table () in
+  let t1 = fresh_txn () in
+  Occ.Txn.insert t1 ~container:0 ~table:tbl [| Value.Int 90; Value.Int 1 |];
+  check_bool "t1 prepares (reserves 90)" true (Occ.Commit.prepare t1 ~container:0);
+  (* Concurrent executor tries to insert the same key mid-2PC: the
+     execution-time probe sees the reservation. *)
+  let t2 = fresh_txn () in
+  check_bool "t2 insert aborts on reservation" true
+    (try
+       Occ.Txn.insert t2 ~container:0 ~table:tbl [| Value.Int 90; Value.Int 2 |];
+       false
+     with Occ.Txn.Abort _ -> true);
+  Occ.Commit.release t1 ~container:0;
+  check_bool "reservation rolled back" true (Storage.Table.find tbl (key 90) = None)
+
+let test_write_after_delete_rejected () =
+  let tbl = fresh_table () in
+  let t = fresh_txn () in
+  (match Storage.Table.find tbl (key 1) with
+  | Some r ->
+    Occ.Txn.delete t ~container:0 ~table:tbl ~key:(key 1) r;
+    check_bool "write-after-delete aborts" true
+      (try
+         Occ.Txn.write t ~container:0 ~table:tbl ~key:(key 1) r
+           [| Value.Int 1; Value.Int 0 |];
+         false
+       with Occ.Txn.Abort _ -> true)
+  | None -> Alcotest.fail "missing")
+
+let test_delete_own_insert_cancels () =
+  let tbl = fresh_table () in
+  let t = fresh_txn () in
+  Occ.Txn.insert t ~container:0 ~table:tbl [| Value.Int 91; Value.Int 1 |];
+  (match Occ.Txn.own_insert t ~table:tbl ~key:(key 91) with
+  | Some e -> Occ.Txn.delete t ~container:0 ~table:tbl ~key:(key 91) e.Occ.Txn.wrec
+  | None -> Alcotest.fail "missing own insert");
+  check_int "write set empty" 0 (Occ.Txn.write_count t);
+  check_bool "commit clean" true
+    (Result.is_ok (Occ.Commit.commit_single t ~epoch:1 ~container:0));
+  check_bool "nothing installed" true (Storage.Table.find tbl (key 91) = None)
+
+let suite =
+  ( "occ",
+    [
+      Alcotest.test_case "read own writes" `Quick test_read_own_writes;
+      Alcotest.test_case "commit installs" `Quick test_commit_installs;
+      Alcotest.test_case "write-write conflict" `Quick test_write_write_conflict;
+      Alcotest.test_case "blind writes" `Quick test_blind_write_no_conflict;
+      Alcotest.test_case "phantom protection" `Quick test_phantom_protection;
+      Alcotest.test_case "insert-insert conflict" `Quick test_insert_insert_conflict;
+      Alcotest.test_case "duplicate insert aborts" `Quick
+        test_insert_existing_aborts_immediately;
+      Alcotest.test_case "delete then reinsert" `Quick
+        test_delete_then_reinsert_other_txn;
+      Alcotest.test_case "2pc prepare/release" `Quick test_2pc_prepare_release;
+      Alcotest.test_case "2pc full commit" `Quick test_2pc_full_commit;
+      Alcotest.test_case "prepare fails on foreign lock" `Quick
+        test_prepare_locked_by_other_fails;
+      Alcotest.test_case "reservation blocks insert" `Quick
+        test_reserved_insert_blocks_concurrent_insert;
+      Alcotest.test_case "write after delete" `Quick test_write_after_delete_rejected;
+      Alcotest.test_case "delete own insert" `Quick test_delete_own_insert_cancels;
+    ] )

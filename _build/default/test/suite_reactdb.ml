@@ -1,0 +1,308 @@
+(* Integration tests of the ReactDB runtime: reactor semantics, deployments,
+   concurrency control, safety condition, breakdowns. *)
+
+open Util
+open Testlib
+module DB = Reactdb.Database
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+let ok_or_fail = function
+  | { DB.result = Ok v; _ } -> v
+  | { DB.result = Error m; _ } -> Alcotest.failf "unexpected abort: %s" m
+
+let test_single_reactor_txn () =
+  with_db (se_config 1 4) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+          ~args:[ Value.Float 50. ]
+      in
+      (match ok_or_fail out with
+      | Value.Float f -> checkf "deposit returns new balance" 150. f
+      | v -> Alcotest.failf "bad result %s" (Value.to_string v));
+      checkf "committed balance" 150. (balance db "acct0");
+      check_int "committed count" 2 (DB.n_committed db);
+      check_bool "latency positive" true (out.DB.latency > 0.))
+
+let test_user_abort_rolls_back () =
+  with_db (se_config 1 4) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+          ~args:[ Value.Float (-500.) ]
+      in
+      (match out.DB.result with
+      | Error m -> check_bool "abort reason" true (m = "insufficient funds")
+      | Ok _ -> Alcotest.fail "expected abort");
+      checkf "balance unchanged" 100. (balance db "acct0");
+      check_int "aborted count" 1 (DB.n_aborted db))
+
+let test_cross_reactor_sync_shared_everything () =
+  with_db (se_config 2 4) (fun db ->
+      ignore
+        (ok_or_fail
+           (DB.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+              ~args:[ Value.Str "acct1"; Value.Float 30. ]));
+      checkf "source debited" 70. (balance db "acct0");
+      checkf "dest credited" 130. (balance db "acct1"))
+
+let test_cross_container_async () =
+  with_db (sn_config 4) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_async"
+          ~args:[ Value.Float 10.; Value.Str "acct1"; Value.Str "acct2";
+                  Value.Str "acct3" ]
+      in
+      ignore (ok_or_fail out);
+      check_int "touched all four containers" 4 out.DB.containers_touched;
+      checkf "source" 70. (balance db "acct0");
+      checkf "d1" 110. (balance db "acct1");
+      checkf "d2" 110. (balance db "acct2");
+      checkf "d3" 110. (balance db "acct3"))
+
+let test_sub_abort_aborts_root () =
+  with_db (sn_config 4) (fun db ->
+      (* acct1 has 100; transferring 200 in makes the source debit fail. *)
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_sync"
+          ~args:[ Value.Float 200.; Value.Str "acct1" ]
+      in
+      (match out.DB.result with
+      | Error m -> check_bool "reason" true (m = "insufficient funds")
+      | Ok _ -> Alcotest.fail "expected abort");
+      (* The credit on acct1 must NOT survive. *)
+      checkf "no partial commit on acct1" 100. (balance db "acct1");
+      checkf "source untouched" 100. (balance db "acct0"))
+
+let test_remote_sub_abort_aborts_root () =
+  with_db ~n:2 (sn_config 2) (fun db ->
+      (* deposit on remote reactor aborts (negative balance there). *)
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+          ~args:[ Value.Str "acct1"; Value.Float (-500.) ]
+      in
+      (* transfer_to sends deposit(-(-500)) = +500 locally, deposit(-500)
+         remotely: remote hits insufficient funds. *)
+      check_bool "aborted" true (Result.is_error out.DB.result);
+      checkf "local effect rolled back" 100. (balance db "acct0");
+      checkf "remote unchanged" 100. (balance db "acct1"))
+
+let test_dangerous_structure_detected () =
+  with_db ~n:2 (sn_config 2) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"same_twice"
+          ~args:[ Value.Str "acct1" ]
+      in
+      match out.DB.result with
+      | Error m ->
+        check_bool "dangerous structure reported" true
+          (String.length m >= 9 && String.sub m 0 9 = "dangerous");
+        checkf "no effects" 100. (balance db "acct1")
+      | Ok _ -> Alcotest.fail "expected dangerous-structure abort")
+
+let test_sequential_calls_same_reactor_ok () =
+  (* Two transfers to the same destination, synchronously one after the
+     other: the active set empties in between, so this is safe. *)
+  with_db ~n:2 (sn_config 2) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_sync"
+          ~args:[ Value.Float 5.; Value.Str "acct1" ]
+      in
+      ignore (ok_or_fail out);
+      let out2 =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_sync"
+          ~args:[ Value.Float 5.; Value.Str "acct1" ]
+      in
+      ignore (ok_or_fail out2);
+      checkf "dest" 110. (balance db "acct1"))
+
+let test_self_call_inlined () =
+  with_db (se_config 1 1) (fun db ->
+      (* transfer_to self: credit and debit cancel; must not deadlock or
+         trip the safety condition. *)
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+          ~args:[ Value.Str "acct0"; Value.Float 10. ]
+      in
+      ignore (ok_or_fail out);
+      checkf "unchanged" 100. (balance db "acct0"))
+
+let total_balance db =
+  List.fold_left (fun acc n -> acc +. balance db n) 0. (names 4)
+
+let test_conservation_shared_everything () =
+  with_db (se_config ~affinity:false 4 4) (fun db ->
+      Testlib.run_conflict_workload db ~workers:6 ~per_worker:40;
+      checkf "money conserved" 400. (total_balance db);
+      check_bool "some commits" true (DB.n_committed db > 0))
+
+let test_conservation_shared_nothing () =
+  with_db (sn_config 4) (fun db ->
+      Testlib.run_conflict_workload db ~workers:6 ~per_worker:40;
+      checkf "money conserved" 400. (total_balance db);
+      check_bool "some commits" true (DB.n_committed db > 0))
+
+let test_conservation_affinity () =
+  with_db (se_config ~affinity:true 4 4) (fun db ->
+      Testlib.run_conflict_workload db ~workers:6 ~per_worker:40;
+      checkf "money conserved" 400. (total_balance db))
+
+let test_breakdown_sums_to_latency () =
+  with_db (sn_config 4) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_async"
+          ~args:[ Value.Float 1.; Value.Str "acct1"; Value.Str "acct2" ]
+      in
+      ignore (ok_or_fail out);
+      let b = out.DB.breakdown in
+      let sum =
+        b.DB.bd_sync_exec +. b.DB.bd_cs +. b.DB.bd_cr +. b.DB.bd_async_exec
+        +. b.DB.bd_overhead
+      in
+      Alcotest.(check (float 1e-3)) "buckets sum to latency" out.DB.latency sum;
+      check_bool "cs charged for 2 remote calls" true
+        (b.DB.bd_cs >= 2. *. Reactdb.Profile.default.cost_send -. 1e-9))
+
+let test_async_faster_than_sync () =
+  (* The core latency claim (Fig. 5): overlapping remote work must beat
+     sequential remote work on a shared-nothing deployment. *)
+  let run proc =
+    with_db ~n:6 (sn_config 6) (fun db ->
+        let args =
+          Value.Float 1.
+          :: List.map (fun i -> Value.Str (Printf.sprintf "acct%d" i))
+               [ 1; 2; 3; 4; 5 ]
+        in
+        let out = DB.exec_txn db ~reactor:"acct0" ~proc ~args in
+        ignore (ok_or_fail out);
+        out.DB.latency)
+  in
+  let sync = run "multi_transfer_sync" in
+  let asyn = run "multi_transfer_async" in
+  check_bool
+    (Printf.sprintf "async (%.1f) < sync (%.1f)" asyn sync)
+    true (asyn < sync)
+
+let test_noop_overhead () =
+  (* App F.3: empty transactions measure containerization overhead. *)
+  with_db (se_config 1 1) (fun db ->
+      let out = DB.exec_txn db ~reactor:"acct0" ~proc:"noop" ~args:[] in
+      ignore (ok_or_fail out);
+      let p = Reactdb.Profile.default in
+      check_bool "latency at least dispatch+input+proc+commit" true
+        (out.DB.latency
+        >= p.cost_input_gen +. p.cost_client_dispatch +. p.cost_proc_base
+           +. p.cost_commit_base -. 1e-6);
+      check_bool "latency in the ~20µs ballpark of App F.3" true
+        (out.DB.latency >= 15. && out.DB.latency <= 30.))
+
+let test_occ_detects_conflicts () =
+  (* Force a read-validate conflict: two concurrent transactions on the same
+     reactor data from different executors of one container. With zero think
+     time and identical access sets, at least one abort should eventually
+     occur under round-robin routing; and committed state must be exact. *)
+  with_db (se_config ~affinity:false 4 1) (fun db ->
+      let eng = DB.engine db in
+      for w = 0 to 3 do
+        Sim.Engine.spawn eng (fun () ->
+            ignore w;
+            for _ = 1 to 50 do
+              ignore
+                (DB.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+                   ~args:[ Value.Float 1. ])
+            done)
+      done;
+      ignore (Sim.Engine.run eng);
+      let committed = DB.n_committed db and aborted = DB.n_aborted db in
+      checkf "balance = 100 + commits" (100. +. float_of_int committed)
+        (balance db "acct0");
+      check_int "commits + aborts = 200" 200 (committed + aborted))
+
+let test_utilizations_and_reset () =
+  with_db (se_config 2 4) (fun db ->
+      ignore
+        (ok_or_fail
+           (DB.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+              ~args:[ Value.Float 1. ]));
+      let u = DB.utilizations db in
+      check_int "one entry per executor" 2 (Array.length u);
+      check_bool "some busy time" true (Array.exists (fun x -> x > 0.) u);
+      DB.reset_stats db;
+      check_int "committed reset" 0 (DB.n_committed db))
+
+let test_cluster_deployment () =
+  (* Same application, containers split across two machines: semantics
+     unchanged, cross-machine latency strictly higher. *)
+  let lat machines =
+    with_db ~n:4
+      (Reactdb.Config.on_machines (sn_config 4) (fun c -> c mod machines))
+      (fun db ->
+        let out =
+          DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_async"
+            ~args:[ Value.Float 5.; Value.Str "acct1"; Value.Str "acct2" ]
+        in
+        ignore (ok_or_fail out);
+        checkf "d1 credited" 105. (balance db "acct1");
+        checkf "d2 credited" 105. (balance db "acct2");
+        checkf "source debited" 90. (balance db "acct0");
+        out.DB.latency)
+  in
+  let local = lat 1 and spread = lat 2 in
+  check_bool
+    (Printf.sprintf "network adds latency (%.1f < %.1f)" local spread)
+    true
+    (local +. (2. *. Reactdb.Profile.default.cost_network) <= spread)
+
+let test_config_spec_parsing () =
+  let spec =
+    Reactdb.Config.Spec.of_string
+      "# a comment\nstrategy shared-nothing\nmpl 4\ngroups auto 2\n"
+  in
+  let cfg = Reactdb.Config.Spec.build spec [ "a"; "b"; "c" ] in
+  check_int "containers" 2 (Reactdb.Config.n_containers cfg);
+  check_int "mpl" 4 cfg.Reactdb.Config.mpl;
+  check_int "a in container 0" 0 (cfg.Reactdb.Config.placement "a");
+  check_int "b in container 1" 1 (cfg.Reactdb.Config.placement "b");
+  check_int "c in container 0" 0 (cfg.Reactdb.Config.placement "c");
+  let spec2 =
+    Reactdb.Config.Spec.of_string
+      "strategy shared-everything\nexecutors 3\naffinity off\n"
+  in
+  let cfg2 = Reactdb.Config.Spec.build spec2 [ "a" ] in
+  check_int "one container" 1 (Reactdb.Config.n_containers cfg2);
+  check_int "three executors" 3 (Reactdb.Config.total_executors cfg2);
+  check_bool "round robin" true
+    (cfg2.Reactdb.Config.router = Reactdb.Config.Round_robin)
+
+let suite =
+  ( "reactdb",
+    [
+      Alcotest.test_case "single-reactor txn" `Quick test_single_reactor_txn;
+      Alcotest.test_case "user abort rolls back" `Quick test_user_abort_rolls_back;
+      Alcotest.test_case "cross-reactor sync (SE)" `Quick
+        test_cross_reactor_sync_shared_everything;
+      Alcotest.test_case "cross-container async (SN)" `Quick
+        test_cross_container_async;
+      Alcotest.test_case "sub abort aborts root" `Quick test_sub_abort_aborts_root;
+      Alcotest.test_case "remote sub abort aborts root" `Quick
+        test_remote_sub_abort_aborts_root;
+      Alcotest.test_case "dangerous structure detected" `Quick
+        test_dangerous_structure_detected;
+      Alcotest.test_case "sequential same-reactor calls ok" `Quick
+        test_sequential_calls_same_reactor_ok;
+      Alcotest.test_case "self-call inlined" `Quick test_self_call_inlined;
+      Alcotest.test_case "conservation SE-no-affinity" `Quick
+        test_conservation_shared_everything;
+      Alcotest.test_case "conservation SN" `Quick test_conservation_shared_nothing;
+      Alcotest.test_case "conservation SE-affinity" `Quick
+        test_conservation_affinity;
+      Alcotest.test_case "breakdown sums to latency" `Quick
+        test_breakdown_sums_to_latency;
+      Alcotest.test_case "async beats sync" `Quick test_async_faster_than_sync;
+      Alcotest.test_case "noop overhead ~F.3" `Quick test_noop_overhead;
+      Alcotest.test_case "occ detects conflicts" `Quick test_occ_detects_conflicts;
+      Alcotest.test_case "utilizations & reset" `Quick test_utilizations_and_reset;
+      Alcotest.test_case "cluster deployment" `Quick test_cluster_deployment;
+      Alcotest.test_case "config spec parsing" `Quick test_config_spec_parsing;
+    ] )

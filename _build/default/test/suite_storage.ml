@@ -1,0 +1,152 @@
+(* Unit tests for schemas, records, tables and catalogs. *)
+
+open Util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sch =
+  Storage.Schema.make ~name:"t"
+    ~columns:[ ("a", Value.TInt); ("b", Value.TStr); ("c", Value.TFloat) ]
+    ~key:[ "a"; "b" ]
+
+let test_schema_make () =
+  check_int "arity" 3 (Storage.Schema.arity sch);
+  check_int "col index" 1 (Storage.Schema.column_index sch "b");
+  Alcotest.check_raises "unknown col" Not_found (fun () ->
+      ignore (Storage.Schema.column_index sch "zzz"));
+  check_bool "dup col rejected" true
+    (try
+       ignore
+         (Storage.Schema.make ~name:"x"
+            ~columns:[ ("a", Value.TInt); ("a", Value.TStr) ]
+            ~key:[ "a" ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "empty key rejected" true
+    (try
+       ignore (Storage.Schema.make ~name:"x" ~columns:[ ("a", Value.TInt) ] ~key:[]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "unknown key col rejected" true
+    (try
+       ignore
+         (Storage.Schema.make ~name:"x" ~columns:[ ("a", Value.TInt) ] ~key:[ "b" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_schema_validate () =
+  Storage.Schema.validate sch [| Value.Int 1; Value.Str "x"; Value.Float 2. |];
+  Storage.Schema.validate sch [| Value.Int 1; Value.Str "x"; Value.Null |];
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  check_bool "arity" true
+    (bad (fun () -> Storage.Schema.validate sch [| Value.Int 1 |]));
+  check_bool "type" true
+    (bad (fun () ->
+         Storage.Schema.validate sch [| Value.Str "no"; Value.Str "x"; Value.Null |]));
+  check_bool "null key" true
+    (bad (fun () ->
+         Storage.Schema.validate sch [| Value.Null; Value.Str "x"; Value.Null |]))
+
+let test_key_extraction () =
+  let k =
+    Storage.Schema.key_of_tuple sch [| Value.Int 7; Value.Str "q"; Value.Null |]
+  in
+  check_bool "key" true (k = [| Value.Int 7; Value.Str "q" |])
+
+let test_record_tid () =
+  let t = Storage.Record.tid_make ~epoch:3 ~seq:17 in
+  check_int "epoch" 3 (Storage.Record.tid_epoch t);
+  check_int "seq" 17 (Storage.Record.tid_seq t);
+  let nt = Storage.Record.next_tid ~epoch:3 [ t; Storage.Record.tid_make ~epoch:2 ~seq:99 ] in
+  check_bool "next > observed" true (nt > t);
+  check_int "same epoch bumps seq" 18 (Storage.Record.tid_seq nt);
+  let nt2 = Storage.Record.next_tid ~epoch:5 [ t ] in
+  check_int "later epoch restarts seq" 1 (Storage.Record.tid_seq nt2);
+  check_int "later epoch kept" 5 (Storage.Record.tid_epoch nt2)
+
+let test_record_lock () =
+  let r = Storage.Record.fresh ~absent:false [| Value.Int 1 |] in
+  check_bool "fresh unlocked" false (Storage.Record.is_locked r);
+  check_bool "lock" true (Storage.Record.try_lock r ~txn:7);
+  check_bool "reentrant" true (Storage.Record.try_lock r ~txn:7);
+  check_bool "other denied" false (Storage.Record.try_lock r ~txn:8);
+  Storage.Record.unlock r ~txn:8;
+  check_bool "wrong owner unlock is noop" true (Storage.Record.is_locked r);
+  Storage.Record.unlock r ~txn:7;
+  check_bool "unlocked" false (Storage.Record.is_locked r)
+
+let test_record_rid_unique () =
+  let a = Storage.Record.fresh ~absent:false [||] in
+  let b = Storage.Record.fresh ~absent:false [||] in
+  check_bool "rids distinct" true (a.Storage.Record.rid <> b.Storage.Record.rid)
+
+let test_table_basic () =
+  let tbl = Storage.Table.create sch in
+  let row i = [| Value.Int i; Value.Str "k"; Value.Float (float_of_int i) |] in
+  for i = 1 to 10 do
+    ignore (Storage.Table.insert tbl (Storage.Record.fresh ~absent:false (row i)))
+  done;
+  check_int "size" 10 (Storage.Table.size tbl);
+  (match Storage.Table.find tbl [| Value.Int 5; Value.Str "k" |] with
+  | Some r -> check_bool "found row" true (Value.equal r.Storage.Record.data.(2) (Value.Float 5.))
+  | None -> Alcotest.fail "missing");
+  let n = ref 0 in
+  Storage.Table.range tbl ~f:(fun _ -> incr n; true);
+  check_int "range all" 10 !n;
+  ignore (Storage.Table.remove tbl [| Value.Int 5; Value.Str "k" |]);
+  check_int "removed" 9 (Storage.Table.size tbl)
+
+let test_table_validates_on_insert () =
+  let tbl = Storage.Table.create sch in
+  check_bool "bad tuple rejected" true
+    (try
+       ignore
+         (Storage.Table.insert tbl (Storage.Record.fresh ~absent:false [| Value.Int 1 |]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_prefix_bounds () =
+  let tbl = Storage.Table.create sch in
+  let row i s = [| Value.Int i; Value.Str s; Value.Null |] in
+  List.iter
+    (fun (i, s) ->
+      ignore (Storage.Table.insert tbl (Storage.Record.fresh ~absent:false (row i s))))
+    [ (1, "a"); (1, "b"); (2, "a"); (2, "b"); (3, "a") ];
+  let lo, hi = Storage.Table.key_prefix_bounds [| Value.Int 2 |] in
+  let seen = ref [] in
+  Storage.Table.range tbl ~lo ~hi ~f:(fun r ->
+      seen := Value.to_str r.Storage.Record.data.(1) :: !seen;
+      true);
+  Alcotest.(check (list string)) "prefix scan" [ "a"; "b" ] (List.rev !seen)
+
+let test_catalog () =
+  let c = Storage.Catalog.create () in
+  let t = Storage.Catalog.create_table c sch in
+  check_bool "mem" true (Storage.Catalog.mem c "t");
+  check_bool "same table" true (Storage.Catalog.table c "t" == t);
+  check_bool "dup rejected" true
+    (try
+       ignore (Storage.Catalog.create_table c sch);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Storage.Catalog.table c "nope"));
+  ignore (Storage.Table.insert t (Storage.Record.fresh ~absent:false
+    [| Value.Int 1; Value.Str "x"; Value.Null |]));
+  check_int "total records" 1 (Storage.Catalog.total_records c)
+
+let suite =
+  ( "storage",
+    [
+      Alcotest.test_case "schema make" `Quick test_schema_make;
+      Alcotest.test_case "schema validate" `Quick test_schema_validate;
+      Alcotest.test_case "key extraction" `Quick test_key_extraction;
+      Alcotest.test_case "tid packing" `Quick test_record_tid;
+      Alcotest.test_case "record locks" `Quick test_record_lock;
+      Alcotest.test_case "rid uniqueness" `Quick test_record_rid_unique;
+      Alcotest.test_case "table basics" `Quick test_table_basic;
+      Alcotest.test_case "table validates" `Quick test_table_validates_on_insert;
+      Alcotest.test_case "prefix bounds" `Quick test_prefix_bounds;
+      Alcotest.test_case "catalog" `Quick test_catalog;
+    ] )

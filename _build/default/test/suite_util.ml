@@ -1,0 +1,186 @@
+(* Unit and property tests for lib/util. *)
+
+open Util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_value_order () =
+  let open Value in
+  check_int "int order" (-1) (compare (Int 1) (Int 2));
+  check_int "str order" 1 (compare (Str "b") (Str "a"));
+  check_int "null smallest" (-1) (compare Null (Bool false));
+  check_int "cross-type by tag" (-1) (compare (Int 5) (Float 0.));
+  check_bool "equal" true (equal (Str "x") (Str "x"));
+  check_bool "nan self-compare" true (compare (Float Float.nan) (Float Float.nan) = 0)
+
+let test_value_access () =
+  let open Value in
+  check_int "to_int" 42 (to_int (Int 42));
+  Alcotest.(check (float 1e-9)) "to_number widens" 7. (to_number (Int 7));
+  Alcotest.check_raises "type error" (Type_error "expected int, got \"x\"")
+    (fun () -> ignore (to_int (Str "x")));
+  check_bool "conforms null" true (conforms Null TInt);
+  check_bool "conforms mismatch" false (conforms (Int 1) TStr)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 8 in
+  let distinct = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then distinct := true
+  done;
+  check_bool "different seed different stream" true !distinct
+
+let test_rng_ranges () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_incl r 5 10 in
+    check_bool "int_incl in range" true (v >= 5 && v <= 10);
+    let f = Rng.float r 3. in
+    check_bool "float in range" true (f >= 0. && f < 3.);
+    let p = Rng.pick_except r 10 4 in
+    check_bool "pick_except" true (p <> 4 && p >= 0 && p < 10)
+  done
+
+let test_rng_uniformity () =
+  let r = Rng.create 99 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "bucket within 10% of expected" true
+        (abs (c - (n / 10)) < n / 100))
+    counts
+
+let test_nurand () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.nurand r ~a:255 ~c:123 ~x:0 ~y:999 in
+    check_bool "nurand in [x,y]" true (v >= 0 && v <= 999)
+  done
+
+let test_zipf_bounds () =
+  let r = Rng.create 5 in
+  List.iter
+    (fun theta ->
+      let g = Rng.Zipf.create ~n:100 ~theta in
+      for _ = 1 to 2000 do
+        let v = Rng.Zipf.next r g in
+        check_bool "zipf in range" true (v >= 0 && v < 100)
+      done)
+    [ 0.01; 0.5; 0.99; 1.0; 2.0; 5.0 ]
+
+let test_zipf_skew () =
+  let r = Rng.create 11 in
+  let freq0 theta =
+    let g = Rng.Zipf.create ~n:1000 ~theta in
+    let c = ref 0 in
+    for _ = 1 to 20_000 do
+      if Rng.Zipf.next r g = 0 then incr c
+    done;
+    !c
+  in
+  let low = freq0 0.01 and mid = freq0 0.99 and high = freq0 5.0 in
+  check_bool "higher theta concentrates on item 0" true (low < mid && mid < high);
+  check_bool "theta=5 almost always item 0" true (high > 19_000)
+
+let test_zipf_single () =
+  let r = Rng.create 2 in
+  let g = Rng.Zipf.create ~n:1 ~theta:0.99 in
+  for _ = 1 to 10 do
+    check_int "n=1 always 0" 0 (Rng.Zipf.next r g)
+  done
+
+let test_stats_basic () =
+  let s = Stats.of_list [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.max s);
+  check_int "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "p50" 2. (Stats.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p100" 4. (Stats.percentile s 100.)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 1e-9)) "mean of empty" 0. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "stddev of empty" 0. (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "percentile of empty" 0. (Stats.percentile s 50.)
+
+let test_stats_merge () =
+  let a = Stats.of_list [ 1.; 2. ] and b = Stats.of_list [ 3. ] in
+  let m = Stats.merge a b in
+  check_int "merged count" 3 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2. (Stats.mean m)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -5.; 100. ];
+  let c = Stats.Histogram.counts h in
+  check_int "bucket 0 gets 0.5 and clamped -5" 2 c.(0);
+  check_int "bucket 1" 2 c.(1);
+  check_int "last bucket gets 9.9 and clamped 100" 2 c.(9);
+  check_int "total" 6 (Stats.Histogram.total h)
+
+let test_tablefmt () =
+  let t = Tablefmt.create ~title:"T" [ "a"; "b" ] in
+  Tablefmt.row t [ "x"; "1" ];
+  Tablefmt.row t [ "longer"; "22" ];
+  let s = Tablefmt.to_string t in
+  check_bool "has title" true (String.length s > 0 && String.sub s 0 4 = "== T");
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Tablefmt.row: arity mismatch") (fun () ->
+      Tablefmt.row t [ "only-one" ])
+
+(* Property: stats mean/stddev agree with a direct fold. *)
+let prop_stats_mean =
+  QCheck.Test.make ~name:"stats mean matches direct computation" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Util.Stats.of_list xs in
+      let direct = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Util.Stats.mean s -. direct) < 1e-6)
+
+let prop_zipf_theta0_uniformish =
+  QCheck.Test.make ~name:"zipf theta~0 is near-uniform" ~count:5
+    QCheck.(int_range 10 50)
+    (fun n ->
+      let r = Util.Rng.create n in
+      let g = Util.Rng.Zipf.create ~n ~theta:0.01 in
+      let counts = Array.make n 0 in
+      let draws = 20_000 in
+      for _ = 1 to draws do
+        let v = Util.Rng.Zipf.next r g in
+        counts.(v) <- counts.(v) + 1
+      done;
+      (* every bucket within 3x of the uniform expectation *)
+      Array.for_all (fun c -> c < 3 * draws / n + 10) counts)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "value ordering" `Quick test_value_order;
+      Alcotest.test_case "value accessors" `Quick test_value_access;
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+      Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+      Alcotest.test_case "nurand bounds" `Quick test_nurand;
+      Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+      Alcotest.test_case "zipf skew ordering" `Quick test_zipf_skew;
+      Alcotest.test_case "zipf n=1" `Quick test_zipf_single;
+      Alcotest.test_case "stats basics" `Quick test_stats_basic;
+      Alcotest.test_case "stats empty" `Quick test_stats_empty;
+      Alcotest.test_case "stats merge" `Quick test_stats_merge;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+      QCheck_alcotest.to_alcotest prop_stats_mean;
+      QCheck_alcotest.to_alcotest prop_zipf_theta0_uniformish;
+    ] )

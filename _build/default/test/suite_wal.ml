@@ -1,0 +1,305 @@
+(* Tests for redo logging and recovery (the durability extension). *)
+
+open Util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let entry txn tid writes = { Wal.le_txn = txn; le_tid = tid; le_writes = writes }
+
+let put r t row = Wal.Put { reactor = r; table = t; row }
+let del r t key = Wal.Del { reactor = r; table = t; key }
+
+let sample_entry =
+  entry 7 42
+    [
+      put "acct0" "acct" [| Value.Int 0; Value.Float 1.5 |];
+      del "w;1" "ord\ters" [| Value.Str "tricky;,\tstring"; Value.Null |];
+      put "x" "y" [| Value.Bool true; Value.Float Float.nan |];
+    ]
+
+let entry_eq a b =
+  a.Wal.le_txn = b.Wal.le_txn
+  && a.Wal.le_tid = b.Wal.le_tid
+  && List.length a.Wal.le_writes = List.length b.Wal.le_writes
+  && List.for_all2
+       (fun x y ->
+         match x, y with
+         | ( Wal.Put { reactor = r1; table = t1; row = v1 },
+             Wal.Put { reactor = r2; table = t2; row = v2 } )
+         | ( Wal.Del { reactor = r1; table = t1; key = v1 },
+             Wal.Del { reactor = r2; table = t2; key = v2 } ) ->
+           r1 = r2 && t1 = t2
+           && Array.length v1 = Array.length v2
+           && Array.for_all2 Value.equal v1 v2
+         | _ -> false)
+       a.Wal.le_writes b.Wal.le_writes
+
+let test_roundtrip () =
+  let line = Wal.encode_entry sample_entry in
+  check_bool "single line" true (not (String.contains line '\n'));
+  check_bool "roundtrip" true (entry_eq sample_entry (Wal.decode_entry line))
+
+let test_memory_log () =
+  let log = Wal.in_memory () in
+  Wal.append log (entry 1 10 [ put "a" "t" [| Value.Int 1 |] ]);
+  Wal.append log (entry 2 20 []);
+  check_int "length" 2 (Wal.length log);
+  check_int "entries in order" 10 (List.hd (Wal.entries log)).Wal.le_tid
+
+let test_file_log () =
+  let path = Filename.temp_file "wal" ".log" in
+  let log = Wal.to_file path in
+  Wal.append log sample_entry;
+  Wal.append log (entry 9 90 [ put "z" "t" [| Value.Str "" |] ]);
+  Wal.close log;
+  (match Wal.read_file path with
+  | [ a; b ] ->
+    check_bool "first" true (entry_eq a sample_entry);
+    check_int "second tid" 90 b.Wal.le_tid
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  Sys.remove path
+
+let test_corrupt_file () =
+  let path = Filename.temp_file "wal" ".log" in
+  let oc = open_out path in
+  output_string oc "1\t10\t\nthis is not a log line\n";
+  close_out oc;
+  check_bool "corrupt detected" true
+    (try
+       ignore (Wal.read_file path);
+       false
+     with Failure m -> String.length m > 0);
+  Sys.remove path
+
+let prop_roundtrip =
+  let gen_value =
+    QCheck.Gen.(
+      oneof
+        [ return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) int;
+          map (fun f -> Value.Float f) float;
+          map (fun s -> Value.Str s) (string_size (int_bound 30)) ])
+  in
+  let gen_write =
+    QCheck.Gen.(
+      map3
+        (fun k (r, t) vals ->
+          let vals = Array.of_list vals in
+          if k then Wal.Put { reactor = r; table = t; row = vals }
+          else Wal.Del { reactor = r; table = t; key = vals })
+        bool
+        (pair (string_size (int_bound 10)) (string_size (int_bound 10)))
+        (list_size (int_bound 6) gen_value))
+  in
+  let gen_entry =
+    QCheck.Gen.(
+      map3
+        (fun txn tid ws -> entry txn tid ws)
+        nat nat
+        (list_size (int_bound 5) gen_write))
+  in
+  QCheck.Test.make ~name:"wal entry encode/decode roundtrip" ~count:300
+    (QCheck.make gen_entry)
+    (fun e -> entry_eq e (Wal.decode_entry (Wal.encode_entry e)))
+
+(* --- replay semantics --- *)
+
+let kv_schema =
+  Storage.Schema.make ~name:"kv"
+    ~columns:[ ("k", Value.TInt); ("v", Value.TInt) ]
+    ~key:[ "k" ]
+
+let test_replay () =
+  let catalog = Storage.Catalog.create () in
+  let tbl = Storage.Catalog.create_table catalog kv_schema in
+  ignore
+    (Storage.Table.insert tbl
+       (Storage.Record.fresh ~absent:false [| Value.Int 1; Value.Int 10 |]));
+  let entries =
+    [
+      (* later tid wins even though listed first: replay sorts by tid *)
+      entry 2 200 [ put "r" "kv" [| Value.Int 1; Value.Int 999 |] ];
+      entry 1 100
+        [ put "r" "kv" [| Value.Int 1; Value.Int 500 |];
+          put "r" "kv" [| Value.Int 2; Value.Int 20 |] ];
+      entry 3 300 [ del "r" "kv" [| Value.Int 2 |] ];
+    ]
+  in
+  let n = Wal.replay entries ~catalog_of:(fun _ -> catalog) in
+  check_int "writes applied" 4 n;
+  (match Storage.Table.find tbl [| Value.Int 1 |] with
+  | Some r -> check_int "tid-ordered replay" 999 (Value.to_int r.Storage.Record.data.(1))
+  | None -> Alcotest.fail "missing");
+  check_bool "delete replayed" true (Storage.Table.find tbl [| Value.Int 2 |] = None)
+
+(* --- end-to-end: crash-recovery equivalence --- *)
+
+(* Physical snapshot of a database: (reactor, table, key, row) list. *)
+let snapshot db reactor_names =
+  List.concat_map
+    (fun rname ->
+      let catalog = Reactdb.Database.catalog_of db rname in
+      List.concat_map
+        (fun (tname, tbl) ->
+          let rows = ref [] in
+          Storage.Table.range tbl ~f:(fun r ->
+              if not r.Storage.Record.absent then
+                rows := (rname, tname, Array.to_list r.Storage.Record.data) :: !rows;
+              true);
+          !rows)
+        (Storage.Catalog.tables catalog))
+    reactor_names
+  |> List.sort compare
+
+let test_recovery_bank () =
+  let log = Wal.in_memory () in
+  let final =
+    Testlib.with_db (Testlib.sn_config 4) (fun db ->
+        Reactdb.Database.attach_wal db log;
+        Testlib.run_conflict_workload db ~workers:5 ~per_worker:30;
+        snapshot db (Testlib.names 4))
+  in
+  check_bool "log non-empty" true (Wal.length log > 0);
+  (* "Restart": fresh database from the same declaration, replay the log. *)
+  let recovered =
+    Testlib.with_db (Testlib.sn_config 4) (fun db ->
+        ignore
+          (Wal.replay (Wal.entries log)
+             ~catalog_of:(Reactdb.Database.catalog_of db));
+        snapshot db (Testlib.names 4))
+  in
+  check_bool "recovered state identical" true (final = recovered)
+
+let test_recovery_tpcc () =
+  let log = Wal.in_memory () in
+  let decl = Workloads.Tpcc.decl ~warehouses:2 ~sizes:Workloads.Tpcc.small_sizes () in
+  let cfg =
+    Reactdb.Config.shared_nothing
+      (List.map (fun w -> [ w ]) (Workloads.Tpcc.warehouses 2))
+  in
+  let run f =
+    let db = Harness.build decl cfg in
+    let out = ref None in
+    Sim.Engine.spawn (Reactdb.Database.engine db) (fun () -> out := Some (f db));
+    ignore (Sim.Engine.run (Reactdb.Database.engine db));
+    Option.get !out
+  in
+  let ws = Workloads.Tpcc.warehouses 2 in
+  let final =
+    run (fun db ->
+        Reactdb.Database.attach_wal db log;
+        let p = Workloads.Tpcc.params ~sizes:Workloads.Tpcc.small_sizes 2 in
+        let seq = ref 0 in
+        let rng = Rng.create 5 in
+        for i = 0 to 79 do
+          let req = Workloads.Tpcc.gen_mix rng p ~home:(1 + (i mod 2)) ~seq in
+          ignore
+            (Reactdb.Database.exec_txn db ~reactor:req.Workloads.Wl.reactor
+               ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args)
+        done;
+        snapshot db ws)
+  in
+  let recovered =
+    run (fun db ->
+        ignore
+          (Wal.replay (Wal.entries log)
+             ~catalog_of:(Reactdb.Database.catalog_of db));
+        snapshot db ws)
+  in
+  check_bool "tpcc recovered state identical" true (final = recovered)
+
+(* --- checkpoint + tail replay --- *)
+
+let test_checkpoint_roundtrip_file () =
+  let catalog = Storage.Catalog.create () in
+  let tbl = Storage.Catalog.create_table catalog kv_schema in
+  for i = 1 to 5 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false [| Value.Int i; Value.Int (i * i) |]))
+  done;
+  let ck = Checkpoint.capture ~tid:77 [ ("r", catalog) ] in
+  check_int "rows captured" 5 (List.length ck.Checkpoint.ck_rows);
+  let path = Filename.temp_file "ck" ".dump" in
+  Checkpoint.write_file path ck;
+  let ck2 = Checkpoint.read_file path in
+  Sys.remove path;
+  check_int "tid preserved" 77 ck2.Checkpoint.ck_tid;
+  check_bool "rows preserved" true (ck.Checkpoint.ck_rows = ck2.Checkpoint.ck_rows)
+
+let test_checkpoint_recovery () =
+  (* Run a workload with both a WAL and a mid-run checkpoint; recover from
+     checkpoint + log tail; compare with full state. *)
+  let log = Wal.in_memory () in
+  let checkpoint = ref None in
+  let final =
+    Testlib.with_db (Testlib.sn_config 4) (fun db ->
+        Reactdb.Database.attach_wal db log;
+        Testlib.run_conflict_workload db ~workers:3 ~per_worker:20;
+        (* quiescent point: snapshot *)
+        let max_tid =
+          List.fold_left (fun m e -> Stdlib.max m e.Wal.le_tid) 0
+            (Wal.entries log)
+        in
+        checkpoint :=
+          Some
+            (Checkpoint.capture ~tid:max_tid
+               (List.map
+                  (fun n -> (n, Reactdb.Database.catalog_of db n))
+                  (Testlib.names 4)));
+        (* more work after the checkpoint *)
+        Testlib.run_conflict_workload db ~workers:3 ~per_worker:20;
+        snapshot db (Testlib.names 4))
+  in
+  let ck = Option.get !checkpoint in
+  let recovered =
+    Testlib.with_db (Testlib.sn_config 4) (fun db ->
+        let restored, replayed =
+          Checkpoint.recover ~checkpoint:ck ~log:(Wal.entries log)
+            ~catalog_of:(Reactdb.Database.catalog_of db)
+        in
+        check_bool "restored rows" true (restored > 0);
+        check_bool "replayed only the tail" true
+          (replayed < List.length (Wal.entries log) * 2);
+        snapshot db (Testlib.names 4))
+  in
+  check_bool "checkpoint+tail state identical" true (final = recovered)
+
+let test_checkpoint_restore_clears_loader_data () =
+  (* restoring an empty-table checkpoint wipes loader rows *)
+  let catalog = Storage.Catalog.create () in
+  let tbl = Storage.Catalog.create_table catalog kv_schema in
+  ignore
+    (Storage.Table.insert tbl
+       (Storage.Record.fresh ~absent:false [| Value.Int 1; Value.Int 1 |]));
+  let empty_catalog = Storage.Catalog.create () in
+  ignore (Storage.Catalog.create_table empty_catalog kv_schema);
+  let ck =
+    { (Checkpoint.capture ~tid:5 [ ("r", empty_catalog) ]) with
+      Checkpoint.ck_rows = [ ("r", "kv", [| Value.Int 9; Value.Int 9 |]) ] }
+  in
+  ignore (Checkpoint.restore ck ~catalog_of:(fun _ -> catalog));
+  check_bool "loader row gone" true (Storage.Table.find tbl [| Value.Int 1 |] = None);
+  check_bool "checkpoint row present" true
+    (Storage.Table.find tbl [| Value.Int 9 |] <> None)
+
+let suite =
+  ( "wal",
+    [
+      Alcotest.test_case "entry roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "memory log" `Quick test_memory_log;
+      Alcotest.test_case "file log" `Quick test_file_log;
+      Alcotest.test_case "corrupt file" `Quick test_corrupt_file;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      Alcotest.test_case "replay semantics" `Quick test_replay;
+      Alcotest.test_case "recovery: bank" `Quick test_recovery_bank;
+      Alcotest.test_case "recovery: tpcc" `Quick test_recovery_tpcc;
+      Alcotest.test_case "checkpoint file roundtrip" `Quick
+        test_checkpoint_roundtrip_file;
+      Alcotest.test_case "checkpoint + tail recovery" `Quick
+        test_checkpoint_recovery;
+      Alcotest.test_case "restore clears loader data" `Quick
+        test_checkpoint_restore_clears_loader_data;
+    ] )

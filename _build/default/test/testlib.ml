@@ -1,0 +1,158 @@
+(* Shared fixtures: a tiny "account" reactor database used across runtime
+   test suites. Each Account reactor encapsulates a single-row [acct]
+   relation holding a balance. *)
+
+open Util
+
+let acct_schema =
+  Storage.Schema.make ~name:"acct"
+    ~columns:[ ("id", Value.TInt); ("balance", Value.TFloat) ]
+    ~key:[ "id" ]
+
+(* Procedures:
+   - get_balance () -> float
+   - deposit (amount) -> new balance; aborts on negative result
+   - transfer_to (other, amount): deposit amount on [other], withdraw here
+   - multi_transfer_sync / multi_transfer_async (dests..., amount)
+   - same_twice (other): two async calls to the same reactor — dangerous
+   - noop () *)
+let account_type =
+  let open Reactor in
+  let balance_of ctx =
+    match Query.Exec.get ctx.db "acct" [| Value.Int 0 |] with
+    | Some row -> Value.to_float row.(1)
+    | None -> abort "account row missing"
+  in
+  let set_balance ctx b =
+    ignore
+      (Query.Exec.update_key ctx.db "acct" [| Value.Int 0 |] ~set:(fun row ->
+           Query.Exec.seti row 1 (Value.Float b)))
+  in
+  let get_balance ctx _args = Value.Float (balance_of ctx) in
+  let deposit ctx args =
+    let amount = arg_float args 0 in
+    let b = balance_of ctx +. amount in
+    if b < 0. then abort "insufficient funds";
+    set_balance ctx b;
+    Value.Float b
+  in
+  let transfer_to ctx args =
+    let dest = arg_str args 0 and amount = arg_float args 1 in
+    let f =
+      ctx.call ~reactor:dest ~proc:"deposit" ~args:[ Value.Float amount ]
+    in
+    ignore (ctx.call ~reactor:ctx.self ~proc:"deposit"
+              ~args:[ Value.Float (-.amount) ]);
+    ignore (f.get ());
+    Value.Null
+  in
+  let multi_transfer sync ctx args =
+    match args with
+    | amount :: dests ->
+      let futures =
+        List.map
+          (fun d ->
+            let f =
+              ctx.call ~reactor:(Value.to_str d) ~proc:"deposit"
+                ~args:[ amount ]
+            in
+            if sync then ignore (f.get ());
+            f)
+          dests
+      in
+      let total = Value.to_float amount *. float_of_int (List.length dests) in
+      let fd =
+        ctx.call ~reactor:ctx.self ~proc:"deposit"
+          ~args:[ Value.Float (-.total) ]
+      in
+      ignore (fd.get ());
+      List.iter (fun f -> ignore (f.get ())) futures;
+      Value.Null
+    | [] -> abort "no amount"
+  in
+  let same_twice ctx args =
+    let dest = arg_str args 0 in
+    let f1 = ctx.call ~reactor:dest ~proc:"deposit" ~args:[ Value.Float 1. ] in
+    let f2 = ctx.call ~reactor:dest ~proc:"deposit" ~args:[ Value.Float 1. ] in
+    ignore (f1.get ());
+    ignore (f2.get ());
+    Value.Null
+  in
+  let noop _ctx _args = Value.Null in
+  rtype ~name:"Account" ~schemas:[ acct_schema ]
+    ~procs:
+      [
+        ("get_balance", get_balance);
+        ("deposit", deposit);
+        ("transfer_to", transfer_to);
+        ("multi_transfer_sync", multi_transfer true);
+        ("multi_transfer_async", multi_transfer false);
+        ("same_twice", same_twice);
+        ("noop", noop);
+      ]
+    ()
+
+let names n = List.init n (fun i -> Printf.sprintf "acct%d" i)
+
+let bank_decl ?(initial = 100.) n =
+  let loader _name catalog =
+    let tbl = Storage.Catalog.table catalog "acct" in
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false
+            [| Value.Int 0; Value.Float initial |]))
+  in
+  Reactor.decl ~types:[ account_type ]
+    ~reactors:(List.map (fun nm -> (nm, "Account")) (names n))
+    ~loaders:(List.map (fun nm -> (nm, loader nm)) (names n))
+    ()
+
+(* Run [f] as a simulation process against a fresh database; returns f's
+   result after the simulation drains. *)
+let with_db ?(n = 4) ?(profile = Reactdb.Profile.default) config f =
+  let eng = Sim.Engine.create () in
+  let db = Reactdb.Database.create eng (bank_decl n) config profile in
+  let result = ref None in
+  Sim.Engine.spawn eng (fun () -> result := Some (f db));
+  ignore (Sim.Engine.run eng);
+  match !result with
+  | Some r -> r
+  | None -> failwith "with_db: process did not complete"
+
+let balance db name =
+  match
+    Reactdb.Database.exec_txn db ~reactor:name ~proc:"get_balance" ~args:[]
+  with
+  | { result = Ok (Value.Float f); _ } -> f
+  | { result = Ok v; _ } -> failwith ("unexpected " ^ Value.to_string v)
+  | { result = Error m; _ } -> failwith ("get_balance aborted: " ^ m)
+
+let se_config ?(affinity = true) ?mpl n_exec n_reactors =
+  Reactdb.Config.shared_everything ~executors:n_exec ~affinity ?mpl
+    (names n_reactors)
+
+let sn_config ?mpl n_reactors =
+  Reactdb.Config.shared_nothing ?mpl (List.map (fun n -> [ n ]) (names n_reactors))
+
+(* Adversarial conflict workload over the 4-account bank: each worker
+   repeatedly transfers 1.0 between random accounts. Used by integration
+   tests asserting conservation and serializability. *)
+let run_conflict_workload ?(accounts = 4) db ~workers ~per_worker =
+  let eng = Reactdb.Database.engine db in
+  let finished = ref 0 in
+  for w = 0 to workers - 1 do
+    Sim.Engine.spawn eng (fun () ->
+        let rng = Rng.create (1000 + w) in
+        for _ = 1 to per_worker do
+          let src = Rng.int rng accounts in
+          let dst = Rng.pick_except rng accounts src in
+          ignore
+            (Reactdb.Database.exec_txn db
+               ~reactor:(Printf.sprintf "acct%d" src)
+               ~proc:"transfer_to"
+               ~args:[ Value.Str (Printf.sprintf "acct%d" dst); Value.Float 1. ])
+        done;
+        incr finished)
+  done;
+  ignore (Sim.Engine.run eng);
+  if !finished <> workers then failwith "run_conflict_workload: workers stuck"
