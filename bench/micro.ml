@@ -63,6 +63,101 @@ let bench_occ_commit =
       | None -> ());
       ignore (Occ.Commit.commit_single txn ~epoch:1 ~container:0)))
 
+(* Commit-path microbenchmarks (see also bench/trajectory.ml, which runs the
+   same shapes with percentile reporting and JSON output). *)
+
+let bench_commit_read_heavy =
+  let tbl = Storage.Table.create kv_schema in
+  for i = 0 to 999 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false [| Util.Value.Int i; Util.Value.Int 0 |]))
+  done;
+  let ids = ref 0 in
+  Test.make ~name:"occ commit read-heavy (16r+1w)" (Staged.stage (fun () ->
+      incr ids;
+      let txn = Occ.Txn.create ~id:!ids in
+      for j = 0 to 15 do
+        match Storage.Table.find tbl [| Util.Value.Int ((!ids + (j * 61)) mod 1000) |] with
+        | Some r -> ignore (Occ.Txn.read txn ~container:0 r)
+        | None -> ()
+      done;
+      let key = [| Util.Value.Int (!ids mod 1000) |] in
+      (match Storage.Table.find tbl key with
+      | Some r -> Occ.Txn.write txn ~container:0 ~table:tbl ~key r
+                    [| key.(0); Util.Value.Int !ids |]
+      | None -> ());
+      ignore (Occ.Commit.commit_single txn ~epoch:1 ~container:0)))
+
+let bench_commit_write_heavy =
+  let sch =
+    Storage.Schema.make ~name:"kv2"
+      ~columns:[ ("k", Util.Value.TInt); ("a", Util.Value.TInt); ("v", Util.Value.TInt) ]
+      ~key:[ "k" ]
+  in
+  let tbl = Storage.Table.create ~secondaries:[ ("by_a", [ "a" ]) ] sch in
+  for i = 0 to 999 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false
+            [| Util.Value.Int i; Util.Value.Int (i mod 31); Util.Value.Int 0 |]))
+  done;
+  let ids = ref 0 in
+  Test.make ~name:"occ commit write-heavy (8 rmw)" (Staged.stage (fun () ->
+      incr ids;
+      let txn = Occ.Txn.create ~id:!ids in
+      for j = 0 to 7 do
+        let k = ((!ids * 13) + (j * 127)) mod 1000 in
+        let key = [| Util.Value.Int k |] in
+        match Storage.Table.find tbl key with
+        | Some r -> (
+          match Occ.Txn.read txn ~container:0 r with
+          | Some data ->
+            Occ.Txn.write txn ~container:0 ~table:tbl ~key r
+              [| data.(0); Util.Value.Int ((!ids + j) mod 31);
+                 Util.Value.Int !ids |]
+          | None -> ())
+        | None -> ()
+      done;
+      ignore (Occ.Commit.commit_single txn ~epoch:1 ~container:0)))
+
+let bench_commit_2pc =
+  let tbl0 = Storage.Table.create kv_schema in
+  let tbl1 = Storage.Table.create kv_schema in
+  List.iter
+    (fun tbl ->
+      for i = 0 to 999 do
+        ignore
+          (Storage.Table.insert tbl
+             (Storage.Record.fresh ~absent:false
+                [| Util.Value.Int i; Util.Value.Int 0 |]))
+      done)
+    [ tbl0; tbl1 ];
+  let ids = ref 0 in
+  Test.make ~name:"occ cross-container 2pc (4+4 rmw)" (Staged.stage (fun () ->
+      incr ids;
+      let txn = Occ.Txn.create ~id:!ids in
+      let rmw ~container tbl j =
+        let key = [| Util.Value.Int (((!ids * 17) + (j * 211)) mod 1000) |] in
+        match Storage.Table.find tbl key with
+        | Some r -> (
+          match Occ.Txn.read txn ~container r with
+          | Some data ->
+            Occ.Txn.write txn ~container ~table:tbl ~key r
+              [| data.(0); Util.Value.Int (Util.Value.to_int data.(1) + 1) |]
+          | None -> ())
+        | None -> ()
+      in
+      for j = 0 to 3 do rmw ~container:0 tbl0 j done;
+      for j = 4 to 7 do rmw ~container:1 tbl1 j done;
+      if Occ.Commit.prepare txn ~container:0
+         && Occ.Commit.prepare txn ~container:1
+      then begin
+        let tid = Occ.Commit.compute_tid txn ~epoch:1 in
+        Occ.Commit.install txn ~container:0 ~tid;
+        Occ.Commit.install txn ~container:1 ~tid
+      end))
+
 let bench_expr =
   let expr =
     Query.Expr.(col "v" >. vint 10 &&. (col "k" <. vint 900))
@@ -87,7 +182,8 @@ let bench_zipf =
 
 let all_tests =
   [ bench_btree_insert; bench_btree_lookup; bench_btree_range;
-    bench_occ_commit; bench_expr; bench_sim_events; bench_zipf ]
+    bench_occ_commit; bench_commit_read_heavy; bench_commit_write_heavy;
+    bench_commit_2pc; bench_expr; bench_sim_events; bench_zipf ]
 
 let run () =
   print_endline "\n== Micro-benchmarks (real time, Bechamel) ==";

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Perf smoke run: shrunken experiment sweeps plus the commit-path trajectory
+# runner. Exits non-zero if anything crashes; prints the trajectory JSON
+# summary at the end. Run from the repository root:
+#
+#   sh bench/smoke.sh
+set -e
+
+OUT="${1:-BENCH_commit_path.json}"
+
+echo "== bench smoke: experiments (--fast) =="
+dune exec bench/main.exe -- --fast
+
+echo
+echo "== bench smoke: commit-path trajectory =="
+dune exec bench/trajectory.exe -- --fast --out "$OUT"
+
+echo
+echo "== $OUT =="
+cat "$OUT"

@@ -10,85 +10,106 @@ let unreserve e =
 
 let release txn ~container =
   let id = Txn.id txn in
-  List.iter
-    (fun e ->
+  iter_writes_in txn ~container ~f:(fun e ->
       if locked_kind e then Storage.Record.unlock e.wrec ~txn:id
       else unreserve e)
-    (writes_in txn ~container)
+
+exception Invalid
 
 let prepare txn ~container =
   let id = Txn.id txn in
-  let writes = writes_in txn ~container in
-  let lockable =
-    List.sort
-      (fun a b -> Int.compare a.wrec.Storage.Record.rid b.wrec.Storage.Record.rid)
-      (List.filter locked_kind writes)
+  (* Updates/deletes of this container only, locked in global rid order: the
+     slice is gathered from the container's bucket and sorted in place. *)
+  let acc = Util.Vec.create () in
+  iter_writes_in txn ~container ~f:(fun e ->
+      if locked_kind e then Util.Vec.push acc e);
+  let lockable = Util.Vec.to_array acc in
+  Array.sort
+    (fun a b -> Int.compare a.wrec.Storage.Record.rid b.wrec.Storage.Record.rid)
+    lockable;
+  let n = Array.length lockable in
+  let acquired = ref 0 in
+  let rec lock_all i =
+    i = n
+    ||
+    if Storage.Record.try_lock lockable.(i).wrec ~txn:id then begin
+      acquired := i + 1;
+      lock_all (i + 1)
+    end
+    else false
   in
-  let rec lock_all acquired = function
-    | [] -> Ok acquired
-    | e :: rest ->
-      if Storage.Record.try_lock e.wrec ~txn:id then
-        lock_all (e :: acquired) rest
-      else Error acquired
+  let unlock_acquired () =
+    for j = 0 to !acquired - 1 do
+      Storage.Record.unlock lockable.(j).wrec ~txn:id
+    done
   in
-  let unlock_list l = List.iter (fun e -> Storage.Record.unlock e.wrec ~txn:id) l in
-  match lock_all [] lockable with
-  | Error acquired ->
-    unlock_list acquired;
+  if not (lock_all 0) then begin
+    unlock_acquired ();
     false
-  | Ok acquired ->
+  end
+  else begin
     let reads_ok =
-      List.for_all
-        (fun (r, observed) ->
-          r.Storage.Record.tid = observed
-          && (match Storage.Record.locked_by r with
-             | None -> true
-             | Some owner -> owner = id))
-        (reads_in txn ~container)
+      try
+        iter_reads_in txn ~container ~f:(fun r observed ->
+            if r.Storage.Record.tid <> observed then raise Invalid;
+            match Storage.Record.locked_by r with
+            | None -> ()
+            | Some owner -> if owner <> id then raise Invalid);
+        true
+      with Invalid -> false
     in
     let nodes_ok =
       reads_ok
-      && List.for_all Storage.Table.Idx.witness_valid (nodes_in txn ~container)
+      && (try
+            iter_nodes_in txn ~container ~f:(fun w ->
+                if not (Storage.Table.Idx.witness_valid w) then raise Invalid);
+            true
+          with Invalid -> false)
     in
     if not nodes_ok then begin
-      unlock_list acquired;
+      unlock_acquired ();
       false
     end
     else begin
       (* Reserve inserts; a conflict here (concurrent installer beat us past
          our witness) rolls back this container's work. *)
-      let rec reserve done_ = function
-        | [] -> true
-        | e :: rest when e.kind = Insert -> (
-          match Storage.Table.find e.wtable e.wkey with
-          | Some _ ->
-            List.iter unreserve done_;
-            unlock_list acquired;
-            false
-          | None ->
-            ignore (Storage.Table.insert e.wtable e.wrec);
-            reserve (e :: done_) rest)
-        | _ :: rest -> reserve done_ rest
+      let reserved = ref [] in
+      let ok =
+        try
+          iter_writes_in txn ~container ~f:(fun e ->
+              if e.kind = Insert then begin
+                match Storage.Table.find e.wtable e.wkey with
+                | Some _ -> raise Invalid
+                | None ->
+                  ignore (Storage.Table.insert e.wtable e.wrec);
+                  reserved := e :: !reserved
+              end);
+          true
+        with Invalid -> false
       in
-      reserve [] writes
+      if not ok then begin
+        List.iter unreserve !reserved;
+        unlock_acquired ()
+      end;
+      ok
     end
+  end
 
 let compute_tid txn ~epoch =
-  let observed =
-    List.map (fun (_, tid) -> tid)
-      (List.concat_map
-         (fun c -> Txn.reads_in txn ~container:c)
-         (Txn.containers txn))
-  in
-  let overwritten =
-    List.map (fun e -> e.wrec.Storage.Record.tid) (Txn.all_writes txn)
-  in
-  Storage.Record.next_tid ~epoch (List.rev_append observed overwritten)
+  let hi = ref 0 in
+  List.iter
+    (fun c ->
+      Txn.iter_reads_in txn ~container:c ~f:(fun _ observed ->
+          if observed > !hi then hi := observed))
+    (Txn.containers txn);
+  Txn.iter_all_writes txn ~f:(fun e ->
+      let t = e.wrec.Storage.Record.tid in
+      if t > !hi then hi := t);
+  Storage.Record.next_tid ~epoch (if !hi = 0 then [] else [ !hi ])
 
 let install txn ~container ~tid =
   let id = Txn.id txn in
-  List.iter
-    (fun e ->
+  iter_writes_in txn ~container ~f:(fun e ->
       let r = e.wrec in
       (match e.kind with
       | Update data ->
@@ -104,7 +125,6 @@ let install txn ~container ~tid =
         r.Storage.Record.absent <- false;
         r.Storage.Record.tid <- tid);
       Storage.Record.unlock r ~txn:id)
-    (writes_in txn ~container)
 
 let commit_single txn ~epoch ~container =
   if prepare txn ~container then begin

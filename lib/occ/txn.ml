@@ -11,19 +11,35 @@ type write_entry = {
   wtable : Storage.Table.t;
   wkey : Storage.Table.Key.t;
   wcontainer : int;
+  mutable wlive : bool;
+      (* cleared when a delete cancels this transaction's own insert; dead
+         entries stay in their buckets (append-only) and are skipped by every
+         iterator *)
 }
 
 module IntSet = Set.Make (Int)
 
+(* Per-container slice of the transaction context, built at insertion time so
+   the commit protocol iterates exactly its container's entries — no folds
+   over the whole read/write/node sets (§3.2's lean Silo commit path). *)
+type bucket = {
+  breads : (Storage.Record.t * int) Util.Vec.t; (* (record, observed tid) *)
+  bwrites : write_entry Util.Vec.t; (* includes dead entries *)
+  bnodes : Storage.Table.witness Util.Vec.t;
+  mutable blive : int; (* live entries in [bwrites] *)
+}
+
 type t = {
   tid : int;
   mutable containers : IntSet.t;
-  reads : (int, Storage.Record.t * int * int) Hashtbl.t;
-  (* rid -> (record, observed tid, container); first observation wins *)
-  writes : (int, write_entry) Hashtbl.t; (* rid -> entry *)
+  reads : (int, unit) Hashtbl.t; (* rid seen; first observation wins *)
+  writes : (int, write_entry) Hashtbl.t; (* rid -> live entry *)
   inserts : (int * Storage.Table.Key.t, write_entry) Hashtbl.t;
   (* (table uid, key) -> entry; includes only live buffered inserts *)
-  mutable nodes : (int * Storage.Table.witness) list;
+  mutable buckets : bucket option array; (* index = container id *)
+  by_table : (int, write_entry Util.Vec.t) Hashtbl.t;
+      (* table uid -> entries (live and dead), for own-write visibility scans
+         in the query layer *)
 }
 
 let create ~id =
@@ -33,12 +49,58 @@ let create ~id =
     reads = Hashtbl.create 64;
     writes = Hashtbl.create 16;
     inserts = Hashtbl.create 16;
-    nodes = [];
+    buckets = [||];
+    by_table = Hashtbl.create 8;
   }
 
 let id t = t.tid
 let containers t = IntSet.elements t.containers
 let touch t c = t.containers <- IntSet.add c t.containers
+
+let new_bucket () =
+  { breads = Util.Vec.create (); bwrites = Util.Vec.create ();
+    bnodes = Util.Vec.create (); blive = 0 }
+
+let bucket t c =
+  let n = Array.length t.buckets in
+  if c >= n then begin
+    let grown = Array.make (Stdlib.max (c + 1) (Stdlib.max 4 (2 * n))) None in
+    Array.blit t.buckets 0 grown 0 n;
+    t.buckets <- grown
+  end;
+  match t.buckets.(c) with
+  | Some b -> b
+  | None ->
+    let b = new_bucket () in
+    t.buckets.(c) <- Some b;
+    b
+
+let bucket_opt t c = if c < Array.length t.buckets then t.buckets.(c) else None
+
+let table_bucket t table =
+  let uid = table.Storage.Table.uid in
+  match Hashtbl.find_opt t.by_table uid with
+  | Some v -> v
+  | None ->
+    let v = Util.Vec.create () in
+    Hashtbl.add t.by_table uid v;
+    v
+
+let add_write_entry t e =
+  Hashtbl.add t.writes e.wrec.Storage.Record.rid e;
+  let b = bucket t e.wcontainer in
+  Util.Vec.push b.bwrites e;
+  b.blive <- b.blive + 1;
+  Util.Vec.push (table_bucket t e.wtable) e
+
+(* Cancel a live entry (delete of own insert): drop it from the lookup
+   tables and counters; its bucket slots are skipped from now on. *)
+let kill_entry t e =
+  e.wlive <- false;
+  Hashtbl.remove t.writes e.wrec.Storage.Record.rid;
+  match bucket_opt t e.wcontainer with
+  | Some b -> b.blive <- b.blive - 1
+  | None -> assert false
 
 let own_write t record = Hashtbl.find_opt t.writes record.Storage.Record.rid
 
@@ -46,25 +108,33 @@ let own_insert t ~table ~key =
   Hashtbl.find_opt t.inserts (table.Storage.Table.uid, key)
 
 let own_updates_for t ~table =
-  Hashtbl.fold
-    (fun _ e acc ->
-      match e.kind with
-      | Update data when e.wtable.Storage.Table.uid = table.Storage.Table.uid ->
-        (e.wkey, data) :: acc
-      | _ -> acc)
-    t.writes []
+  match Hashtbl.find_opt t.by_table table.Storage.Table.uid with
+  | None -> []
+  | Some v ->
+    Util.Vec.fold_left
+      (fun acc e ->
+        match e.kind with
+        | Update data when e.wlive -> (e.wkey, data) :: acc
+        | _ -> acc)
+      [] v
 
 let own_inserts_for t ~table =
-  Hashtbl.fold
-    (fun (uid, key) e acc ->
-      if uid = table.Storage.Table.uid then (key, e.wrec.Storage.Record.data) :: acc
-      else acc)
-    t.inserts []
+  match Hashtbl.find_opt t.by_table table.Storage.Table.uid with
+  | None -> []
+  | Some v ->
+    Util.Vec.fold_left
+      (fun acc e ->
+        match e.kind with
+        | Insert when e.wlive -> (e.wkey, e.wrec.Storage.Record.data) :: acc
+        | _ -> acc)
+      [] v
 
 let note_read t ~container record =
   let rid = record.Storage.Record.rid in
-  if not (Hashtbl.mem t.reads rid) then
-    Hashtbl.add t.reads rid (record, record.Storage.Record.tid, container);
+  if not (Hashtbl.mem t.reads rid) then begin
+    Hashtbl.add t.reads rid ();
+    Util.Vec.push (bucket t container).breads (record, record.Storage.Record.tid)
+  end;
   touch t container
 
 let read t ~container record =
@@ -85,14 +155,12 @@ let write t ~container ~table ~key record data =
   touch t container;
   match own_write t record with
   | Some ({ kind = Update _; _ } as e) -> e.kind <- Update data
-  | Some ({ kind = Insert; wrec; _ } as e) ->
-    wrec.Storage.Record.data <- data;
-    ignore e
+  | Some { kind = Insert; wrec; _ } -> wrec.Storage.Record.data <- data
   | Some { kind = Delete; _ } -> raise (Abort "write after delete of same record")
   | None ->
-    Hashtbl.add t.writes record.Storage.Record.rid
+    add_write_entry t
       { wrec = record; kind = Update data; wtable = table; wkey = key;
-        wcontainer = container }
+        wcontainer = container; wlive = true }
 
 let insert t ~container ~table tuple =
   Storage.Schema.validate table.Storage.Table.schema tuple;
@@ -105,7 +173,7 @@ let insert t ~container ~table tuple =
   let clash = ref false in
   (match
      Storage.Table.find
-       ~on_node:(fun w -> t.nodes <- (container, w) :: t.nodes)
+       ~on_node:(fun w -> Util.Vec.push (bucket t container).bnodes w)
        table key
    with
   | Some existing ->
@@ -126,41 +194,92 @@ let insert t ~container ~table tuple =
   ignore (Storage.Record.try_lock record ~txn:t.tid);
   let entry =
     { wrec = record; kind = Insert; wtable = table; wkey = key;
-      wcontainer = container }
+      wcontainer = container; wlive = true }
   in
-  Hashtbl.add t.writes record.Storage.Record.rid entry;
+  add_write_entry t entry;
   Hashtbl.add t.inserts (table.Storage.Table.uid, key) entry
 
 let delete t ~container ~table ~key record =
   touch t container;
   match own_write t record with
-  | Some { kind = Insert; wrec; _ } ->
-    Hashtbl.remove t.writes wrec.Storage.Record.rid;
-    Hashtbl.remove t.inserts (table.Storage.Table.uid, key)
+  | Some ({ kind = Insert; _ } as e) ->
+    Hashtbl.remove t.inserts (table.Storage.Table.uid, key);
+    kill_entry t e
   | Some ({ kind = Update _; _ } as e) -> e.kind <- Delete
   | Some { kind = Delete; _ } -> ()
   | None ->
-    Hashtbl.add t.writes record.Storage.Record.rid
+    add_write_entry t
       { wrec = record; kind = Delete; wtable = table; wkey = key;
-        wcontainer = container }
+        wcontainer = container; wlive = true }
 
 let note_node t ~container w =
   touch t container;
-  t.nodes <- (container, w) :: t.nodes
+  Util.Vec.push (bucket t container).bnodes w
+
+(* ---- per-container iteration (the commit protocol's hot path) ---- *)
+
+let iter_reads_in t ~container ~f =
+  match bucket_opt t container with
+  | None -> ()
+  | Some b -> Util.Vec.iter (fun (r, observed) -> f r observed) b.breads
+
+let iter_writes_in t ~container ~f =
+  match bucket_opt t container with
+  | None -> ()
+  | Some b -> Util.Vec.iter (fun e -> if e.wlive then f e) b.bwrites
+
+let iter_nodes_in t ~container ~f =
+  match bucket_opt t container with
+  | None -> ()
+  | Some b -> Util.Vec.iter f b.bnodes
+
+let ops_in t ~container =
+  match bucket_opt t container with
+  | None -> 0
+  | Some b -> Util.Vec.length b.breads + b.blive
+
+(* ---- list views (tests, history recording) ---- *)
 
 let reads_in t ~container =
-  Hashtbl.fold
-    (fun _ (r, observed, c) acc -> if c = container then (r, observed) :: acc else acc)
-    t.reads []
+  match bucket_opt t container with
+  | None -> []
+  | Some b -> Util.Vec.to_list b.breads
 
 let writes_in t ~container =
-  Hashtbl.fold
-    (fun _ e acc -> if e.wcontainer = container then e :: acc else acc)
-    t.writes []
+  match bucket_opt t container with
+  | None -> []
+  | Some b ->
+    List.rev
+      (Util.Vec.fold_left
+         (fun acc e -> if e.wlive then e :: acc else acc)
+         [] b.bwrites)
 
 let nodes_in t ~container =
-  List.filter_map (fun (c, w) -> if c = container then Some w else None) t.nodes
+  match bucket_opt t container with
+  | None -> []
+  | Some b -> Util.Vec.to_list b.bnodes
 
-let all_writes t = Hashtbl.fold (fun _ e acc -> e :: acc) t.writes []
+(* Ascending container id, then insertion order: deterministic, unlike the
+   hashtable fold this replaces. *)
+let all_writes t =
+  let out = ref [] in
+  for c = Array.length t.buckets - 1 downto 0 do
+    match t.buckets.(c) with
+    | None -> ()
+    | Some b ->
+      for i = Util.Vec.length b.bwrites - 1 downto 0 do
+        let e = Util.Vec.get b.bwrites i in
+        if e.wlive then out := e :: !out
+      done
+  done;
+  !out
+
+let iter_all_writes t ~f =
+  Array.iter
+    (function
+      | None -> ()
+      | Some b -> Util.Vec.iter (fun e -> if e.wlive then f e) b.bwrites)
+    t.buckets
+
 let read_count t = Hashtbl.length t.reads
 let write_count t = Hashtbl.length t.writes

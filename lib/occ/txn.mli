@@ -33,6 +33,8 @@ type write_entry = {
   wtable : Storage.Table.t;
   wkey : Storage.Table.Key.t;
   wcontainer : int;
+  mutable wlive : bool;
+      (** cleared when a delete cancels this transaction's own insert *)
 }
 
 type t
@@ -100,7 +102,29 @@ val own_inserts_for :
 val own_updates_for :
   t -> table:Storage.Table.t -> (Storage.Table.Key.t * Util.Value.t array) list
 
-(** {1 Introspection for the commit protocol and tests} *)
+(** {1 Per-container iteration (the commit protocol's hot path)}
+
+    Entries are bucketed per container at insertion time, so each of these
+    visits exactly its container's slice — no whole-set folds or filters.
+    Iteration is in insertion order and allocation-free. *)
+
+val iter_reads_in :
+  t -> container:int -> f:(Storage.Record.t -> int -> unit) -> unit
+
+(** Live write entries only (cancelled own-inserts are skipped). *)
+val iter_writes_in : t -> container:int -> f:(write_entry -> unit) -> unit
+
+val iter_nodes_in :
+  t -> container:int -> f:(Storage.Table.witness -> unit) -> unit
+
+(** Number of reads plus live writes in [container], O(1). *)
+val ops_in : t -> container:int -> int
+
+(** Live write entries of every container, ascending container id then
+    insertion order (deterministic). *)
+val iter_all_writes : t -> f:(write_entry -> unit) -> unit
+
+(** {1 List views (tests, history recording)} *)
 
 val reads_in : t -> container:int -> (Storage.Record.t * int) list
 val writes_in : t -> container:int -> write_entry list

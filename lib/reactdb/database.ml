@@ -344,13 +344,10 @@ and do_call db frame ~reactor ~proc ~args =
 (* ------------------------------------------------------------------ *)
 (* Commit protocols. *)
 
-let ops_in txn c =
-  List.length (Occ.Txn.reads_in txn ~container:c)
-  + List.length (Occ.Txn.writes_in txn ~container:c)
-
 let validation_cost db txn c =
   db.prof.Profile.cost_commit_base
-  +. (db.prof.Profile.cost_commit_per_op *. float_of_int (ops_in txn c))
+  +. db.prof.Profile.cost_commit_per_op
+     *. float_of_int (Occ.Txn.ops_in txn ~container:c)
 
 let wal_log db root tid =
   match db.wal with
@@ -386,11 +383,10 @@ let note_history db root tid =
             (Occ.Txn.reads_in root.txn ~container:c))
         (Occ.Txn.containers root.txn)
     in
-    let writes =
-      List.map
-        (fun e -> e.Occ.Txn.wrec.Storage.Record.rid)
-        (Occ.Txn.all_writes root.txn)
-    in
+    let writes = ref [] in
+    Occ.Txn.iter_all_writes root.txn ~f:(fun e ->
+        writes := e.Occ.Txn.wrec.Storage.Record.rid :: !writes);
+    let writes = List.rev !writes in
     db.hist <-
       { h_txn = Occ.Txn.id root.txn; h_tid = tid; h_reads = reads;
         h_writes = writes }
@@ -509,8 +505,7 @@ let do_commit db root ex =
 
 (* ------------------------------------------------------------------ *)
 
-let bump db tbl key =
-  ignore db;
+let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let exec_txn db ~reactor ~proc ~args =
@@ -570,21 +565,16 @@ let exec_txn db ~reactor ~proc ~args =
   | Ok _ -> db.committed <- db.committed + 1
   | Error m ->
     db.aborted <- db.aborted + 1;
-    let contains sub =
-      let n = String.length sub and l = String.length m in
-      let rec go i = i + n <= l && (String.sub m i n = sub || go (i + 1)) in
-      go 0
-    in
     let bucket =
       (* Duplicate-key failures under concurrency are conflict aborts: the
          competing inserter won the key. *)
       if m = "validation failed" || m = "validation failed (2pc)"
-         || contains "duplicate key" then "validation"
-      else if String.length m >= 9 && String.sub m 0 9 = "dangerous" then
+         || Util.Strutil.contains m ~sub:"duplicate key" then "validation"
+      else if Util.Strutil.has_prefix m ~prefix:"dangerous" then
         "dangerous-structure"
       else "user"
     in
-    bump db db.abort_reasons bucket);
+    bump db.abort_reasons bucket);
   {
     result;
     latency;

@@ -2,25 +2,41 @@ module Key = struct
   type t = Util.Value.t array
 
   let compare a b =
-    let la = Array.length a and lb = Array.length b in
-    let n = Stdlib.min la lb in
-    let rec go i =
-      if i = n then Int.compare la lb
-      else
-        let c = Util.Value.compare a.(i) b.(i) in
-        if c <> 0 then c else go (i + 1)
-    in
-    go 0
+    if a == b then 0
+    else begin
+      let la = Array.length a and lb = Array.length b in
+      let n = Stdlib.min la lb in
+      let rec go i =
+        if i = n then Int.compare la lb
+        else
+          (* Same-constructor scalar fast paths keep the common case (int and
+             string key columns) free of the generic dispatch. *)
+          let c =
+            match Array.unsafe_get a i, Array.unsafe_get b i with
+            | Util.Value.Int x, Util.Value.Int y -> Int.compare x y
+            | Util.Value.Str x, Util.Value.Str y -> String.compare x y
+            | x, y -> Util.Value.compare x y
+          in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    end
 end
 
 module Idx = Btree.Make (Key)
 
 (* A secondary index maps (indexed columns @ primary key) -> record; the
    primary-key suffix makes entries unique and gives deterministic order
-   among equal secondary keys. *)
+   among equal secondary keys. [sec_plan] is the flat column-extraction
+   plan (indexed columns then primary-key columns) precomputed at table
+   creation, so building a secondary key is a single loop — no per-operation
+   Array.map + Array.append. [sec_scratch] is a reusable buffer for keys
+   that are only looked up, never stored (deletions, comparisons). *)
 type secondary = {
   sec_name : string;
   sec_cols : int array;
+  sec_plan : int array;
+  sec_scratch : Util.Value.t array;
   sec_idx : Record.t Idx.t;
 }
 
@@ -49,7 +65,10 @@ let create ?(secondaries = []) schema =
                     sec_name c))
            cols)
     in
-    { sec_name; sec_cols; sec_idx = Idx.create () }
+    let sec_plan = Array.append sec_cols schema.Schema.key in
+    { sec_name; sec_cols; sec_plan;
+      sec_scratch = Array.make (Array.length sec_plan) Util.Value.Null;
+      sec_idx = Idx.create () }
   in
   let secondaries = List.map mk secondaries in
   let names = List.map (fun s -> s.sec_name) secondaries in
@@ -65,11 +84,20 @@ let secondary t name =
       (Printf.sprintf "Table: no index %S on %s" name t.schema.Schema.sname)
 
 (* Secondary key of a tuple under index [s]: indexed columns then the
-   primary key. *)
-let sec_key_of t s data =
-  Array.append
-    (Array.map (fun i -> data.(i)) s.sec_cols)
-    (Schema.key_of_tuple t.schema data)
+   primary key, extracted through the precomputed plan. *)
+let sec_key_of _t s data =
+  Array.map (fun i -> Array.unsafe_get data i) s.sec_plan
+
+(* Same key, built into the per-secondary scratch buffer: valid only until
+   the next call for this secondary, and must never be handed to an index
+   insertion (the B+tree stores keys). Safe for delete/compare lookups. *)
+let sec_key_scratch s data =
+  let plan = s.sec_plan in
+  for i = 0 to Array.length plan - 1 do
+    Array.unsafe_set s.sec_scratch i
+      (Array.unsafe_get data (Array.unsafe_get plan i))
+  done;
+  s.sec_scratch
 
 let sec_insert t record =
   List.iter
@@ -79,8 +107,9 @@ let sec_insert t record =
 
 let sec_remove t data =
   List.iter
-    (fun s -> ignore (Idx.delete s.sec_idx (sec_key_of t s data)))
+    (fun s -> ignore (Idx.delete s.sec_idx (sec_key_scratch s data)))
     t.secondaries
+
 let size t = Idx.size t.idx
 let find ?on_node t key = Idx.find ?on_node t.idx key
 
@@ -104,11 +133,19 @@ let remove t key =
 let update_data t record data =
   List.iter
     (fun s ->
-      let old_key = sec_key_of t s record.Record.data in
-      let new_key = sec_key_of t s data in
-      if Key.compare old_key new_key <> 0 then begin
-        ignore (Idx.delete s.sec_idx old_key);
-        ignore (Idx.insert s.sec_idx new_key record)
+      if
+        (* With an unchanged primary key the secondary key moves only if an
+           indexed column changed; compare those positions in place instead
+           of materializing both keys. *)
+        Array.exists
+          (fun i ->
+            Util.Value.compare (Array.unsafe_get record.Record.data i)
+              (Array.unsafe_get data i)
+            <> 0)
+          s.sec_cols
+      then begin
+        ignore (Idx.delete s.sec_idx (sec_key_scratch s record.Record.data));
+        ignore (Idx.insert s.sec_idx (sec_key_of t s data) record)
       end)
     t.secondaries;
   record.Record.data <- data

@@ -19,10 +19,17 @@ module Idx : module type of Btree.Make (Key)
 (** A secondary index: selected columns, suffixed with the primary key for
     uniqueness, mapping to the same records as the primary index. Maintained
     by {!insert}, {!remove} and {!update_data}; scans over it take leaf
-    witnesses for phantom validation exactly like primary scans. *)
+    witnesses for phantom validation exactly like primary scans.
+
+    [sec_plan] is the flat column-extraction plan (indexed columns followed
+    by the primary-key columns) precomputed at {!create} time; [sec_scratch]
+    is an internal reusable key buffer for lookups that never store the
+    key. *)
 type secondary = private {
   sec_name : string;
   sec_cols : int array;
+  sec_plan : int array;
+  sec_scratch : Util.Value.t array;
   sec_idx : Record.t Idx.t;
 }
 

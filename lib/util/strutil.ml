@@ -1,0 +1,18 @@
+let contains s ~sub =
+  let n = String.length sub and l = String.length s in
+  if n = 0 then true
+  else if n > l then false
+  else begin
+    let c0 = String.unsafe_get sub 0 in
+    let rec at i j =
+      j = n || (String.unsafe_get s (i + j) = String.unsafe_get sub j && at i (j + 1))
+    in
+    let rec scan i =
+      i + n <= l && ((String.unsafe_get s i = c0 && at i 1) || scan (i + 1))
+    in
+    scan 0
+  end
+
+let has_prefix s ~prefix =
+  let n = String.length prefix in
+  String.length s >= n && String.sub s 0 n = prefix

@@ -1,0 +1,8 @@
+(** Small string helpers missing from the 4.x/5.1 stdlib. *)
+
+(** [contains s ~sub] is true iff [sub] occurs in [s] (always true for the
+    empty [sub]). Index-based scan: no per-position substring allocation. *)
+val contains : string -> sub:string -> bool
+
+(** [has_prefix s ~prefix] is true iff [s] starts with [prefix]. *)
+val has_prefix : string -> prefix:string -> bool

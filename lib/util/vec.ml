@@ -1,0 +1,45 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    (* Grow using the pushed element as fill: no dummy element needed. *)
+    let d = Array.make (if cap = 0 then 8 else 2 * cap) x in
+    Array.blit v.data 0 d 0 v.len;
+    v.data <- d
+  end;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+let to_array v = Array.sub v.data 0 v.len
+
+let exists p v =
+  let rec go i = i < v.len && (p (Array.unsafe_get v.data i) || go (i + 1)) in
+  go 0
+
+let for_all p v =
+  let rec go i = i >= v.len || (p (Array.unsafe_get v.data i) && go (i + 1)) in
+  go 0
+
+let clear v = v.len <- 0

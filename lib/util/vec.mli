@@ -1,0 +1,32 @@
+(** Minimal growable arrays (OCaml 5.1 has no [Dynarray] yet).
+
+    Used for hot-path accumulation where lists would allocate a cons per
+    element and hashtable folds would visit unrelated entries: the OCC
+    layer's per-container read/write/node buckets, and scratch collections
+    in the commit protocol. Not thread-safe; growth uses the pushed element
+    as array fill so no dummy value is ever required. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Amortized O(1) append. *)
+val push : 'a t -> 'a -> unit
+
+(** Raises [Invalid_argument] out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** In insertion order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+
+(** Resets length to 0; keeps (and may retain references in) the backing
+    storage. *)
+val clear : 'a t -> unit

@@ -248,6 +248,363 @@ let test_delete_own_insert_cancels () =
     (Result.is_ok (Occ.Commit.commit_single t ~epoch:1 ~container:0));
   check_bool "nothing installed" true (Storage.Table.find tbl (key 91) = None)
 
+(* ------------------------------------------------------------------ *)
+(* Property: the per-container buckets behind reads_in/writes_in/nodes_in/
+   ops_in and the per-table buckets behind own_updates_for/own_inserts_for
+   agree with a naive whole-set-filter reference across randomized
+   read/write/insert/delete/scan sequences, including the write-after-delete
+   and delete-of-own-insert edge cases.
+
+   The reference below is the pre-bucketing implementation: one flat
+   hashtable per set, filtered per container/table on every query. It runs
+   in lockstep with the real context against the same physical tables (no
+   operation mutates the table before commit, so the two never interfere). *)
+
+module Naive = struct
+  type wkind = NUpdate of Value.t array | NInsert | NDelete
+
+  type wentry = {
+    nrec : Storage.Record.t;
+    mutable nkind : wkind;
+    ntable : Storage.Table.t;
+    nkey : Storage.Table.Key.t;
+    ncontainer : int;
+  }
+
+  type t = {
+    reads : (int, Storage.Record.t * int * int) Hashtbl.t;
+    writes : (int, wentry) Hashtbl.t;
+    inserts : (int * Storage.Table.Key.t, wentry) Hashtbl.t;
+    mutable nodes : (int * Storage.Table.witness) list;
+  }
+
+  let create () =
+    { reads = Hashtbl.create 64; writes = Hashtbl.create 16;
+      inserts = Hashtbl.create 16; nodes = [] }
+
+  let own_write t record = Hashtbl.find_opt t.writes record.Storage.Record.rid
+  let own_insert t ~table ~key = Hashtbl.find_opt t.inserts (table.Storage.Table.uid, key)
+
+  let note_read t ~container record =
+    let rid = record.Storage.Record.rid in
+    if not (Hashtbl.mem t.reads rid) then
+      Hashtbl.add t.reads rid (record, record.Storage.Record.tid, container)
+
+  let read t ~container record =
+    match own_write t record with
+    | Some { nkind = NUpdate data; _ } -> Some data
+    | Some { nkind = NDelete; _ } -> None
+    | Some { nkind = NInsert; nrec; _ } -> Some nrec.Storage.Record.data
+    | None ->
+      note_read t ~container record;
+      if record.Storage.Record.absent then None
+      else Some record.Storage.Record.data
+
+  let write t ~container ~table ~key record data =
+    match own_write t record with
+    | Some ({ nkind = NUpdate _; _ } as e) -> e.nkind <- NUpdate data
+    | Some { nkind = NInsert; nrec; _ } -> nrec.Storage.Record.data <- data
+    | Some { nkind = NDelete; _ } -> raise (Occ.Txn.Abort "write after delete")
+    | None ->
+      Hashtbl.add t.writes record.Storage.Record.rid
+        { nrec = record; nkind = NUpdate data; ntable = table; nkey = key;
+          ncontainer = container }
+
+  let insert t ~container ~table tuple =
+    let key = Storage.Table.key_of_tuple table tuple in
+    if Hashtbl.mem t.inserts (table.Storage.Table.uid, key) then
+      raise (Occ.Txn.Abort "duplicate key (own insert)");
+    let clash = ref false in
+    (match
+       Storage.Table.find
+         ~on_node:(fun w -> t.nodes <- (container, w) :: t.nodes)
+         table key
+     with
+    | Some existing ->
+      if existing.Storage.Record.absent then begin
+        note_read t ~container existing;
+        if Storage.Record.is_locked existing then clash := true
+      end
+      else clash := true
+    | None -> ());
+    if !clash then raise (Occ.Txn.Abort "duplicate key");
+    let record = Storage.Record.fresh ~absent:true tuple in
+    let entry =
+      { nrec = record; nkind = NInsert; ntable = table; nkey = key;
+        ncontainer = container }
+    in
+    Hashtbl.add t.writes record.Storage.Record.rid entry;
+    Hashtbl.add t.inserts (table.Storage.Table.uid, key) entry
+
+  let delete t ~container ~table ~key record =
+    match own_write t record with
+    | Some { nkind = NInsert; nrec; _ } ->
+      Hashtbl.remove t.writes nrec.Storage.Record.rid;
+      Hashtbl.remove t.inserts (table.Storage.Table.uid, key)
+    | Some ({ nkind = NUpdate _; _ } as e) -> e.nkind <- NDelete
+    | Some { nkind = NDelete; _ } -> ()
+    | None ->
+      Hashtbl.add t.writes record.Storage.Record.rid
+        { nrec = record; nkind = NDelete; ntable = table; nkey = key;
+          ncontainer = container }
+
+  let note_node t ~container w = t.nodes <- (container, w) :: t.nodes
+
+  let reads_in t ~container =
+    Hashtbl.fold
+      (fun _ (r, observed, c) acc ->
+        if c = container then (r, observed) :: acc else acc)
+      t.reads []
+
+  let writes_in t ~container =
+    Hashtbl.fold
+      (fun _ e acc -> if e.ncontainer = container then e :: acc else acc)
+      t.writes []
+
+  let nodes_in t ~container =
+    List.filter_map (fun (c, w) -> if c = container then Some w else None) t.nodes
+
+  let own_updates_for t ~table =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match e.nkind with
+        | NUpdate data when e.ntable.Storage.Table.uid = table.Storage.Table.uid
+          ->
+          (e.nkey, data) :: acc
+        | _ -> acc)
+      t.writes []
+
+  let own_inserts_for t ~table =
+    Hashtbl.fold
+      (fun (uid, key) e acc ->
+        if uid = table.Storage.Table.uid then
+          (key, e.nrec.Storage.Record.data) :: acc
+        else acc)
+      t.inserts []
+end
+
+type prop_op =
+  | PRead of int * int * int (* table, key, container *)
+  | PWrite of int * int * int * int (* table, key, container, value *)
+  | PIns of int * int * int * int
+  | PDel of int * int * int
+  | PScan of int * int * int * int (* table, lo, hi, container *)
+
+(* Write-entry projection comparable across the two contexts (buffered
+   inserts allocate distinct records, so rids cannot be compared). *)
+let wproj_real (e : Occ.Txn.write_entry) =
+  let tag, payload =
+    match e.Occ.Txn.kind with
+    | Occ.Txn.Update d -> (0, d)
+    | Occ.Txn.Insert -> (1, e.Occ.Txn.wrec.Storage.Record.data)
+    | Occ.Txn.Delete -> (2, [||])
+  in
+  (e.Occ.Txn.wtable.Storage.Table.uid, e.Occ.Txn.wkey, tag, payload)
+
+let wproj_naive (e : Naive.wentry) =
+  let tag, payload =
+    match e.Naive.nkind with
+    | Naive.NUpdate d -> (0, d)
+    | Naive.NInsert -> (1, e.Naive.nrec.Storage.Record.data)
+    | Naive.NDelete -> (2, [||])
+  in
+  (e.Naive.ntable.Storage.Table.uid, e.Naive.nkey, tag, payload)
+
+let sorted l = List.sort Stdlib.compare l
+
+let prop_tables () =
+  let mk () =
+    let tbl = Storage.Table.create sch in
+    for i = 0 to 14 do
+      ignore
+        (Storage.Table.insert tbl
+           (Storage.Record.fresh ~absent:false [| Value.Int i; Value.Int (100 + i) |]))
+    done;
+    (* Tombstones: committed deletes an insert probe must observe. *)
+    List.iter
+      (fun k ->
+        ignore
+          (Storage.Table.insert tbl
+             (Storage.Record.fresh ~absent:true [| Value.Int k; Value.Int 0 |])))
+      [ 100; 101 ];
+    tbl
+  in
+  [| mk (); mk () |]
+
+let apply_both tables txn naive op =
+  let run_both f g =
+    (* Both sides must agree on whether the operation aborts. *)
+    let r = try Ok (f ()) with Occ.Txn.Abort m -> Error m in
+    let n = try Ok (g ()) with Occ.Txn.Abort _ -> Error "abort" in
+    match r, n with
+    | Ok (), Ok () -> true
+    | Error _, Error _ -> true
+    | _ -> false
+  in
+  match op with
+  | PRead (t, k, c) -> (
+    let tbl = tables.(t) in
+    match Storage.Table.find tbl [| Value.Int k |] with
+    | None -> true
+    | Some r ->
+      let a = Occ.Txn.read txn ~container:c r in
+      let b = Naive.read naive ~container:c r in
+      a = b)
+  | PWrite (t, k, c, v) -> (
+    let tbl = tables.(t) in
+    let key = [| Value.Int k |] in
+    let data = [| Value.Int k; Value.Int v |] in
+    match Occ.Txn.own_insert txn ~table:tbl ~key with
+    | Some e ->
+      run_both
+        (fun () -> Occ.Txn.write txn ~container:c ~table:tbl ~key e.Occ.Txn.wrec data)
+        (fun () ->
+          match Naive.own_insert naive ~table:tbl ~key with
+          | Some ne -> Naive.write naive ~container:c ~table:tbl ~key ne.Naive.nrec data
+          | None -> Alcotest.fail "naive missing own insert")
+    | None -> (
+      match Storage.Table.find tbl key with
+      | None -> true
+      | Some r ->
+        run_both
+          (fun () -> Occ.Txn.write txn ~container:c ~table:tbl ~key r data)
+          (fun () -> Naive.write naive ~container:c ~table:tbl ~key r data)))
+  | PIns (t, k, c, v) ->
+    let tbl = tables.(t) in
+    run_both
+      (fun () -> Occ.Txn.insert txn ~container:c ~table:tbl [| Value.Int k; Value.Int v |])
+      (fun () -> Naive.insert naive ~container:c ~table:tbl [| Value.Int k; Value.Int v |])
+  | PDel (t, k, c) -> (
+    let tbl = tables.(t) in
+    let key = [| Value.Int k |] in
+    match Occ.Txn.own_insert txn ~table:tbl ~key with
+    | Some e ->
+      run_both
+        (fun () -> Occ.Txn.delete txn ~container:c ~table:tbl ~key e.Occ.Txn.wrec)
+        (fun () ->
+          match Naive.own_insert naive ~table:tbl ~key with
+          | Some ne -> Naive.delete naive ~container:c ~table:tbl ~key ne.Naive.nrec
+          | None -> Alcotest.fail "naive missing own insert")
+    | None -> (
+      match Storage.Table.find tbl key with
+      | None -> true
+      | Some r ->
+        run_both
+          (fun () -> Occ.Txn.delete txn ~container:c ~table:tbl ~key r)
+          (fun () -> Naive.delete naive ~container:c ~table:tbl ~key r)))
+  | PScan (t, lo, hi, c) ->
+    let tbl = tables.(t) in
+    Storage.Table.range tbl ~lo:[| Value.Int lo |] ~hi:[| Value.Int hi |]
+      ~on_node:(fun w ->
+        Occ.Txn.note_node txn ~container:c w;
+        Naive.note_node naive ~container:c w)
+      ~f:(fun _ -> true);
+    true
+
+let contexts_agree tables txn naive =
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  for c = 0 to 2 do
+    let rr =
+      sorted
+        (List.map
+           (fun (r, obs) -> (r.Storage.Record.rid, obs))
+           (Occ.Txn.reads_in txn ~container:c))
+    in
+    let nr =
+      sorted
+        (List.map
+           (fun (r, obs) -> (r.Storage.Record.rid, obs))
+           (Naive.reads_in naive ~container:c))
+    in
+    check (rr = nr);
+    check
+      (sorted (List.map wproj_real (Occ.Txn.writes_in txn ~container:c))
+      = sorted (List.map wproj_naive (Naive.writes_in naive ~container:c)));
+    check
+      (List.length (Occ.Txn.nodes_in txn ~container:c)
+      = List.length (Naive.nodes_in naive ~container:c));
+    check
+      (Occ.Txn.ops_in txn ~container:c
+      = List.length (Naive.reads_in naive ~container:c)
+        + List.length (Naive.writes_in naive ~container:c));
+    (* Iterators must agree with the list views they mirror. *)
+    let n = ref 0 in
+    Occ.Txn.iter_writes_in txn ~container:c ~f:(fun _ -> incr n);
+    check (!n = List.length (Occ.Txn.writes_in txn ~container:c));
+    n := 0;
+    Occ.Txn.iter_reads_in txn ~container:c ~f:(fun _ _ -> incr n);
+    check (!n = List.length (Occ.Txn.reads_in txn ~container:c))
+  done;
+  Array.iter
+    (fun tbl ->
+      check
+        (sorted (Occ.Txn.own_updates_for txn ~table:tbl)
+        = sorted (Naive.own_updates_for naive ~table:tbl));
+      check
+        (sorted (Occ.Txn.own_inserts_for txn ~table:tbl)
+        = sorted (Naive.own_inserts_for naive ~table:tbl)))
+    tables;
+  !ok
+
+let gen_prop_op =
+  QCheck.Gen.(
+    let table = int_bound 1 in
+    let cont = int_bound 2 in
+    let pkey = frequency [ (10, int_bound 20); (1, oneofl [ 100; 101 ]) ] in
+    frequency
+      [
+        (3, map3 (fun t k c -> PRead (t, k, c)) table pkey cont);
+        ( 3,
+          map3 (fun t k (c, v) -> PWrite (t, k, c, v)) table pkey
+            (pair cont (int_bound 999)) );
+        ( 2,
+          map3 (fun t k (c, v) -> PIns (t, k, c, v)) table pkey
+            (pair cont (int_bound 999)) );
+        (2, map3 (fun t k c -> PDel (t, k, c)) table pkey cont);
+        ( 1,
+          map3
+            (fun t lo c -> PScan (t, lo, lo + 5, c))
+            table (int_bound 20) cont );
+      ])
+
+let prop_buckets_match_reference =
+  QCheck.Test.make ~name:"per-container buckets = naive whole-set reference"
+    ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 60) gen_prop_op))
+    (fun ops ->
+      let tables = prop_tables () in
+      let txn = fresh_txn () in
+      let naive = Naive.create () in
+      List.for_all (fun op -> apply_both tables txn naive op) ops
+      && contexts_agree tables txn naive)
+
+(* Deterministic run of the two edge cases the property relies on. *)
+let test_bucket_edge_cases () =
+  let tables = prop_tables () in
+  let txn = fresh_txn () in
+  let naive = Naive.create () in
+  let ops =
+    [
+      PIns (0, 50, 1, 7); (* buffered insert in container 1 *)
+      PWrite (0, 50, 0, 8); (* write lands on own insert *)
+      PDel (0, 50, 2); (* delete of own insert: entry dies *)
+      PDel (0, 3, 0); (* delete of committed record *)
+      PWrite (0, 3, 0, 9); (* write-after-delete: must abort *)
+      PIns (0, 100, 0, 1); (* insert over tombstone: observes it *)
+      PRead (1, 4, 1);
+      PWrite (1, 4, 1, 11);
+    ]
+  in
+  List.iter
+    (fun op -> check_bool "op agrees" true (apply_both tables txn naive op))
+    ops;
+  check_bool "contexts agree" true (contexts_agree tables txn naive);
+  check_int "container 2 has no live writes" 0
+    (List.length (Occ.Txn.writes_in txn ~container:2));
+  check_int "own inserts of table 0" 1
+    (List.length (Occ.Txn.own_inserts_for txn ~table:tables.(0)))
+
 let suite =
   ( "occ",
     [
@@ -269,4 +626,6 @@ let suite =
         test_reserved_insert_blocks_concurrent_insert;
       Alcotest.test_case "write after delete" `Quick test_write_after_delete_rejected;
       Alcotest.test_case "delete own insert" `Quick test_delete_own_insert_cancels;
+      Alcotest.test_case "bucket edge cases" `Quick test_bucket_edge_cases;
+      QCheck_alcotest.to_alcotest prop_buckets_match_reference;
     ] )

@@ -120,6 +120,86 @@ let test_prefix_bounds () =
       true);
   Alcotest.(check (list string)) "prefix scan" [ "a"; "b" ] (List.rev !seen)
 
+(* sec_key_of builds keys through a flat column-extraction plan precomputed
+   at Table.create; it must match the old map+append construction (indexed
+   columns, then the primary key) for multi-column secondaries. *)
+let test_sec_key_plan () =
+  let tbl =
+    Storage.Table.create
+      ~secondaries:[ ("by_cb", [ "c"; "b" ]); ("by_c", [ "c" ]) ]
+      sch
+  in
+  let old_construction s data =
+    Array.append
+      (Array.map (fun i -> data.(i)) s.Storage.Table.sec_cols)
+      (Storage.Schema.key_of_tuple sch data)
+  in
+  let rng = Rng.create 99 in
+  List.iter
+    (fun name ->
+      let s = Storage.Table.secondary tbl name in
+      for _ = 1 to 50 do
+        let data =
+          [| Value.Int (Rng.int rng 1000); Value.Str (Rng.alphastring rng 3);
+             Value.Float (Rng.float rng 10.) |]
+        in
+        let got = Storage.Table.sec_key_of tbl s data in
+        let want = old_construction s data in
+        check_bool "plan = map+append" true (got = want);
+        check_bool "Key.compare agrees" true
+          (Storage.Table.Key.compare got want = 0)
+      done)
+    [ "by_cb"; "by_c" ];
+  (* Secondary maintenance end-to-end: update moving a row within by_c. *)
+  let row = [| Value.Int 1; Value.Str "r"; Value.Float 5. |] in
+  let rcd = Storage.Record.fresh ~absent:false row in
+  ignore (Storage.Table.insert tbl rcd);
+  let seen lo hi =
+    let acc = ref [] in
+    Storage.Table.scan_secondary tbl ~index:"by_c"
+      ~lo:[| Value.Float lo |] ~hi:[| Value.Float hi; Value.Str "\xff" |]
+      ~f:(fun r ->
+        acc := r.Storage.Record.data :: !acc;
+        true);
+    !acc
+  in
+  check_int "indexed under 5." 1 (List.length (seen 5. 5.));
+  Storage.Table.update_data tbl rcd [| Value.Int 1; Value.Str "r"; Value.Float 7. |];
+  check_int "moved out of 5." 0 (List.length (seen 5. 5.));
+  check_int "moved into 7." 1 (List.length (seen 7. 7.))
+
+(* The same-constructor fast paths in Key.compare must order exactly like
+   the generic Value.compare loop. *)
+let prop_key_compare_fastpath =
+  let gen_value =
+    QCheck.Gen.(
+      frequency
+        [ (3, map (fun i -> Value.Int i) (int_range (-50) 50));
+          (2, map (fun s -> Value.Str s) (string_size ~gen:printable (int_bound 4)));
+          (1, map (fun b -> Value.Bool b) bool);
+          (1, map (fun f -> Value.Float (float_of_int f)) (int_range (-9) 9));
+          (1, return Value.Null) ])
+  in
+  let gen_key = QCheck.Gen.(list_size (int_bound 4) gen_value) in
+  QCheck.Test.make ~name:"Key.compare = generic lexicographic reference"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_key gen_key))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let reference x y =
+        let la = Array.length x and lb = Array.length y in
+        let n = Stdlib.min la lb in
+        let rec go i =
+          if i = n then Stdlib.compare la lb
+          else
+            let c = Value.compare x.(i) y.(i) in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+      in
+      let sign c = Stdlib.compare c 0 in
+      sign (Storage.Table.Key.compare a b) = sign (reference a b))
+
 let test_catalog () =
   let c = Storage.Catalog.create () in
   let t = Storage.Catalog.create_table c sch in
@@ -148,5 +228,7 @@ let suite =
       Alcotest.test_case "table basics" `Quick test_table_basic;
       Alcotest.test_case "table validates" `Quick test_table_validates_on_insert;
       Alcotest.test_case "prefix bounds" `Quick test_prefix_bounds;
+      Alcotest.test_case "secondary key plan" `Quick test_sec_key_plan;
       Alcotest.test_case "catalog" `Quick test_catalog;
+      QCheck_alcotest.to_alcotest prop_key_compare_fastpath;
     ] )

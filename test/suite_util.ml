@@ -164,10 +164,64 @@ let prop_zipf_theta0_uniformish =
       (* every bucket within 3x of the uniform expectation *)
       Array.for_all (fun c -> c < 3 * draws / n + 10) counts)
 
+let test_strutil_contains () =
+  let has s sub = Strutil.contains s ~sub in
+  check_bool "empty sub" true (has "abc" "");
+  check_bool "empty both" true (has "" "");
+  check_bool "sub in empty" false (has "" "x");
+  check_bool "at start" true (has "duplicate key (own insert)" "duplicate key");
+  check_bool "in middle" true (has "xduplicate keyx" "duplicate key");
+  check_bool "at end" true (has "abc" "bc");
+  check_bool "whole" true (has "abc" "abc");
+  check_bool "absent" false (has "abc" "abd");
+  check_bool "longer than s" false (has "ab" "abc");
+  check_bool "repeated prefix" true (has "aaaab" "aaab");
+  check_bool "almost repeated" false (has "aabaab" "aaab");
+  check_bool "prefix yes" true (Strutil.has_prefix "dangerous call" ~prefix:"dangerous");
+  check_bool "prefix no" false (Strutil.has_prefix "danger" ~prefix:"dangerous")
+
+(* Reference: the allocation-per-position scan this helper replaced. *)
+let prop_strutil_matches_naive =
+  QCheck.Test.make ~name:"Strutil.contains = naive substring scan" ~count:500
+    QCheck.(pair (string_of_size Gen.(int_bound 12)) (string_of_size Gen.(int_bound 4)))
+    (fun (s, sub) ->
+      let naive =
+        let n = String.length sub and l = String.length s in
+        let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Strutil.contains s ~sub = naive)
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 42 (Vec.get v 42);
+  check_bool "get oob" true
+    (try ignore (Vec.get v 100); false with Invalid_argument _ -> true);
+  Alcotest.(check (list int)) "to_list order" (List.init 100 Fun.id) (Vec.to_list v);
+  check_int "fold" 4950 (Vec.fold_left ( + ) 0 v);
+  check_bool "exists" true (Vec.exists (fun x -> x = 77) v);
+  check_bool "for_all" true (Vec.for_all (fun x -> x < 100) v);
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  check_int "iter" 4950 !sum;
+  check_int "to_array" 99 (Vec.to_array v).(99);
+  Vec.clear v;
+  check_int "cleared" 0 (Vec.length v);
+  Vec.push v 7;
+  check_int "push after clear" 7 (Vec.get v 0)
+
 let suite =
   ( "util",
     [
       Alcotest.test_case "value ordering" `Quick test_value_order;
+      Alcotest.test_case "strutil contains" `Quick test_strutil_contains;
+      Alcotest.test_case "vec basics" `Quick test_vec_basics;
+      QCheck_alcotest.to_alcotest prop_strutil_matches_naive;
       Alcotest.test_case "value accessors" `Quick test_value_access;
       Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
       Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
