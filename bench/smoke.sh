@@ -12,6 +12,10 @@ echo "== bench smoke: experiments (--fast) =="
 dune exec bench/main.exe -- --fast
 
 echo
+echo "== bench smoke: crash/fault-injection sweep =="
+dune exec bench/crash_sweep.exe -- --fast
+
+echo
 echo "== bench smoke: commit-path trajectory =="
 dune exec bench/trajectory.exe -- --fast --out "$OUT"
 

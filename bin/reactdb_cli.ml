@@ -89,7 +89,7 @@ let deployment_of ~config_file ~strategy ~executors ~mpl reactors =
     | s -> failwith (Printf.sprintf "unknown strategy %S" s))
 
 let run_cmd workload scale theta workers strategy executors mpl config_file
-    duration_ms certify profile_name =
+    duration_ms certify profile_name wal_path durable =
   let profile =
     match profile_name with
     | "default" | "xeon" -> Reactdb.Profile.default
@@ -100,6 +100,16 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
   let executors = if executors = 0 then scale else executors in
   let config = deployment_of ~config_file ~strategy ~executors ~mpl reactors in
   let db = Harness.build ~profile decl config in
+  if durable && wal_path = None then
+    failwith "--durable requires --wal FILE";
+  let log =
+    match wal_path with
+    | None -> None
+    | Some path ->
+      let log = Wal.to_file path in
+      DB.attach_wal ~durable db log;
+      Some log
+  in
   if certify then DB.enable_history db;
   Printf.printf
     "reactors=%d containers=%d executors=%d mpl=%d workers=%d profile=%s\n%!"
@@ -128,6 +138,15 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
        (Array.to_list
           (Array.map (fun u -> Printf.sprintf "%.0f%%" (100. *. u))
              r.Harness.utilizations)));
+  (match log with
+  | None -> ()
+  | Some log ->
+    Printf.printf "log entries     %12d%s\n" (Wal.length log)
+      (if durable then
+         Printf.sprintf "  (durable, %d group-commit flushes)"
+           r.Harness.log_flushes
+       else "  (logging only; durability off)");
+    Wal.close log);
   if certify then begin
     let entries =
       List.map
@@ -262,11 +281,25 @@ let certify_arg =
 let profile_arg =
   Arg.(value & opt string "default" & info [ "profile" ] ~doc:"Hardware profile.")
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"FILE" ~doc:"Redo-log committed transactions to $(docv).")
+
+let durable_arg =
+  Arg.(
+    value & flag
+    & info [ "durable" ]
+        ~doc:
+          "Epoch group commit: release transaction results only after their \
+           epoch's log entries are flushed (requires --wal).")
+
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ theta_arg $ workers_arg
     $ strategy_arg $ executors_arg $ mpl_arg $ config_arg $ duration_arg
-    $ certify_arg $ profile_arg)
+    $ certify_arg $ profile_arg $ wal_arg $ durable_arg)
 
 let run_info = Cmd.info "run" ~doc:"Run a workload under a deployment."
 

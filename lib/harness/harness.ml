@@ -20,6 +20,7 @@ type run_result = {
   breakdown : breakdown_avg;
   utilizations : float array;
   aborts_by_reason : (string * int) list;
+  log_flushes : int;
 }
 
 type spec = {
@@ -96,6 +97,15 @@ let run_load db s =
   let tputs = Stats.create () in
   let lat_means = Stats.create () in
   let finished = ref false in
+  (* Counters are snapshotted the instant measurement ends: workers still
+     mid-transaction when [stop] flips keep draining (and counting) until
+     the engine runs dry, and those trailing commits/aborts must not leak
+     into the measured totals. *)
+  let snap_committed = ref 0 in
+  let snap_aborted = ref 0 in
+  let snap_reasons = ref [] in
+  let snap_utils = ref [||] in
+  let snap_flushes = ref 0 in
   Sim.Engine.spawn eng (fun () ->
       Sim.Engine.delay (s.epoch_us *. float_of_int s.warmup_epochs);
       DB.reset_stats db;
@@ -112,6 +122,11 @@ let run_load db s =
           Stats.add lat_means (Stats.mean !epoch_lat)
       done;
       measuring := false;
+      snap_committed := DB.n_committed db;
+      snap_aborted := DB.n_aborted db;
+      snap_reasons := DB.aborts_by_reason db;
+      snap_utils := DB.utilizations db;
+      snap_flushes := DB.n_log_flushes db;
       stop := true;
       finished := true);
   ignore (Sim.Engine.run eng);
@@ -122,13 +137,14 @@ let run_load db s =
     avg_latency = Stats.mean lat_means;
     latency_std = Stats.stddev lat_means;
     abort_rate =
-      (let c = DB.n_committed db and a = DB.n_aborted db in
+      (let c = !snap_committed and a = !snap_aborted in
        if c + a = 0 then 0. else float_of_int a /. float_of_int (c + a));
-    committed = DB.n_committed db;
-    aborted = DB.n_aborted db;
+    committed = !snap_committed;
+    aborted = !snap_aborted;
     breakdown = scale_bd !bd_sum !bd_count;
-    utilizations = DB.utilizations db;
-    aborts_by_reason = DB.aborts_by_reason db;
+    utilizations = !snap_utils;
+    aborts_by_reason = !snap_reasons;
+    log_flushes = !snap_flushes;
   }
 
 let measure_txns db ?(warmup = 5) ?(seed = 42) ~n gen =

@@ -21,11 +21,12 @@ type run_result = {
   avg_latency : float;  (** µs, committed transactions, mean across epochs *)
   latency_std : float;  (** std of per-epoch mean latencies *)
   abort_rate : float;  (** aborts / attempts, post-warm-up *)
-  committed : int;
+  committed : int;  (** snapshot taken the instant measurement ends *)
   aborted : int;
   breakdown : breakdown_avg;  (** averaged over committed transactions *)
   utilizations : float array;  (** per-executor busy fraction *)
   aborts_by_reason : (string * int) list;
+  log_flushes : int;  (** durable-mode group-commit flushes (0 otherwise) *)
 }
 
 (** Load specification. [gen worker rng] produces the next request of

@@ -1,5 +1,11 @@
 exception Abort of string
 
+(* Concurrency-driven aborts detected during execution (a competing
+   transaction won a key race): distinct from [Abort] so the runtime can
+   classify them as conflicts rather than user aborts, whatever the
+   message text says. *)
+exception Conflict of string
+
 type write_kind =
   | Update of Util.Value.t array
   | Insert
@@ -187,7 +193,7 @@ let insert t ~container ~table tuple =
     end
     else clash := true
   | None -> ());
-  if !clash then raise (Abort "duplicate key");
+  if !clash then raise (Conflict "duplicate key");
   let record = Storage.Record.fresh ~absent:true tuple in
   (* Hold the record's lock from creation: once reserved in the index during
      prepare, concurrent validators must see it as another's lock. *)

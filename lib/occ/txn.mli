@@ -18,9 +18,16 @@
     scans is provided by the query layer. *)
 
 exception Abort of string
-(** Raised to abort the enclosing root transaction: user-defined aborts
-    (e.g. business-rule failures), uniqueness violations, validation
-    failures and dangerous call structures all surface as [Abort]. *)
+(** Raised to abort the enclosing root transaction for deterministic
+    reasons: user-defined aborts (e.g. business-rule failures) and
+    programming errors such as inserting a key the transaction already
+    inserted. *)
+
+exception Conflict of string
+(** Raised to abort the enclosing root transaction on a concurrency
+    conflict detected during execution — e.g. a duplicate-key race where a
+    competing inserter won the key. The runtime classifies these with
+    validation failures, not user aborts. *)
 
 type write_kind =
   | Update of Util.Value.t array

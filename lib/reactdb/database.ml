@@ -68,6 +68,14 @@ type t = {
   table_owner : (int, string * string) Hashtbl.t;
       (* table uid -> (reactor, table name), for redo logging *)
   mutable wal : Wal.t option;
+  mutable durable : bool;
+      (* epoch group commit: release a committed result to the client only
+         once the log records of its epoch are flushed (Silo's epoch
+         durability) *)
+  mutable flushed_epoch : int;
+  mutable flush_pending : bool;
+  mutable epoch_waiters : (int * (unit -> unit)) list;
+  mutable n_flushes : int;
 }
 
 let engine t = t.eng
@@ -97,6 +105,24 @@ type subresult = (Util.Value.t, exn) result
 
 type sub = { sfid : int; siv : subresult Engine.Ivar.ivar }
 
+(* Typed abort classification, replacing substring matching on messages: a
+   user abort whose text happens to contain "duplicate key" must still be
+   counted as a user abort. [Ab_validation] is commit-time (OCC validation
+   or 2PC prepare failure); [Ab_conflict] is an execution-time concurrency
+   conflict (duplicate-key race) — both land in the "validation" bucket. *)
+type abort_class = Ab_user | Ab_conflict | Ab_validation | Ab_dangerous
+
+let classify_exn = function
+  | Occ.Txn.Abort m -> Some (Ab_user, m)
+  | Occ.Txn.Conflict m -> Some (Ab_conflict, m)
+  | Reactor.Dangerous_call m -> Some (Ab_dangerous, m)
+  | _ -> None
+
+let bucket_of_class = function
+  | Ab_user -> "user"
+  | Ab_conflict | Ab_validation -> "validation"
+  | Ab_dangerous -> "dangerous-structure"
+
 type root = {
   txn : Occ.Txn.t;
   bd : breakdown;
@@ -105,9 +131,11 @@ type root = {
   mutable last_call : int;
   mutable call_ctr : int;
   mutable worked_since_call : bool;
-  mutable doomed : string option;
+  mutable doomed : (abort_class * string) option;
       (* set when any sub-transaction aborted: the root may not commit even
          if application code swallowed the exception (§2.2.3) *)
+  mutable logged_epoch : int option;
+      (* epoch of this root's redo record, once appended to the WAL *)
 }
 
 (* Invocation frame: one (sub-)transaction execution on one reactor. *)
@@ -134,7 +162,11 @@ let route db rst =
     cont.cexecutors.((cont.rr - 1) mod n)
   | Config.Affinity -> cont.cexecutors.(db.cfg.affinity_slot rst.rname mod n)
 
-let current_epoch db = 1 + int_of_float (Engine.now db.eng /. 40_000.)
+(* Silo epoch length in virtual µs: TID epochs advance on this boundary,
+   and so does the durable-mode group-commit flush. *)
+let epoch_len_us = 40_000.
+
+let current_epoch db = 1 + int_of_float (Engine.now db.eng /. epoch_len_us)
 
 (* Extra one-way cost when two containers live on different machines. *)
 let net db c1 c2 =
@@ -269,7 +301,7 @@ and do_call db frame ~reactor ~proc ~args =
        be active per reactor and root transaction. *)
     if Hashtbl.mem root.active_set reactor then
       raise
-        (Occ.Txn.Abort
+        (Reactor.Dangerous_call
            (Printf.sprintf "dangerous call structure: reactor %s already active"
               reactor));
     if tstate.home = frame.frstate.home then begin
@@ -320,8 +352,11 @@ and do_call db frame ~reactor ~proc ~args =
           with e -> Error e
         in
         (match res with
-        | Error (Occ.Txn.Abort m) -> if root.doomed = None then root.doomed <- Some m
-        | _ -> ());
+        | Error e -> (
+          match classify_exn e with
+          | Some km -> if root.doomed = None then root.doomed <- Some km
+          | None -> ())
+        | Ok _ -> ());
         release_core rex;
         Hashtbl.remove root.active_set reactor;
         Engine.Ivar.fill iv res
@@ -368,9 +403,11 @@ let wal_log db root tid =
           | Occ.Txn.Delete -> Wal.Del { reactor; table; key = e.Occ.Txn.wkey })
         (Occ.Txn.all_writes root.txn)
     in
-    if writes <> [] then
+    if writes <> [] then begin
       Wal.append log
-        { Wal.le_txn = Occ.Txn.id root.txn; le_tid = tid; le_writes = writes }
+        { Wal.le_txn = Occ.Txn.id root.txn; le_tid = tid; le_writes = writes };
+      root.logged_epoch <- Some (Storage.Record.tid_epoch tid)
+    end
 
 let note_history db root tid =
   wal_log db root tid;
@@ -392,6 +429,51 @@ let note_history db root tid =
         h_writes = writes }
       :: db.hist
   end
+
+(* ------------------------------------------------------------------ *)
+(* Epoch group commit (durable mode, Silo's epoch durability). A one-shot
+   flusher is scheduled on demand at the next epoch boundary; it flushes the
+   WAL, advances [flushed_epoch] past the epoch that just closed, and
+   releases every waiter whose record epoch is covered. Scheduling on demand
+   (rather than as a periodic process) lets [Engine.run] drain once no
+   transaction is waiting on durability.
+
+   Safety: a redo record appended strictly before boundary time
+   [epoch_len_us * e] carries TID epoch <= e (the epoch can only advance at
+   the boundary), so after flushing at that instant every record of epoch
+   <= e is on stable storage. *)
+let rec schedule_flush db =
+  if not db.flush_pending then begin
+    db.flush_pending <- true;
+    let boundary_epoch = current_epoch db in
+    let at = epoch_len_us *. float_of_int boundary_epoch in
+    Engine.spawn db.eng ~at (fun () ->
+        db.flush_pending <- false;
+        (match db.wal with Some log -> Wal.flush log | None -> ());
+        db.n_flushes <- db.n_flushes + 1;
+        db.flushed_epoch <- Stdlib.max db.flushed_epoch boundary_epoch;
+        let ready, waiting =
+          List.partition (fun (e, _) -> e <= db.flushed_epoch) db.epoch_waiters
+        in
+        db.epoch_waiters <- waiting;
+        List.iter (fun (_, w) -> w ()) ready;
+        (* Waiters from a later epoch (committed just past the boundary)
+           need the next flush. *)
+        if waiting <> [] then schedule_flush db)
+  end
+
+(* Client-side durable wait: called after the transaction's executor slot is
+   released, so group commit adds commit latency but never holds admission
+   capacity. Transactions that logged nothing return immediately. *)
+let wait_durable db root =
+  match root.logged_epoch with
+  | None -> ()
+  | Some e ->
+    if db.durable && e > db.flushed_epoch then begin
+      schedule_flush db;
+      Engine.suspend (fun waker ->
+          db.epoch_waiters <- (e, waker) :: db.epoch_waiters)
+    end
 
 (* Two-phase commit (§3.2.2): phase one runs Silo validation with locks on
    every participant; phase two installs or releases. Remote phases execute
@@ -517,7 +599,8 @@ let exec_txn db ~reactor ~proc ~args =
   let bd = zero_breakdown () in
   let root =
     { txn; bd; active_set = Hashtbl.create 8; exec_of_container = [];
-      last_call = 0; call_ctr = 0; worked_since_call = false; doomed = None }
+      last_call = 0; call_ctr = 0; worked_since_call = false; doomed = None;
+      logged_epoch = None }
   in
   let rst = reactor_state db reactor in
   let ex = route db rst in
@@ -533,9 +616,9 @@ let exec_txn db ~reactor ~proc ~args =
             ~proc_name:proc ~args
         in
         match root.doomed with
-        | Some m -> Error (Occ.Txn.Abort m)
+        | Some km -> Error (`Aborted km)
         | None -> Ok v
-      with e -> Error e
+      with e -> Error (`Fatal e)
     in
     Hashtbl.remove root.active_set reactor;
     let out =
@@ -543,38 +626,39 @@ let exec_txn db ~reactor ~proc ~args =
       | Ok v -> (
         match do_commit db root ex with
         | Ok () -> Ok v
-        | Error m -> Error m)
-      | Error (Occ.Txn.Abort m) -> Error m
-      | Error e ->
-        (* Programming errors (not aborts) escape to the engine. *)
-        release_core ex;
-        raise e
+        | Error m -> Error (Ab_validation, m))
+      | Error (`Aborted km) -> Error km
+      | Error (`Fatal e) -> (
+        match classify_exn e with
+        | Some km -> Error km
+        | None ->
+          (* Programming errors (not aborts) escape to the engine. *)
+          release_core ex;
+          raise e)
     in
     release_core ex;
     Engine.Ivar.fill done_iv out
   in
   Engine.Mailbox.push ex.queue body;
-  let result = Engine.Ivar.read done_iv in
+  let out = Engine.Ivar.read done_iv in
+  (* Durable mode: hold the client until the flush covering this
+     transaction's log epoch completes (the executor slot is already free,
+     so group commit costs latency, not admission capacity). *)
+  (match out with Ok _ -> wait_durable db root | Error _ -> ());
+  let result =
+    match out with Ok v -> Ok v | Error (_, m) -> Error m
+  in
   let latency = Engine.current_time () -. t_start in
   (* Overhead bucket = everything not attributed to the execution-path
      buckets: input generation, dispatch, commit, queueing. *)
   bd.bd_overhead <-
     Float.max 0.
       (latency -. bd.bd_sync_exec -. bd.bd_cs -. bd.bd_cr -. bd.bd_async_exec);
-  (match result with
+  (match out with
   | Ok _ -> db.committed <- db.committed + 1
-  | Error m ->
+  | Error (k, _) ->
     db.aborted <- db.aborted + 1;
-    let bucket =
-      (* Duplicate-key failures under concurrency are conflict aborts: the
-         competing inserter won the key. *)
-      if m = "validation failed" || m = "validation failed (2pc)"
-         || Util.Strutil.contains m ~sub:"duplicate key" then "validation"
-      else if Util.Strutil.has_prefix m ~prefix:"dangerous" then
-        "dangerous-structure"
-      else "user"
-    in
-    bump db.abort_reasons bucket);
+    bump db.abort_reasons (bucket_of_class k));
   {
     result;
     latency;
@@ -647,6 +731,11 @@ let create eng decl cfg prof =
       stats_since = Engine.now eng;
       table_owner = Hashtbl.create 256;
       wal = None;
+      durable = false;
+      flushed_epoch = 0;
+      flush_pending = false;
+      epoch_waiters = [];
+      n_flushes = 0;
     }
   in
   List.iter
@@ -709,6 +798,7 @@ let utilizations db =
 let reset_stats db =
   db.committed <- 0;
   db.aborted <- 0;
+  db.n_flushes <- 0;
   Hashtbl.reset db.abort_reasons;
   (* The history log is NOT cleared: serializability certification needs
      every installed version, including warm-up transactions whose writes
@@ -723,6 +813,10 @@ let reset_stats db =
         cont.cexecutors)
     db.containers
 
-let attach_wal db log = db.wal <- Some log
+let attach_wal ?(durable = false) db log =
+  db.wal <- Some log;
+  db.durable <- durable
+
+let n_log_flushes db = db.n_flushes
 let enable_history db = db.record_history <- true
 let history db = List.rev db.hist

@@ -74,7 +74,11 @@ val container_of : t -> string -> int
 val n_committed : t -> int
 val n_aborted : t -> int
 
-(** Aborts by reason substring bucket: "validation", "dangerous", user. *)
+(** Aborts by typed class: "user" ({!Occ.Txn.Abort}), "validation"
+    (execution-time conflicts, {!Occ.Txn.Conflict}, plus commit-time
+    validation/2PC failures), "dangerous-structure"
+    ({!Reactor.Dangerous_call}, §2.2.4). Classification is by exception
+    constructor, never by message text. *)
 val aborts_by_reason : t -> (string * int) list
 
 (** Fraction of virtual time each executor's core was busy since bootstrap,
@@ -90,8 +94,18 @@ val reset_stats : t -> unit
 (** [attach_wal t log] makes every subsequent commit append a redo record
     (TID + physical after-images) to [log]. Recovery: load a fresh database
     from the same declaration, then [Wal.replay (Wal.entries log)
-    ~catalog_of:(catalog_of fresh_db)]. *)
-val attach_wal : t -> Wal.t -> unit
+    ~catalog_of:(catalog_of fresh_db)].
+
+    With [~durable:true], commits additionally observe Silo's epoch
+    durability: [exec_txn] returns a committed result only once a group
+    flush covering the transaction's log epoch has completed. Flushes run
+    at epoch boundaries (every 40 ms of virtual time), are scheduled on
+    demand, and are counted in {!n_log_flushes}. Aborts and transactions
+    that logged nothing (read-only) return immediately. *)
+val attach_wal : ?durable:bool -> t -> Wal.t -> unit
+
+(** Group-commit flushes performed since bootstrap / {!reset_stats}. *)
+val n_log_flushes : t -> int
 
 (** {1 History recording (for serializability checking in tests)}
 

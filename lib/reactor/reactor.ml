@@ -29,6 +29,12 @@ let decl ~types ~reactors ?(loaders = []) () = { types; reactors; loaders }
 
 let abort msg = raise (Occ.Txn.Abort msg)
 
+(* Raised by the runtime when the dynamic safety condition of §2.2.4 is
+   violated (a reactor is called while already active in the same root
+   transaction). Typed so abort accounting can distinguish structural
+   errors from user aborts without inspecting message text. *)
+exception Dangerous_call of string
+
 let find_type d name =
   match List.find_opt (fun t -> t.rt_name = name) d.types with
   | Some t -> t

@@ -78,6 +78,12 @@ val decl :
 (** Raise a user-defined abort of the enclosing root transaction. *)
 val abort : string -> 'a
 
+(** Raised by the runtime when the dynamic safety condition of §2.2.4 is
+    violated (a reactor called while already active in the same root
+    transaction). Aborts the root like {!Occ.Txn.Abort} but is classified
+    as a structural error, not a user abort. *)
+exception Dangerous_call of string
+
 (** [find_type d name] and [type_of_reactor d name] resolve declarations;
     raise [Invalid_argument] on unknown names. *)
 val find_type : decl -> string -> rtype

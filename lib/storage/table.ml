@@ -110,6 +110,10 @@ let sec_remove t data =
     (fun s -> ignore (Idx.delete s.sec_idx (sec_key_scratch s data)))
     t.secondaries
 
+let clear t =
+  Idx.clear t.idx;
+  List.iter (fun s -> Idx.clear s.sec_idx) t.secondaries
+
 let size t = Idx.size t.idx
 let find ?on_node t key = Idx.find ?on_node t.idx key
 

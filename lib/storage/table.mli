@@ -71,6 +71,11 @@ val scan_secondary :
   unit
 val size : t -> int
 
+(** Unlink every record from the primary index {e and} every secondary
+    index (checkpoint restore; clearing only [t.idx] would leave stale
+    secondary entries). *)
+val clear : t -> unit
+
 (** [find t key] locates the record currently indexed under [key] (present
     or absent-marked). *)
 val find : ?on_node:(witness -> unit) -> t -> Key.t -> Record.t option

@@ -1,0 +1,23 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Used by the WAL
+   v2 record framing to detect torn and corrupted log records. Computed in
+   plain OCaml ints (the 32-bit value always fits). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(init = 0) s =
+  let t = Lazy.force table in
+  let c = ref (init lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let crc32_hex s = Printf.sprintf "%08x" (crc32 s)

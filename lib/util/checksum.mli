@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE, as in zlib/Ethernet) over strings, for detecting torn or
+    corrupted log records. *)
+
+(** [crc32 ?init s] — checksum of [s]; pass a previous checksum as [init] to
+    extend it over concatenated data. Result is in [0, 0xFFFFFFFF]. *)
+val crc32 : ?init:int -> string -> int
+
+(** Fixed-width lowercase hex rendering of {!crc32}. *)
+val crc32_hex : string -> string

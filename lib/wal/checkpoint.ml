@@ -1,9 +1,11 @@
 type t = {
   ck_tid : int;
+  ck_covers : int;
+  ck_reactors : string list;
   ck_rows : (string * string * Util.Value.t array) list;
 }
 
-let capture ~tid catalogs =
+let capture ~tid ?(covers = 0) catalogs =
   let rows = ref [] in
   List.iter
     (fun (rname, catalog) ->
@@ -15,18 +17,23 @@ let capture ~tid catalogs =
               true))
         (Storage.Catalog.tables catalog))
     catalogs;
-  { ck_tid = tid; ck_rows = List.rev !rows }
+  { ck_tid = tid; ck_covers = covers; ck_reactors = List.map fst catalogs;
+    ck_rows = List.rev !rows }
 
 let restore ck ~catalog_of =
-  (* Clear all tables of every reactor the checkpoint covers, then insert.
-     Clearing first makes restore idempotent and removes loader data. *)
+  (* Clear all tables of every covered reactor, then insert. Clearing first
+     makes restore idempotent and removes loader data. The covered set is
+     the explicit reactor list — a reactor whose tables were all empty at
+     capture time contributes no rows but must still be cleared — unioned
+     with the rows' reactors for checkpoints read from legacy files. *)
   let reactors =
-    List.sort_uniq String.compare (List.map (fun (r, _, _) -> r) ck.ck_rows)
+    List.sort_uniq String.compare
+      (ck.ck_reactors @ List.map (fun (r, _, _) -> r) ck.ck_rows)
   in
   List.iter
     (fun rname ->
       List.iter
-        (fun (_, tbl) -> Storage.Table.Idx.clear tbl.Storage.Table.idx)
+        (fun (_, tbl) -> Storage.Table.clear tbl)
         (Storage.Catalog.tables (catalog_of rname)))
     reactors;
   let n = ref 0 in
@@ -40,51 +47,158 @@ let restore ck ~catalog_of =
     ck.ck_rows;
   !n
 
-(* File format: first line "tid <n>", then one line per row reusing the
-   Wal entry encoding with a Put write. *)
+(* File format v2:
+     ckpt2<TAB>tid<TAB>covers<TAB>hexname,hexname,...   (covered reactors)
+     <framed Wal row per checkpoint row>
+     end<TAB>row-count<TAB>crc32hex            (completeness trailer)
+   The trailer makes a torn checkpoint (crash mid-write) detectable, and its
+   CRC covers everything before it — in particular the header, whose tid /
+   covers / reactor-name fields the per-row frames cannot protect. The
+   writer is additionally atomic (tmp file + rename), so a reader only ever
+   sees either the old complete file or the new one.
+
+   Legacy v1 ("tid<TAB>n" header, unframed rows, no trailer) remains
+   readable; its covered-reactor set is derived from the rows. *)
+
+let hex_name s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let unhex_name s =
+  if String.length s mod 2 <> 0 then failwith "Checkpoint: odd hex length";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
 
 let write_file path ck =
-  let oc = open_out path in
-  Printf.fprintf oc "tid\t%d\n" ck.ck_tid;
+  let tmp = path ^ ".tmp" in
+  let body = Buffer.create 4096 in
+  Buffer.add_string body
+    (Printf.sprintf "ckpt2\t%d\t%d\t%s\n" ck.ck_tid ck.ck_covers
+       (String.concat "," (List.map hex_name ck.ck_reactors)));
   List.iter
     (fun (reactor, table, row) ->
-      output_string oc
-        (Wal.encode_entry
+      Buffer.add_string body
+        (Wal.encode_framed
            { Wal.le_txn = 0; le_tid = ck.ck_tid;
              le_writes = [ Wal.Put { reactor; table; row } ] });
-      output_char oc '\n')
+      Buffer.add_char body '\n')
     ck.ck_rows;
-  close_out oc
+  let oc = open_out tmp in
+  Buffer.output_buffer oc body;
+  Printf.fprintf oc "end\t%d\t%s\n" (List.length ck.ck_rows)
+    (Util.Checksum.crc32_hex (Buffer.contents body));
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file_opt path =
+  let parse_row line =
+    let entry_of =
+      if String.length line >= 2 && line.[0] = '2' && line.[1] = '|' then
+        Wal.decode_framed line
+      else try Ok (Wal.decode_entry line) with Failure m -> Error m
+    in
+    match entry_of with
+    | Ok { Wal.le_writes = [ Wal.Put { reactor; table; row } ]; _ } ->
+      Ok (reactor, table, row)
+    | Ok _ -> Error "bad checkpoint row line"
+    | Error m -> Error m
+  in
+  try
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let lines = String.split_on_char '\n' content in
+    let lines = List.filter (fun l -> l <> "") lines in
+    match lines with
+    | [] -> Error "empty checkpoint file"
+    | header :: rest -> (
+      match String.split_on_char '\t' header with
+      | [ "ckpt2"; tid; covers; reactors ] -> (
+        match (int_of_string_opt tid, int_of_string_opt covers) with
+        | None, _ | _, None -> Error "bad checkpoint header fields"
+        | Some ck_tid, Some ck_covers -> (
+          let ck_reactors =
+            if reactors = "" then []
+            else List.map unhex_name (String.split_on_char ',' reactors)
+          in
+          (* Split the trailer off; a missing or mismatched trailer means a
+             torn checkpoint. The trailer CRC covers the canonical
+             reconstruction of everything before it (header + row lines,
+             each newline-terminated) — corruption that splits or merges
+             lines is caught by the row count / frame decoding instead. *)
+          match List.rev rest with
+          | [] -> Error "torn checkpoint (no trailer)"
+          | trailer :: rev_rows -> (
+            match String.split_on_char '\t' trailer with
+            | [ "end"; n; crc ]
+              when int_of_string_opt n = Some (List.length rev_rows) ->
+              let rows_lines = List.rev rev_rows in
+              let body =
+                String.concat ""
+                  (List.map (fun l -> l ^ "\n") (header :: rows_lines))
+              in
+              if not (String.equal crc (Util.Checksum.crc32_hex body)) then
+                Error "checkpoint checksum mismatch"
+              else (
+                let rec parse acc = function
+                  | [] -> Ok (List.rev acc)
+                  | line :: rest -> (
+                    match parse_row line with
+                    | Ok row -> parse (row :: acc) rest
+                    | Error m -> Error m)
+                in
+                match parse [] rows_lines with
+                | Ok ck_rows -> Ok { ck_tid; ck_covers; ck_reactors; ck_rows }
+                | Error m -> Error m)
+            | [ "end"; _; _ ] -> Error "torn checkpoint (row count mismatch)"
+            | _ -> Error "torn checkpoint (no trailer)")))
+      | [ "tid"; tid ] -> (
+        (* legacy v1: unframed rows, no trailer *)
+        match int_of_string_opt tid with
+        | None -> Error "bad checkpoint tid"
+        | Some ck_tid -> (
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest -> (
+              match parse_row line with
+              | Ok row -> parse (row :: acc) rest
+              | Error m -> Error m)
+          in
+          match parse [] rest with
+          | Ok ck_rows ->
+            let ck_reactors =
+              List.sort_uniq String.compare
+                (List.map (fun (r, _, _) -> r) ck_rows)
+            in
+            (* Legacy files carry no log position: covers = 0 makes recovery
+               replay the whole log over the restored state, which is slower
+               but sound (per-record TID order is monotonic in the log). *)
+            Ok { ck_tid; ck_covers = 0; ck_reactors; ck_rows }
+          | Error m -> Error m))
+      | _ -> Error "bad checkpoint header")
+  with
+  | Sys_error m -> Error m
+  | Failure m -> Error m
 
 let read_file path =
-  let ic = open_in path in
-  let header = input_line ic in
-  let ck_tid =
-    match String.split_on_char '\t' header with
-    | [ "tid"; n ] -> int_of_string n
-    | _ ->
-      close_in ic;
-      failwith "Checkpoint.read_file: bad header"
-  in
-  let rows = ref [] in
-  (try
-     while true do
-       let line = input_line ic in
-       if line <> "" then
-         match (Wal.decode_entry line).Wal.le_writes with
-         | [ Wal.Put { reactor; table; row } ] ->
-           rows := (reactor, table, row) :: !rows
-         | _ ->
-           close_in ic;
-           failwith "Checkpoint.read_file: bad row line"
-     done
-   with End_of_file -> close_in ic);
-  { ck_tid; ck_rows = List.rev !rows }
+  match read_file_opt path with
+  | Ok ck -> ck
+  | Error m -> failwith ("Checkpoint.read_file: " ^ m)
 
 let recover ~checkpoint ~log ~catalog_of =
   let restored = restore checkpoint ~catalog_of in
-  let tail =
-    List.filter (fun e -> e.Wal.le_tid > checkpoint.ck_tid) log
-  in
+  (* The tail is cut POSITIONALLY: the checkpoint covers the first
+     [ck_covers] log entries (append order = commit order). Cutting by TID
+     would be unsound — Silo TIDs are not globally monotonic across
+     reactors (a post-checkpoint commit on a cold reactor can carry a TID
+     below the watermark and would be skipped). With [ck_covers = 0]
+     (unknown coverage, e.g. legacy files) the whole log replays over the
+     restored state; per-record TID monotonicity makes that sound, merely
+     slower. *)
+  let tail = List.filteri (fun i _ -> i >= checkpoint.ck_covers) log in
   let replayed = Wal.replay tail ~catalog_of in
   (restored, replayed)

@@ -6,19 +6,28 @@ type write =
 
 type entry = { le_txn : int; le_tid : int; le_writes : write list }
 
-type sink = Memory of entry list ref | File of out_channel
+type file_sink = { oc : out_channel; path : string }
+
+type sink = Memory of entry list ref | File of file_sink
 
 type t = { sink : sink; mutable count : int }
 
 let in_memory () = { sink = Memory (ref []); count = 0 }
 
-let to_file path = { sink = File (open_out_gen [ Open_append; Open_creat ] 0o644 path); count = 0 }
-
 (* --- encoding: one entry per line ---
-   txn<TAB>tid<TAB>write;write;...
+
+   v1 (legacy, still readable):
+     txn<TAB>tid<TAB>write;write;...
+
+   v2 (written by this version): the v1 text becomes the payload of a framed
+   record carrying its own length and CRC-32, so a torn or corrupted tail is
+   detectable instead of silently mis-parsing:
+     2|crc32hex|payload-length|payload
+
    write  := P|D , reactor , table , value,value,...
    value  := N | B:0/1 | I:n | F:hex-float | S:hexbytes
-   Strings are hex-encoded so no separator can collide. *)
+   Strings are hex-encoded so no separator can collide; the payload never
+   contains a newline, so records remain line-delimited. *)
 
 let hex s =
   let b = Buffer.create (2 * String.length s) in
@@ -87,11 +96,123 @@ let decode_entry line =
     { le_txn = int_of_string txn; le_tid = int_of_string tid; le_writes = ws }
   | _ -> failwith ("Wal: bad entry line " ^ line)
 
+(* --- v2 framing --- *)
+
+let encode_framed e =
+  let payload = encode_entry e in
+  Printf.sprintf "2|%s|%d|%s" (Checksum.crc32_hex payload)
+    (String.length payload) payload
+
+let is_framed line =
+  String.length line >= 2 && line.[0] = '2' && line.[1] = '|'
+
+let decode_framed line =
+  if not (is_framed line) then Error "not a v2 record"
+  else
+    match String.index_from_opt line 2 '|' with
+    | None -> Error "torn record header"
+    | Some i2 -> (
+      match String.index_from_opt line (i2 + 1) '|' with
+      | None -> Error "torn record header"
+      | Some i3 -> (
+        let crc = String.sub line 2 (i2 - 2) in
+        match int_of_string_opt (String.sub line (i2 + 1) (i3 - i2 - 1)) with
+        | None -> Error "bad record length field"
+        | Some len ->
+          if String.length line - i3 - 1 <> len then
+            Error "record length mismatch (torn record)"
+          else
+            let payload = String.sub line (i3 + 1) len in
+            if Checksum.crc32_hex payload <> crc then
+              Error "record checksum mismatch"
+            else (
+              try Ok (decode_entry payload) with Failure m -> Error m)))
+
+(* --- reading --- *)
+
+type tail = Clean | Torn of { valid : int; reason : string }
+
+(* Byte-exact tolerant scan: the file is read whole so a final record with
+   no terminating newline (a crash mid-append) is distinguishable from a
+   clean end of log. Stops at the first record that fails framing, length,
+   checksum or payload decoding; everything before it is returned. *)
+let read_file_tolerant path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let total = String.length content in
+  let out = ref [] and valid = ref 0 and torn = ref None in
+  let pos = ref 0 in
+  (try
+     while !pos < total do
+       match String.index_from_opt content !pos '\n' with
+       | None ->
+         torn := Some "partial record at end of log (no terminator)";
+         raise Exit
+       | Some nl ->
+         let line = String.sub content !pos (nl - !pos) in
+         pos := nl + 1;
+         if line <> "" then begin
+           let parsed =
+             if is_framed line then decode_framed line
+             else try Ok (decode_entry line) with Failure m -> Error m
+           in
+           match parsed with
+           | Ok e ->
+             out := e :: !out;
+             incr valid
+           | Error reason ->
+             torn := Some reason;
+             raise Exit
+         end
+     done
+   with Exit -> ());
+  ( List.rev !out,
+    match !torn with
+    | None -> Clean
+    | Some reason -> Torn { valid = !valid; reason } )
+
+let read_file path =
+  match read_file_tolerant path with
+  | entries, Clean -> entries
+  | _, Torn { valid; reason } ->
+    failwith
+      (Printf.sprintf "Wal.read_file: %s (after %d valid entries)" reason valid)
+
+(* --- sinks --- *)
+
+let to_file path =
+  let existing =
+    if Sys.file_exists path then begin
+      match read_file_tolerant path with
+      | entries, Clean -> List.length entries
+      | entries, Torn _ ->
+        (* Crash-recovery reopen: truncate the torn tail (re-encoding the
+           valid prefix as v2) so appended records stay reachable. *)
+        let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644 path in
+        List.iter
+          (fun e ->
+            output_string oc (encode_framed e);
+            output_char oc '\n')
+          entries;
+        close_out oc;
+        List.length entries
+    end
+    else 0
+  in
+  {
+    sink = File { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; path };
+    count = existing;
+  }
+
 let append t e =
   (match t.sink with
   | Memory r -> r := e :: !r
-  | File oc ->
-    output_string oc (encode_entry e);
+  | File { oc; _ } ->
+    output_string oc (encode_framed e);
     output_char oc '\n');
   t.count <- t.count + 1
 
@@ -102,26 +223,9 @@ let entries t =
   | Memory r -> List.rev !r
   | File _ -> invalid_arg "Wal.entries: file-backed log (use read_file)"
 
-let close t = match t.sink with Memory _ -> () | File oc -> close_out oc
+let flush t = match t.sink with Memory _ -> () | File { oc; _ } -> flush oc
 
-let read_file path =
-  let ic = open_in path in
-  let out = ref [] in
-  let lineno = ref 0 in
-  (try
-     while true do
-       incr lineno;
-       let line = input_line ic in
-       if line <> "" then
-         out :=
-           (try decode_entry line
-            with Failure m ->
-              close_in ic;
-              failwith (Printf.sprintf "%s (line %d)" m !lineno))
-           :: !out
-     done
-   with End_of_file -> close_in ic);
-  List.rev !out
+let close t = match t.sink with Memory _ -> () | File { oc; _ } -> close_out oc
 
 let replay entries ~catalog_of =
   let ordered =
@@ -139,7 +243,10 @@ let replay entries ~catalog_of =
             let key = Storage.Table.key_of_tuple tbl row in
             (match Storage.Table.find tbl key with
             | Some record ->
-              record.Storage.Record.data <- row;
+              (* update_data relocates secondary-index entries whose columns
+                 changed — bare [record.data <- row] would leave the old
+                 secondary keys pointing at the new tuple. *)
+              Storage.Table.update_data tbl record row;
               record.Storage.Record.tid <- e.le_tid;
               record.Storage.Record.absent <- false
             | None ->

@@ -9,7 +9,10 @@
     freshly-loaded database reconstructs exactly the committed state.
 
     The log can live purely in memory (tests, simulations) or stream to a
-    file in a line-oriented text format that survives process restarts. *)
+    file. File records are framed (format v2) with a per-record length and
+    CRC-32 so that a crash mid-append leaves a detectable torn tail rather
+    than a silently corrupt log; the legacy unframed v1 format is still
+    readable. *)
 
 (** One write in a committed transaction. *)
 type write =
@@ -24,33 +27,61 @@ type t
 (** In-memory log. *)
 val in_memory : unit -> t
 
-(** File-backed log (appends; the file is created if missing). Call
-    {!close} to flush. *)
+(** File-backed log (appends; the file is created if missing). Reopening an
+    existing log counts its valid entries, so {!length} reports the whole
+    log, and truncates any torn tail left by a crash so that appended
+    records stay reachable. Call {!flush} to force buffered records to disk
+    and {!close} when done. *)
 val to_file : string -> t
 
 val append : t -> entry -> unit
 
-(** Number of entries appended so far. *)
+(** Number of entries in the log (existing entries of a reopened file plus
+    entries appended since). *)
 val length : t -> int
 
 (** Entries in append order (in-memory logs only; raises
     [Invalid_argument] on file-backed logs — use {!read_file}). *)
 val entries : t -> entry list
 
+(** Flush buffered records of a file-backed log to the file (the durable
+    half of a group commit); no-op for in-memory logs. *)
+val flush : t -> unit
+
 val close : t -> unit
 
-(** Parse a log file written by {!to_file}. Raises [Failure] on corrupt
-    input, identifying the line. *)
+(** Result of scanning a log file: [Clean] if every record parsed, or
+    [Torn] at the first partial/corrupt record — [valid] records precede
+    it. *)
+type tail = Clean | Torn of { valid : int; reason : string }
+
+(** [read_file_tolerant path] parses a log file written by {!to_file},
+    stopping cleanly at the first torn or corrupt record (crash recovery
+    never raises on a damaged tail). Reads both v2-framed and legacy v1
+    records. *)
+val read_file_tolerant : string -> entry list * tail
+
+(** Like {!read_file_tolerant} but raises [Failure] if the log has a torn
+    or corrupt tail — for contexts where damage is unexpected. *)
 val read_file : string -> entry list
 
 (** [replay entries ~catalog_of] applies entries in TID order: [Put]s
-    insert-or-replace rows, [Del]s unlink keys. [catalog_of] resolves each
-    reactor's catalog (e.g. [Reactdb.Database.catalog_of]). Returns the
-    number of writes applied. *)
+    insert-or-replace rows (maintaining secondary indexes), [Del]s unlink
+    keys. [catalog_of] resolves each reactor's catalog (e.g.
+    [Reactdb.Database.catalog_of]). Returns the number of writes applied. *)
 val replay :
   entry list -> catalog_of:(string -> Storage.Catalog.t) -> int
 
 (** {1 Encoding (exposed for tests)} *)
 
+(** v1 payload text (no framing, no newline). *)
 val encode_entry : entry -> string
+
 val decode_entry : string -> entry
+
+(** v2 framed record line (no newline): ["2|crc32|length|payload"]. *)
+val encode_framed : entry -> string
+
+(** Parse one framed record line; [Error reason] for anything torn,
+    corrupt, or not v2-framed. *)
+val decode_framed : string -> (entry, string) result

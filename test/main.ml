@@ -13,6 +13,7 @@ let () =
       Suite_reactdb.suite;
       Suite_workloads.suite;
       Suite_wal.suite;
+      Suite_faultsim.suite;
       Suite_sql.suite;
       Suite_analysis.suite;
       Suite_random.suite;

@@ -137,11 +137,11 @@ let test_insert_insert_conflict () =
 let test_insert_existing_aborts_immediately () =
   let tbl = fresh_table () in
   let t = fresh_txn () in
-  check_bool "duplicate key raises Abort" true
+  check_bool "duplicate key raises Conflict" true
     (try
        Occ.Txn.insert t ~container:0 ~table:tbl [| Value.Int 3; Value.Int 0 |];
        false
-     with Occ.Txn.Abort _ -> true)
+     with Occ.Txn.Conflict _ -> true)
 
 let test_delete_then_reinsert_other_txn () =
   let tbl = fresh_table () in
@@ -218,7 +218,7 @@ let test_reserved_insert_blocks_concurrent_insert () =
     (try
        Occ.Txn.insert t2 ~container:0 ~table:tbl [| Value.Int 90; Value.Int 2 |];
        false
-     with Occ.Txn.Abort _ -> true);
+     with Occ.Txn.Conflict _ -> true);
   Occ.Commit.release t1 ~container:0;
   check_bool "reservation rolled back" true (Storage.Table.find tbl (key 90) = None)
 
@@ -434,7 +434,10 @@ let prop_tables () =
 let apply_both tables txn naive op =
   let run_both f g =
     (* Both sides must agree on whether the operation aborts. *)
-    let r = try Ok (f ()) with Occ.Txn.Abort m -> Error m in
+    let r =
+      try Ok (f ()) with
+      | Occ.Txn.Abort m | Occ.Txn.Conflict m -> Error m
+    in
     let n = try Ok (g ()) with Occ.Txn.Abort _ -> Error "abort" in
     match r, n with
     | Ok (), Ok () -> true

@@ -72,6 +72,112 @@ let test_corrupt_file () =
      with Failure m -> String.length m > 0);
   Sys.remove path
 
+(* --- v2 framing: torn tails and checksums --- *)
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_raw path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_torn_tail_tolerated () =
+  let path = Filename.temp_file "wal" ".log" in
+  let log = Wal.to_file path in
+  Wal.append log (entry 1 10 [ put "a" "t" [| Value.Int 1 |] ]);
+  Wal.append log (entry 2 20 [ put "a" "t" [| Value.Int 2 |] ]);
+  Wal.append log sample_entry;
+  Wal.close log;
+  (* Crash mid-append: keep the first two records plus half of the third
+     (drop the terminator along the way). *)
+  let content = read_raw path in
+  let cut_after n =
+    let pos = ref 0 in
+    for _ = 1 to n do pos := 1 + String.index_from content !pos '\n' done;
+    !pos
+  in
+  write_raw path (String.sub content 0 (cut_after 2 + 10));
+  (match Wal.read_file_tolerant path with
+  | entries, Wal.Torn { valid; _ } ->
+    check_int "valid prefix" 2 valid;
+    check_int "entries returned" 2 (List.length entries);
+    check_int "prefix tids intact" 20 (List.nth entries 1).Wal.le_tid
+  | _, Wal.Clean -> Alcotest.fail "torn tail not detected");
+  check_bool "strict reader raises" true
+    (try
+       ignore (Wal.read_file path);
+       false
+     with Failure _ -> true);
+  Sys.remove path
+
+let test_checksum_mismatch_detected () =
+  let path = Filename.temp_file "wal" ".log" in
+  let log = Wal.to_file path in
+  Wal.append log (entry 1 10 [ put "a" "t" [| Value.Int 1 |] ]);
+  Wal.append log (entry 2 20 [ put "a" "t" [| Value.Int 2 |] ]);
+  Wal.close log;
+  (* Flip one payload byte of the second record: the length still matches,
+     only the checksum can catch it. *)
+  let content = read_raw path in
+  let second = 1 + String.index content '\n' in
+  let off = String.length content - 2 in
+  assert (off > second);
+  let corrupted =
+    String.mapi
+      (fun i c -> if i = off then (if c = 'x' then 'y' else 'x') else c)
+      content
+  in
+  write_raw path corrupted;
+  (match Wal.read_file_tolerant path with
+  | entries, Wal.Torn { valid; reason } ->
+    check_int "valid prefix" 1 valid;
+    check_int "entries returned" 1 (List.length entries);
+    check_bool "reason mentions checksum" true
+      (Util.Strutil.contains reason ~sub:"checksum")
+  | _, Wal.Clean -> Alcotest.fail "corruption not detected");
+  Sys.remove path
+
+let test_reopen_counts_and_appends () =
+  (* Satellite fix: reopening an existing log must count its entries, not
+     restart at zero. *)
+  let path = Filename.temp_file "wal" ".log" in
+  let log = Wal.to_file path in
+  Wal.append log (entry 1 10 [ put "a" "t" [| Value.Int 1 |] ]);
+  Wal.append log (entry 2 20 [ put "a" "t" [| Value.Int 2 |] ]);
+  Wal.close log;
+  let log2 = Wal.to_file path in
+  check_int "reopen counts existing entries" 2 (Wal.length log2);
+  Wal.append log2 (entry 3 30 [ put "a" "t" [| Value.Int 3 |] ]);
+  check_int "append continues the count" 3 (Wal.length log2);
+  Wal.close log2;
+  check_int "all three readable" 3 (List.length (Wal.read_file path));
+  Sys.remove path
+
+let test_reopen_truncates_torn_tail () =
+  let path = Filename.temp_file "wal" ".log" in
+  let log = Wal.to_file path in
+  Wal.append log (entry 1 10 [ put "a" "t" [| Value.Int 1 |] ]);
+  Wal.append log (entry 2 20 [ put "a" "t" [| Value.Int 2 |] ]);
+  Wal.close log;
+  let content = read_raw path in
+  write_raw path (String.sub content 0 (String.length content - 3));
+  (* Reopen after the crash: the torn record is dropped, appends land after
+     the valid prefix and stay reachable. *)
+  let log2 = Wal.to_file path in
+  check_int "torn tail dropped" 1 (Wal.length log2);
+  Wal.append log2 (entry 3 30 [ put "a" "t" [| Value.Int 3 |] ]);
+  Wal.close log2;
+  (match Wal.read_file_tolerant path with
+  | entries, Wal.Clean ->
+    check_int "clean after reopen" 2 (List.length entries);
+    check_int "appended record readable" 30 (List.nth entries 1).Wal.le_tid
+  | _, Wal.Torn _ -> Alcotest.fail "log still torn after reopen");
+  Sys.remove path
+
 let prop_roundtrip =
   let gen_value =
     QCheck.Gen.(
@@ -104,6 +210,59 @@ let prop_roundtrip =
     (QCheck.make gen_entry)
     (fun e -> entry_eq e (Wal.decode_entry (Wal.encode_entry e)))
 
+let prop_framed_roundtrip =
+  (* v2 framing roundtrip, with the encodings most likely to bite: NaN,
+     infinities, negative zero, hex-precise floats, and entries with no
+     writes at all. *)
+  let gen_value =
+    QCheck.Gen.(
+      oneof
+        [ return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) int;
+          map (fun f -> Value.Float f) float;
+          oneofl
+            [ Value.Float Float.nan;
+              Value.Float Float.infinity;
+              Value.Float Float.neg_infinity;
+              Value.Float (-0.);
+              Value.Float 0x1.fffffffffffffp+1023;
+              Value.Float 0x1.5bf0a8b145769p+1 ];
+          map (fun s -> Value.Str s) (string_size (int_bound 30)) ])
+  in
+  let gen_write =
+    QCheck.Gen.(
+      map3
+        (fun k (r, t) vals ->
+          let vals = Array.of_list vals in
+          if k then Wal.Put { reactor = r; table = t; row = vals }
+          else Wal.Del { reactor = r; table = t; key = vals })
+        bool
+        (pair (string_size (int_bound 10)) (string_size (int_bound 10)))
+        (list_size (int_bound 6) gen_value))
+  in
+  let gen_entry =
+    QCheck.Gen.(
+      map3
+        (fun txn tid ws -> entry txn tid ws)
+        nat nat
+        (list_size (int_bound 4) gen_write))
+  in
+  QCheck.Test.make ~name:"wal v2 framed encode/decode roundtrip" ~count:300
+    (QCheck.make gen_entry)
+    (fun e ->
+      match Wal.decode_framed (Wal.encode_framed e) with
+      | Ok e' -> entry_eq e e'
+      | Error _ -> false)
+
+let test_framed_empty_writes () =
+  let e = entry 3 33 [] in
+  (match Wal.decode_framed (Wal.encode_framed e) with
+  | Ok e' -> check_bool "empty write list roundtrips" true (entry_eq e e')
+  | Error m -> Alcotest.failf "empty write list rejected: %s" m);
+  check_bool "v1 line is not mistaken for v2" true
+    (Result.is_error (Wal.decode_framed (Wal.encode_entry e)))
+
 (* --- replay semantics --- *)
 
 let kv_schema =
@@ -133,6 +292,37 @@ let test_replay () =
   | Some r -> check_int "tid-ordered replay" 999 (Value.to_int r.Storage.Record.data.(1))
   | None -> Alcotest.fail "missing");
   check_bool "delete replayed" true (Storage.Table.find tbl [| Value.Int 2 |] = None)
+
+let test_replay_maintains_secondaries () =
+  (* Regression for the replay path mutating record data in place: a Put
+     that changes an indexed column must relocate the secondary entry, or
+     post-recovery secondary lookups return phantoms / miss rows. *)
+  let catalog = Storage.Catalog.create () in
+  let tbl =
+    Storage.Catalog.create_table ~secondaries:[ ("by_v", [ "v" ]) ] catalog
+      kv_schema
+  in
+  ignore
+    (Storage.Table.insert tbl
+       (Storage.Record.fresh ~absent:false [| Value.Int 1; Value.Int 10 |]));
+  ignore
+    (Wal.replay
+       [ entry 1 100 [ put "r" "kv" [| Value.Int 1; Value.Int 20 |] ] ]
+       ~catalog_of:(fun _ -> catalog));
+  let lookup v =
+    let lo, hi = Storage.Table.key_prefix_bounds [| Value.Int v |] in
+    let hits = ref [] in
+    Storage.Table.scan_secondary tbl ~lo ~hi ~index:"by_v" ~f:(fun r ->
+        if not r.Storage.Record.absent then hits := r :: !hits;
+        true);
+    !hits
+  in
+  check_int "old secondary key vacated" 0 (List.length (lookup 10));
+  (match lookup 20 with
+  | [ r ] ->
+    check_int "row found through secondary" 20
+      (Value.to_int r.Storage.Record.data.(1))
+  | l -> Alcotest.failf "expected 1 hit under new key, got %d" (List.length l))
 
 (* --- end-to-end: crash-recovery equivalence --- *)
 
@@ -238,7 +428,7 @@ let test_checkpoint_recovery () =
     Testlib.with_db (Testlib.sn_config 4) (fun db ->
         Reactdb.Database.attach_wal db log;
         Testlib.run_conflict_workload db ~workers:3 ~per_worker:20;
-        (* quiescent point: snapshot *)
+        (* quiescent point: snapshot, recording the log position covered *)
         let max_tid =
           List.fold_left (fun m e -> Stdlib.max m e.Wal.le_tid) 0
             (Wal.entries log)
@@ -246,6 +436,7 @@ let test_checkpoint_recovery () =
         checkpoint :=
           Some
             (Checkpoint.capture ~tid:max_tid
+               ~covers:(List.length (Wal.entries log))
                (List.map
                   (fun n -> (n, Reactdb.Database.catalog_of db n))
                   (Testlib.names 4)));
@@ -285,6 +476,96 @@ let test_checkpoint_restore_clears_loader_data () =
   check_bool "checkpoint row present" true
     (Storage.Table.find tbl [| Value.Int 9 |] <> None)
 
+let test_restore_clears_empty_reactor () =
+  (* Satellite fix: a reactor whose tables were empty at capture time
+     contributes no rows, but restore must still clear its dirty state. *)
+  let mk_catalog rows =
+    let catalog = Storage.Catalog.create () in
+    let tbl = Storage.Catalog.create_table catalog kv_schema in
+    List.iter
+      (fun (k, v) ->
+        ignore
+          (Storage.Table.insert tbl
+             (Storage.Record.fresh ~absent:false [| Value.Int k; Value.Int v |])))
+      rows;
+    catalog
+  in
+  (* Capture r1 with a row and r2 empty. *)
+  let ck =
+    Checkpoint.capture ~tid:9
+      [ ("r1", mk_catalog [ (1, 1) ]); ("r2", mk_catalog []) ]
+  in
+  check_bool "empty reactor is covered" true
+    (List.mem "r2" ck.Checkpoint.ck_reactors);
+  (* Roundtrip through a file to make sure coverage survives encoding. *)
+  let path = Filename.temp_file "ck" ".dump" in
+  Checkpoint.write_file path ck;
+  let ck = Checkpoint.read_file path in
+  Sys.remove path;
+  check_bool "coverage survives the file format" true
+    (List.mem "r2" ck.Checkpoint.ck_reactors);
+  (* Restore over a database where both reactors have dirty rows. *)
+  let dirty1 = mk_catalog [ (5, 5) ] and dirty2 = mk_catalog [ (6, 6) ] in
+  let catalog_of = function
+    | "r1" -> dirty1
+    | "r2" -> dirty2
+    | r -> Alcotest.failf "unexpected reactor %s" r
+  in
+  ignore (Checkpoint.restore ck ~catalog_of);
+  check_bool "r1 dirty row gone" true
+    (Storage.Table.find (Storage.Catalog.table dirty1 "kv") [| Value.Int 5 |]
+    = None);
+  check_bool "r1 checkpoint row restored" true
+    (Storage.Table.find (Storage.Catalog.table dirty1 "kv") [| Value.Int 1 |]
+    <> None);
+  check_bool "empty reactor cleared too" true
+    (Storage.Table.find (Storage.Catalog.table dirty2 "kv") [| Value.Int 6 |]
+    = None)
+
+let test_torn_checkpoint_rejected () =
+  (* Crash between checkpoint write and rename is already covered by the
+     atomic writer; this covers a checkpoint damaged on disk: the reader
+     must reject it so recovery falls back to log-only replay. *)
+  let catalog = Storage.Catalog.create () in
+  let tbl = Storage.Catalog.create_table catalog kv_schema in
+  for i = 1 to 4 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false [| Value.Int i; Value.Int i |]))
+  done;
+  let ck = Checkpoint.capture ~tid:7 [ ("r", catalog) ] in
+  let path = Filename.temp_file "ck" ".dump" in
+  Checkpoint.write_file path ck;
+  check_bool "intact checkpoint reads" true
+    (Result.is_ok (Checkpoint.read_file_opt path));
+  let content = read_raw path in
+  write_raw path (String.sub content 0 (String.length content - 12));
+  check_bool "torn checkpoint rejected" true
+    (Result.is_error (Checkpoint.read_file_opt path));
+  Sys.remove path
+
+(* --- durable commit (epoch group commit) --- *)
+
+let test_durable_group_commit () =
+  let path = Filename.temp_file "wal" ".log" in
+  let flushes, committed =
+    Testlib.with_db (Testlib.sn_config 4) (fun db ->
+        let log = Wal.to_file path in
+        Reactdb.Database.attach_wal ~durable:true db log;
+        Testlib.run_conflict_workload db ~workers:5 ~per_worker:6;
+        Wal.close log;
+        (Reactdb.Database.n_log_flushes db, Reactdb.Database.n_committed db))
+  in
+  check_bool "workload committed" true (committed > 0);
+  check_bool "flushes happened" true (flushes > 0);
+  check_bool "group commit batches transactions" true (flushes < committed);
+  (* Everything a client saw commit is on disk and parses cleanly. *)
+  (match Wal.read_file_tolerant path with
+  | entries, Wal.Clean ->
+    check_bool "durable log covers commits" true (List.length entries > 0)
+  | _, Wal.Torn _ -> Alcotest.fail "durable log torn");
+  Sys.remove path
+
 let suite =
   ( "wal",
     [
@@ -292,8 +573,20 @@ let suite =
       Alcotest.test_case "memory log" `Quick test_memory_log;
       Alcotest.test_case "file log" `Quick test_file_log;
       Alcotest.test_case "corrupt file" `Quick test_corrupt_file;
+      Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail_tolerated;
+      Alcotest.test_case "checksum mismatch detected" `Quick
+        test_checksum_mismatch_detected;
+      Alcotest.test_case "reopen counts entries" `Quick
+        test_reopen_counts_and_appends;
+      Alcotest.test_case "reopen truncates torn tail" `Quick
+        test_reopen_truncates_torn_tail;
       QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_framed_roundtrip;
+      Alcotest.test_case "framed empty write list" `Quick
+        test_framed_empty_writes;
       Alcotest.test_case "replay semantics" `Quick test_replay;
+      Alcotest.test_case "replay maintains secondaries" `Quick
+        test_replay_maintains_secondaries;
       Alcotest.test_case "recovery: bank" `Quick test_recovery_bank;
       Alcotest.test_case "recovery: tpcc" `Quick test_recovery_tpcc;
       Alcotest.test_case "checkpoint file roundtrip" `Quick
@@ -302,4 +595,10 @@ let suite =
         test_checkpoint_recovery;
       Alcotest.test_case "restore clears loader data" `Quick
         test_checkpoint_restore_clears_loader_data;
+      Alcotest.test_case "restore clears empty reactors" `Quick
+        test_restore_clears_empty_reactor;
+      Alcotest.test_case "torn checkpoint rejected" `Quick
+        test_torn_checkpoint_rejected;
+      Alcotest.test_case "durable group commit" `Quick
+        test_durable_group_commit;
     ] )
