@@ -1,0 +1,248 @@
+(* Parallel-runtime scaling bench: throughput vs number of domains for the
+   real-parallel shared-nothing backend (lib/runtime), Smallbank and YCSB,
+   affinity vs round-robin ingress routing.
+
+   Every run is gated on the equivalence audit: no internal errors, exact
+   money conservation (Smallbank, conserving mix), one row per key reactor
+   (YCSB), and a full secondary-index audit. A failed audit makes the
+   process exit non-zero — the numbers are only meaningful if the parallel
+   execution was correct.
+
+   Throughput scaling across domains requires as many physical cores; the
+   emitted JSON records the host's available parallelism
+   (`recommended_domains`) so a reader can tell a runtime limitation from a
+   hardware one.
+
+   Usage:
+     dune exec bench/parallel_scaling.exe                  full run
+     dune exec bench/parallel_scaling.exe -- --fast        shrunken run
+     dune exec bench/parallel_scaling.exe -- --out F.json  write elsewhere *)
+
+module RDb = Runtime.Db
+module SB = Workloads.Smallbank
+
+type row = {
+  rw_workload : string;
+  rw_router : string;
+  rw_domains : int;
+  rw_workers : int;
+  rw_throughput : float;
+  rw_p50 : float;
+  rw_p95 : float;
+  rw_p99 : float;
+  rw_abort_rate : float;
+  rw_committed : int;
+  rw_util_mean : float;
+  rw_audit : (unit, string) result;
+}
+
+(* Deal [xs] round-robin into [k] groups (shared-nothing placement). *)
+let chunk k xs =
+  let groups = Array.make k [] in
+  List.iteri (fun i x -> groups.(i mod k) <- x :: groups.(i mod k)) xs;
+  Array.to_list (Array.map List.rev groups)
+
+let router_name = function
+  | Reactdb.Config.Affinity -> "affinity"
+  | Reactdb.Config.Round_robin -> "round-robin"
+
+(* Same placement for both routers — only the ingress policy differs. *)
+let make_config router groups =
+  match router with
+  | Reactdb.Config.Affinity -> Reactdb.Config.shared_nothing groups
+  | Reactdb.Config.Round_robin ->
+    let placement = Hashtbl.create 256 in
+    List.iteri
+      (fun ci names -> List.iter (fun nm -> Hashtbl.add placement nm ci) names)
+      groups;
+    Reactdb.Config.custom
+      ~executors_per_container:(Array.make (List.length groups) 1)
+      ~router:Reactdb.Config.Round_robin
+      ~placement:(Hashtbl.find placement) ()
+
+let secondaries_audit db =
+  match Faultsim.check_secondaries (RDb.catalogs db) with
+  | Ok () -> Ok ()
+  | Error m -> Error ("secondary-index audit: " ^ m)
+
+let fatal_audit db =
+  if RDb.n_fatal db = 0 then Ok ()
+  else
+    Error
+      (Printf.sprintf "%d internal errors (first: %s)" (RDb.n_fatal db)
+         (match RDb.fatal_messages db with m :: _ -> m | [] -> "?"))
+
+let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+type workload = Smallbank of int | Ycsb of int
+
+let workload_name = function
+  | Smallbank _ -> "smallbank-conserving"
+  | Ycsb _ -> "ycsb-multi-update"
+
+let run_scenario ~wl ~router ~d ~workers ~warmup_s ~measure_s =
+  let decl, names =
+    match wl with
+    | Smallbank n -> (SB.decl ~customers:n (), SB.customers n)
+    | Ycsb n -> (Workloads.Ycsb.decl ~keys:n (), Workloads.Ycsb.keys n)
+  in
+  let cfg = make_config router (chunk d names) in
+  let db = RDb.start decl cfg in
+  let gen =
+    match wl with
+    | Smallbank n -> fun _ rng -> SB.gen_conserving rng ~n
+    | Ycsb n ->
+      let p = Workloads.Ycsb.params ~txn_keys:10 ~theta:0.5 n in
+      fun _ rng ->
+        Workloads.Ycsb.gen_multi_update rng p
+          ~container_of:(RDb.container_of db)
+  in
+  let s = RDb.Load.spec ~warmup_s ~measure_s ~seed:42 ~n_workers:workers gen in
+  let r = RDb.Load.run db s in
+  RDb.shutdown db;
+  let invariant_audit () =
+    match wl with
+    | Smallbank n ->
+      let expected = float_of_int n *. 2. *. 10_000. in
+      let got = SB.total_money (List.map snd (RDb.catalogs db)) in
+      if Float.abs (got -. expected) < 1e-6 then Ok ()
+      else
+        Error
+          (Printf.sprintf "money not conserved: expected %.1f, got %.1f"
+             expected got)
+    | Ycsb _ ->
+      if
+        List.for_all
+          (fun (_, _, rows) -> List.length rows = 1)
+          (Faultsim.snapshot (RDb.catalogs db))
+      then Ok ()
+      else Error "YCSB key reactor lost or duplicated its row"
+  in
+  let audit =
+    fatal_audit db >>= invariant_audit >>= fun () -> secondaries_audit db
+  in
+  let um =
+    let u = r.RDb.Load.utilizations in
+    if Array.length u = 0 then 0.
+    else Array.fold_left ( +. ) 0. u /. float_of_int (Array.length u)
+  in
+  {
+    rw_workload = workload_name wl;
+    rw_router = router_name router;
+    rw_domains = d;
+    rw_workers = workers;
+    rw_throughput = r.RDb.Load.throughput;
+    rw_p50 = r.RDb.Load.p50_us;
+    rw_p95 = r.RDb.Load.p95_us;
+    rw_p99 = r.RDb.Load.p99_us;
+    rw_abort_rate = r.RDb.Load.abort_rate;
+    rw_committed = r.RDb.Load.committed;
+    rw_util_mean = um;
+    rw_audit = audit;
+  }
+
+(* Speedup relative to the same workload+router at 1 domain. *)
+let speedup rows r =
+  match
+    List.find_opt
+      (fun b ->
+        b.rw_workload = r.rw_workload && b.rw_router = r.rw_router
+        && b.rw_domains = 1)
+      rows
+  with
+  | Some b when b.rw_throughput > 0. -> r.rw_throughput /. b.rw_throughput
+  | _ -> 1.
+
+let emit_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"benchmark\": \"parallel_scaling\",\n";
+  Printf.fprintf oc "  \"host\": {\"recommended_domains\": %d},\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc
+    "  \"note\": \"throughput scaling across domains requires as many \
+     physical cores as domains; on a host with recommended_domains < 4 the \
+     4-domain numbers measure correctness and overhead, not speedup\",\n";
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"workload\": %S, \"router\": %S, \"domains\": %d, \"workers\": \
+         %d, \"throughput\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, \
+         \"p99_us\": %.1f, \"abort_rate\": %.4f, \"committed\": %d, \
+         \"util_mean\": %.3f, \"speedup_vs_1\": %.3f, \"audit\": %S}%s\n"
+        r.rw_workload r.rw_router r.rw_domains r.rw_workers r.rw_throughput
+        r.rw_p50 r.rw_p95 r.rw_p99 r.rw_abort_rate r.rw_committed
+        r.rw_util_mean (speedup rows r)
+        (match r.rw_audit with Ok () -> "ok" | Error m -> m)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let () =
+  let fast = ref false in
+  let out = ref "BENCH_parallel_scaling.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      fast := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | arg :: _ when arg <> Sys.argv.(0) ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+    | _ :: rest -> parse rest
+  in
+  parse (Array.to_list Sys.argv);
+  let domains = if !fast then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let workers = 16 in
+  let warmup_s = if !fast then 0.1 else 0.5 in
+  let measure_s = if !fast then 0.4 else 2.0 in
+  let workloads =
+    [ Smallbank (if !fast then 128 else 1024); Ycsb (if !fast then 128 else 512) ]
+  in
+  Printf.printf
+    "Parallel scaling (%d workers, %.1fs measure, host recommends %d domains)\n%!"
+    workers measure_s
+    (Domain.recommended_domain_count ());
+  let rows =
+    List.concat_map
+      (fun wl ->
+        List.concat_map
+          (fun router ->
+            List.map
+              (fun d ->
+                let r =
+                  run_scenario ~wl ~router ~d ~workers ~warmup_s ~measure_s
+                in
+                Printf.printf
+                  "  %-20s %-12s %d domains: %9.0f txn/s  p50 %7.1fus  p99 \
+                   %8.1fus  aborts %5.2f%%  util %4.2f  [%s]\n%!"
+                  r.rw_workload r.rw_router d r.rw_throughput r.rw_p50 r.rw_p99
+                  (100. *. r.rw_abort_rate) r.rw_util_mean
+                  (match r.rw_audit with Ok () -> "audit ok" | Error _ -> "AUDIT FAILED");
+                r)
+              domains)
+          [ Reactdb.Config.Affinity; Reactdb.Config.Round_robin ])
+      workloads
+  in
+  emit_json !out rows;
+  Printf.printf "wrote %s\n" !out;
+  let failures =
+    List.filter_map
+      (fun r ->
+        match r.rw_audit with
+        | Ok () -> None
+        | Error m ->
+          Some
+            (Printf.sprintf "%s/%s/%d domains: %s" r.rw_workload r.rw_router
+               r.rw_domains m))
+      rows
+  in
+  if failures <> [] then begin
+    List.iter (Printf.eprintf "AUDIT FAILURE: %s\n") failures;
+    exit 1
+  end

@@ -20,5 +20,12 @@ echo "== bench smoke: commit-path trajectory =="
 dune exec bench/trajectory.exe -- --fast --out "$OUT"
 
 echo
+echo "== bench smoke: parallel scaling (audit-gated) =="
+# The runner exits non-zero if any run fails its equivalence audit
+# (money conservation, secondary indexes, internal errors), so a broken
+# parallel runtime fails the smoke even when throughput looks fine.
+dune exec bench/parallel_scaling.exe -- --fast --out BENCH_parallel_scaling_smoke.json
+
+echo
 echo "== $OUT =="
 cat "$OUT"

@@ -14,6 +14,9 @@ type run_result = {
   throughput_std : float;
   avg_latency : float;
   latency_std : float;
+  p50_latency : float;
+  p95_latency : float;
+  p99_latency : float;
   abort_rate : float;
   committed : int;
   aborted : int;
@@ -68,12 +71,13 @@ let run_load db s =
   let stop = ref false in
   let measuring = ref false in
   let epoch_lat = ref (Stats.create ()) in
+  let reservoir = Stats.Reservoir.create ~seed:s.seed 8192 in
   let bd_sum = ref zero_bd in
   let bd_count = ref 0 in
   (* Closed-loop workers. *)
   for w = 0 to s.n_workers - 1 do
     Sim.Engine.spawn eng (fun () ->
-        let rng = Rng.create (s.seed + (w * 7919)) in
+        let rng = Rng.stream ~seed:s.seed w in
         let rec loop () =
           if not !stop then begin
             let req = s.gen w rng in
@@ -85,6 +89,7 @@ let run_load db s =
                match out.DB.result with
                | Ok _ ->
                  Stats.add !epoch_lat out.DB.latency;
+                 Stats.Reservoir.add reservoir out.DB.latency;
                  bd_sum := add_bd !bd_sum out.DB.breakdown;
                  incr bd_count
                | Error _ -> ());
@@ -136,6 +141,9 @@ let run_load db s =
     throughput_std = Stats.stddev tputs;
     avg_latency = Stats.mean lat_means;
     latency_std = Stats.stddev lat_means;
+    p50_latency = Stats.Reservoir.percentile reservoir 50.;
+    p95_latency = Stats.Reservoir.percentile reservoir 95.;
+    p99_latency = Stats.Reservoir.percentile reservoir 99.;
     abort_rate =
       (let c = !snap_committed and a = !snap_aborted in
        if c + a = 0 then 0. else float_of_int a /. float_of_int (c + a));

@@ -20,6 +20,11 @@ type run_result = {
   throughput_std : float;
   avg_latency : float;  (** µs, committed transactions, mean across epochs *)
   latency_std : float;  (** std of per-epoch mean latencies *)
+  p50_latency : float;
+      (** per-transaction latency percentiles (µs, committed transactions,
+          whole measurement window) from a bounded uniform reservoir *)
+  p95_latency : float;
+  p99_latency : float;
   abort_rate : float;  (** aborts / attempts, post-warm-up *)
   committed : int;  (** snapshot taken the instant measurement ends *)
   aborted : int;

@@ -1,0 +1,25 @@
+(** Shared bootstrap for execution backends.
+
+    Both the discrete-event simulator ({!Database}) and the real-parallel
+    domain-per-container runtime ([Runtime]) boot a reactor database from
+    the same declaration and deployment {!Config.t}: validate the
+    declaration, create each reactor's catalog (tables with their declared
+    secondary indexes), check its container placement, record table
+    ownership for redo logging, and run the loaders. Factoring it here
+    keeps the two backends byte-compatible at the declaration/config level
+    — a deployment that boots on one boots identically on the other. *)
+
+type entry = {
+  bs_name : string;  (** reactor name *)
+  bs_rtype : Reactor.rtype;
+  bs_catalog : Storage.Catalog.t;
+  bs_home : int;  (** container index from [Config.placement] *)
+}
+
+(** [build decl cfg] validates and materializes the declaration. Returns
+    the reactor entries in declaration order and the table-ownership map
+    (table uid → reactor name, table name). Loaders run after every
+    reactor's catalog exists, in declaration order. Raises [Invalid_argument]
+    on malformed declarations or out-of-range placements. *)
+val build :
+  Reactor.decl -> Config.t -> entry list * (int, string * string) Hashtbl.t

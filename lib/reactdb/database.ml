@@ -685,7 +685,9 @@ let rec dispatcher db ex () =
   dispatcher db ex ()
 
 let create eng decl cfg prof =
-  Reactor.validate decl;
+  (* Declaration/config materialization is shared with the parallel runtime
+     backend: same validation, same catalogs, same placement checks. *)
+  let entries, table_owner = Bootstrap.build decl cfg in
   let xid = ref 0 in
   let containers =
     Array.map
@@ -729,7 +731,7 @@ let create eng decl cfg prof =
       record_history = false;
       hist = [];
       stats_since = Engine.now eng;
-      table_owner = Hashtbl.create 256;
+      table_owner;
       wal = None;
       durable = false;
       flushed_epoch = 0;
@@ -739,32 +741,12 @@ let create eng decl cfg prof =
     }
   in
   List.iter
-    (fun (name, tyname) ->
-      let rt = Reactor.find_type decl tyname in
-      let catalog = Storage.Catalog.create () in
-      List.iter
-        (fun schema ->
-          let secondaries =
-            List.assoc_opt schema.Storage.Schema.sname rt.Reactor.rt_indexes
-          in
-          ignore (Storage.Catalog.create_table ?secondaries catalog schema))
-        rt.Reactor.rt_schemas;
-      let home = cfg.Config.placement name in
-      if home < 0 || home >= Array.length containers then
-        invalid_arg
-          (Printf.sprintf "ReactDB: reactor %S placed in bad container %d" name
-             home);
-      List.iter
-        (fun (tname, tbl) ->
-          Hashtbl.replace db.table_owner tbl.Storage.Table.uid (name, tname))
-        (Storage.Catalog.tables catalog);
-      Hashtbl.add db.reactors name
-        { rname = name; rtype = rt; rcatalog = catalog; home;
+    (fun e ->
+      Hashtbl.add db.reactors e.Bootstrap.bs_name
+        { rname = e.Bootstrap.bs_name; rtype = e.Bootstrap.bs_rtype;
+          rcatalog = e.Bootstrap.bs_catalog; home = e.Bootstrap.bs_home;
           cache_recency = [] })
-    decl.Reactor.reactors;
-  List.iter
-    (fun (rname, loader) -> loader (reactor_state db rname).rcatalog)
-    decl.Reactor.loaders;
+    entries;
   Array.iter
     (fun cont ->
       Array.iter (fun ex -> Engine.spawn eng (dispatcher db ex)) cont.cexecutors)

@@ -1,0 +1,699 @@
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Thread-safe write-once cell. Wakers registered with [on_fill] run on the
+   filler's domain (or immediately on the caller's if already full); fiber
+   code therefore only ever uses it through [fiber_await], which turns the
+   callback into a mailbox re-enqueue on the fiber's home domain. *)
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+  type 'a t = { mu : Mutex.t; cond : Condition.t; mutable st : 'a state }
+
+  let create () = { mu = Mutex.create (); cond = Condition.create (); st = Empty [] }
+
+  let fill iv v =
+    Mutex.lock iv.mu;
+    match iv.st with
+    | Full _ ->
+      Mutex.unlock iv.mu;
+      invalid_arg "Runtime.Ivar: filled twice"
+    | Empty ws ->
+      iv.st <- Full v;
+      Condition.broadcast iv.cond;
+      Mutex.unlock iv.mu;
+      (* callbacks run outside the lock: they may take other locks *)
+      List.iter (fun w -> w v) (List.rev ws)
+
+  let peek iv =
+    Mutex.lock iv.mu;
+    let r = match iv.st with Full v -> Some v | Empty _ -> None in
+    Mutex.unlock iv.mu;
+    r
+
+  let on_fill iv w =
+    Mutex.lock iv.mu;
+    match iv.st with
+    | Full v ->
+      Mutex.unlock iv.mu;
+      w v
+    | Empty ws ->
+      iv.st <- Empty (w :: ws);
+      Mutex.unlock iv.mu
+
+  let read_block iv =
+    Mutex.lock iv.mu;
+    let rec wait () =
+      match iv.st with
+      | Full v ->
+        Mutex.unlock iv.mu;
+        v
+      | Empty _ ->
+        Condition.wait iv.cond iv.mu;
+        wait ()
+    in
+    wait ()
+end
+
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  result : (Value.t, string) result;
+  latency_us : float;
+  containers_touched : int;
+}
+
+type job = unit -> unit
+
+type exec = {
+  eid : int;
+  mb : job Mailbox.t;
+  mutable busy_s : float;  (* owning domain only; read via a snapshot job *)
+}
+
+type t = {
+  cfg : Reactdb.Config.t;
+  execs : exec array;
+  reactors : (string, Reactdb.Bootstrap.entry) Hashtbl.t;
+  entries : Reactdb.Bootstrap.entry list;
+  txn_counter : int Atomic.t;
+  committed : int Atomic.t;
+  aborted : int Atomic.t;
+  ab_user : int Atomic.t;
+  ab_validation : int Atomic.t;
+  ab_dangerous : int Atomic.t;
+  fatal : int Atomic.t;
+  fatal_mu : Mutex.t;
+  mutable fatal_msgs : string list;
+  epoch : int Atomic.t;
+  t0 : float;
+  rr : int Atomic.t;
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  mutable domains : unit Domain.t array;
+}
+
+let record_fatal db e =
+  Atomic.incr db.fatal;
+  Mutex.lock db.fatal_mu;
+  db.fatal_msgs <- Printexc.to_string e :: db.fatal_msgs;
+  Mutex.unlock db.fatal_mu
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain fiber scheduler. A fiber is any mailbox job run under the
+   [Suspend] handler; suspension registers a waker that re-enqueues the
+   one-shot continuation on the fiber's home domain. Plain [Condition]
+   blocking would deadlock here (domain A waiting on a reply from B while B
+   waits on a reply from A); suspending keeps every domain draining its
+   mailbox, which is what guarantees progress. *)
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let run_fiber db ex job =
+  let open Effect.Deep in
+  match_with job ()
+    {
+      retc = (fun () -> ());
+      (* Procedure and commit paths catch their own exceptions; anything
+         arriving here is a runtime bug. Record it and keep the domain
+         alive. *)
+      exnc = (fun e -> record_fatal db e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun v ->
+                    Mailbox.push ex.mb (fun () -> continue k v)))
+          | _ -> None);
+    }
+
+let domain_loop db ex =
+  let rec loop () =
+    match Mailbox.pop_wait ex.mb with
+    | None -> ()
+    | Some job ->
+      let t_run = Unix.gettimeofday () in
+      run_fiber db ex job;
+      ex.busy_s <- ex.busy_s +. (Unix.gettimeofday () -. t_run);
+      loop ()
+  in
+  loop ()
+
+(* Await inside a fiber: free if resolved, otherwise suspend until filled. *)
+let fiber_await (iv : 'a Ivar.t) : 'a =
+  match Ivar.peek iv with
+  | Some v -> v
+  | None -> Effect.perform (Suspend (fun waker -> Ivar.on_fill iv waker))
+
+(* ------------------------------------------------------------------ *)
+(* Root transaction state. The [Occ.Txn.t] context is shared by all of a
+   root's sub-transactions, which may execute concurrently on different
+   domains; [rmu] serializes every procedure body of the root and is
+   released across all suspension points, so it is never held by a blocked
+   fiber — each fiber locks only its own root's mutex and never while
+   holding another, hence no hold-and-wait and no deadlock. *)
+
+type abort_class = Ab_user | Ab_conflict | Ab_validation | Ab_dangerous
+
+let classify_exn = function
+  | Occ.Txn.Abort m -> Some (Ab_user, m)
+  | Occ.Txn.Conflict m -> Some (Ab_conflict, m)
+  | Reactor.Dangerous_call m -> Some (Ab_dangerous, m)
+  | _ -> None
+
+let bucket_counter db = function
+  | Ab_user -> db.ab_user
+  | Ab_conflict | Ab_validation -> db.ab_validation
+  | Ab_dangerous -> db.ab_dangerous
+
+type subresult = (Value.t, exn) result
+
+type sub = { siv : subresult Ivar.t }
+
+type root = {
+  txn : Occ.Txn.t;
+  rmu : Mutex.t;
+  active_set : (string, unit) Hashtbl.t;
+  mutable doomed : (abort_class * string) option;
+      (* a sub-transaction aborted: the root may not commit even if
+         application code swallowed the exception (§2.2.3) *)
+}
+
+type frame = {
+  froot : root;
+  fentry : Reactdb.Bootstrap.entry;
+  fex : exec;
+  mutable children : sub list;
+}
+
+let reactor_state db name =
+  match Hashtbl.find_opt db.reactors name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Runtime: unknown reactor %S" name)
+
+(* Await a child with the root mutex released: the child itself needs [rmu]
+   to run. *)
+let await_sub root sub =
+  match Ivar.peek sub.siv with
+  | Some r -> r
+  | None ->
+    Mutex.unlock root.rmu;
+    let r = fiber_await sub.siv in
+    Mutex.lock root.rmu;
+    r
+
+(* Mirrors the simulator's execution semantics (Database.run_procedure /
+   do_call) minus cost charging: self-calls and same-container calls are
+   inlined, cross-container calls ship to the owning domain and return a
+   real future, and implicit synchronization awaits every child before the
+   frame completes. Caller holds [root.rmu]. *)
+let rec run_procedure db ~root ~entry ~ex ~proc_name ~args =
+  let procfn = Reactor.find_proc entry.Reactdb.Bootstrap.bs_rtype proc_name in
+  let frame = { froot = root; fentry = entry; fex = ex; children = [] } in
+  let ctx =
+    {
+      Reactor.db =
+        Query.Exec.make_ctx ~txn:root.txn
+          ~container:entry.Reactdb.Bootstrap.bs_home
+          ~catalog:entry.Reactdb.Bootstrap.bs_catalog
+          ~charge:(fun _ _ -> ())
+          ~work:(fun _ -> ());
+      self = entry.Reactdb.Bootstrap.bs_name;
+      call = (fun ~reactor ~proc ~args -> do_call db frame ~reactor ~proc ~args);
+    }
+  in
+  let result = try Ok (procfn ctx args) with e -> Error e in
+  let first_err = ref (match result with Error e -> Some e | Ok _ -> None) in
+  List.iter
+    (fun sub ->
+      match await_sub root sub with
+      | Ok _ -> ()
+      | Error e -> if !first_err = None then first_err := Some e)
+    (List.rev frame.children);
+  match !first_err with
+  | Some e -> raise e
+  | None -> (match result with Ok v -> v | Error _ -> assert false)
+
+and do_call db frame ~reactor ~proc ~args =
+  let root = frame.froot in
+  if reactor = frame.fentry.Reactdb.Bootstrap.bs_name then begin
+    (* Self-call: inlined synchronously (§2.2.4). *)
+    let v =
+      run_procedure db ~root ~entry:frame.fentry ~ex:frame.fex ~proc_name:proc
+        ~args
+    in
+    { Reactor.get = (fun () -> v) }
+  end
+  else begin
+    let tentry = reactor_state db reactor in
+    if Hashtbl.mem root.active_set reactor then
+      raise
+        (Reactor.Dangerous_call
+           (Printf.sprintf "dangerous call structure: reactor %s already active"
+              reactor));
+    if tentry.Reactdb.Bootstrap.bs_home = frame.fentry.Reactdb.Bootstrap.bs_home
+    then begin
+      (* Same container = same domain: run inline, no migration. *)
+      Hashtbl.add root.active_set reactor ();
+      let finally () = Hashtbl.remove root.active_set reactor in
+      let v =
+        try run_procedure db ~root ~entry:tentry ~ex:frame.fex ~proc_name:proc ~args
+        with e ->
+          finally ();
+          raise e
+      in
+      finally ();
+      { Reactor.get = (fun () -> v) }
+    end
+    else begin
+      (* Cross-container: ship the body to the owning domain. The child
+         job blocks on [rmu] before touching any shared transaction state;
+         the holder is always a running (never suspended) fiber, so the
+         wait is finite. *)
+      Hashtbl.add root.active_set reactor ();
+      let rex = db.execs.(tentry.Reactdb.Bootstrap.bs_home) in
+      let iv = Ivar.create () in
+      Mailbox.push rex.mb (fun () ->
+          Mutex.lock root.rmu;
+          let res =
+            try
+              Ok
+                (run_procedure db ~root ~entry:tentry ~ex:rex ~proc_name:proc
+                   ~args)
+            with e -> Error e
+          in
+          (match res with
+          | Error e -> (
+            match classify_exn e with
+            | Some km -> if root.doomed = None then root.doomed <- Some km
+            | None -> ())
+          | Ok _ -> ());
+          Hashtbl.remove root.active_set reactor;
+          Mutex.unlock root.rmu;
+          Ivar.fill iv res);
+      let sub = { siv = iv } in
+      frame.children <- sub :: frame.children;
+      {
+        Reactor.get =
+          (fun () ->
+            match await_sub root sub with
+            | Ok v -> v
+            | Error e -> raise e);
+      }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Silo epochs on the wall clock. Only monotonicity matters for TID
+   correctness ([compute_tid] takes the max with observed TIDs), so the
+   epoch is advanced opportunistically at root starts with a CAS — a lost
+   race just means the next root advances it. *)
+
+let epoch_len_s = 0.04
+
+let maybe_advance_epoch db =
+  let target = 1 + int_of_float ((Unix.gettimeofday () -. db.t0) /. epoch_len_s) in
+  let cur = Atomic.get db.epoch in
+  if target > cur then ignore (Atomic.compare_and_set db.epoch cur target)
+
+(* ------------------------------------------------------------------ *)
+(* Commit protocols. Runs on the root's fiber with [rmu] released — all
+   children have completed by now, so the transaction context is quiescent;
+   the mailbox and ivar mutexes give the coordinator happens-before edges
+   to every participant's writes. Each container's prepare/install/release
+   executes on the domain that owns it, preserving data ownership. *)
+
+let two_phase db root ~home containers ~epoch =
+  let remote c f =
+    let iv = Ivar.create () in
+    Mailbox.push db.execs.(c).mb (fun () -> Ivar.fill iv (f ()));
+    iv
+  in
+  (* An exception out of a commit step would leave the coordinator waiting
+     forever; degrade to an abort vote / recorded fatal instead. *)
+  let guard_vote f () = try f () with e -> record_fatal db e; false in
+  let guard_ack f () = try f () with e -> record_fatal db e in
+  (* Phase 1: validate with locks everywhere. *)
+  let prepares =
+    List.map
+      (fun c ->
+        if c = home then (c, `Done (Occ.Commit.prepare root.txn ~container:c))
+        else
+          ( c,
+            `Pending
+              (remote c
+                 (guard_vote (fun () -> Occ.Commit.prepare root.txn ~container:c)))
+          ))
+      containers
+  in
+  let resolved =
+    List.map
+      (fun (c, r) ->
+        match r with `Done ok -> (c, ok) | `Pending iv -> (c, fiber_await iv))
+      prepares
+  in
+  if List.for_all snd resolved then begin
+    let tid = Occ.Commit.compute_tid root.txn ~epoch in
+    (* Phase 2: install. *)
+    let acks =
+      List.map
+        (fun c ->
+          if c = home then begin
+            Occ.Commit.install root.txn ~container:c ~tid;
+            None
+          end
+          else
+            Some
+              (remote c
+                 (guard_ack (fun () ->
+                      Occ.Commit.install root.txn ~container:c ~tid))))
+        containers
+    in
+    List.iter (function Some iv -> fiber_await iv | None -> ()) acks;
+    Ok ()
+  end
+  else begin
+    (* Phase 2: roll back every prepared participant. *)
+    let acks =
+      List.filter_map
+        (fun (c, ok) ->
+          if not ok then None
+          else if c = home then begin
+            Occ.Commit.release root.txn ~container:c;
+            None
+          end
+          else
+            Some
+              (remote c
+                 (guard_ack (fun () -> Occ.Commit.release root.txn ~container:c))))
+        resolved
+    in
+    List.iter (fun iv -> fiber_await iv) acks;
+    Error "validation failed (2pc)"
+  end
+
+let do_commit db root ~home =
+  let epoch = Atomic.get db.epoch in
+  match Occ.Txn.containers root.txn with
+  | [] -> Ok ()
+  | [ c ] when c = home -> (
+    match Occ.Commit.commit_single root.txn ~epoch ~container:c with
+    | Ok _tid -> Ok ()
+    | Error m -> Error m)
+  | containers -> two_phase db root ~home containers ~epoch
+
+(* ------------------------------------------------------------------ *)
+(* Root execution: one mailbox job on the home domain. Guaranteed to call
+   [k] and bump [completed] exactly once — quiescence depends on it. *)
+
+let exec_root db ~reactor ~proc ~args ~t_submit ~k () =
+  maybe_advance_epoch db;
+  let entry = reactor_state db reactor in
+  let home = entry.Reactdb.Bootstrap.bs_home in
+  let ex = db.execs.(home) in
+  let txn = Occ.Txn.create ~id:(1 + Atomic.fetch_and_add db.txn_counter 1) in
+  let root =
+    { txn; rmu = Mutex.create (); active_set = Hashtbl.create 8; doomed = None }
+  in
+  Mutex.lock root.rmu;
+  Hashtbl.add root.active_set reactor ();
+  let res =
+    try
+      let v = run_procedure db ~root ~entry ~ex ~proc_name:proc ~args in
+      match root.doomed with Some km -> Error (`Aborted km) | None -> Ok v
+    with e -> Error (`Fatal e)
+  in
+  Hashtbl.remove root.active_set reactor;
+  Mutex.unlock root.rmu;
+  let verdict =
+    match res with
+    | Ok v -> (
+      match
+        try `C (do_commit db root ~home)
+        with e ->
+          record_fatal db e;
+          `F (Printexc.to_string e)
+      with
+      | `C (Ok ()) -> Ok v
+      | `C (Error m) -> Error (Some Ab_validation, m)
+      | `F m -> Error (None, "internal commit error: " ^ m))
+    | Error (`Aborted (kc, m)) -> Error (Some kc, m)
+    | Error (`Fatal e) -> (
+      match classify_exn e with
+      | Some (kc, m) -> Error (Some kc, m)
+      | None ->
+        record_fatal db e;
+        Error (None, "internal error: " ^ Printexc.to_string e))
+  in
+  (match verdict with
+  | Ok _ -> Atomic.incr db.committed
+  | Error (kc, _) ->
+    Atomic.incr db.aborted;
+    (match kc with Some kc -> Atomic.incr (bucket_counter db kc) | None -> ()));
+  let out =
+    {
+      result = (match verdict with Ok v -> Ok v | Error (_, m) -> Error m);
+      latency_us = (Unix.gettimeofday () -. t_submit) *. 1e6;
+      containers_touched = List.length (Occ.Txn.containers txn);
+    }
+  in
+  (try k out with e -> record_fatal db e);
+  Atomic.incr db.completed
+
+let submit db ~reactor ~proc ~args ~k =
+  let entry = reactor_state db reactor in
+  let home = entry.Reactdb.Bootstrap.bs_home in
+  Atomic.incr db.submitted;
+  let t_submit = Unix.gettimeofday () in
+  let job = exec_root db ~reactor ~proc ~args ~t_submit ~k in
+  let ingress =
+    match db.cfg.Reactdb.Config.router with
+    | Reactdb.Config.Affinity -> home
+    | Reactdb.Config.Round_robin ->
+      Atomic.fetch_and_add db.rr 1 mod Array.length db.execs
+  in
+  if ingress = home then Mailbox.push db.execs.(home).mb job
+  else
+    (* Misrouted ingress pays a forwarding hop to the owner — the locality
+       cost the affinity router avoids. *)
+    Mailbox.push db.execs.(ingress).mb (fun () ->
+        Mailbox.push db.execs.(home).mb job)
+
+let exec_txn db ~reactor ~proc ~args =
+  let iv = Ivar.create () in
+  submit db ~reactor ~proc ~args ~k:(fun out -> Ivar.fill iv out);
+  Ivar.read_block iv
+
+(* Read [completed] before [submitted]: both monotone, every submit precedes
+   its completion, so equal reads in this order imply a true fixpoint (as
+   long as the caller isn't racing its own new submissions). *)
+let quiesce db =
+  let rec loop () =
+    let c = Atomic.get db.completed in
+    let s = Atomic.get db.submitted in
+    if c <> s then begin
+      Unix.sleepf 2e-4;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let start decl cfg =
+  let entries, _table_owner = Reactdb.Bootstrap.build decl cfg in
+  let n = Reactdb.Config.n_containers cfg in
+  let execs =
+    Array.init n (fun eid -> { eid; mb = Mailbox.create (); busy_s = 0. })
+  in
+  let reactors = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.add reactors e.Reactdb.Bootstrap.bs_name e) entries;
+  let db =
+    {
+      cfg;
+      execs;
+      reactors;
+      entries;
+      txn_counter = Atomic.make 0;
+      committed = Atomic.make 0;
+      aborted = Atomic.make 0;
+      ab_user = Atomic.make 0;
+      ab_validation = Atomic.make 0;
+      ab_dangerous = Atomic.make 0;
+      fatal = Atomic.make 0;
+      fatal_mu = Mutex.create ();
+      fatal_msgs = [];
+      epoch = Atomic.make 1;
+      t0 = Unix.gettimeofday ();
+      rr = Atomic.make 0;
+      submitted = Atomic.make 0;
+      completed = Atomic.make 0;
+      domains = [||];
+    }
+  in
+  db.domains <-
+    Array.map (fun ex -> Domain.spawn (fun () -> domain_loop db ex)) execs;
+  db
+
+let shutdown db =
+  quiesce db;
+  Array.iter (fun ex -> Mailbox.close ex.mb) db.execs;
+  Array.iter Domain.join db.domains;
+  db.domains <- [||]
+
+let n_domains db = Array.length db.execs
+let container_of db name = (reactor_state db name).Reactdb.Bootstrap.bs_home
+let catalog_of db name = (reactor_state db name).Reactdb.Bootstrap.bs_catalog
+
+let catalogs db =
+  List.map
+    (fun e -> (e.Reactdb.Bootstrap.bs_name, e.Reactdb.Bootstrap.bs_catalog))
+    db.entries
+
+let n_committed db = Atomic.get db.committed
+let n_aborted db = Atomic.get db.aborted
+
+let aborts_by_reason db =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [
+      ("user", Atomic.get db.ab_user);
+      ("validation", Atomic.get db.ab_validation);
+      ("dangerous-structure", Atomic.get db.ab_dangerous);
+    ]
+
+let n_fatal db = Atomic.get db.fatal
+
+let fatal_messages db =
+  Mutex.lock db.fatal_mu;
+  let m = db.fatal_msgs in
+  Mutex.unlock db.fatal_mu;
+  m
+
+(* ------------------------------------------------------------------ *)
+
+module Load = struct
+  type spec = {
+    n_workers : int;
+    gen : int -> Rng.t -> Workloads.Wl.request;
+    warmup_s : float;
+    measure_s : float;
+    seed : int;
+  }
+
+  let spec ?(warmup_s = 0.2) ?(measure_s = 1.0) ?(seed = 42) ~n_workers gen =
+    { n_workers; gen; warmup_s; measure_s; seed }
+
+  type result = {
+    throughput : float;
+    committed : int;
+    aborted : int;
+    abort_rate : float;
+    mean_latency_us : float;
+    latency_std_us : float;
+    p50_us : float;
+    p95_us : float;
+    p99_us : float;
+    duration_s : float;
+    utilizations : float array;
+  }
+
+  (* [busy_s] is private to its domain; snapshot it with a mailbox job so
+     the read happens on the owner with proper ordering. *)
+  let busy_snapshot db =
+    Array.map
+      (fun ex ->
+        let iv = Ivar.create () in
+        Mailbox.push ex.mb (fun () -> Ivar.fill iv ex.busy_s);
+        iv)
+      db.execs
+    |> Array.map Ivar.read_block
+
+  let run db s =
+    let stop = Atomic.make false in
+    let measuring = Atomic.make false in
+    let mu = Mutex.create () in
+    let reservoir = Stats.Reservoir.create ~seed:s.seed 8192 in
+    let lat = Stats.create () in
+    (* Completion-driven virtual client: worker [w]'s callback records the
+       finished transaction and submits the next one. *)
+    let rec step w rng =
+      if not (Atomic.get stop) then
+        match
+          try Some (s.gen w rng)
+          with e ->
+            record_fatal db e;
+            None
+        with
+        | None -> ()
+        | Some req ->
+          submit db ~reactor:req.Workloads.Wl.reactor ~proc:req.Workloads.Wl.proc
+            ~args:req.Workloads.Wl.args ~k:(fun out ->
+              (if Atomic.get measuring then
+                 match out.result with
+                 | Ok _ ->
+                   Mutex.lock mu;
+                   Stats.Reservoir.add reservoir out.latency_us;
+                   Stats.add lat out.latency_us;
+                   Mutex.unlock mu
+                 | Error _ -> ());
+              step w rng)
+    in
+    for w = 0 to s.n_workers - 1 do
+      step w (Rng.stream ~seed:s.seed w)
+    done;
+    Unix.sleepf s.warmup_s;
+    let busy0 = busy_snapshot db in
+    let c0 = n_committed db and a0 = n_aborted db in
+    let t_start = Unix.gettimeofday () in
+    Atomic.set measuring true;
+    Unix.sleepf s.measure_s;
+    Atomic.set measuring false;
+    let c1 = n_committed db and a1 = n_aborted db in
+    let t_end = Unix.gettimeofday () in
+    Atomic.set stop true;
+    quiesce db;
+    let busy1 = busy_snapshot db in
+    let t_drained = Unix.gettimeofday () in
+    let window = Float.max 1e-9 (t_end -. t_start) in
+    let committed = c1 - c0 and aborted = a1 - a0 in
+    let done_ = committed + aborted in
+    {
+      throughput = float_of_int committed /. window;
+      committed;
+      aborted;
+      abort_rate =
+        (if done_ = 0 then 0. else float_of_int aborted /. float_of_int done_);
+      mean_latency_us = Stats.mean lat;
+      latency_std_us = Stats.stddev lat;
+      p50_us = Stats.Reservoir.percentile reservoir 50.;
+      p95_us = Stats.Reservoir.percentile reservoir 95.;
+      p99_us = Stats.Reservoir.percentile reservoir 99.;
+      duration_s = window;
+      utilizations =
+        Array.init (Array.length busy0) (fun i ->
+            (busy1.(i) -. busy0.(i)) /. Float.max 1e-9 (t_drained -. t_start));
+    }
+
+  let run_fixed db ~n_workers ~per_worker ~seed gen =
+    let rec step w rng left =
+      if left > 0 then
+        match
+          try Some (gen w rng)
+          with e ->
+            record_fatal db e;
+            None
+        with
+        | None -> ()
+        | Some req ->
+          submit db ~reactor:req.Workloads.Wl.reactor ~proc:req.Workloads.Wl.proc
+            ~args:req.Workloads.Wl.args ~k:(fun _ -> step w rng (left - 1))
+    in
+    for w = 0 to n_workers - 1 do
+      step w (Rng.stream ~seed w) per_worker
+    done;
+    quiesce db
+end

@@ -1,0 +1,156 @@
+(** Real-parallel shared-nothing execution backend: one OCaml 5 domain per
+    container, reusing [Occ], [Storage], [Btree], [Reactor] and [Workloads]
+    unchanged from the simulator backend.
+
+    {2 Execution model}
+
+    Bootstrap goes through {!Reactdb.Bootstrap} — the same declaration and
+    {!Reactdb.Config.t} that boots the simulator boots this backend. Each
+    container becomes a domain owning its reactors' catalogs outright:
+    every data access to container [c]'s records happens on domain [c]
+    (root and same-container sub-transactions run inline on the home
+    domain; cross-container calls ship a closure through the destination's
+    {!Mailbox} and return a real future). Because of this data ownership,
+    Silo validation needs no cross-domain locking: record TID/lock words
+    are only ever touched by the owning domain, and the 2PC prepare /
+    install / release steps for container [c] execute as mailbox messages
+    on domain [c].
+
+    Domains run cooperative fibers over effects (mirroring the simulator's
+    executor-core semantics): a fiber blocking on a cross-container future
+    or a 2PC vote suspends and releases its domain to run other
+    transactions; the waker re-enqueues it through the home mailbox.
+    Clients blocking in {!exec_txn} wait on a [Condition].
+
+    A root transaction's context ([Occ.Txn.t]) is shared by its
+    sub-transactions, which may run concurrently on other domains; all
+    procedure bodies of one root serialize on a per-root mutex (released
+    across suspension points), so the shared read/write tracking stays
+    race-free while different roots run fully in parallel.
+
+    [executors_per_container] counts and [mpl] from the config are ignored
+    (one domain per container; admission is the client's concern), and the
+    simulator's cost {!Reactdb.Profile} does not apply — time is real.
+    Round-robin routing is honoured as ingress distribution: the root
+    request lands on the round-robin-chosen domain and pays a forwarding
+    hop to the owner, quantifying what affinity routing saves. *)
+
+type t
+
+type outcome = {
+  result : (Util.Value.t, string) result;
+  latency_us : float;  (** wall-clock µs, submission through commit/abort *)
+  containers_touched : int;
+}
+
+(** [start decl cfg] bootstraps catalogs and loaders on the calling domain,
+    then spawns one domain per container. Call {!shutdown} when done. *)
+val start : Reactor.decl -> Reactdb.Config.t -> t
+
+(** Quiesces (waits for every submitted root to complete), closes all
+    mailboxes and joins the domains. The catalogs remain readable. *)
+val shutdown : t -> unit
+
+val n_domains : t -> int
+val container_of : t -> string -> int
+
+(** Direct physical access to a reactor's catalog — loaders, audits and
+    tests only. Only safe for concurrent use after {!quiesce}/{!shutdown}. *)
+val catalog_of : t -> string -> Storage.Catalog.t
+
+(** All reactors' catalogs in declaration order (for invariant audits,
+    e.g. [Faultsim.check_secondaries]). Same safety caveat as
+    {!catalog_of}. *)
+val catalogs : t -> (string * Storage.Catalog.t) list
+
+(** [submit t ~reactor ~proc ~args ~k] enqueues a root transaction;
+    [k outcome] runs on the root's home domain when it completes. Never
+    blocks the caller. Thread-safe. *)
+val submit :
+  t ->
+  reactor:string ->
+  proc:string ->
+  args:Util.Value.t list ->
+  k:(outcome -> unit) ->
+  unit
+
+(** Blocking convenience around {!submit} for clients off the runtime's
+    domains (tests, serial oracles). Must not be called from a [k]
+    callback or procedure body — it would block an executor domain. *)
+val exec_txn :
+  t -> reactor:string -> proc:string -> args:Util.Value.t list -> outcome
+
+(** Block until every submitted root has completed. *)
+val quiesce : t -> unit
+
+(** {1 Statistics} (monotone; atomic counters shared by all domains) *)
+
+val n_committed : t -> int
+val n_aborted : t -> int
+
+(** Same typed buckets as the simulator backend: "user", "validation",
+    "dangerous-structure". *)
+val aborts_by_reason : t -> (string * int) list
+
+(** Runtime-internal failures (a procedure or callback raised something
+    that is not an abort). The offending transaction reports [Error] and
+    the domain keeps running; a non-zero count means a bug. *)
+val n_fatal : t -> int
+
+val fatal_messages : t -> string list
+
+(** {1 Closed-loop wall-clock load harness}
+
+    Mirrors [Harness.spec]/[run_load] for the parallel backend, with
+    completion-driven virtual clients: worker [w]'s next request is
+    generated (from its own [Rng.stream]) in the completion callback of
+    its previous one, so client think time is zero and no client threads
+    are needed. *)
+module Load : sig
+  type spec = {
+    n_workers : int;
+    gen : int -> Util.Rng.t -> Workloads.Wl.request;
+    warmup_s : float;
+    measure_s : float;
+    seed : int;
+  }
+
+  val spec :
+    ?warmup_s:float ->
+    ?measure_s:float ->
+    ?seed:int ->
+    n_workers:int ->
+    (int -> Util.Rng.t -> Workloads.Wl.request) ->
+    spec
+
+  type result = {
+    throughput : float;  (** committed txns per second over the window *)
+    committed : int;
+    aborted : int;
+    abort_rate : float;
+    mean_latency_us : float;
+    latency_std_us : float;  (** per-transaction std (not per-epoch) *)
+    p50_us : float;
+    p95_us : float;
+    p99_us : float;  (** from a bounded uniform reservoir *)
+    duration_s : float;  (** measured window length *)
+    utilizations : float array;
+        (** per-domain busy fraction, measurement start → drain *)
+  }
+
+  (** Run warm-up, measure, stop and drain. The runtime must be freshly
+      started or quiescent. Does not shut the runtime down. *)
+  val run : t -> spec -> result
+
+  (** [run_fixed t ~n_workers ~per_worker ~seed gen] drives exactly
+      [n_workers * per_worker] transactions closed-loop and quiesces —
+      for tests and equivalence audits that need an exact transaction
+      count rather than a time window. *)
+  val run_fixed :
+    t ->
+    n_workers:int ->
+    per_worker:int ->
+    seed:int ->
+    (int -> Util.Rng.t -> Workloads.Wl.request) ->
+    unit
+end

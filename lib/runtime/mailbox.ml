@@ -1,0 +1,84 @@
+exception Closed
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  mutable inbox : 'a Queue.t;  (* producers append here, under [mu] *)
+  mutable batch : 'a Queue.t;  (* consumer-private drained batch *)
+  mutable closed : bool;
+  mutable waiting : bool;  (* consumer parked in [pop_wait] *)
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    inbox = Queue.create ();
+    batch = Queue.create ();
+    closed = false;
+    waiting = false;
+  }
+
+let push t x =
+  Mutex.lock t.mu;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    raise Closed
+  end;
+  Queue.add x t.inbox;
+  (* Signal only when the consumer is actually parked: a hot mailbox pays
+     no condition-variable traffic. *)
+  if t.waiting then Condition.signal t.nonempty;
+  Mutex.unlock t.mu
+
+(* Swap the shared inbox for the (empty) private batch under the lock. The
+   consumer then owns the old inbox outright. *)
+let refill t =
+  Mutex.lock t.mu;
+  let rec wait () =
+    if Queue.is_empty t.inbox && not t.closed then begin
+      t.waiting <- true;
+      Condition.wait t.nonempty t.mu;
+      t.waiting <- false;
+      wait ()
+    end
+  in
+  wait ();
+  let full = t.inbox in
+  t.inbox <- t.batch;
+  t.batch <- full;
+  Mutex.unlock t.mu
+
+let pop_wait t =
+  if Queue.is_empty t.batch then refill t;
+  Queue.take_opt t.batch
+
+let try_pop t =
+  if Queue.is_empty t.batch then begin
+    Mutex.lock t.mu;
+    let full = t.inbox in
+    t.inbox <- t.batch;
+    t.batch <- full;
+    Mutex.unlock t.mu
+  end;
+  Queue.take_opt t.batch
+
+let close t =
+  Mutex.lock t.mu;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.mu
+
+let length t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.inbox + Queue.length t.batch in
+  Mutex.unlock t.mu;
+  n
+
+let is_closed t =
+  Mutex.lock t.mu;
+  let c = t.closed in
+  Mutex.unlock t.mu;
+  c

@@ -1,0 +1,39 @@
+(** Multi-producer/single-consumer mailbox for the parallel runtime.
+
+    Producers on any domain [push]; the owning domain consumes with
+    {!pop_wait} (blocking) or {!try_pop}. Built on [Mutex]/[Condition] with
+    two-queue batching: the consumer swaps the shared inbox for a private
+    queue under the lock, then drains it lock-free, so a busy mailbox costs
+    roughly one lock acquisition per batch rather than per message.
+
+    Ordering guarantee: messages from one producer are delivered in the
+    order that producer pushed them (per-producer FIFO); messages from
+    different producers interleave in lock-acquisition order.
+
+    Shutdown: {!close} stops further pushes (they raise {!Closed}) but lets
+    the consumer drain everything already enqueued; [pop_wait] returns
+    [None] only once the mailbox is both closed and empty. *)
+
+type 'a t
+
+exception Closed
+
+val create : unit -> 'a t
+
+(** [push t x] enqueues [x]. Thread-safe. @raise Closed after {!close}. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop_wait t] dequeues the next message, blocking while the mailbox is
+    empty and open; [None] once closed and drained. Single consumer only. *)
+val pop_wait : 'a t -> 'a option
+
+(** [try_pop t] dequeues without blocking; [None] if nothing is ready. *)
+val try_pop : 'a t -> 'a option
+
+(** [close t] rejects subsequent pushes and wakes the consumer. Idempotent. *)
+val close : 'a t -> unit
+
+(** Messages currently enqueued (racy snapshot: both queues). *)
+val length : 'a t -> int
+
+val is_closed : 'a t -> bool

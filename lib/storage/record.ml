@@ -6,11 +6,14 @@ type t = {
   mutable absent : bool;
 }
 
-let counter = ref 0
+(* Atomic: records are allocated concurrently by the parallel runtime's
+   per-container domains, and rids must stay globally unique (they define
+   the deadlock-free lock order). Single-domain allocation sequences are
+   unchanged. *)
+let counter = Atomic.make 0
 
 let fresh ~absent data =
-  incr counter;
-  { rid = !counter; data; tid = 0; lock = 0; absent }
+  { rid = 1 + Atomic.fetch_and_add counter 1; data; tid = 0; lock = 0; absent }
 
 let seq_bits = 32
 let seq_mask = (1 lsl seq_bits) - 1

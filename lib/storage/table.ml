@@ -49,10 +49,10 @@ type t = {
 
 type witness = Idx.witness
 
-let uid_counter = ref 0
+let uid_counter = Atomic.make 0
 
 let create ?(secondaries = []) schema =
-  incr uid_counter;
+  let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
   let mk (sec_name, cols) =
     let sec_cols =
       Array.of_list
@@ -74,7 +74,7 @@ let create ?(secondaries = []) schema =
   let names = List.map (fun s -> s.sec_name) secondaries in
   if List.length (List.sort_uniq String.compare names) <> List.length names
   then invalid_arg "Table.create: duplicate index name";
-  { uid = !uid_counter; schema; idx = Idx.create (); secondaries }
+  { uid; schema; idx = Idx.create (); secondaries }
 
 let secondary t name =
   match List.find_opt (fun s -> s.sec_name = name) t.secondaries with

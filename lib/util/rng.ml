@@ -15,6 +15,16 @@ let next64 t =
 
 let split t = { state = next64 t }
 
+(* Independent stream [i] of root [seed]: the root seed and the stream index
+   are avalanche-mixed together, so streams share no state and any subset of
+   them can be created in any order (or on different domains) and still draw
+   the same sequences. Stream 0 is distinct from [create seed]. *)
+let stream ~seed i =
+  if i < 0 then invalid_arg "Rng.stream: negative stream index";
+  let s = mix64 (Int64.of_int seed) in
+  let g = mix64 (Int64.add golden_gamma (Int64.of_int i)) in
+  { state = mix64 (Int64.logxor s g) }
+
 (* 63 bits, non-negative. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 1)
 

@@ -15,6 +15,12 @@ val create : int -> t
     subsequent draws from [t]. *)
 val split : t -> t
 
+(** [stream ~seed i] is the [i]-th independent stream derived from root
+    [seed] — no shared mutable state, so per-worker and per-domain
+    generators can be created in any order (or concurrently on different
+    domains) and still produce identical sequences. Requires [i >= 0]. *)
+val stream : seed:int -> int -> t
+
 (** Next raw 64-bit value (as an OCaml [int], so 63 bits, non-negative). *)
 val bits : t -> int
 

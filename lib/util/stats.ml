@@ -63,6 +63,56 @@ let merge a b =
   List.iter (add t) b.samples;
   t
 
+module Reservoir = struct
+  (* Algorithm R: uniform sample of a stream in bounded memory. The
+     replacement RNG is the module's own seeded splitmix stream, so a
+     single-threaded caller (the simulator harness) stays bit-for-bit
+     deterministic. *)
+  type r = {
+    cap : int;
+    buf : float array;
+    rng : Rng.t;
+    mutable seen : int;
+    mutable rsorted : float array option;
+  }
+
+  let create ?(seed = 0x5eed) cap =
+    if cap <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+    { cap; buf = Array.make cap 0.; rng = Rng.create seed; seen = 0;
+      rsorted = None }
+
+  let add r x =
+    r.rsorted <- None;
+    if r.seen < r.cap then r.buf.(r.seen) <- x
+    else begin
+      let j = Rng.int r.rng (r.seen + 1) in
+      if j < r.cap then r.buf.(j) <- x
+    end;
+    r.seen <- r.seen + 1
+
+  let seen r = r.seen
+  let size r = Stdlib.min r.seen r.cap
+
+  let sorted r =
+    match r.rsorted with
+    | Some a -> a
+    | None ->
+      let a = Array.sub r.buf 0 (size r) in
+      Array.sort Float.compare a;
+      r.rsorted <- Some a;
+      a
+
+  (* Nearest-rank, matching {!percentile} above. *)
+  let percentile r p =
+    if p < 0. || p > 100. then invalid_arg "Reservoir.percentile";
+    let a = sorted r in
+    let n = Array.length a in
+    if n = 0 then 0.
+    else
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+end
+
 module Histogram = struct
   type h = { lo : float; hi : float; bins : int array; mutable n : int }
 

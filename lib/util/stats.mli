@@ -28,6 +28,28 @@ val of_list : float list -> t
 (** Merge samples of both into a fresh accumulator. *)
 val merge : t -> t -> t
 
+(** Bounded-memory uniform sample of a stream (Vitter's Algorithm R), for
+    latency percentiles over arbitrarily long runs. Deterministic: the
+    replacement RNG is seeded, so equal streams give equal samples. *)
+module Reservoir : sig
+  type r
+
+  (** [create ?seed cap] holds at most [cap] samples. *)
+  val create : ?seed:int -> int -> r
+
+  val add : r -> float -> unit
+
+  (** Stream length so far (not the retained count). *)
+  val seen : r -> int
+
+  (** Retained sample count, [min (seen r) cap]. *)
+  val size : r -> int
+
+  (** Nearest-rank percentile of the retained sample; exact while
+      [seen <= cap], an unbiased estimate beyond. [0.] when empty. *)
+  val percentile : r -> float -> float
+end
+
 (** Fixed-width histogram over [lo, hi) with [buckets] bins; out-of-range
     samples are clamped into the edge bins. *)
 module Histogram : sig

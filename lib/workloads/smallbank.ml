@@ -276,6 +276,28 @@ let gen_standard rng ~n =
     let src = c () in
     Wl.request src "send_payment" [ Wl.vs (other src); Wl.vf 1. ]
 
+(** Money-conserving variant of the standard mix, for runs audited with the
+    conservation invariant: the standard mix's deposit/withdraw programs
+    ([transact_saving], [deposit_checking], [write_check]) legitimately
+    change the total, so they are replaced by [balance] reads, keeping the
+    standard mix's 60% single-container / 40% cross-container split
+    (amalgamate 15%, send-payment 25%). Every transaction either conserves
+    the physical total or aborts. *)
+let gen_conserving rng ~n =
+  let c () = customer_name (Rng.int rng n) in
+  let other excl =
+    customer_name (Rng.pick_except rng n (int_of_string
+      (String.sub excl 1 (String.length excl - 1))))
+  in
+  match Rng.int rng 100 with
+  | x when x < 60 -> Wl.request (c ()) "balance" []
+  | x when x < 75 ->
+    let src = c () in
+    Wl.request src "amalgamate" [ Wl.vs (other src) ]
+  | _ ->
+    let src = c () in
+    Wl.request src "send_payment" [ Wl.vs (other src); Wl.vf 1. ]
+
 (** Sum of all balances across all customer reactors — the conservation
     invariant used by tests (requires direct catalog access). *)
 let total_money catalogs =

@@ -39,6 +39,13 @@ val multi_transfer_request :
     weights: 15/15/15/15/15/25). *)
 val gen_standard : Util.Rng.t -> n:int -> Wl.request
 
+(** Money-conserving variant of the standard mix (balance 60%, amalgamate
+    15%, send-payment 25% — same single/cross-container split): the total
+    of {!total_money} is invariant under any committed subset, so runs can
+    be audited with exact conservation. The deposit/withdraw programs of
+    the standard mix legitimately change the total and are excluded. *)
+val gen_conserving : Util.Rng.t -> n:int -> Wl.request
+
 (** Physical sum of all savings and checking balances over the given
     catalogs — the conservation invariant used in tests. *)
 val total_money : Storage.Catalog.t list -> float

@@ -17,5 +17,7 @@ let () =
       Suite_sql.suite;
       Suite_analysis.suite;
       Suite_random.suite;
+      Suite_mailbox.suite;
+      Suite_runtime.suite;
       Suite_misc.suite;
     ]

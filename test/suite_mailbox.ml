@@ -1,0 +1,99 @@
+(* Unit and property tests for the parallel runtime's MPSC mailbox, with
+   real producer domains. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* [n_producers] domains each push (pid, 0), (pid, 1), ... (pid, per - 1);
+   the main thread consumes exactly [n_producers * per] messages. Checks no
+   message is lost or duplicated and each producer's messages arrive in
+   push order. *)
+let fifo_run ~n_producers ~per =
+  let mb = Runtime.Mailbox.create () in
+  let producers =
+    Array.init n_producers (fun pid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Runtime.Mailbox.push mb (pid, i)
+            done))
+  in
+  let next = Array.make n_producers 0 in
+  let ok = ref true in
+  for _ = 1 to n_producers * per do
+    match Runtime.Mailbox.pop_wait mb with
+    | None -> ok := false
+    | Some (pid, i) ->
+      if i <> next.(pid) then ok := false;
+      next.(pid) <- i + 1
+  done;
+  Array.iter Domain.join producers;
+  !ok && Array.for_all (fun n -> n = per) next
+
+let test_fifo_four_producers () =
+  check_bool "per-producer FIFO, none lost or duplicated" true
+    (fifo_run ~n_producers:4 ~per:2000)
+
+let test_single_producer_order () =
+  check_bool "single producer is globally FIFO" true
+    (fifo_run ~n_producers:1 ~per:5000)
+
+let test_drain_after_close () =
+  let mb = Runtime.Mailbox.create () in
+  for i = 0 to 99 do
+    Runtime.Mailbox.push mb i
+  done;
+  Runtime.Mailbox.close mb;
+  (* close lets the consumer drain everything already queued *)
+  for i = 0 to 99 do
+    match Runtime.Mailbox.pop_wait mb with
+    | Some v -> check_int "drained in order" i v
+    | None -> Alcotest.fail "mailbox empty before drain finished"
+  done;
+  check_bool "closed and drained" true (Runtime.Mailbox.pop_wait mb = None);
+  check_bool "stays drained" true (Runtime.Mailbox.pop_wait mb = None)
+
+let test_push_after_close () =
+  let mb = Runtime.Mailbox.create () in
+  Runtime.Mailbox.push mb 1;
+  Runtime.Mailbox.close mb;
+  Runtime.Mailbox.close mb (* idempotent *);
+  check_bool "is_closed" true (Runtime.Mailbox.is_closed mb);
+  Alcotest.check_raises "push after close" Runtime.Mailbox.Closed (fun () ->
+      Runtime.Mailbox.push mb 2)
+
+let test_try_pop () =
+  let mb = Runtime.Mailbox.create () in
+  check_bool "empty try_pop" true (Runtime.Mailbox.try_pop mb = None);
+  Runtime.Mailbox.push mb 7;
+  check_bool "nonempty try_pop" true (Runtime.Mailbox.try_pop mb = Some 7);
+  check_bool "drained again" true (Runtime.Mailbox.try_pop mb = None)
+
+let test_blocking_wakeup () =
+  let mb = Runtime.Mailbox.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Runtime.Mailbox.push mb 42)
+  in
+  (* consumer parks in pop_wait until the producer's push wakes it *)
+  check_bool "woken by push" true (Runtime.Mailbox.pop_wait mb = Some 42);
+  Domain.join producer
+
+let prop_no_loss =
+  QCheck.Test.make ~name:"mailbox: no loss/dup, per-producer FIFO" ~count:15
+    QCheck.(pair (int_range 1 4) (int_range 0 200))
+    (fun (n_producers, per) -> fifo_run ~n_producers ~per)
+
+let suite =
+  ( "mailbox",
+    [
+      Alcotest.test_case "four producer domains FIFO" `Quick
+        test_fifo_four_producers;
+      Alcotest.test_case "single producer order" `Quick
+        test_single_producer_order;
+      Alcotest.test_case "drain after close" `Quick test_drain_after_close;
+      Alcotest.test_case "push after close raises" `Quick test_push_after_close;
+      Alcotest.test_case "try_pop" `Quick test_try_pop;
+      Alcotest.test_case "blocking wakeup" `Quick test_blocking_wakeup;
+      QCheck_alcotest.to_alcotest prop_no_loss;
+    ] )

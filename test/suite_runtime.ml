@@ -1,0 +1,229 @@
+(* Tests for the real-parallel shared-nothing runtime (lib/runtime): domain
+   execution semantics, cross-domain transactions and 2PC, abort
+   classification, invariant audits under concurrency, and serial state
+   equivalence against the simulator backend (the deterministic oracle). *)
+
+open Util
+module RDb = Runtime.Db
+module SB = Workloads.Smallbank
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Deal [xs] round-robin into [k] groups (shared-nothing placement). *)
+let chunk k xs =
+  let groups = Array.make k [] in
+  List.iteri (fun i x -> groups.(i mod k) <- x :: groups.(i mod k)) xs;
+  Array.to_list (Array.map List.rev groups)
+
+let audit_clean db =
+  match Faultsim.check_secondaries (RDb.catalogs db) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("secondary-index audit: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain semantics on the tiny Account bank from Testlib: a transfer
+   between reactors on different domains, user aborts, and the dynamic
+   safety condition — all through real domains and real 2PC. *)
+
+let balance db name =
+  match RDb.exec_txn db ~reactor:name ~proc:"get_balance" ~args:[] with
+  | { RDb.result = Ok (Value.Float f); _ } -> f
+  | { RDb.result = Ok v; _ } -> Alcotest.fail ("unexpected " ^ Value.to_string v)
+  | { RDb.result = Error m; _ } -> Alcotest.fail ("get_balance aborted: " ^ m)
+
+let test_bank_cross_domain () =
+  let db = RDb.start (Testlib.bank_decl 4) (Testlib.sn_config 4) in
+  check_int "one domain per container" 4 (RDb.n_domains db);
+  let out =
+    RDb.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+      ~args:[ Value.Str "acct1"; Value.Float 25. ]
+  in
+  check_bool "transfer committed" true (Result.is_ok out.RDb.result);
+  check_int "transfer spans two containers" 2 out.RDb.containers_touched;
+  check_bool "latency measured" true (out.RDb.latency_us > 0.);
+  check_float "source debited" 75. (balance db "acct0");
+  check_float "destination credited" 125. (balance db "acct1");
+  (* user abort *)
+  let bad =
+    RDb.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+      ~args:[ Value.Float (-1000.) ]
+  in
+  check_bool "insufficient funds aborts" true (Result.is_error bad.RDb.result);
+  check_float "abort rolled back" 75. (balance db "acct0");
+  (* dangerous call structure: two concurrent activations of one reactor *)
+  let dangerous =
+    RDb.exec_txn db ~reactor:"acct0" ~proc:"same_twice"
+      ~args:[ Value.Str "acct2" ]
+  in
+  check_bool "same_twice aborts" true (Result.is_error dangerous.RDb.result);
+  check_float "dangerous abort rolled back" 100. (balance db "acct2");
+  check_int "aborted = 2" 2 (RDb.n_aborted db);
+  check_int "user bucket" 1
+    (List.assoc "user" (RDb.aborts_by_reason db));
+  check_int "dangerous bucket" 1
+    (List.assoc "dangerous-structure" (RDb.aborts_by_reason db));
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  audit_clean db
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent Smallbank on 2 domains: exact attempt count, money
+   conservation, secondary-index audit, no internal errors. *)
+
+let test_smallbank_parallel () =
+  let n = 32 in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let db = RDb.start (SB.decl ~customers:n ()) cfg in
+  RDb.Load.run_fixed db ~n_workers:8 ~per_worker:50 ~seed:7 (fun _ rng ->
+      SB.gen_conserving rng ~n);
+  check_int "every attempt accounted" 400 (RDb.n_committed db + RDb.n_aborted db);
+  check_bool "made progress" true (RDb.n_committed db > 0);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  check_float "money conserved" (float_of_int n *. 2. *. 10_000.)
+    (SB.total_money (List.map snd (RDb.catalogs db)));
+  audit_clean db
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent YCSB multi-update on 2 domains: every key reactor keeps
+   exactly its one loaded row; indexes stay consistent. *)
+
+let test_ycsb_parallel () =
+  let nk = 64 in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (Workloads.Ycsb.keys nk)) in
+  let db = RDb.start (Workloads.Ycsb.decl ~keys:nk ()) cfg in
+  let p = Workloads.Ycsb.params ~txn_keys:6 ~theta:0.7 nk in
+  RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:11 (fun _ rng ->
+      Workloads.Ycsb.gen_multi_update rng p
+        ~container_of:(RDb.container_of db));
+  check_int "every attempt accounted" 200 (RDb.n_committed db + RDb.n_aborted db);
+  check_bool "made progress" true (RDb.n_committed db > 0);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  List.iter
+    (fun (_, _, rows) -> check_int "one row per key reactor" 1 (List.length rows))
+    (Faultsim.snapshot (RDb.catalogs db));
+  audit_clean db
+
+(* ------------------------------------------------------------------ *)
+(* Round-robin ingress routing: requests land on arbitrary domains and pay
+   a forwarding hop to the owner; correctness must be unaffected. *)
+
+let test_round_robin_routing () =
+  let n = 16 in
+  let names = SB.customers n in
+  let placement = Hashtbl.create 16 in
+  List.iteri (fun i nm -> Hashtbl.add placement nm (i mod 2)) names;
+  let cfg =
+    Reactdb.Config.custom
+      ~executors_per_container:[| 1; 1 |]
+      ~router:Reactdb.Config.Round_robin
+      ~placement:(Hashtbl.find placement) ()
+  in
+  let db = RDb.start (SB.decl ~customers:n ()) cfg in
+  RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:3 (fun _ rng ->
+      SB.gen_conserving rng ~n);
+  check_int "every attempt accounted" 200 (RDb.n_committed db + RDb.n_aborted db);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  check_float "money conserved" (float_of_int n *. 2. *. 10_000.)
+    (SB.total_money (List.map snd (RDb.catalogs db)));
+  audit_clean db
+
+(* ------------------------------------------------------------------ *)
+(* Serial equivalence: one transaction at a time, the parallel backend must
+   produce exactly the simulator's results and physical state — the
+   simulator is the deterministic oracle for execution semantics. *)
+
+let test_serial_equivalence () =
+  let n = 16 in
+  let decl = SB.decl ~customers:n () in
+  let names = SB.customers n in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 names) in
+  let reqs =
+    let rng = Rng.stream ~seed:123 0 in
+    List.init 150 (fun _ -> SB.gen_standard rng ~n)
+  in
+  (* oracle run *)
+  let sim_db = Harness.build decl cfg in
+  let sim_results = ref [] in
+  let eng = Reactdb.Database.engine sim_db in
+  Sim.Engine.spawn eng (fun () ->
+      sim_results :=
+        List.map
+          (fun r ->
+            (Reactdb.Database.exec_txn sim_db ~reactor:r.Workloads.Wl.reactor
+               ~proc:r.Workloads.Wl.proc ~args:r.Workloads.Wl.args)
+              .Reactdb.Database.result)
+          reqs);
+  ignore (Sim.Engine.run eng);
+  (* parallel run, serialized through the blocking client *)
+  let db = RDb.start decl cfg in
+  let par_results =
+    List.map
+      (fun r ->
+        (RDb.exec_txn db ~reactor:r.Workloads.Wl.reactor
+           ~proc:r.Workloads.Wl.proc ~args:r.Workloads.Wl.args)
+          .RDb.result)
+      reqs
+  in
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  List.iter2
+    (fun s p ->
+      match (s, p) with
+      | Ok vs, Ok vp ->
+        check_bool "same committed value" true (Value.equal vs vp)
+      | Error ms, Error mp -> Alcotest.(check string) "same abort" ms mp
+      | Ok _, Error m -> Alcotest.fail ("sim committed, parallel aborted: " ^ m)
+      | Error m, Ok _ -> Alcotest.fail ("sim aborted, parallel committed: " ^ m))
+    !sim_results par_results;
+  let sim_state =
+    Faultsim.snapshot
+      (List.map (fun nm -> (nm, Reactdb.Database.catalog_of sim_db nm)) names)
+  in
+  let par_state = Faultsim.snapshot (RDb.catalogs db) in
+  (match Faultsim.diff sim_state par_state with
+  | None -> ()
+  | Some d -> Alcotest.fail ("state diverged from simulator: " ^ d))
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock closed-loop harness: sane counters and ordered percentiles. *)
+
+let test_load_run () =
+  let n = 16 in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let db = RDb.start (SB.decl ~customers:n ()) cfg in
+  let s =
+    RDb.Load.spec ~warmup_s:0.05 ~measure_s:0.25 ~seed:5 ~n_workers:4
+      (fun _ rng -> SB.gen_conserving rng ~n)
+  in
+  let r = RDb.Load.run db s in
+  check_bool "throughput > 0" true (r.RDb.Load.throughput > 0.);
+  check_bool "committed > 0" true (r.RDb.Load.committed > 0);
+  check_bool "p50 > 0" true (r.RDb.Load.p50_us > 0.);
+  check_bool "percentiles ordered" true
+    (r.RDb.Load.p50_us <= r.RDb.Load.p95_us
+    && r.RDb.Load.p95_us <= r.RDb.Load.p99_us);
+  check_bool "mean latency sane" true (r.RDb.Load.mean_latency_us > 0.);
+  check_int "utilization per domain" 2 (Array.length r.RDb.Load.utilizations);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  check_float "money conserved" (float_of_int n *. 2. *. 10_000.)
+    (SB.total_money (List.map snd (RDb.catalogs db)));
+  audit_clean db
+
+let suite =
+  ( "runtime",
+    [
+      Alcotest.test_case "bank across domains" `Quick test_bank_cross_domain;
+      Alcotest.test_case "smallbank parallel audit" `Quick
+        test_smallbank_parallel;
+      Alcotest.test_case "ycsb parallel audit" `Quick test_ycsb_parallel;
+      Alcotest.test_case "round-robin routing" `Quick test_round_robin_routing;
+      Alcotest.test_case "serial equivalence vs simulator" `Quick
+        test_serial_equivalence;
+      Alcotest.test_case "closed-loop load run" `Quick test_load_run;
+    ] )

@@ -46,6 +46,67 @@ let test_rng_ranges () =
     check_bool "pick_except" true (p <> 4 && p >= 0 && p < 10)
   done
 
+let test_rng_streams () =
+  (* same (seed, index) => same sequence *)
+  let a = Rng.stream ~seed:42 3 and b = Rng.stream ~seed:42 3 in
+  for _ = 1 to 100 do
+    check_int "stream deterministic" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done;
+  (* different indexes of one seed are independent streams *)
+  let outputs =
+    List.init 16 (fun i ->
+        let r = Rng.stream ~seed:42 i in
+        List.init 8 (fun _ -> Rng.int r 1_000_000))
+  in
+  let distinct = List.sort_uniq compare outputs in
+  check_int "16 streams all distinct" 16 (List.length distinct);
+  (* stream 0 is not the plain generator of the same seed *)
+  let s0 = Rng.stream ~seed:42 0 and plain = Rng.create 42 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int s0 1_000_000 <> Rng.int plain 1_000_000 then differs := true
+  done;
+  check_bool "stream 0 distinct from create" true !differs;
+  check_bool "negative index rejected" true
+    (try ignore (Rng.stream ~seed:1 (-1)); false
+     with Invalid_argument _ -> true)
+
+let test_reservoir_exact () =
+  (* while seen <= cap the reservoir is the whole stream: exact percentiles *)
+  let r = Stats.Reservoir.create 100 in
+  for i = 1 to 100 do
+    Stats.Reservoir.add r (float_of_int i)
+  done;
+  check_int "seen" 100 (Stats.Reservoir.seen r);
+  check_int "size" 100 (Stats.Reservoir.size r);
+  Alcotest.(check (float 1e-9)) "p50" 50. (Stats.Reservoir.percentile r 50.);
+  Alcotest.(check (float 1e-9)) "p95" 95. (Stats.Reservoir.percentile r 95.);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Stats.Reservoir.percentile r 99.);
+  Alcotest.(check (float 1e-9)) "p100" 100. (Stats.Reservoir.percentile r 100.)
+
+let test_reservoir_sampled () =
+  (* beyond cap: a uniform sample of a known distribution keeps percentile
+     estimates near truth *)
+  let r = Stats.Reservoir.create ~seed:9 512 in
+  for i = 1 to 100_000 do
+    Stats.Reservoir.add r (float_of_int (i mod 1000))
+  done;
+  check_int "seen counts stream" 100_000 (Stats.Reservoir.seen r);
+  check_int "size bounded by cap" 512 (Stats.Reservoir.size r);
+  let p50 = Stats.Reservoir.percentile r 50. in
+  check_bool "p50 near 500" true (Float.abs (p50 -. 500.) < 100.);
+  let p95 = Stats.Reservoir.percentile r 95. in
+  check_bool "p95 near 950" true (Float.abs (p95 -. 950.) < 50.);
+  check_bool "ordered" true (p50 <= p95)
+
+let test_reservoir_empty () =
+  let r = Stats.Reservoir.create 8 in
+  Alcotest.(check (float 1e-9)) "empty percentile" 0.
+    (Stats.Reservoir.percentile r 50.);
+  check_bool "cap must be positive" true
+    (try ignore (Stats.Reservoir.create 0); false
+     with Invalid_argument _ -> true)
+
 let test_rng_uniformity () =
   let r = Rng.create 99 in
   let counts = Array.make 10 0 in
@@ -224,6 +285,10 @@ let suite =
       QCheck_alcotest.to_alcotest prop_strutil_matches_naive;
       Alcotest.test_case "value accessors" `Quick test_value_access;
       Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng streams" `Quick test_rng_streams;
+      Alcotest.test_case "reservoir exact" `Quick test_reservoir_exact;
+      Alcotest.test_case "reservoir sampled" `Quick test_reservoir_sampled;
+      Alcotest.test_case "reservoir empty" `Quick test_reservoir_empty;
       Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
       Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
       Alcotest.test_case "nurand bounds" `Quick test_nurand;
