@@ -150,8 +150,8 @@ let bench_commit_2pc =
       in
       for j = 0 to 3 do rmw ~container:0 tbl0 j done;
       for j = 4 to 7 do rmw ~container:1 tbl1 j done;
-      if Occ.Commit.prepare txn ~container:0
-         && Occ.Commit.prepare txn ~container:1
+      if Result.is_ok (Occ.Commit.prepare txn ~container:0)
+         && Result.is_ok (Occ.Commit.prepare txn ~container:1)
       then begin
         let tid = Occ.Commit.compute_tid txn ~epoch:1 in
         Occ.Commit.install txn ~container:0 ~tid;

@@ -6,7 +6,9 @@
 #   sh bench/smoke.sh
 set -e
 
-OUT="${1:-BENCH_commit_path.json}"
+# Default to a _smoke suffix so a smoke run never overwrites the committed
+# full-run baseline that bench/predictability.exe gates against by default.
+OUT="${1:-BENCH_commit_path_smoke.json}"
 
 echo "== bench smoke: experiments (--fast) =="
 dune exec bench/main.exe -- --fast
@@ -18,6 +20,17 @@ dune exec bench/crash_sweep.exe -- --fast
 echo
 echo "== bench smoke: commit-path trajectory =="
 dune exec bench/trajectory.exe -- --fast --out "$OUT"
+
+echo
+echo "== bench smoke: predictability (phase-sum and overhead gated) =="
+# Gates against the trajectory baseline generated seconds earlier in this
+# same script, so the no-op-sink overhead comparison is same-machine and
+# same-moment; the committed BENCH_commit_path.json is the default
+# baseline for full local runs. Exits non-zero if any attempt's phase
+# durations fail to sum to its latency within 1%, or if the disabled
+# tracing sink costs more than 3% on the direct commit-path scenarios.
+dune exec bench/predictability.exe -- --fast --baseline "$OUT" \
+  --out BENCH_predictability_smoke.json
 
 echo
 echo "== bench smoke: parallel scaling (audit-gated) =="

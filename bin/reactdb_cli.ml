@@ -89,7 +89,7 @@ let deployment_of ~config_file ~strategy ~executors ~mpl reactors =
     | s -> failwith (Printf.sprintf "unknown strategy %S" s))
 
 let run_cmd workload scale theta workers strategy executors mpl config_file
-    duration_ms certify profile_name wal_path durable =
+    duration_ms certify profile_name wal_path durable trace trace_json =
   let profile =
     match profile_name with
     | "default" | "xeon" -> Reactdb.Profile.default
@@ -111,6 +111,18 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
       Some log
   in
   if certify then DB.enable_history db;
+  let collector =
+    if trace || trace_json <> None then begin
+      let c =
+        Obs.Collector.create ~clock:Obs.Virtual
+          ~containers:(Reactdb.Config.n_containers config)
+          ()
+      in
+      DB.attach_obs db c;
+      Some c
+    end
+    else None
+  in
   Printf.printf
     "reactors=%d containers=%d executors=%d mpl=%d workers=%d profile=%s\n%!"
     (List.length reactors)
@@ -138,6 +150,23 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
        (Array.to_list
           (Array.map (fun u -> Printf.sprintf "%.0f%%" (100. *. u))
              r.Harness.utilizations)));
+  Printf.printf "retries         %12d\n" r.Harness.retries;
+  (match collector with
+  | None -> ()
+  | Some c ->
+    let report = Obs.Report.summarize c in
+    if trace then begin
+      print_newline ();
+      print_string (Obs.Report.to_table report)
+    end;
+    match trace_json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string ~pretty:true (Obs.Report.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "trace report    %12s\n" path);
   (match log with
   | None -> ()
   | Some log ->
@@ -295,11 +324,30 @@ let durable_arg =
           "Epoch group commit: release transaction results only after their \
            epoch's log entries are flushed (requires --wal).")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Attach the transaction-lifecycle tracer and print the phase \
+           breakdown and abort taxonomy after the run (virtual-clock \
+           microseconds).")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Attach the transaction-lifecycle tracer and write the versioned \
+           JSON report to $(docv) (see EXPERIMENTS.md for the schema).")
+
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ theta_arg $ workers_arg
     $ strategy_arg $ executors_arg $ mpl_arg $ config_arg $ duration_arg
-    $ certify_arg $ profile_arg $ wal_arg $ durable_arg)
+    $ certify_arg $ profile_arg $ wal_arg $ durable_arg $ trace_arg
+    $ trace_json_arg)
 
 let run_info = Cmd.info "run" ~doc:"Run a workload under a deployment."
 

@@ -23,6 +23,7 @@ type run_result = {
   breakdown : breakdown_avg;
   utilizations : float array;
   aborts_by_reason : (string * int) list;
+  retries : int;
   log_flushes : int;
 }
 
@@ -33,11 +34,12 @@ type spec = {
   epoch_us : float;
   warmup_epochs : int;
   seed : int;
+  max_retries : int;
 }
 
 let spec ?(epochs = 20) ?(epoch_us = 20_000.) ?(warmup_epochs = 3) ?(seed = 42)
-    ~n_workers gen =
-  { n_workers; gen; epochs; epoch_us; warmup_epochs; seed }
+    ?(max_retries = 0) ~n_workers gen =
+  { n_workers; gen; epochs; epoch_us; warmup_epochs; seed; max_retries }
 
 let build ?(profile = Reactdb.Profile.default) decl config =
   let eng = Sim.Engine.create () in
@@ -74,25 +76,39 @@ let run_load db s =
   let reservoir = Stats.Reservoir.create ~seed:s.seed 8192 in
   let bd_sum = ref zero_bd in
   let bd_count = ref 0 in
-  (* Closed-loop workers. *)
+  let n_retries = ref 0 in
+  (* Closed-loop workers. Aborted attempts with a transient cause are
+     resubmitted (same request, incremented retry index) up to
+     [max_retries] times — attempt-level counters still see every attempt;
+     [n_retries] counts the resubmissions so the caller can separate
+     logical transactions from attempts. *)
   for w = 0 to s.n_workers - 1 do
     Sim.Engine.spawn eng (fun () ->
         let rng = Rng.stream ~seed:s.seed w in
+        let rec attempt req idx =
+          let out =
+            DB.exec_txn ~retry:idx db ~reactor:req.Workloads.Wl.reactor
+              ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args
+          in
+          (if !measuring then
+             match out.DB.result with
+             | Ok _ ->
+               Stats.add !epoch_lat out.DB.latency;
+               Stats.Reservoir.add reservoir out.DB.latency;
+               bd_sum := add_bd !bd_sum out.DB.breakdown;
+               incr bd_count
+             | Error _ -> ());
+          match (out.DB.result, out.DB.abort_cause) with
+          | Error _, Some cause
+            when Obs.Abort.transient cause.Obs.Abort.kind
+                 && idx < s.max_retries ->
+            if !measuring then incr n_retries;
+            attempt req (idx + 1)
+          | _ -> ()
+        in
         let rec loop () =
           if not !stop then begin
-            let req = s.gen w rng in
-            let out =
-              DB.exec_txn db ~reactor:req.Workloads.Wl.reactor
-                ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args
-            in
-            (if !measuring then
-               match out.DB.result with
-               | Ok _ ->
-                 Stats.add !epoch_lat out.DB.latency;
-                 Stats.Reservoir.add reservoir out.DB.latency;
-                 bd_sum := add_bd !bd_sum out.DB.breakdown;
-                 incr bd_count
-               | Error _ -> ());
+            attempt (s.gen w rng) 0;
             loop ()
           end
         in
@@ -152,6 +168,7 @@ let run_load db s =
     breakdown = scale_bd !bd_sum !bd_count;
     utilizations = !snap_utils;
     aborts_by_reason = !snap_reasons;
+    retries = !n_retries;
     log_flushes = !snap_flushes;
   }
 

@@ -7,6 +7,11 @@
     averages and standard deviations across measurement epochs; warm-up
     epochs are discarded. All timings are virtual µs. *)
 
+(** Mean per-transaction latency components (virtual µs) in the
+    cost-model's vocabulary: synchronous execution, send ([Cs]) and
+    receive ([Cr]) costs, asynchronous (overlapped) execution, and
+    everything unattributed. Used to calibrate {!Costmodel} predictions
+    (fig6, predict1). *)
 type breakdown_avg = {
   avg_sync_exec : float;
   avg_cs : float;
@@ -15,6 +20,12 @@ type breakdown_avg = {
   avg_overhead : float;
 }
 
+(** Attempt accounting (unified with [Runtime.Db.Load.result]):
+    [committed] and [aborted] count {e attempts}, so [committed + aborted]
+    is the attempt total; [retries] counts the aborted attempts that were
+    resubmitted (every retry is also one of the [aborted] attempts), so
+    logical transactions that ultimately failed number
+    [aborted - retries]. *)
 type run_result = {
   throughput : float;  (** committed txns per second, mean across epochs *)
   throughput_std : float;
@@ -25,17 +36,24 @@ type run_result = {
           whole measurement window) from a bounded uniform reservoir *)
   p95_latency : float;
   p99_latency : float;
-  abort_rate : float;  (** aborts / attempts, post-warm-up *)
+  abort_rate : float;  (** aborts / attempts, post-warm-up, attempt-level *)
   committed : int;  (** snapshot taken the instant measurement ends *)
   aborted : int;
   breakdown : breakdown_avg;  (** averaged over committed transactions *)
   utilizations : float array;  (** per-executor busy fraction *)
   aborts_by_reason : (string * int) list;
+      (** typed buckets: "user", "validation", "dangerous-structure" *)
+  retries : int;
+      (** transient-abort resubmissions inside the measurement window *)
   log_flushes : int;  (** durable-mode group-commit flushes (0 otherwise) *)
 }
 
 (** Load specification. [gen worker rng] produces the next request of
-    [worker]; each worker has an independent, seeded RNG. *)
+    [worker]; each worker has an independent, seeded RNG. [max_retries]
+    (default 0): aborted attempts whose cause is transient — conflicts and
+    validation failures, per [Obs.Abort.transient] — are resubmitted with
+    an increasing retry index up to this many times; user aborts and
+    dangerous-call-structure aborts are never retried. *)
 type spec = {
   n_workers : int;
   gen : int -> Util.Rng.t -> Workloads.Wl.request;
@@ -43,13 +61,18 @@ type spec = {
   epoch_us : float;
   warmup_epochs : int;
   seed : int;
+  max_retries : int;
 }
 
+(** [spec ~n_workers gen] with defaults scaled down from the paper's
+    setup: 20 epochs of 20 000 virtual µs after 3 warm-up epochs,
+    seed 42, no retries. *)
 val spec :
   ?epochs:int ->
   ?epoch_us:float ->
   ?warmup_epochs:int ->
   ?seed:int ->
+  ?max_retries:int ->
   n_workers:int ->
   (int -> Util.Rng.t -> Workloads.Wl.request) ->
   spec

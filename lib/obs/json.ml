@@ -1,0 +1,202 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Integral values print without a fractional part so committed artifacts
+   stay readable; everything else gets %.17g, which float_of_string
+   inverts exactly. *)
+let num_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  let pad n = Buffer.add_char b '\n'; Buffer.add_string b (String.make n ' ') in
+  let rec go ind v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Num f -> Buffer.add_string b (num_str f)
+    | Str s -> Buffer.add_char b '"'; escape b s; Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b (if pretty then "," else ",");
+          if pretty then pad (ind + 2);
+          go (ind + 2) x)
+        xs;
+      if pretty then pad ind;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          if pretty then pad (ind + 2);
+          Buffer.add_char b '"'; escape b k; Buffer.add_string b "\": ";
+          go (ind + 2) x)
+        kvs;
+      if pretty then pad ind;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+exception Fail of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let lit word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'; incr pos
+        | '\\' -> Buffer.add_char b '\\'; incr pos
+        | '/' -> Buffer.add_char b '/'; incr pos
+        | 'n' -> Buffer.add_char b '\n'; incr pos
+        | 'r' -> Buffer.add_char b '\r'; incr pos
+        | 't' -> Buffer.add_char b '\t'; incr pos
+        | 'b' -> Buffer.add_char b '\b'; incr pos
+        | 'f' -> Buffer.add_char b '\012'; incr pos
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape"
+          in
+          (* ASCII range only; our writer never emits anything higher. *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+          pos := !pos + 5
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+      | c -> Buffer.add_char b c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do incr pos done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then (incr pos; Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; members ((k, v) :: acc)
+          | Some '}' -> incr pos; List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then (incr pos; List [])
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos; items (v :: acc)
+          | Some ']' -> incr pos; List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some 'n' -> lit "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing data at byte %d" !pos)
+    else Ok v
+  with Fail (at, msg) -> Error (Printf.sprintf "%s at byte %d" msg at)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

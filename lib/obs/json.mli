@@ -1,0 +1,51 @@
+(** Minimal self-contained JSON used by the observability layer.
+
+    The repository deliberately has no external JSON dependency, yet the
+    tracer must export machine-readable reports ({!Obs.Report.to_json}) and
+    the predictability benchmark must read committed [BENCH_*.json]
+    baselines back in. This module is that round trip: a small value type,
+    a writer, and a recursive-descent reader.
+
+    Floats are printed with enough digits ([%.17g]) that
+    [of_string (to_string v)] reproduces [v] bit-for-bit — the QCheck
+    round-trip property in [test/suite_obs.ml] relies on this. *)
+
+(** A JSON document. Numbers are uniformly [float]; integers survive the
+    round trip exactly up to 2{^53}. *)
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [~pretty:true] (default [false]) indents with two spaces,
+    for committed benchmark artifacts that humans diff. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. The error string carries a byte
+    offset. Accepts exactly the constructs {!to_string} emits plus
+    standard escapes; rejects trailing garbage. *)
+
+(** {2 Accessors}
+
+    Total accessors used by report readers; each returns [None] on a
+    shape mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value bound to the first occurrence of
+    [k], if any. [None] on non-objects. *)
+
+val to_float : t -> float option
+(** [Num] payload. *)
+
+val to_int : t -> int option
+(** [Num] payload truncated; [None] if not integral. *)
+
+val to_str : t -> string option
+(** [Str] payload. *)
+
+val to_list : t -> t list option
+(** [List] payload. *)

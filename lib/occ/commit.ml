@@ -14,6 +14,14 @@ let release txn ~container =
       if locked_kind e then Storage.Record.unlock e.wrec ~txn:id
       else unreserve e)
 
+type fail_reason = Lock_busy | Stale_read | Node_changed | Key_exists
+
+let fail_message = function
+  | Lock_busy -> "write lock busy"
+  | Stale_read -> "stale read"
+  | Node_changed -> "node witness changed"
+  | Key_exists -> "insert key exists"
+
 exception Invalid
 
 let prepare txn ~container =
@@ -45,7 +53,7 @@ let prepare txn ~container =
   in
   if not (lock_all 0) then begin
     unlock_acquired ();
-    false
+    Error Lock_busy
   end
   else begin
     let reads_ok =
@@ -58,40 +66,46 @@ let prepare txn ~container =
         true
       with Invalid -> false
     in
-    let nodes_ok =
-      reads_ok
-      && (try
-            iter_nodes_in txn ~container ~f:(fun w ->
-                if not (Storage.Table.Idx.witness_valid w) then raise Invalid);
-            true
-          with Invalid -> false)
-    in
-    if not nodes_ok then begin
+    if not reads_ok then begin
       unlock_acquired ();
-      false
+      Error Stale_read
     end
     else begin
-      (* Reserve inserts; a conflict here (concurrent installer beat us past
-         our witness) rolls back this container's work. *)
-      let reserved = ref [] in
-      let ok =
+      let nodes_ok =
         try
-          iter_writes_in txn ~container ~f:(fun e ->
-              if e.kind = Insert then begin
-                match Storage.Table.find e.wtable e.wkey with
-                | Some _ -> raise Invalid
-                | None ->
-                  ignore (Storage.Table.insert e.wtable e.wrec);
-                  reserved := e :: !reserved
-              end);
+          iter_nodes_in txn ~container ~f:(fun w ->
+              if not (Storage.Table.Idx.witness_valid w) then raise Invalid);
           true
         with Invalid -> false
       in
-      if not ok then begin
-        List.iter unreserve !reserved;
-        unlock_acquired ()
-      end;
-      ok
+      if not nodes_ok then begin
+        unlock_acquired ();
+        Error Node_changed
+      end
+      else begin
+        (* Reserve inserts; a conflict here (concurrent installer beat us past
+           our witness) rolls back this container's work. *)
+        let reserved = ref [] in
+        let ok =
+          try
+            iter_writes_in txn ~container ~f:(fun e ->
+                if e.kind = Insert then begin
+                  match Storage.Table.find e.wtable e.wkey with
+                  | Some _ -> raise Invalid
+                  | None ->
+                    ignore (Storage.Table.insert e.wtable e.wrec);
+                    reserved := e :: !reserved
+                end);
+            true
+          with Invalid -> false
+        in
+        if not ok then begin
+          List.iter unreserve !reserved;
+          unlock_acquired ();
+          Error Key_exists
+        end
+        else Ok ()
+      end
     end
   end
 
@@ -127,9 +141,9 @@ let install txn ~container ~tid =
       Storage.Record.unlock r ~txn:id)
 
 let commit_single txn ~epoch ~container =
-  if prepare txn ~container then begin
+  match prepare txn ~container with
+  | Ok () ->
     let tid = compute_tid txn ~epoch in
     install txn ~container ~tid;
     Ok tid
-  end
-  else Error "validation failed"
+  | Error r -> Error r

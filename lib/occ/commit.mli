@@ -19,10 +19,23 @@
     transaction's own structural changes cannot invalidate its own
     witnesses. *)
 
+(** Why phase one failed, in the order the checks run. The taxonomy feeds
+    the observability layer's abort causes ([Obs.Abort]) and the retry
+    policies in the load harnesses — every one of these is transient. *)
+type fail_reason =
+  | Lock_busy  (** no-wait write-lock acquisition lost to a concurrent committer *)
+  | Stale_read  (** a read's TID changed, or its record is locked by another txn *)
+  | Node_changed  (** a node witness (phantom protection) changed version *)
+  | Key_exists  (** an insert's reservation found a committed duplicate *)
+
+(** Human-readable rendering, e.g. ["write lock busy"]. *)
+val fail_message : fail_reason -> string
+
 (** [prepare txn ~container] runs phase one on [container]. On failure all
-    locks and reservations taken in this container are rolled back and
-    [false] is returned; other containers are untouched. *)
-val prepare : Txn.t -> container:int -> bool
+    locks and reservations taken in this container are rolled back and the
+    first failing check is reported; other containers are untouched. The
+    success path allocates nothing beyond the sorted lock slice. *)
+val prepare : Txn.t -> container:int -> (unit, fail_reason) result
 
 (** TID for this commit: greater than every observed and overwritten TID,
     in at least [epoch] (Silo's assignment rule). *)
@@ -39,4 +52,5 @@ val release : Txn.t -> container:int -> unit
 
 (** Validate and commit a transaction that touched only [container].
     [Error reason] means the transaction was aborted and rolled back. *)
-val commit_single : Txn.t -> epoch:int -> container:int -> (int, string) result
+val commit_single :
+  Txn.t -> epoch:int -> container:int -> (int, fail_reason) result

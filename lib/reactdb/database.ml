@@ -17,6 +17,7 @@ type outcome = {
   latency : float;
   breakdown : breakdown;
   containers_touched : int;
+  abort_cause : Obs.Abort.cause option;
 }
 
 type executor = {
@@ -76,6 +77,7 @@ type t = {
   mutable flush_pending : bool;
   mutable epoch_waiters : (int * (unit -> unit)) list;
   mutable n_flushes : int;
+  mutable obs : Obs.Collector.t option;
 }
 
 let engine t = t.eng
@@ -123,9 +125,22 @@ let bucket_of_class = function
   | Ab_conflict | Ab_validation -> "validation"
   | Ab_dangerous -> "dangerous-structure"
 
+let obs_kind_of_class = function
+  | Ab_user -> Obs.Abort.User
+  | Ab_conflict -> Obs.Abort.Conflict
+  | Ab_validation -> Obs.Abort.Internal (* refined by fail_reason when known *)
+  | Ab_dangerous -> Obs.Abort.Dangerous
+
+let obs_kind_of_fail = function
+  | Occ.Commit.Lock_busy -> Obs.Abort.Lock_busy
+  | Occ.Commit.Stale_read -> Obs.Abort.Stale_read
+  | Occ.Commit.Node_changed -> Obs.Abort.Node_changed
+  | Occ.Commit.Key_exists -> Obs.Abort.Key_exists
+
 type root = {
   txn : Occ.Txn.t;
   bd : breakdown;
+  tr : Obs.Trace.t; (* lifecycle trace; Obs.Trace.none when no collector *)
   active_set : (string, unit) Hashtbl.t;
   mutable exec_of_container : (int * executor) list;
   mutable last_call : int;
@@ -241,6 +256,9 @@ let await_sub db frame sub =
       root.bd.bd_cr <- root.bd.bd_cr +. db.prof.Profile.cost_recv;
       if sync_class then root.bd.bd_sync_exec <- root.bd.bd_sync_exec +. blocked
       else root.bd.bd_async_exec <- root.bd.bd_async_exec +. blocked;
+      (* lifecycle trace: the root's blocked window on a cross-reactor
+         future, regardless of sync/async classification *)
+      Obs.Trace.add root.tr Obs.Phase.Suspend_wait blocked;
       root.worked_since_call <- true
     end;
     r
@@ -508,7 +526,9 @@ let two_phase db root ex containers ~epoch =
       acquire_core ex;
       r
   in
-  (* Phase 1. *)
+  (* Phase 1. Validation span on the root's timeline: from entering phase
+     one until every participant's vote has resolved. *)
+  let t_val = Engine.current_time () in
   let prepares =
     List.map
       (fun c ->
@@ -527,10 +547,12 @@ let two_phase db root ex containers ~epoch =
   let resolved =
     List.map
       (fun (c, r) ->
-        match r with `Done ok -> (c, ok) | `Pending iv -> (c, wait iv))
+        match r with `Done v -> (c, v) | `Pending iv -> (c, wait iv))
       prepares
   in
-  if List.for_all snd resolved then begin
+  Obs.Trace.add root.tr Obs.Phase.Validation (Engine.current_time () -. t_val);
+  let t_dec = Engine.current_time () in
+  if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
     let tid = Occ.Commit.compute_tid root.txn ~epoch in
     (* Phase 2: install. *)
     let acks =
@@ -550,14 +572,15 @@ let two_phase db root ex containers ~epoch =
     in
     List.iter (function Some iv -> wait iv | None -> ()) acks;
     note_history db root tid;
+    Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec);
     Ok ()
   end
   else begin
     (* Phase 2: rollback every prepared participant. *)
     let acks =
       List.filter_map
-        (fun (c, ok) ->
-          if not ok then None
+        (fun (c, v) ->
+          if Result.is_error v then None
           else if c = ex.cid then begin
             Occ.Commit.release root.txn ~container:c;
             None
@@ -567,22 +590,44 @@ let two_phase db root ex containers ~epoch =
         resolved
     in
     List.iter wait acks;
-    Error "validation failed (2pc)"
+    Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec);
+    let reason =
+      match
+        List.find_map
+          (fun (_, v) -> match v with Error r -> Some r | Ok () -> None)
+          resolved
+      with
+      | Some r -> r
+      | None -> assert false
+    in
+    Error reason
   end
 
 let do_commit db root ex =
   let epoch = current_epoch db in
   match Occ.Txn.containers root.txn with
   | [] ->
+    let t0 = Engine.current_time () in
     Engine.delay db.prof.Profile.cost_commit_base;
+    Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t0);
     Ok ()
   | [ c ] when c = ex.cid ->
+    (* commit_single, unrolled so validation and install land in their own
+       trace phases; the virtual-time charges are unchanged. *)
+    let t0 = Engine.current_time () in
     Engine.delay (validation_cost db root.txn c);
-    (match Occ.Commit.commit_single root.txn ~epoch ~container:c with
-    | Ok tid ->
+    (match Occ.Commit.prepare root.txn ~container:c with
+    | Error r ->
+      Obs.Trace.add root.tr Obs.Phase.Validation (Engine.current_time () -. t0);
+      Error r
+    | Ok () ->
+      Obs.Trace.add root.tr Obs.Phase.Validation (Engine.current_time () -. t0);
+      let t1 = Engine.current_time () in
+      let tid = Occ.Commit.compute_tid root.txn ~epoch in
+      Occ.Commit.install root.txn ~container:c ~tid;
       note_history db root tid;
-      Ok ()
-    | Error m -> Error m)
+      Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t1);
+      Ok ())
   | containers -> two_phase db root ex containers ~epoch
 
 (* ------------------------------------------------------------------ *)
@@ -590,15 +635,18 @@ let do_commit db root ex =
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
-let exec_txn db ~reactor ~proc ~args =
+let exec_txn ?(retry = 0) db ~reactor ~proc ~args =
   let p = db.prof in
   let t_start = Engine.current_time () in
   Engine.delay p.Profile.cost_input_gen;
   db.txn_counter <- db.txn_counter + 1;
   let txn = Occ.Txn.create ~id:db.txn_counter in
   let bd = zero_breakdown () in
+  let tr =
+    match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
+  in
   let root =
-    { txn; bd; active_set = Hashtbl.create 8; exec_of_container = [];
+    { txn; bd; tr; active_set = Hashtbl.create 8; exec_of_container = [];
       last_call = 0; call_ctr = 0; worked_since_call = false; doomed = None;
       logged_epoch = None }
   in
@@ -606,8 +654,14 @@ let exec_txn db ~reactor ~proc ~args =
   let ex = route db rst in
   Engine.delay p.Profile.cost_client_dispatch;
   let done_iv = Engine.Ivar.create () in
+  (* Queue wait runs from the push into the executor's request queue to the
+     moment the body holds the core: mailbox residence, MPL admission, and
+     the core handoff itself. *)
+  let t_enq = ref 0. in
   let body () =
     acquire_core ex;
+    let t_body = Engine.current_time () in
+    Obs.Trace.add tr Obs.Phase.Queue_wait (t_body -. !t_enq);
     Hashtbl.add root.active_set reactor ();
     let res =
       try
@@ -621,16 +675,22 @@ let exec_txn db ~reactor ~proc ~args =
       with e -> Error (`Fatal e)
     in
     Hashtbl.remove root.active_set reactor;
+    (* Exec = body span minus the root's blocked windows (accumulated into
+       Suspend_wait by await_sub while the body ran). *)
+    Obs.Trace.add tr Obs.Phase.Exec
+      (Engine.current_time () -. t_body
+      -. Obs.Trace.get tr Obs.Phase.Suspend_wait);
     let out =
       match res with
       | Ok v -> (
         match do_commit db root ex with
         | Ok () -> Ok v
-        | Error m -> Error (Ab_validation, m))
-      | Error (`Aborted km) -> Error km
+        | Error fr ->
+          Error (Ab_validation, Occ.Commit.fail_message fr, obs_kind_of_fail fr))
+      | Error (`Aborted (k, m)) -> Error (k, m, obs_kind_of_class k)
       | Error (`Fatal e) -> (
         match classify_exn e with
-        | Some km -> Error km
+        | Some (k, m) -> Error (k, m, obs_kind_of_class k)
         | None ->
           (* Programming errors (not aborts) escape to the engine. *)
           release_core ex;
@@ -639,14 +699,20 @@ let exec_txn db ~reactor ~proc ~args =
     release_core ex;
     Engine.Ivar.fill done_iv out
   in
+  t_enq := Engine.current_time ();
   Engine.Mailbox.push ex.queue body;
   let out = Engine.Ivar.read done_iv in
   (* Durable mode: hold the client until the flush covering this
      transaction's log epoch completes (the executor slot is already free,
      so group commit costs latency, not admission capacity). *)
-  (match out with Ok _ -> wait_durable db root | Error _ -> ());
+  (match out with
+  | Ok _ ->
+    let t_flush = Engine.current_time () in
+    wait_durable db root;
+    Obs.Trace.add tr Obs.Phase.Flush_wait (Engine.current_time () -. t_flush)
+  | Error _ -> ());
   let result =
-    match out with Ok v -> Ok v | Error (_, m) -> Error m
+    match out with Ok v -> Ok v | Error (_, m, _) -> Error m
   in
   let latency = Engine.current_time () -. t_start in
   (* Overhead bucket = everything not attributed to the execution-path
@@ -654,16 +720,35 @@ let exec_txn db ~reactor ~proc ~args =
   bd.bd_overhead <-
     Float.max 0.
       (latency -. bd.bd_sync_exec -. bd.bd_cs -. bd.bd_cr -. bd.bd_async_exec);
+  let participants =
+    Stdlib.max 1 (List.length (Occ.Txn.containers txn))
+  in
+  let abort_cause =
+    match out with
+    | Ok _ -> None
+    | Error (_, _, kind) -> Some (Obs.Abort.cause ~participants ~retry kind)
+  in
   (match out with
   | Ok _ -> db.committed <- db.committed + 1
-  | Error (k, _) ->
+  | Error (k, _, _) ->
     db.aborted <- db.aborted + 1;
     bump db.abort_reasons (bucket_of_class k));
+  (match db.obs with
+  | None -> ()
+  | Some c -> (
+    match abort_cause with
+    | None ->
+      Obs.Collector.record_commit c ~container:rst.home ~participants ~retry
+        ~latency_us:latency tr
+    | Some cause ->
+      Obs.Collector.record_abort c ~container:rst.home ~latency_us:latency
+        ~cause tr));
   {
     result;
     latency;
     breakdown = bd;
     containers_touched = List.length (Occ.Txn.containers txn);
+    abort_cause;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -738,6 +823,7 @@ let create eng decl cfg prof =
       flush_pending = false;
       epoch_waiters = [];
       n_flushes = 0;
+      obs = None;
     }
   in
   List.iter
@@ -799,6 +885,7 @@ let attach_wal ?(durable = false) db log =
   db.wal <- Some log;
   db.durable <- durable
 
+let attach_obs db c = db.obs <- Some c
 let n_log_flushes db = db.n_flushes
 let enable_history db = db.record_history <- true
 let history db = List.rev db.hist

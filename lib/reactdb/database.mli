@@ -39,6 +39,9 @@ type outcome = {
   latency : float;  (** µs, input generation through commit/abort *)
   breakdown : breakdown;
   containers_touched : int;
+  abort_cause : Obs.Abort.cause option;
+      (** structured abort taxonomy for failed attempts; [None] on commit.
+          Drives the retry policy in [Harness] ([Obs.Abort.transient]). *)
 }
 
 (** [create engine decl config profile] validates [decl], builds containers
@@ -54,8 +57,11 @@ val profile : t -> Profile.t
 (** [exec_txn t ~reactor ~proc ~args] submits a root transaction and blocks
     the calling engine process until it completes. Aborted transactions
     (user aborts, dangerous call structures, validation failures) yield
-    [Error reason]; they are fully rolled back. *)
+    [Error reason]; they are fully rolled back. [retry] (default 0) is the
+    attempt's retry index, recorded in the lifecycle trace and abort
+    cause — the engine itself never retries. *)
 val exec_txn :
+  ?retry:int ->
   t ->
   reactor:string ->
   proc:string ->
@@ -106,6 +112,17 @@ val attach_wal : ?durable:bool -> t -> Wal.t -> unit
 
 (** Group-commit flushes performed since bootstrap / {!reset_stats}. *)
 val n_log_flushes : t -> int
+
+(** {1 Observability}
+
+    [attach_obs t collector] turns on transaction-lifecycle tracing: every
+    subsequent attempt allocates an [Obs.Trace.t], stamps the lifecycle
+    phases in {e virtual} microseconds (create the collector with
+    [~clock:Obs.Virtual]), and folds into [collector] keyed by the root
+    reactor's home container. With no collector attached the trace sink is
+    [Obs.Trace.none] and the per-attempt cost is a few predictable
+    branches. *)
+val attach_obs : t -> Obs.Collector.t -> unit
 
 (** {1 History recording (for serializability checking in tests)}
 

@@ -62,6 +62,7 @@ type outcome = {
   result : (Value.t, string) result;
   latency_us : float;
   containers_touched : int;
+  abort_cause : Obs.Abort.cause option;
 }
 
 type job = unit -> unit
@@ -92,6 +93,9 @@ type t = {
   submitted : int Atomic.t;
   completed : int Atomic.t;
   mutable domains : unit Domain.t array;
+  mutable obs : Obs.Collector.t option;
+      (* lifecycle tracing sink; slot [c] only ever written by container
+         [c]'s home domain, so recording needs no locks *)
 }
 
 let record_fatal db e =
@@ -169,6 +173,25 @@ let bucket_counter db = function
   | Ab_conflict | Ab_validation -> db.ab_validation
   | Ab_dangerous -> db.ab_dangerous
 
+let obs_kind_of_class = function
+  | Ab_user -> Obs.Abort.User
+  | Ab_conflict -> Obs.Abort.Conflict
+  | Ab_validation -> Obs.Abort.Internal (* refined by fail_reason when known *)
+  | Ab_dangerous -> Obs.Abort.Dangerous
+
+let obs_kind_of_fail = function
+  | Occ.Commit.Lock_busy -> Obs.Abort.Lock_busy
+  | Occ.Commit.Stale_read -> Obs.Abort.Stale_read
+  | Occ.Commit.Node_changed -> Obs.Abort.Node_changed
+  | Occ.Commit.Key_exists -> Obs.Abort.Key_exists
+
+(* Every lifecycle timestamp — submit, phase boundaries, completion — must
+   come from this one function: floats at the microsecond scale (~1e15)
+   quantize at ~0.25 us, and mixing grids (e.g. subtracting raw seconds and
+   then scaling) makes phase sums drift past the measured latency. On a
+   single grid the boundary values telescope, so sum(phases) <= latency. *)
+let now_us () = Unix.gettimeofday () *. 1e6
+
 type subresult = (Value.t, exn) result
 
 type sub = { siv : subresult Ivar.t }
@@ -177,6 +200,7 @@ type root = {
   txn : Occ.Txn.t;
   rmu : Mutex.t;
   active_set : (string, unit) Hashtbl.t;
+  tr : Obs.Trace.t; (* lifecycle trace; Obs.Trace.none when no collector *)
   mutable doomed : (abort_class * string) option;
       (* a sub-transaction aborted: the root may not commit even if
          application code swallowed the exception (§2.2.3) *)
@@ -186,6 +210,8 @@ type frame = {
   froot : root;
   fentry : Reactdb.Bootstrap.entry;
   fex : exec;
+  fpath : bool; (* on the root's critical path (root fiber), like the
+                   simulator's [on_root_path] *)
   mutable children : sub list;
 }
 
@@ -195,14 +221,18 @@ let reactor_state db name =
   | None -> invalid_arg (Printf.sprintf "Runtime: unknown reactor %S" name)
 
 (* Await a child with the root mutex released: the child itself needs [rmu]
-   to run. *)
-let await_sub root sub =
+   to run. On the root path the blocked window (suspension until the waker
+   fires, plus re-acquiring [rmu]) is stamped into the lifecycle trace. *)
+let await_sub root ~on_root_path sub =
   match Ivar.peek sub.siv with
   | Some r -> r
   | None ->
+    let timed = on_root_path && Obs.Trace.enabled root.tr in
+    let t0 = if timed then now_us () else 0. in
     Mutex.unlock root.rmu;
     let r = fiber_await sub.siv in
     Mutex.lock root.rmu;
+    if timed then Obs.Trace.add root.tr Obs.Phase.Suspend_wait (now_us () -. t0);
     r
 
 (* Mirrors the simulator's execution semantics (Database.run_procedure /
@@ -210,9 +240,12 @@ let await_sub root sub =
    inlined, cross-container calls ship to the owning domain and return a
    real future, and implicit synchronization awaits every child before the
    frame completes. Caller holds [root.rmu]. *)
-let rec run_procedure db ~root ~entry ~ex ~proc_name ~args =
+let rec run_procedure db ~root ~entry ~ex ~on_root_path ~proc_name ~args =
   let procfn = Reactor.find_proc entry.Reactdb.Bootstrap.bs_rtype proc_name in
-  let frame = { froot = root; fentry = entry; fex = ex; children = [] } in
+  let frame =
+    { froot = root; fentry = entry; fex = ex; fpath = on_root_path;
+      children = [] }
+  in
   let ctx =
     {
       Reactor.db =
@@ -229,7 +262,7 @@ let rec run_procedure db ~root ~entry ~ex ~proc_name ~args =
   let first_err = ref (match result with Error e -> Some e | Ok _ -> None) in
   List.iter
     (fun sub ->
-      match await_sub root sub with
+      match await_sub root ~on_root_path:frame.fpath sub with
       | Ok _ -> ()
       | Error e -> if !first_err = None then first_err := Some e)
     (List.rev frame.children);
@@ -242,8 +275,8 @@ and do_call db frame ~reactor ~proc ~args =
   if reactor = frame.fentry.Reactdb.Bootstrap.bs_name then begin
     (* Self-call: inlined synchronously (§2.2.4). *)
     let v =
-      run_procedure db ~root ~entry:frame.fentry ~ex:frame.fex ~proc_name:proc
-        ~args
+      run_procedure db ~root ~entry:frame.fentry ~ex:frame.fex
+        ~on_root_path:frame.fpath ~proc_name:proc ~args
     in
     { Reactor.get = (fun () -> v) }
   end
@@ -260,7 +293,9 @@ and do_call db frame ~reactor ~proc ~args =
       Hashtbl.add root.active_set reactor ();
       let finally () = Hashtbl.remove root.active_set reactor in
       let v =
-        try run_procedure db ~root ~entry:tentry ~ex:frame.fex ~proc_name:proc ~args
+        try
+          run_procedure db ~root ~entry:tentry ~ex:frame.fex
+            ~on_root_path:frame.fpath ~proc_name:proc ~args
         with e ->
           finally ();
           raise e
@@ -281,8 +316,8 @@ and do_call db frame ~reactor ~proc ~args =
           let res =
             try
               Ok
-                (run_procedure db ~root ~entry:tentry ~ex:rex ~proc_name:proc
-                   ~args)
+                (run_procedure db ~root ~entry:tentry ~ex:rex
+                   ~on_root_path:false ~proc_name:proc ~args)
             with e -> Error e
           in
           (match res with
@@ -299,7 +334,7 @@ and do_call db frame ~reactor ~proc ~args =
       {
         Reactor.get =
           (fun () ->
-            match await_sub root sub with
+            match await_sub root ~on_root_path:frame.fpath sub with
             | Ok v -> v
             | Error e -> raise e);
       }
@@ -326,6 +361,8 @@ let maybe_advance_epoch db =
    to every participant's writes. Each container's prepare/install/release
    executes on the domain that owns it, preserving data ownership. *)
 
+(* Commit failures carry [Some fail_reason] from validation or [None] when
+   a guarded commit step died on an exception (recorded fatal). *)
 let two_phase db root ~home containers ~epoch =
   let remote c f =
     let iv = Ivar.create () in
@@ -334,13 +371,22 @@ let two_phase db root ~home containers ~epoch =
   in
   (* An exception out of a commit step would leave the coordinator waiting
      forever; degrade to an abort vote / recorded fatal instead. *)
-  let guard_vote f () = try f () with e -> record_fatal db e; false in
+  let guard_vote f () =
+    try Result.map_error Option.some (f ())
+    with e -> record_fatal db e; Error None
+  in
   let guard_ack f () = try f () with e -> record_fatal db e in
+  let timed = Obs.Trace.enabled root.tr in
+  let t_val = if timed then now_us () else 0. in
   (* Phase 1: validate with locks everywhere. *)
   let prepares =
     List.map
       (fun c ->
-        if c = home then (c, `Done (Occ.Commit.prepare root.txn ~container:c))
+        if c = home then
+          ( c,
+            `Done
+              (Result.map_error Option.some
+                 (Occ.Commit.prepare root.txn ~container:c)) )
         else
           ( c,
             `Pending
@@ -352,10 +398,16 @@ let two_phase db root ~home containers ~epoch =
   let resolved =
     List.map
       (fun (c, r) ->
-        match r with `Done ok -> (c, ok) | `Pending iv -> (c, fiber_await iv))
+        match r with `Done v -> (c, v) | `Pending iv -> (c, fiber_await iv))
       prepares
   in
-  if List.for_all snd resolved then begin
+  if timed then Obs.Trace.add root.tr Obs.Phase.Validation (now_us () -. t_val);
+  let t_dec = if timed then now_us () else 0. in
+  let finish r =
+    if timed then Obs.Trace.add root.tr Obs.Phase.Commit (now_us () -. t_dec);
+    r
+  in
+  if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
     let tid = Occ.Commit.compute_tid root.txn ~epoch in
     (* Phase 2: install. *)
     let acks =
@@ -373,14 +425,14 @@ let two_phase db root ~home containers ~epoch =
         containers
     in
     List.iter (function Some iv -> fiber_await iv | None -> ()) acks;
-    Ok ()
+    finish (Ok ())
   end
   else begin
     (* Phase 2: roll back every prepared participant. *)
     let acks =
       List.filter_map
-        (fun (c, ok) ->
-          if not ok then None
+        (fun (c, v) ->
+          if Result.is_error v then None
           else if c = home then begin
             Occ.Commit.release root.txn ~container:c;
             None
@@ -392,42 +444,77 @@ let two_phase db root ~home containers ~epoch =
         resolved
     in
     List.iter (fun iv -> fiber_await iv) acks;
-    Error "validation failed (2pc)"
+    let reason =
+      List.find_map
+        (fun (_, v) -> match v with Error r -> Some r | Ok () -> None)
+        resolved
+    in
+    finish (Error (Option.join reason))
   end
 
 let do_commit db root ~home =
   let epoch = Atomic.get db.epoch in
   match Occ.Txn.containers root.txn with
   | [] -> Ok ()
-  | [ c ] when c = home -> (
-    match Occ.Commit.commit_single root.txn ~epoch ~container:c with
-    | Ok _tid -> Ok ()
-    | Error m -> Error m)
+  | [ c ] when c = home ->
+    (* commit_single, unrolled so validation and install land in their own
+       trace phases. *)
+    let timed = Obs.Trace.enabled root.tr in
+    let t0 = if timed then now_us () else 0. in
+    (match Occ.Commit.prepare root.txn ~container:c with
+    | Error r ->
+      if timed then Obs.Trace.add root.tr Obs.Phase.Validation (now_us () -. t0);
+      Error (Some r)
+    | Ok () ->
+      if timed then Obs.Trace.add root.tr Obs.Phase.Validation (now_us () -. t0);
+      let t1 = if timed then now_us () else 0. in
+      let tid = Occ.Commit.compute_tid root.txn ~epoch in
+      Occ.Commit.install root.txn ~container:c ~tid;
+      if timed then Obs.Trace.add root.tr Obs.Phase.Commit (now_us () -. t1);
+      Ok ())
   | containers -> two_phase db root ~home containers ~epoch
 
 (* ------------------------------------------------------------------ *)
 (* Root execution: one mailbox job on the home domain. Guaranteed to call
    [k] and bump [completed] exactly once — quiescence depends on it. *)
 
-let exec_root db ~reactor ~proc ~args ~t_submit ~k () =
+let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
   maybe_advance_epoch db;
   let entry = reactor_state db reactor in
   let home = entry.Reactdb.Bootstrap.bs_home in
   let ex = db.execs.(home) in
   let txn = Occ.Txn.create ~id:(1 + Atomic.fetch_and_add db.txn_counter 1) in
-  let root =
-    { txn; rmu = Mutex.create (); active_set = Hashtbl.create 8; doomed = None }
+  let tr =
+    match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
   in
+  let root =
+    { txn; rmu = Mutex.create (); active_set = Hashtbl.create 8; tr;
+      doomed = None }
+  in
+  let timed = Obs.Trace.enabled tr in
+  let t_body = if timed then now_us () else 0. in
+  (* Queue wait: submit → this job running on the home domain, including
+     any round-robin forwarding hop and mailbox residence. *)
+  if timed then
+    Obs.Trace.add tr Obs.Phase.Queue_wait (t_body -. t_submit);
   Mutex.lock root.rmu;
   Hashtbl.add root.active_set reactor ();
   let res =
     try
-      let v = run_procedure db ~root ~entry ~ex ~proc_name:proc ~args in
+      let v =
+        run_procedure db ~root ~entry ~ex ~on_root_path:true ~proc_name:proc
+          ~args
+      in
       match root.doomed with Some km -> Error (`Aborted km) | None -> Ok v
     with e -> Error (`Fatal e)
   in
   Hashtbl.remove root.active_set reactor;
   Mutex.unlock root.rmu;
+  (* Exec = body span minus the root's suspended windows (stamped by
+     await_sub while the body ran). *)
+  if timed then
+    Obs.Trace.add tr Obs.Phase.Exec
+      (now_us () -. t_body -. Obs.Trace.get tr Obs.Phase.Suspend_wait);
   let verdict =
     match res with
     | Ok v -> (
@@ -438,37 +525,62 @@ let exec_root db ~reactor ~proc ~args ~t_submit ~k () =
           `F (Printexc.to_string e)
       with
       | `C (Ok ()) -> Ok v
-      | `C (Error m) -> Error (Some Ab_validation, m)
-      | `F m -> Error (None, "internal commit error: " ^ m))
-    | Error (`Aborted (kc, m)) -> Error (Some kc, m)
+      | `C (Error (Some fr)) ->
+        Error (Some Ab_validation, Occ.Commit.fail_message fr, obs_kind_of_fail fr)
+      | `C (Error None) ->
+        Error
+          ( Some Ab_validation,
+            "validation failed (2pc): internal vote error",
+            Obs.Abort.Internal )
+      | `F m -> Error (None, "internal commit error: " ^ m, Obs.Abort.Internal))
+    | Error (`Aborted (kc, m)) -> Error (Some kc, m, obs_kind_of_class kc)
     | Error (`Fatal e) -> (
       match classify_exn e with
-      | Some (kc, m) -> Error (Some kc, m)
+      | Some (kc, m) -> Error (Some kc, m, obs_kind_of_class kc)
       | None ->
         record_fatal db e;
-        Error (None, "internal error: " ^ Printexc.to_string e))
+        Error
+          (None, "internal error: " ^ Printexc.to_string e, Obs.Abort.Internal))
   in
   (match verdict with
   | Ok _ -> Atomic.incr db.committed
-  | Error (kc, _) ->
+  | Error (kc, _, _) ->
     Atomic.incr db.aborted;
     (match kc with Some kc -> Atomic.incr (bucket_counter db kc) | None -> ()));
+  let latency_us = now_us () -. t_submit in
+  let participants = Stdlib.max 1 (List.length (Occ.Txn.containers txn)) in
+  let abort_cause =
+    match verdict with
+    | Ok _ -> None
+    | Error (_, _, kind) -> Some (Obs.Abort.cause ~participants ~retry kind)
+  in
+  (match db.obs with
+  | None -> ()
+  | Some c -> (
+    (* this job runs on [home]'s domain, the owner of slot [home] *)
+    match abort_cause with
+    | None ->
+      Obs.Collector.record_commit c ~container:home ~participants ~retry
+        ~latency_us tr
+    | Some cause ->
+      Obs.Collector.record_abort c ~container:home ~latency_us ~cause tr));
   let out =
     {
-      result = (match verdict with Ok v -> Ok v | Error (_, m) -> Error m);
-      latency_us = (Unix.gettimeofday () -. t_submit) *. 1e6;
+      result = (match verdict with Ok v -> Ok v | Error (_, m, _) -> Error m);
+      latency_us;
       containers_touched = List.length (Occ.Txn.containers txn);
+      abort_cause;
     }
   in
   (try k out with e -> record_fatal db e);
   Atomic.incr db.completed
 
-let submit db ~reactor ~proc ~args ~k =
+let submit ?(retry = 0) db ~reactor ~proc ~args ~k =
   let entry = reactor_state db reactor in
   let home = entry.Reactdb.Bootstrap.bs_home in
   Atomic.incr db.submitted;
-  let t_submit = Unix.gettimeofday () in
-  let job = exec_root db ~reactor ~proc ~args ~t_submit ~k in
+  let t_submit = now_us () in
+  let job = exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k in
   let ingress =
     match db.cfg.Reactdb.Config.router with
     | Reactdb.Config.Affinity -> home
@@ -532,6 +644,7 @@ let start decl cfg =
       submitted = Atomic.make 0;
       completed = Atomic.make 0;
       domains = [||];
+      obs = None;
     }
   in
   db.domains <-
@@ -565,6 +678,7 @@ let aborts_by_reason db =
       ("dangerous-structure", Atomic.get db.ab_dangerous);
     ]
 
+let attach_obs db c = db.obs <- Some c
 let n_fatal db = Atomic.get db.fatal
 
 let fatal_messages db =
@@ -582,16 +696,20 @@ module Load = struct
     warmup_s : float;
     measure_s : float;
     seed : int;
+    max_retries : int;
   }
 
-  let spec ?(warmup_s = 0.2) ?(measure_s = 1.0) ?(seed = 42) ~n_workers gen =
-    { n_workers; gen; warmup_s; measure_s; seed }
+  let spec ?(warmup_s = 0.2) ?(measure_s = 1.0) ?(seed = 42) ?(max_retries = 0)
+      ~n_workers gen =
+    { n_workers; gen; warmup_s; measure_s; seed; max_retries }
 
   type result = {
     throughput : float;
     committed : int;
     aborted : int;
+    retries : int;
     abort_rate : float;
+    aborts_by_reason : (string * int) list;
     mean_latency_us : float;
     latency_std_us : float;
     p50_us : float;
@@ -600,6 +718,19 @@ module Load = struct
     duration_s : float;
     utilizations : float array;
   }
+
+  (* Shared attempt loop: submit [req], resubmitting transient aborts up to
+     [max_retries] times with an increasing retry index, then hand the final
+     outcome to [k]. [on_retry] observes every resubmission. *)
+  let rec attempt db ~max_retries ~on_retry ~req ~idx ~k =
+    submit ~retry:idx db ~reactor:req.Workloads.Wl.reactor
+      ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args ~k:(fun out ->
+        match (out.result, out.abort_cause) with
+        | Error _, Some cause
+          when Obs.Abort.transient cause.Obs.Abort.kind && idx < max_retries ->
+          on_retry ();
+          attempt db ~max_retries ~on_retry ~req ~idx:(idx + 1) ~k
+        | _ -> k out)
 
   (* [busy_s] is private to its domain; snapshot it with a mailbox job so
      the read happens on the owner with proper ordering. *)
@@ -612,14 +743,20 @@ module Load = struct
       db.execs
     |> Array.map Ivar.read_block
 
+  let abort_snapshot db =
+    (Atomic.get db.ab_user, Atomic.get db.ab_validation, Atomic.get db.ab_dangerous)
+
   let run db s =
     let stop = Atomic.make false in
     let measuring = Atomic.make false in
+    let n_retries = Atomic.make 0 in
     let mu = Mutex.create () in
     let reservoir = Stats.Reservoir.create ~seed:s.seed 8192 in
     let lat = Stats.create () in
+    let on_retry () = if Atomic.get measuring then Atomic.incr n_retries in
     (* Completion-driven virtual client: worker [w]'s callback records the
-       finished transaction and submits the next one. *)
+       finished logical transaction (after any retries) and submits the
+       next one. *)
     let rec step w rng =
       if not (Atomic.get stop) then
         match
@@ -630,8 +767,8 @@ module Load = struct
         with
         | None -> ()
         | Some req ->
-          submit db ~reactor:req.Workloads.Wl.reactor ~proc:req.Workloads.Wl.proc
-            ~args:req.Workloads.Wl.args ~k:(fun out ->
+          attempt db ~max_retries:s.max_retries ~on_retry ~req ~idx:0
+            ~k:(fun out ->
               (if Atomic.get measuring then
                  match out.result with
                  | Ok _ ->
@@ -648,11 +785,13 @@ module Load = struct
     Unix.sleepf s.warmup_s;
     let busy0 = busy_snapshot db in
     let c0 = n_committed db and a0 = n_aborted db in
+    let u0, v0, d0 = abort_snapshot db in
     let t_start = Unix.gettimeofday () in
     Atomic.set measuring true;
     Unix.sleepf s.measure_s;
     Atomic.set measuring false;
     let c1 = n_committed db and a1 = n_aborted db in
+    let u1, v1, d1 = abort_snapshot db in
     let t_end = Unix.gettimeofday () in
     Atomic.set stop true;
     quiesce db;
@@ -665,8 +804,17 @@ module Load = struct
       throughput = float_of_int committed /. window;
       committed;
       aborted;
+      retries = Atomic.get n_retries;
       abort_rate =
         (if done_ = 0 then 0. else float_of_int aborted /. float_of_int done_);
+      aborts_by_reason =
+        List.filter
+          (fun (_, n) -> n > 0)
+          [
+            ("user", u1 - u0);
+            ("validation", v1 - v0);
+            ("dangerous-structure", d1 - d0);
+          ];
       mean_latency_us = Stats.mean lat;
       latency_std_us = Stats.stddev lat;
       p50_us = Stats.Reservoir.percentile reservoir 50.;
@@ -678,7 +826,9 @@ module Load = struct
             (busy1.(i) -. busy0.(i)) /. Float.max 1e-9 (t_drained -. t_start));
     }
 
-  let run_fixed db ~n_workers ~per_worker ~seed gen =
+  let run_fixed ?(max_retries = 0) db ~n_workers ~per_worker ~seed gen =
+    let n_retries = Atomic.make 0 in
+    let on_retry () = Atomic.incr n_retries in
     let rec step w rng left =
       if left > 0 then
         match
@@ -689,11 +839,12 @@ module Load = struct
         with
         | None -> ()
         | Some req ->
-          submit db ~reactor:req.Workloads.Wl.reactor ~proc:req.Workloads.Wl.proc
-            ~args:req.Workloads.Wl.args ~k:(fun _ -> step w rng (left - 1))
+          attempt db ~max_retries ~on_retry ~req ~idx:0 ~k:(fun _ ->
+              step w rng (left - 1))
     in
     for w = 0 to n_workers - 1 do
       step w (Rng.stream ~seed w) per_worker
     done;
-    quiesce db
+    quiesce db;
+    Atomic.get n_retries
 end

@@ -41,6 +41,9 @@ type outcome = {
   result : (Util.Value.t, string) result;
   latency_us : float;  (** wall-clock µs, submission through commit/abort *)
   containers_touched : int;
+  abort_cause : Obs.Abort.cause option;
+      (** structured abort taxonomy for failed attempts; [None] on commit.
+          Drives the retry policy in {!Load} ([Obs.Abort.transient]). *)
 }
 
 (** [start decl cfg] bootstraps catalogs and loaders on the calling domain,
@@ -51,7 +54,10 @@ val start : Reactor.decl -> Reactdb.Config.t -> t
     mailboxes and joins the domains. The catalogs remain readable. *)
 val shutdown : t -> unit
 
+(** Number of containers, each owned by one spawned domain. *)
 val n_domains : t -> int
+
+(** The container (= domain index) that owns a reactor's state. *)
 val container_of : t -> string -> int
 
 (** Direct physical access to a reactor's catalog — loaders, audits and
@@ -65,8 +71,11 @@ val catalogs : t -> (string * Storage.Catalog.t) list
 
 (** [submit t ~reactor ~proc ~args ~k] enqueues a root transaction;
     [k outcome] runs on the root's home domain when it completes. Never
-    blocks the caller. Thread-safe. *)
+    blocks the caller. Thread-safe. [retry] (default 0) is the attempt's
+    retry index, recorded in the lifecycle trace and abort cause — the
+    engine itself never retries. *)
 val submit :
+  ?retry:int ->
   t ->
   reactor:string ->
   proc:string ->
@@ -85,7 +94,11 @@ val quiesce : t -> unit
 
 (** {1 Statistics} (monotone; atomic counters shared by all domains) *)
 
+(** Committed root transactions. *)
 val n_committed : t -> int
+
+(** Aborted root attempts (every attempt of a retried transaction
+    counts — see {!Load.result} for the accounting identity). *)
 val n_aborted : t -> int
 
 (** Same typed buckets as the simulator backend: "user", "validation",
@@ -99,6 +112,19 @@ val n_fatal : t -> int
 
 val fatal_messages : t -> string list
 
+(** {1 Observability}
+
+    [attach_obs t collector] turns on transaction-lifecycle tracing: every
+    subsequent attempt stamps its phases in {e wall-clock} microseconds
+    (create the collector with [~clock:Obs.Wall] and
+    [~containers:(n_domains t)]) and folds into [collector]'s slot for the
+    root's home container, on that container's own domain — the per-domain
+    ownership that makes recording lock-free. Attach before submitting
+    work; summarize only at quiescence. With no collector attached the
+    trace sink is [Obs.Trace.none] and the hot path takes a few
+    predictable branches and no clock reads. *)
+val attach_obs : t -> Obs.Collector.t -> unit
+
 (** {1 Closed-loop wall-clock load harness}
 
     Mirrors [Harness.spec]/[run_load] for the parallel backend, with
@@ -107,27 +133,43 @@ val fatal_messages : t -> string list
     its previous one, so client think time is zero and no client threads
     are needed. *)
 module Load : sig
+  (** [max_retries] (default 0): transient aborts — conflicts and
+      validation failures, per [Obs.Abort.transient] — are resubmitted up
+      to this many times with an increasing retry index; user aborts and
+      dangerous-call-structure aborts are never retried. *)
   type spec = {
     n_workers : int;
     gen : int -> Util.Rng.t -> Workloads.Wl.request;
     warmup_s : float;
     measure_s : float;
     seed : int;
+    max_retries : int;
   }
 
   val spec :
     ?warmup_s:float ->
     ?measure_s:float ->
     ?seed:int ->
+    ?max_retries:int ->
     n_workers:int ->
     (int -> Util.Rng.t -> Workloads.Wl.request) ->
     spec
 
+  (** Attempt accounting (unified with [Harness.run_result]): [committed]
+      and [aborted] count {e attempts} finishing inside the measurement
+      window, so [committed + aborted] is the attempt total; [retries]
+      counts the aborted attempts that were resubmitted (every retry is
+      also one of the [aborted] attempts), so logical transactions that
+      ultimately failed number [aborted - retries]. [aborts_by_reason]
+      buckets the aborted attempts by cause. *)
   type result = {
     throughput : float;  (** committed txns per second over the window *)
     committed : int;
     aborted : int;
-    abort_rate : float;
+    retries : int;
+    abort_rate : float;  (** aborted / (committed + aborted), attempt-level *)
+    aborts_by_reason : (string * int) list;
+        (** same typed buckets as {!aborts_by_reason}, window deltas *)
     mean_latency_us : float;
     latency_std_us : float;  (** per-transaction std (not per-epoch) *)
     p50_us : float;
@@ -143,14 +185,17 @@ module Load : sig
   val run : t -> spec -> result
 
   (** [run_fixed t ~n_workers ~per_worker ~seed gen] drives exactly
-      [n_workers * per_worker] transactions closed-loop and quiesces —
-      for tests and equivalence audits that need an exact transaction
-      count rather than a time window. *)
+      [n_workers * per_worker] logical transactions closed-loop and
+      quiesces — for tests and equivalence audits that need an exact
+      transaction count rather than a time window. Returns the number of
+      retried attempts, so attempt-level counters satisfy
+      [n_committed + n_aborted = n_workers * per_worker + retries]. *)
   val run_fixed :
+    ?max_retries:int ->
     t ->
     n_workers:int ->
     per_worker:int ->
     seed:int ->
     (int -> Util.Rng.t -> Workloads.Wl.request) ->
-    unit
+    int
 end

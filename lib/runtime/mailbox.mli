@@ -14,10 +14,13 @@
     the consumer drain everything already enqueued; [pop_wait] returns
     [None] only once the mailbox is both closed and empty. *)
 
+(** A mailbox carrying messages of type ['a]. *)
 type 'a t
 
+(** Raised by {!push} after {!close}. *)
 exception Closed
 
+(** A fresh, open, empty mailbox. *)
 val create : unit -> 'a t
 
 (** [push t x] enqueues [x]. Thread-safe. @raise Closed after {!close}. *)
@@ -36,4 +39,6 @@ val close : 'a t -> unit
 (** Messages currently enqueued (racy snapshot: both queues). *)
 val length : 'a t -> int
 
+(** Whether {!close} has been called (there may still be messages left
+    to drain). *)
 val is_closed : 'a t -> bool

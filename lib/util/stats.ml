@@ -102,6 +102,8 @@ module Reservoir = struct
       r.rsorted <- Some a;
       a
 
+  let samples r = Array.sub r.buf 0 (size r)
+
   (* Nearest-rank, matching {!percentile} above. *)
   let percentile r p =
     if p < 0. || p > 100. then invalid_arg "Reservoir.percentile";

@@ -48,6 +48,12 @@ module Reservoir : sig
   (** Nearest-rank percentile of the retained sample; exact while
       [seen <= cap], an unbiased estimate beyond. [0.] when empty. *)
   val percentile : r -> float -> float
+
+  (** Snapshot of the retained sample, unsorted, length [size r]. Lets a
+      caller pool several per-container reservoirs into one percentile
+      estimate (the pooled estimate is approximate when the containers
+      saw different stream lengths). *)
+  val samples : r -> float array
 end
 
 (** Fixed-width histogram over [lo, hi) with [buckets] bins; out-of-range

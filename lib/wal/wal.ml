@@ -10,9 +10,15 @@ type file_sink = { oc : out_channel; path : string }
 
 type sink = Memory of entry list ref | File of file_sink
 
-type t = { sink : sink; mutable count : int }
+type t = {
+  sink : sink;
+  mutable count : int;
+  mutable n_flushes : int;
+  mutable flush_time_us : float;
+}
 
-let in_memory () = { sink = Memory (ref []); count = 0 }
+let in_memory () =
+  { sink = Memory (ref []); count = 0; n_flushes = 0; flush_time_us = 0. }
 
 (* --- encoding: one entry per line ---
 
@@ -206,6 +212,8 @@ let to_file path =
   {
     sink = File { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; path };
     count = existing;
+    n_flushes = 0;
+    flush_time_us = 0.;
   }
 
 let append t e =
@@ -223,7 +231,20 @@ let entries t =
   | Memory r -> List.rev !r
   | File _ -> invalid_arg "Wal.entries: file-backed log (use read_file)"
 
-let flush t = match t.sink with Memory _ -> () | File { oc; _ } -> flush oc
+let flush t =
+  match t.sink with
+  | Memory _ ->
+    (* Free, but still a group-commit boundary: count it so flush-wait
+       attribution divides by the same flush count in both sink modes. *)
+    t.n_flushes <- t.n_flushes + 1
+  | File { oc; _ } ->
+    let t0 = Unix.gettimeofday () in
+    flush oc;
+    t.n_flushes <- t.n_flushes + 1;
+    t.flush_time_us <- t.flush_time_us +. ((Unix.gettimeofday () -. t0) *. 1e6)
+
+let n_flushes t = t.n_flushes
+let flush_time_us t = t.flush_time_us
 
 let close t = match t.sink with Memory _ -> () | File { oc; _ } -> close_out oc
 

@@ -45,8 +45,24 @@ val length : t -> int
 val entries : t -> entry list
 
 (** Flush buffered records of a file-backed log to the file (the durable
-    half of a group commit); no-op for in-memory logs. *)
+    half of a group commit); no-op for in-memory logs (still counted in
+    {!n_flushes}). *)
 val flush : t -> unit
+
+(** {1 Flush-time attribution}
+
+    Real (wall-clock) cost of durability, for observability reports: how
+    much device time the group-commit flushes actually took, as opposed to
+    the {e flush-wait} phase a transaction's lifecycle trace records (time
+    spent blocked waiting for a covering flush, which amortizes one flush
+    over every transaction in the epoch). *)
+
+(** Flushes performed since the log was opened. *)
+val n_flushes : t -> int
+
+(** Cumulative wall-clock µs spent inside {!flush} (0 for in-memory
+    logs, whose flushes are free). *)
+val flush_time_us : t -> float
 
 val close : t -> unit
 

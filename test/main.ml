@@ -19,5 +19,6 @@ let () =
       Suite_random.suite;
       Suite_mailbox.suite;
       Suite_runtime.suite;
+      Suite_obs.suite;
       Suite_misc.suite;
     ]

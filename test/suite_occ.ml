@@ -68,7 +68,7 @@ let test_commit_installs () =
   | None -> Alcotest.fail "missing");
   (match Occ.Commit.commit_single t ~epoch:1 ~container:0 with
   | Ok tid -> check_bool "tid positive" true (tid > 0)
-  | Error m -> Alcotest.failf "commit failed: %s" m);
+  | Error r -> Alcotest.failf "commit failed: %s" (Occ.Commit.fail_message r));
   let t2 = fresh_txn () in
   Alcotest.(check (option int)) "update visible" (Some 42) (read_v t2 ~c:0 tbl 1);
   check_bool "insert installed" true (Storage.Table.find tbl (key 60) <> None);
@@ -165,7 +165,7 @@ let test_2pc_prepare_release () =
   let t = fresh_txn () in
   write_v t ~c:0 tbl0 1 11;
   write_v t ~c:1 tbl1 2 22;
-  check_bool "prepare c0" true (Occ.Commit.prepare t ~container:0);
+  check_bool "prepare c0" true (Result.is_ok (Occ.Commit.prepare t ~container:0));
   (* Simulate failure on container 1: release both. *)
   Occ.Commit.release t ~container:0;
   Occ.Commit.release t ~container:1;
@@ -181,8 +181,8 @@ let test_2pc_full_commit () =
   write_v t ~c:0 tbl0 1 11;
   Occ.Txn.insert t ~container:1 ~table:tbl1 [| Value.Int 88; Value.Int 8 |];
   Alcotest.(check (list int)) "containers" [ 0; 1 ] (Occ.Txn.containers t);
-  check_bool "prepare c0" true (Occ.Commit.prepare t ~container:0);
-  check_bool "prepare c1" true (Occ.Commit.prepare t ~container:1);
+  check_bool "prepare c0" true (Result.is_ok (Occ.Commit.prepare t ~container:0));
+  check_bool "prepare c1" true (Result.is_ok (Occ.Commit.prepare t ~container:1));
   let tid = Occ.Commit.compute_tid t ~epoch:2 in
   Occ.Commit.install t ~container:0 ~tid;
   Occ.Commit.install t ~container:1 ~tid;
@@ -196,21 +196,30 @@ let test_prepare_locked_by_other_fails () =
   let t1 = fresh_txn () and t2 = fresh_txn () in
   write_v t1 ~c:0 tbl 1 11;
   write_v t2 ~c:0 tbl 1 22;
-  check_bool "t1 prepares (locks)" true (Occ.Commit.prepare t1 ~container:0);
-  check_bool "t2 prepare fails on lock" false (Occ.Commit.prepare t2 ~container:0);
+  check_bool "t1 prepares (locks)" true
+    (Result.is_ok (Occ.Commit.prepare t1 ~container:0));
+  (match Occ.Commit.prepare t2 ~container:0 with
+  | Error Occ.Commit.Lock_busy -> ()
+  | Error r ->
+    Alcotest.failf "t2 prepare: wrong reason %s" (Occ.Commit.fail_message r)
+  | Ok () -> Alcotest.fail "t2 prepare should fail on lock");
   (* t2 read-validating against a locked record also fails. *)
   let t3 = fresh_txn () in
   ignore (read_v t3 ~c:0 tbl 1);
   write_v t3 ~c:0 tbl 2 0;
-  check_bool "reader of locked record fails validation" false
-    (Occ.Commit.prepare t3 ~container:0);
+  (match Occ.Commit.prepare t3 ~container:0 with
+  | Error Occ.Commit.Stale_read -> ()
+  | Error r ->
+    Alcotest.failf "t3 prepare: wrong reason %s" (Occ.Commit.fail_message r)
+  | Ok () -> Alcotest.fail "reader of locked record must fail validation");
   Occ.Commit.release t1 ~container:0
 
 let test_reserved_insert_blocks_concurrent_insert () =
   let tbl = fresh_table () in
   let t1 = fresh_txn () in
   Occ.Txn.insert t1 ~container:0 ~table:tbl [| Value.Int 90; Value.Int 1 |];
-  check_bool "t1 prepares (reserves 90)" true (Occ.Commit.prepare t1 ~container:0);
+  check_bool "t1 prepares (reserves 90)" true
+    (Result.is_ok (Occ.Commit.prepare t1 ~container:0));
   (* Concurrent executor tries to insert the same key mid-2PC: the
      execution-time probe sees the reservation. *)
   let t2 = fresh_txn () in

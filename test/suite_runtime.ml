@@ -76,8 +76,10 @@ let test_smallbank_parallel () =
   let n = 32 in
   let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
   let db = RDb.start (SB.decl ~customers:n ()) cfg in
-  RDb.Load.run_fixed db ~n_workers:8 ~per_worker:50 ~seed:7 (fun _ rng ->
-      SB.gen_conserving rng ~n);
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:8 ~per_worker:50 ~seed:7 (fun _ rng ->
+        SB.gen_conserving rng ~n)
+  in
   check_int "every attempt accounted" 400 (RDb.n_committed db + RDb.n_aborted db);
   check_bool "made progress" true (RDb.n_committed db > 0);
   check_int "no fatals" 0 (RDb.n_fatal db);
@@ -95,9 +97,11 @@ let test_ycsb_parallel () =
   let cfg = Reactdb.Config.shared_nothing (chunk 2 (Workloads.Ycsb.keys nk)) in
   let db = RDb.start (Workloads.Ycsb.decl ~keys:nk ()) cfg in
   let p = Workloads.Ycsb.params ~txn_keys:6 ~theta:0.7 nk in
-  RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:11 (fun _ rng ->
-      Workloads.Ycsb.gen_multi_update rng p
-        ~container_of:(RDb.container_of db));
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:11 (fun _ rng ->
+        Workloads.Ycsb.gen_multi_update rng p
+          ~container_of:(RDb.container_of db))
+  in
   check_int "every attempt accounted" 200 (RDb.n_committed db + RDb.n_aborted db);
   check_bool "made progress" true (RDb.n_committed db > 0);
   check_int "no fatals" 0 (RDb.n_fatal db);
@@ -123,8 +127,10 @@ let test_round_robin_routing () =
       ~placement:(Hashtbl.find placement) ()
   in
   let db = RDb.start (SB.decl ~customers:n ()) cfg in
-  RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:3 (fun _ rng ->
-      SB.gen_conserving rng ~n);
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:3 (fun _ rng ->
+        SB.gen_conserving rng ~n)
+  in
   check_int "every attempt accounted" 200 (RDb.n_committed db + RDb.n_aborted db);
   check_int "no fatals" 0 (RDb.n_fatal db);
   RDb.shutdown db;
