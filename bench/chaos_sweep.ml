@@ -1,0 +1,432 @@
+(* Chaos-injection sweep: drives the overload-safe runtime through every
+   fault class and gates the numbers on correctness audits.
+
+   Scenarios:
+   - matrix: Smallbank (conserving mix) and YCSB multi-update on 1 and 4
+     domains under each runtime fault class (none, delivery-delay,
+     domain-stall, prepare-stall), fixed transaction counts with retries.
+   - deadline: Smallbank under heavy delivery delay with a tight
+     per-transaction deadline — timeouts must occur and unwind cleanly.
+   - overload: a saturating closed-loop run against a small --mailbox-cap;
+     admission sheds must occur and p99 latency must stay bounded.
+   - flush-stall: the simulator backend in durable group-commit mode with a
+     stalling WAL flusher (virtual-time injection).
+
+   Every scenario is gated: zero internal errors, exact money conservation
+   (Smallbank) / one row per key reactor (YCSB), secondary-index audit,
+   the attempt-accounting identity commits + aborts = logical + retries,
+   and bounded wall-clock progress. Any violated audit makes the process
+   exit non-zero — throughput under faults is only meaningful if the
+   faulted execution was still correct.
+
+   Usage:
+     dune exec bench/chaos_sweep.exe                    full run
+     dune exec bench/chaos_sweep.exe -- --fast          shrunken run
+     dune exec bench/chaos_sweep.exe -- --seed N        fault schedule seed
+     dune exec bench/chaos_sweep.exe -- --out F.json    write elsewhere *)
+
+module RDb = Runtime.Db
+module SDb = Reactdb.Database
+module SB = Workloads.Smallbank
+
+type row = {
+  rw_scenario : string;  (** "matrix" | "deadline" | "overload" | "flush-stall" *)
+  rw_workload : string;
+  rw_fault : string;  (** Chaos kind name or "none" *)
+  rw_domains : int;
+  rw_committed : int;
+  rw_aborted : int;
+  rw_retries : int;
+  rw_timeouts : int;
+  rw_sheds : int;
+  rw_injections : int;
+  rw_p99_us : float;
+  rw_elapsed_s : float;
+  rw_audit : (unit, string) result;
+}
+
+let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let chunk k xs =
+  let groups = Array.make k [] in
+  List.iteri (fun i x -> groups.(i mod k) <- x :: groups.(i mod k)) xs;
+  Array.to_list (Array.map List.rev groups)
+
+let count_reason reasons name =
+  match List.assoc_opt name reasons with Some n -> n | None -> 0
+
+(* --- audits (runtime backend) --- *)
+
+let fatal_audit db =
+  if RDb.n_fatal db = 0 then Ok ()
+  else
+    Error
+      (Printf.sprintf "%d internal errors (first: %s)" (RDb.n_fatal db)
+         (match RDb.fatal_messages db with m :: _ -> m | [] -> "?"))
+
+let money_audit ~n cats =
+  let expected = float_of_int n *. 2. *. 10_000. in
+  let got = SB.total_money cats in
+  if Float.abs (got -. expected) < 1e-6 then Ok ()
+  else
+    Error
+      (Printf.sprintf "money not conserved: expected %.1f, got %.1f" expected
+         got)
+
+let ycsb_audit cats_named =
+  if
+    List.for_all
+      (fun (_, _, rows) -> List.length rows = 1)
+      (Faultsim.snapshot cats_named)
+  then Ok ()
+  else Error "YCSB key reactor lost or duplicated its row"
+
+let accounting_audit ~committed ~aborted ~logical ~retries =
+  if committed + aborted = logical + retries then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "attempt accounting: commits(%d) + aborts(%d) <> logical(%d) + \
+          retries(%d)"
+         committed aborted logical retries)
+
+let bounded_audit ~elapsed_s ~ceiling_s =
+  if elapsed_s < ceiling_s then Ok ()
+  else
+    Error
+      (Printf.sprintf "wall-clock progress not bounded: %.1fs >= %.1fs ceiling"
+         elapsed_s ceiling_s)
+
+(* --- scenarios --- *)
+
+type workload = Smallbank of int | Ycsb of int
+
+let workload_name = function
+  | Smallbank _ -> "smallbank-conserving"
+  | Ycsb _ -> "ycsb-multi-update"
+
+(* Fixed-count closed-loop run of one workload on [d] domains under one
+   fault class, with transient-abort retries and default backoff. *)
+let run_matrix ~seed ~fast ~wl ~d ~fault =
+  let decl, names =
+    match wl with
+    | Smallbank n -> (SB.decl ~customers:n (), SB.customers n)
+    | Ycsb n -> (Workloads.Ycsb.decl ~keys:n (), Workloads.Ycsb.keys n)
+  in
+  let cfg = Reactdb.Config.shared_nothing (chunk d names) in
+  let chaos =
+    match fault with
+    | None -> Chaos.none
+    | Some kind -> Chaos.make ~seed ~kind ~p:0.05 ~delay_us:1000. ()
+  in
+  let db = RDb.start ~chaos decl cfg in
+  let gen =
+    match wl with
+    | Smallbank n -> fun _ rng -> SB.gen_conserving rng ~n
+    | Ycsb n ->
+      let p = Workloads.Ycsb.params ~txn_keys:10 ~theta:0.5 n in
+      fun _ rng ->
+        Workloads.Ycsb.gen_multi_update rng p
+          ~container_of:(RDb.container_of db)
+  in
+  let n_workers = 8 and per_worker = if fast then 25 else 150 in
+  let t0 = Unix.gettimeofday () in
+  let retries =
+    RDb.Load.run_fixed ~max_retries:3 db ~n_workers ~per_worker ~seed gen
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  RDb.shutdown db;
+  let committed = RDb.n_committed db and aborted = RDb.n_aborted db in
+  let reasons = RDb.aborts_by_reason db in
+  let invariant_audit () =
+    match wl with
+    | Smallbank n -> money_audit ~n (List.map snd (RDb.catalogs db))
+    | Ycsb _ -> ycsb_audit (RDb.catalogs db)
+  in
+  let audit =
+    fatal_audit db >>= invariant_audit
+    >>= (fun () ->
+          accounting_audit ~committed ~aborted
+            ~logical:(n_workers * per_worker) ~retries)
+    >>= (fun () -> bounded_audit ~elapsed_s ~ceiling_s:120.)
+    >>= fun () ->
+    match Faultsim.check_secondaries (RDb.catalogs db) with
+    | Ok () -> Ok ()
+    | Error m -> Error ("secondary-index audit: " ^ m)
+  in
+  {
+    rw_scenario = "matrix";
+    rw_workload = workload_name wl;
+    rw_fault =
+      (match fault with None -> "none" | Some k -> Chaos.kind_name k);
+    rw_domains = d;
+    rw_committed = committed;
+    rw_aborted = aborted;
+    rw_retries = retries;
+    rw_timeouts = count_reason reasons "timeout";
+    rw_sheds = count_reason reasons "overloaded";
+    rw_injections = Chaos.injections chaos;
+    rw_p99_us = 0.;
+    rw_elapsed_s = elapsed_s;
+    rw_audit = audit;
+  }
+
+(* Tight per-transaction deadlines under heavy delivery delay: timeouts
+   must fire, and a timed-out root must unwind cleanly (locks released,
+   2PC participants aborted) — checked indirectly by money conservation
+   and by the runtime staying fatal-free. *)
+let run_deadline ~seed ~fast =
+  let n = if fast then 64 else 256 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let chaos =
+    Chaos.make ~seed ~kind:Chaos.Delay_delivery ~p:0.5 ~delay_us:5000. ()
+  in
+  let db = RDb.start ~chaos decl cfg in
+  let n_workers = 8 and per_worker = if fast then 25 else 100 in
+  let t0 = Unix.gettimeofday () in
+  let retries =
+    RDb.Load.run_fixed ~deadline_us:1000. db ~n_workers ~per_worker ~seed
+      (fun _ rng -> SB.gen_conserving rng ~n)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  RDb.shutdown db;
+  let committed = RDb.n_committed db and aborted = RDb.n_aborted db in
+  let reasons = RDb.aborts_by_reason db in
+  let timeouts = count_reason reasons "timeout" in
+  let audit =
+    fatal_audit db
+    >>= (fun () -> money_audit ~n (List.map snd (RDb.catalogs db)))
+    >>= (fun () ->
+          accounting_audit ~committed ~aborted
+            ~logical:(n_workers * per_worker) ~retries)
+    >>= fun () ->
+    if timeouts > 0 then Ok ()
+    else Error "expected deadline timeouts under 5ms delivery delay, saw none"
+  in
+  {
+    rw_scenario = "deadline";
+    rw_workload = "smallbank-conserving";
+    rw_fault = "delivery-delay";
+    rw_domains = 2;
+    rw_committed = committed;
+    rw_aborted = aborted;
+    rw_retries = retries;
+    rw_timeouts = timeouts;
+    rw_sheds = count_reason reasons "overloaded";
+    rw_injections = Chaos.injections chaos;
+    rw_p99_us = 0.;
+    rw_elapsed_s = elapsed_s;
+    rw_audit = audit;
+  }
+
+(* Saturating closed-loop run against a small admission cap: sheds must
+   occur (backpressure is engaged) and committed-transaction p99 must stay
+   bounded — shedding keeps the queues, hence the latencies, short. *)
+let run_overload ~seed ~fast =
+  let n = if fast then 64 else 256 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let db = RDb.start ~mailbox_cap:4 decl cfg in
+  let s =
+    RDb.Load.spec
+      ~warmup_s:(if fast then 0.05 else 0.2)
+      ~measure_s:(if fast then 0.3 else 1.0)
+      ~seed ~n_workers:32
+      (fun _ rng -> SB.gen_conserving rng ~n)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = RDb.Load.run db s in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  RDb.shutdown db;
+  let sheds = count_reason r.RDb.Load.aborts_by_reason "overloaded" in
+  let p99_ceiling_us = 100_000. in
+  let audit =
+    fatal_audit db
+    >>= (fun () -> money_audit ~n (List.map snd (RDb.catalogs db)))
+    >>= (fun () ->
+          if sheds > 0 then Ok ()
+          else Error "expected admission sheds at mailbox_cap=4, saw none")
+    >>= fun () ->
+    if r.RDb.Load.p99_us < p99_ceiling_us then Ok ()
+    else
+      Error
+        (Printf.sprintf "p99 not bounded under overload: %.0fus >= %.0fus"
+           r.RDb.Load.p99_us p99_ceiling_us)
+  in
+  {
+    rw_scenario = "overload";
+    rw_workload = "smallbank-conserving";
+    rw_fault = "none";
+    rw_domains = 2;
+    rw_committed = r.RDb.Load.committed;
+    rw_aborted = r.RDb.Load.aborted;
+    rw_retries = r.RDb.Load.retries;
+    rw_timeouts = count_reason r.RDb.Load.aborts_by_reason "timeout";
+    rw_sheds = sheds;
+    rw_injections = 0;
+    rw_p99_us = r.RDb.Load.p99_us;
+    rw_elapsed_s = elapsed_s;
+    rw_audit = audit;
+  }
+
+(* Simulator backend, durable group commit, stalling WAL flusher: the
+   stall is charged as virtual delay inside the flusher, so every epoch's
+   waiters feel it; commits must still conserve money and flushes must
+   still happen. *)
+let run_flush_stall ~seed ~fast =
+  let n = if fast then 64 else 256 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let db = Harness.build decl cfg in
+  let log = Wal.in_memory () in
+  SDb.attach_wal ~durable:true db log;
+  let chaos =
+    Chaos.make ~seed ~kind:Chaos.Stall_flush ~p:0.5 ~delay_us:10_000. ()
+  in
+  SDb.attach_chaos db chaos;
+  let s =
+    Harness.spec
+      ~epochs:(if fast then 5 else 15)
+      ~epoch_us:20_000. ~warmup_epochs:1 ~seed ~n_workers:8
+      (fun _ rng -> SB.gen_conserving rng ~n)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Harness.run_load db s in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let cats = List.map (fun nm -> SDb.catalog_of db nm) (SB.customers n) in
+  let audit =
+    money_audit ~n cats
+    >>= (fun () ->
+          if r.Harness.committed > 0 then Ok ()
+          else Error "no commits under flush stall")
+    >>= (fun () ->
+          if r.Harness.log_flushes > 0 then Ok ()
+          else Error "durable mode performed no group-commit flushes")
+    >>= (fun () ->
+          if Chaos.injections chaos > 0 then Ok ()
+          else Error "flush-stall injector never fired")
+    >>= fun () ->
+    match SDb.wal_error db with
+    | None -> Ok ()
+    | Some m -> Error ("unexpected wal error: " ^ m)
+  in
+  {
+    rw_scenario = "flush-stall";
+    rw_workload = "smallbank-conserving";
+    rw_fault = "flush-stall";
+    rw_domains = 2;
+    rw_committed = r.Harness.committed;
+    rw_aborted = r.Harness.aborted;
+    rw_retries = r.Harness.retries;
+    rw_timeouts = 0;
+    rw_sheds = 0;
+    rw_injections = Chaos.injections chaos;
+    rw_p99_us = r.Harness.p99_latency;
+    rw_elapsed_s = elapsed_s;
+    rw_audit = audit;
+  }
+
+(* --- output --- *)
+
+let emit_json path ~seed rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"benchmark\": \"chaos_sweep\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"host\": {\"recommended_domains\": %d},\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"workload\": %S, \"fault\": %S, \
+         \"domains\": %d, \"committed\": %d, \"aborted\": %d, \"retries\": \
+         %d, \"timeouts\": %d, \"sheds\": %d, \"injections\": %d, \
+         \"p99_us\": %.1f, \"elapsed_s\": %.2f, \"audit\": %S}%s\n"
+        r.rw_scenario r.rw_workload r.rw_fault r.rw_domains r.rw_committed
+        r.rw_aborted r.rw_retries r.rw_timeouts r.rw_sheds r.rw_injections
+        r.rw_p99_us r.rw_elapsed_s
+        (match r.rw_audit with Ok () -> "ok" | Error m -> m)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let () =
+  let fast = ref false in
+  let seed = ref 42 in
+  let out = ref "BENCH_chaos.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      fast := true;
+      parse rest
+    | "--seed" :: s :: rest ->
+      seed := int_of_string s;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | arg :: _ when arg <> Sys.argv.(0) ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+    | _ :: rest -> parse rest
+  in
+  parse (Array.to_list Sys.argv);
+  let fast = !fast and seed = !seed in
+  let faults =
+    [
+      None;
+      Some Chaos.Delay_delivery;
+      Some Chaos.Stall_domain;
+      Some Chaos.Stall_prepare;
+    ]
+  in
+  let workloads =
+    [ Smallbank (if fast then 64 else 256); Ycsb (if fast then 64 else 128) ]
+  in
+  Printf.printf "Chaos sweep (seed %d, host recommends %d domains)\n%!" seed
+    (Domain.recommended_domain_count ());
+  let report r =
+    Printf.printf
+      "  %-11s %-20s %-14s %d domains: %5d ok %5d ab %4d retry %4d to %4d \
+       shed %4d inj  %.1fs  [%s]\n%!"
+      r.rw_scenario r.rw_workload r.rw_fault r.rw_domains r.rw_committed
+      r.rw_aborted r.rw_retries r.rw_timeouts r.rw_sheds r.rw_injections
+      r.rw_elapsed_s
+      (match r.rw_audit with Ok () -> "audit ok" | Error _ -> "AUDIT FAILED");
+    r
+  in
+  let matrix =
+    List.concat_map
+      (fun wl ->
+        List.concat_map
+          (fun d ->
+            List.map
+              (fun fault -> report (run_matrix ~seed ~fast ~wl ~d ~fault))
+              faults)
+          [ 1; 4 ])
+      workloads
+  in
+  let deadline = report (run_deadline ~seed ~fast) in
+  let overload = report (run_overload ~seed ~fast) in
+  let flush_stall = report (run_flush_stall ~seed ~fast) in
+  let rows = matrix @ [ deadline; overload; flush_stall ] in
+  emit_json !out ~seed rows;
+  Printf.printf "wrote %s\n" !out;
+  let failures =
+    List.filter_map
+      (fun r ->
+        match r.rw_audit with
+        | Ok () -> None
+        | Error m ->
+          Some
+            (Printf.sprintf "%s/%s/%s/%d domains: %s" r.rw_scenario
+               r.rw_workload r.rw_fault r.rw_domains m))
+      rows
+  in
+  if failures <> [] then begin
+    List.iter (Printf.eprintf "AUDIT FAILURE: %s\n") failures;
+    exit 1
+  end

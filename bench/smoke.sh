@@ -40,5 +40,13 @@ echo "== bench smoke: parallel scaling (audit-gated) =="
 dune exec bench/parallel_scaling.exe -- --fast --out BENCH_parallel_scaling_smoke.json
 
 echo
+echo "== bench smoke: chaos sweep (audit-gated) =="
+# Seeded fault injection across every chaos class on both backends; the
+# runner exits non-zero if any scenario violates its audits (money
+# conservation, attempt accounting, zero internal errors, bounded
+# wall-clock progress, sheds under --mailbox-cap with bounded p99).
+dune exec bench/chaos_sweep.exe -- --fast --seed 42 --out BENCH_chaos_smoke.json
+
+echo
 echo "== $OUT =="
 cat "$OUT"

@@ -88,8 +88,14 @@ let deployment_of ~config_file ~strategy ~executors ~mpl reactors =
       Reactdb.Config.shared_everything ~executors ~affinity:false ~mpl reactors
     | s -> failwith (Printf.sprintf "unknown strategy %S" s))
 
+let chaos_of_spec = function
+  | None -> Chaos.none
+  | Some s -> (
+    match Chaos.of_string s with Ok c -> c | Error m -> failwith m)
+
 let run_cmd workload scale theta workers strategy executors mpl config_file
-    duration_ms certify profile_name wal_path durable trace trace_json =
+    duration_ms certify profile_name wal_path durable trace trace_json
+    deadline_ms mailbox_cap chaos_spec =
   let profile =
     match profile_name with
     | "default" | "xeon" -> Reactdb.Profile.default
@@ -100,6 +106,9 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
   let executors = if executors = 0 then scale else executors in
   let config = deployment_of ~config_file ~strategy ~executors ~mpl reactors in
   let db = Harness.build ~profile decl config in
+  let chaos = chaos_of_spec chaos_spec in
+  if Chaos.is_active chaos then DB.attach_chaos db chaos;
+  DB.set_mailbox_cap db mailbox_cap;
   if durable && wal_path = None then
     failwith "--durable requires --wal FILE";
   let log =
@@ -132,9 +141,14 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
   let spec =
     Harness.spec ~epochs:10
       ~epoch_us:(duration_ms *. 100.) (* 10 epochs over the duration *)
-      ~warmup_epochs:2 ~n_workers:workers gen
+      ~warmup_epochs:2
+      ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
+      ~n_workers:workers gen
   in
   let r = Harness.run_load db spec in
+  if Chaos.is_active chaos then
+    Printf.printf "chaos           %12s (%d injections / %d probes)\n"
+      (Chaos.to_string chaos) (Chaos.injections chaos) (Chaos.probes chaos);
   Printf.printf "throughput      %12.1f txn/s (±%.1f)\n" r.Harness.throughput
     r.Harness.throughput_std;
   Printf.printf "latency         %12.1f µs (±%.1f)\n" r.Harness.avg_latency
@@ -189,6 +203,63 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
       Printf.printf "history         serializable (%d transactions)\n"
         (List.length entries)
     | Error m -> Printf.printf "history         VIOLATION: %s\n" m
+  end
+
+(* Real-parallel backend: one OCaml 5 domain per container, wall-clock
+   time. Overload knobs (--deadline-ms, --mailbox-cap, --chaos) apply per
+   run; the closed-loop load harness retries transient aborts with seeded
+   exponential backoff. *)
+let run_parallel_cmd workload scale theta workers domains duration_ms retries
+    deadline_ms mailbox_cap chaos_spec =
+  let decl, reactors, gen = build_workload workload ~scale ~theta in
+  let groups = Array.make domains [] in
+  List.iteri
+    (fun i r -> groups.(i mod domains) <- r :: groups.(i mod domains))
+    reactors;
+  let config =
+    Reactdb.Config.shared_nothing
+      (Array.to_list (Array.map List.rev groups))
+  in
+  let chaos = chaos_of_spec chaos_spec in
+  let db = Runtime.Db.start ~chaos ?mailbox_cap decl config in
+  Printf.printf "reactors=%d domains=%d workers=%d%s%s%s\n%!"
+    (List.length reactors) (Runtime.Db.n_domains db) workers
+    (match deadline_ms with
+    | Some d -> Printf.sprintf " deadline=%.1fms" d
+    | None -> "")
+    (match mailbox_cap with
+    | Some c -> Printf.sprintf " mailbox-cap=%d" c
+    | None -> "")
+    (if Chaos.is_active chaos then " chaos=" ^ Chaos.to_string chaos else "");
+  let measure_s = duration_ms /. 1000. in
+  let spec =
+    Runtime.Db.Load.spec
+      ~warmup_s:(Float.min 0.5 (measure_s /. 4.))
+      ~measure_s ~max_retries:retries
+      ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
+      ~n_workers:workers gen
+  in
+  let r = Runtime.Db.Load.run db spec in
+  Runtime.Db.shutdown db;
+  Printf.printf "throughput      %12.1f txn/s\n" r.Runtime.Db.Load.throughput;
+  Printf.printf "latency         %12.1f µs (p50 %.1f, p95 %.1f, p99 %.1f)\n"
+    r.Runtime.Db.Load.mean_latency_us r.Runtime.Db.Load.p50_us
+    r.Runtime.Db.Load.p95_us r.Runtime.Db.Load.p99_us;
+  Printf.printf "committed       %12d\n" r.Runtime.Db.Load.committed;
+  Printf.printf "aborted         %12d (%.2f%%)\n" r.Runtime.Db.Load.aborted
+    (100. *. r.Runtime.Db.Load.abort_rate);
+  List.iter
+    (fun (reason, n) -> Printf.printf "  %-14s %12d\n" reason n)
+    r.Runtime.Db.Load.aborts_by_reason;
+  Printf.printf "retries         %12d\n" r.Runtime.Db.Load.retries;
+  if Chaos.is_active chaos then
+    Printf.printf "chaos           %12s (%d injections / %d probes)\n"
+      (Chaos.to_string chaos) (Chaos.injections chaos) (Chaos.probes chaos);
+  if Runtime.Db.n_fatal db > 0 then begin
+    Printf.eprintf "FATAL: %d internal errors (first: %s)\n"
+      (Runtime.Db.n_fatal db)
+      (match Runtime.Db.fatal_messages db with m :: _ -> m | [] -> "?");
+    exit 1
   end
 
 (* Interactive SQL shell over a loaded workload: every statement runs as
@@ -342,14 +413,73 @@ let trace_json_arg =
           "Attach the transaction-lifecycle tracer and write the versioned \
            JSON report to $(docv) (see EXPERIMENTS.md for the schema).")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-transaction latency budget in milliseconds; expired attempts \
+           abort with the non-transient timeout cause (locks released, 2PC \
+           participants rolled back).")
+
+let mailbox_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mailbox-cap" ] ~docv:"N"
+        ~doc:
+          "Bound each container's admission queue at $(docv) messages; \
+           roots arriving at a full queue are shed with the overloaded \
+           abort cause instead of queuing.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED:KIND"
+        ~doc:
+          "Attach a seeded fault injector, e.g. 7:prepare-stall or \
+           3:flush-stall:0.1:5000 (kinds: delivery-delay, domain-stall, \
+           prepare-stall, flush-stall; optional :P hit probability and \
+           :DELAY_US scale).")
+
 let run_term =
   Term.(
     const run_cmd $ workload_arg $ scale_arg $ theta_arg $ workers_arg
     $ strategy_arg $ executors_arg $ mpl_arg $ config_arg $ duration_arg
     $ certify_arg $ profile_arg $ wal_arg $ durable_arg $ trace_arg
-    $ trace_json_arg)
+    $ trace_json_arg $ deadline_arg $ mailbox_cap_arg $ chaos_arg)
 
 let run_info = Cmd.info "run" ~doc:"Run a workload under a deployment."
+
+let domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~doc:"Containers (= OCaml domains) to spawn.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ]
+        ~doc:"Max in-loop resubmissions of transient aborts (with backoff).")
+
+let wall_duration_arg =
+  Arg.(
+    value & opt float 500.
+    & info [ "duration" ] ~doc:"Measured wall-clock duration in ms.")
+
+let run_parallel_term =
+  Term.(
+    const run_parallel_cmd $ workload_arg $ scale_arg $ theta_arg
+    $ workers_arg $ domains_arg $ wall_duration_arg $ retries_arg
+    $ deadline_arg $ mailbox_cap_arg $ chaos_arg)
+
+let run_parallel_info =
+  Cmd.info "run-parallel"
+    ~doc:
+      "Run a workload on the real-parallel backend (one domain per \
+       container, wall-clock time)."
 
 let show_config_term =
   Term.(
@@ -386,6 +516,7 @@ let () =
              ~doc:"ReactDB: a predictable, virtualized actor database system.")
           [
             Cmd.v run_info run_term;
+            Cmd.v run_parallel_info run_parallel_term;
             Cmd.v sql_info sql_term;
             Cmd.v show_config_info show_config_term;
             Cmd.v list_info list_term;

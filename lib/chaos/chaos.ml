@@ -1,0 +1,107 @@
+type kind = Delay_delivery | Stall_domain | Stall_prepare | Stall_flush
+
+let all_kinds = [ Delay_delivery; Stall_domain; Stall_prepare; Stall_flush ]
+
+let kind_name = function
+  | Delay_delivery -> "delivery-delay"
+  | Stall_domain -> "domain-stall"
+  | Stall_prepare -> "prepare-stall"
+  | Stall_flush -> "flush-stall"
+
+let kind_of_name = function
+  | "delivery-delay" -> Some Delay_delivery
+  | "domain-stall" -> Some Stall_domain
+  | "prepare-stall" -> Some Stall_prepare
+  | "flush-stall" -> Some Stall_flush
+  | _ -> None
+
+let kind_index = function
+  | Delay_delivery -> 0
+  | Stall_domain -> 1
+  | Stall_prepare -> 2
+  | Stall_flush -> 3
+
+type active = {
+  seed : int;
+  kind : kind;
+  p : float;
+  delay_us : float;
+  n_probes : int Atomic.t;
+  n_injections : int Atomic.t;
+}
+
+type t = active option
+
+let none = None
+
+let make ~seed ~kind ?(p = 0.05) ?(delay_us = 2000.) () =
+  Some
+    {
+      seed;
+      kind;
+      p = Float.min 1. (Float.max 0. p);
+      delay_us = Float.max 0. delay_us;
+      n_probes = Atomic.make 0;
+      n_injections = Atomic.make 0;
+    }
+
+let is_active = Option.is_some
+let target = Option.map (fun a -> a.kind)
+
+let draw_us t k =
+  match t with
+  | None -> None
+  | Some a ->
+    if a.kind <> k then None
+    else begin
+      (* One decision per probe, numbered by a per-injector atomic counter.
+         The (seed, kind, probe#) triple fully determines hit and duration,
+         so a seed replays the same fault schedule; only the assignment of
+         probe numbers to concurrent probers varies across runs. *)
+      let n = Atomic.fetch_and_add a.n_probes 1 in
+      let rng =
+        Util.Rng.create
+          (a.seed lxor ((kind_index a.kind + 1) * 0x9e3779b9) lxor (n * 0x85ebca6b))
+      in
+      if Util.Rng.float rng 1.0 < a.p then begin
+        Atomic.incr a.n_injections;
+        (* duration jittered in [delay/2, 3*delay/2] *)
+        Some (a.delay_us *. (0.5 +. Util.Rng.float rng 1.0))
+      end
+      else None
+    end
+
+let inject_wall t k =
+  match draw_us t k with
+  | None -> ()
+  | Some d -> if d > 0. then Unix.sleepf (d *. 1e-6)
+
+let probes = function None -> 0 | Some a -> Atomic.get a.n_probes
+let injections = function None -> 0 | Some a -> Atomic.get a.n_injections
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | seed :: kname :: rest -> (
+    match (int_of_string_opt seed, kind_of_name kname) with
+    | None, _ -> Error (Printf.sprintf "chaos spec %S: bad seed" s)
+    | _, None ->
+      Error
+        (Printf.sprintf "chaos spec %S: unknown kind (want one of %s)" s
+           (String.concat ", " (List.map kind_name all_kinds)))
+    | Some seed, Some kind -> (
+      match rest with
+      | [] -> Ok (make ~seed ~kind ())
+      | [ p ] -> (
+        match float_of_string_opt p with
+        | Some p -> Ok (make ~seed ~kind ~p ())
+        | None -> Error (Printf.sprintf "chaos spec %S: bad probability" s))
+      | [ p; d ] -> (
+        match (float_of_string_opt p, float_of_string_opt d) with
+        | Some p, Some delay_us -> Ok (make ~seed ~kind ~p ~delay_us ())
+        | _ -> Error (Printf.sprintf "chaos spec %S: bad probability/delay" s))
+      | _ -> Error (Printf.sprintf "chaos spec %S: too many fields" s)))
+  | _ -> Error (Printf.sprintf "chaos spec %S: want SEED:KIND[:P[:DELAY_US]]" s)
+
+let to_string = function
+  | None -> "none"
+  | Some a -> Printf.sprintf "%d:%s" a.seed (kind_name a.kind)

@@ -35,11 +35,15 @@ type spec = {
   warmup_epochs : int;
   seed : int;
   max_retries : int;
+  deadline_us : float option;
+  backoff : Backoff.policy option;
 }
 
 let spec ?(epochs = 20) ?(epoch_us = 20_000.) ?(warmup_epochs = 3) ?(seed = 42)
-    ?(max_retries = 0) ~n_workers gen =
-  { n_workers; gen; epochs; epoch_us; warmup_epochs; seed; max_retries }
+    ?(max_retries = 0) ?deadline_us ?(backoff = Some Backoff.default)
+    ~n_workers gen =
+  { n_workers; gen; epochs; epoch_us; warmup_epochs; seed; max_retries;
+    deadline_us; backoff }
 
 let build ?(profile = Reactdb.Profile.default) decl config =
   let eng = Sim.Engine.create () in
@@ -81,14 +85,18 @@ let run_load db s =
      resubmitted (same request, incremented retry index) up to
      [max_retries] times — attempt-level counters still see every attempt;
      [n_retries] counts the resubmissions so the caller can separate
-     logical transactions from attempts. *)
+     logical transactions from attempts. Resubmissions are paced by the
+     seeded exponential-backoff policy as virtual delay (non-transient
+     causes — user, dangerous, timeout, overloaded — are never retried). *)
   for w = 0 to s.n_workers - 1 do
     Sim.Engine.spawn eng (fun () ->
         let rng = Rng.stream ~seed:s.seed w in
+        let bseed = s.seed lxor (w * 0x9e3779b9) in
         let rec attempt req idx =
           let out =
-            DB.exec_txn ~retry:idx db ~reactor:req.Workloads.Wl.reactor
-              ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args
+            DB.exec_txn ~retry:idx ?deadline_us:s.deadline_us db
+              ~reactor:req.Workloads.Wl.reactor ~proc:req.Workloads.Wl.proc
+              ~args:req.Workloads.Wl.args
           in
           (if !measuring then
              match out.DB.result with
@@ -103,6 +111,11 @@ let run_load db s =
             when Obs.Abort.transient cause.Obs.Abort.kind
                  && idx < s.max_retries ->
             if !measuring then incr n_retries;
+            (match s.backoff with
+            | Some p ->
+              Sim.Engine.delay
+                (Backoff.delay_us p ~seed:bseed ~attempt:(idx + 1))
+            | None -> ());
             attempt req (idx + 1)
           | _ -> ()
         in

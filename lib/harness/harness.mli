@@ -52,8 +52,16 @@ type run_result = {
     [worker]; each worker has an independent, seeded RNG. [max_retries]
     (default 0): aborted attempts whose cause is transient — conflicts and
     validation failures, per [Obs.Abort.transient] — are resubmitted with
-    an increasing retry index up to this many times; user aborts and
-    dangerous-call-structure aborts are never retried. *)
+    an increasing retry index up to this many times; user aborts,
+    dangerous-call-structure aborts, deadline timeouts and admission sheds
+    are never retried in-loop.
+
+    [backoff] (default [Some Util.Backoff.default]) paces resubmissions
+    with seeded exponential backoff + jitter spent as {e virtual} delay
+    ([None] restores immediate retry); worker [w]'s delays derive from
+    [seed lxor (w * 0x9e3779b9)], so runs are deterministic per seed.
+    [deadline_us] gives every attempt that virtual-µs latency budget
+    (expired attempts abort with the non-transient [Obs.Abort.Timeout]). *)
 type spec = {
   n_workers : int;
   gen : int -> Util.Rng.t -> Workloads.Wl.request;
@@ -62,17 +70,21 @@ type spec = {
   warmup_epochs : int;
   seed : int;
   max_retries : int;
+  deadline_us : float option;
+  backoff : Util.Backoff.policy option;
 }
 
 (** [spec ~n_workers gen] with defaults scaled down from the paper's
     setup: 20 epochs of 20 000 virtual µs after 3 warm-up epochs,
-    seed 42, no retries. *)
+    seed 42, no retries, no deadline, default backoff policy. *)
 val spec :
   ?epochs:int ->
   ?epoch_us:float ->
   ?warmup_epochs:int ->
   ?seed:int ->
   ?max_retries:int ->
+  ?deadline_us:float ->
+  ?backoff:Util.Backoff.policy option ->
   n_workers:int ->
   (int -> Util.Rng.t -> Workloads.Wl.request) ->
   spec

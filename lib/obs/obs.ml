@@ -63,10 +63,12 @@ module Abort = struct
     | Key_exists
     | Dangerous
     | Internal
+    | Timeout
+    | Overloaded
 
   let all_kinds =
     [ User; Conflict; Lock_busy; Stale_read; Node_changed; Key_exists;
-      Dangerous; Internal ]
+      Dangerous; Internal; Timeout; Overloaded ]
 
   let kind_index = function
     | User -> 0
@@ -77,8 +79,10 @@ module Abort = struct
     | Key_exists -> 5
     | Dangerous -> 6
     | Internal -> 7
+    | Timeout -> 8
+    | Overloaded -> 9
 
-  let n_kinds = 8
+  let n_kinds = 10
 
   let kind_name = function
     | User -> "user"
@@ -89,6 +93,8 @@ module Abort = struct
     | Key_exists -> "key-exists"
     | Dangerous -> "dangerous-structure"
     | Internal -> "internal"
+    | Timeout -> "timeout"
+    | Overloaded -> "overloaded"
 
   let kind_of_name = function
     | "user" -> Some User
@@ -99,11 +105,20 @@ module Abort = struct
     | "key-exists" -> Some Key_exists
     | "dangerous-structure" -> Some Dangerous
     | "internal" -> Some Internal
+    | "timeout" -> Some Timeout
+    | "overloaded" -> Some Overloaded
     | _ -> None
 
+  (* Timeout and Overloaded are deliberately non-transient: a deadline that
+     expired has spent the transaction's whole latency budget, and an
+     admission shed means the system is asking for LESS offered load — an
+     automatic in-loop retry would defeat both. Re-attempting is the
+     client's decision, with a fresh deadline and its own backoff. *)
   let transient = function
     | Conflict | Lock_busy | Stale_read | Node_changed | Key_exists -> true
-    | User | Dangerous | Internal -> false
+    | User | Dangerous | Internal | Timeout | Overloaded -> false
+
+  exception Timed_out of string
 
   type cause = { kind : kind; participants : int; retry : int }
 
@@ -252,7 +267,9 @@ module Collector = struct
 end
 
 module Report = struct
-  let schema_version = 1
+  (* v2: abort taxonomy gained the "timeout" and "overloaded" kinds
+     (overload-safe runtime). Readers reject other versions. *)
+  let schema_version = 2
 
   type phase_row = {
     pr_phase : string;

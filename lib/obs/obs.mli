@@ -118,8 +118,22 @@ module Abort : sig
         (** an insert's key reservation found a committed duplicate *)
     | Dangerous  (** dangerous cross-reactor call ([Reactor.Dangerous_call]) *)
     | Internal  (** engine-internal failure; never expected in steady state *)
+    | Timeout
+        (** the attempt's deadline expired at a phase boundary; the
+            engine unwound it through the normal abort path (locks
+            released, 2PC participants rolled back) *)
+    | Overloaded
+        (** shed at admission: the home container's bounded mailbox was
+            full, the attempt never started executing *)
 
   val all_kinds : kind list
+
+  val kind_index : kind -> int
+  (** Dense index in [0, n_kinds); position of the kind in {!all_kinds}.
+      For per-kind counter arrays. *)
+
+  val n_kinds : int
+  (** [List.length all_kinds]. *)
 
   val kind_name : kind -> string
   (** Stable name used in tables and JSON (e.g. ["lock-busy"]). *)
@@ -129,9 +143,18 @@ module Abort : sig
 
   val transient : kind -> bool
   (** [true] for kinds a retry can clear (conflicts and validation
-      failures); [false] for [User], [Dangerous] and [Internal]. The
+      failures); [false] for [User], [Dangerous], [Internal] — and for
+      [Timeout] and [Overloaded], whose whole point is to {e stop}
+      spending: an expired deadline consumed the attempt's latency
+      budget and a shed is the engine asking for less offered load, so
+      re-attempting is the client's decision, not the retry loop's. The
       retry loops in [Harness] and [Runtime.Db.Load] retry exactly the
       transient kinds. *)
+
+  exception Timed_out of string
+  (** Raised {e by the engines, at phase boundaries only} (never inside
+      application procedure bodies) when a transaction's deadline
+      expires; classified as a [Timeout] abort by both backends. *)
 
   (** What one failed attempt looked like. *)
   type cause = {
@@ -231,7 +254,8 @@ end
     not know. *)
 module Report : sig
   val schema_version : int
-  (** Current export schema version (1). *)
+  (** Current export schema version (2: added the ["timeout"] and
+      ["overloaded"] abort kinds to [r_aborts_by_kind]). *)
 
   (** One phase's merged statistics. [pr_count] counts attempts where
       the phase was non-zero; [pr_mean_us] is the per-attempt mean

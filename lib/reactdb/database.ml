@@ -77,7 +77,14 @@ type t = {
   mutable flush_pending : bool;
   mutable epoch_waiters : (int * (unit -> unit)) list;
   mutable n_flushes : int;
+  mutable wal_error : string option;
+      (* first WAL device failure seen by the group-commit flusher; the
+         run continues with durability degraded rather than crashing *)
   mutable obs : Obs.Collector.t option;
+  mutable chaos : Chaos.t;
+  mutable mailbox_cap : int option;
+      (* root admission bound per executor request queue; [None] =
+         unbounded (sheds surface as [Obs.Abort.Overloaded] outcomes) *)
 }
 
 let engine t = t.eng
@@ -112,24 +119,38 @@ type sub = { sfid : int; siv : subresult Engine.Ivar.ivar }
    counted as a user abort. [Ab_validation] is commit-time (OCC validation
    or 2PC prepare failure); [Ab_conflict] is an execution-time concurrency
    conflict (duplicate-key race) — both land in the "validation" bucket. *)
-type abort_class = Ab_user | Ab_conflict | Ab_validation | Ab_dangerous
+type abort_class =
+  | Ab_user
+  | Ab_conflict
+  | Ab_validation
+  | Ab_dangerous
+  | Ab_timeout
+  | Ab_overload
+  | Ab_internal
 
 let classify_exn = function
   | Occ.Txn.Abort m -> Some (Ab_user, m)
   | Occ.Txn.Conflict m -> Some (Ab_conflict, m)
   | Reactor.Dangerous_call m -> Some (Ab_dangerous, m)
+  | Obs.Abort.Timed_out m -> Some (Ab_timeout, m)
   | _ -> None
 
 let bucket_of_class = function
   | Ab_user -> "user"
   | Ab_conflict | Ab_validation -> "validation"
   | Ab_dangerous -> "dangerous-structure"
+  | Ab_timeout -> "timeout"
+  | Ab_overload -> "overloaded"
+  | Ab_internal -> "internal"
 
 let obs_kind_of_class = function
   | Ab_user -> Obs.Abort.User
   | Ab_conflict -> Obs.Abort.Conflict
   | Ab_validation -> Obs.Abort.Internal (* refined by fail_reason when known *)
   | Ab_dangerous -> Obs.Abort.Dangerous
+  | Ab_timeout -> Obs.Abort.Timeout
+  | Ab_overload -> Obs.Abort.Overloaded
+  | Ab_internal -> Obs.Abort.Internal
 
 let obs_kind_of_fail = function
   | Occ.Commit.Lock_busy -> Obs.Abort.Lock_busy
@@ -141,6 +162,9 @@ type root = {
   txn : Occ.Txn.t;
   bd : breakdown;
   tr : Obs.Trace.t; (* lifecycle trace; Obs.Trace.none when no collector *)
+  deadline : float;
+      (* absolute virtual-time deadline; [infinity] when the root has no
+         deadline, keeping every check one float compare *)
   active_set : (string, unit) Hashtbl.t;
   mutable exec_of_container : (int * executor) list;
   mutable last_call : int;
@@ -152,6 +176,17 @@ type root = {
   mutable logged_epoch : int option;
       (* epoch of this root's redo record, once appended to the WAL *)
 }
+
+let deadline_expired root =
+  root.deadline < Float.infinity && Engine.current_time () > root.deadline
+
+(* Deadline checks sit at phase boundaries only — admission, body start,
+   sub-call start, resume after an await, implicit sync, commit entry, 2PC
+   prepare — so an expired deadline always unwinds through the same typed
+   abort path as any other abort. *)
+let check_deadline root ~where =
+  if deadline_expired root then
+    raise (Obs.Abort.Timed_out ("deadline expired " ^ where))
 
 (* Invocation frame: one (sub-)transaction execution on one reactor. *)
 type frame = {
@@ -298,6 +333,10 @@ let rec run_procedure db ~root ~rstate ~ex ~on_root_path ~proc_name ~args =
       | Ok _ -> ()
       | Error e -> if !first_err = None then first_err := Some e)
     (List.rev frame.children);
+  (* Implicit sync done: every child has completed, so raising here cannot
+     leave a sub-transaction mutating the shared context. *)
+  if !first_err = None && frame.children <> [] && deadline_expired root then
+    first_err := Some (Obs.Abort.Timed_out "deadline expired after implicit sync");
   match !first_err with
   | Some e -> raise e
   | None -> (match result with Ok v -> v | Error _ -> assert false)
@@ -364,6 +403,7 @@ and do_call db frame ~reactor ~proc ~args =
           (db.prof.Profile.cost_sub_dispatch +. net db caller_home tstate.home);
         let res =
           try
+            check_deadline root ~where:"at sub-transaction start";
             Ok
               (run_procedure db ~root ~rstate:tstate ~ex:rex
                  ~on_root_path:false ~proc_name:proc ~args)
@@ -388,7 +428,13 @@ and do_call db frame ~reactor ~proc ~args =
         Reactor.get =
           (fun () ->
             match await_sub db frame sub with
-            | Ok v -> v
+            | Ok v ->
+              (* Resumed after a (possibly long) blocked window: re-check
+                 the budget before the body continues. Raises inside the
+                 procedure body, so the implicit sync still awaits every
+                 sibling before the frame unwinds. *)
+              check_deadline root ~where:"on resume after sub-transaction";
+              v
             | Error e -> raise e);
       }
     end
@@ -427,8 +473,15 @@ let wal_log db root tid =
       root.logged_epoch <- Some (Storage.Record.tid_epoch tid)
     end
 
+(* [Wal.Io_error] from a failed append, turned into a commit error by the
+   callers (locks still held at that point, so the release path runs). *)
+let wal_log_checked db root tid =
+  try
+    wal_log db root tid;
+    Ok ()
+  with Wal.Io_error m -> Error m
+
 let note_history db root tid =
-  wal_log db root tid;
   if db.record_history then begin
     let reads =
       List.concat_map
@@ -466,8 +519,22 @@ let rec schedule_flush db =
     let boundary_epoch = current_epoch db in
     let at = epoch_len_us *. float_of_int boundary_epoch in
     Engine.spawn db.eng ~at (fun () ->
+        (* Chaos: the group-commit flush stalls (device hiccup), delaying
+           every transaction waiting on epoch durability. [flush_pending]
+           stays true across the stall, so no second flusher starts. *)
+        (match Chaos.draw_us db.chaos Chaos.Stall_flush with
+        | Some d -> Engine.delay d
+        | None -> ());
         db.flush_pending <- false;
-        (match db.wal with Some log -> Wal.flush log | None -> ());
+        (* A failing log device must not kill the run (the flusher runs
+           outside any transaction): record the failure, keep releasing
+           waiters — durability is degraded, not liveness. *)
+        (match db.wal with
+        | Some log -> (
+          try Wal.flush log
+          with Wal.Io_error m ->
+            if db.wal_error = None then db.wal_error <- Some m)
+        | None -> ());
         db.n_flushes <- db.n_flushes + 1;
         db.flushed_epoch <- Stdlib.max db.flushed_epoch boundary_epoch;
         let ready, waiting =
@@ -492,6 +559,12 @@ let wait_durable db root =
       Engine.suspend (fun waker ->
           db.epoch_waiters <- (e, waker) :: db.epoch_waiters)
     end
+
+(* Typed commit failures: [C_fail] carries the validation verdict,
+   [C_timeout] is a participant refusing to prepare past the root's
+   deadline, [C_wal] a log-device failure while appending the redo
+   record. *)
+type commit_err = C_fail of Occ.Commit.fail_reason | C_timeout | C_wal of string
 
 (* Two-phase commit (§3.2.2): phase one runs Silo validation with locks on
    every participant; phase two installs or releases. Remote phases execute
@@ -526,22 +599,26 @@ let two_phase db root ex containers ~epoch =
       acquire_core ex;
       r
   in
+  (* One participant's prepare: refuse outright when the root's deadline
+     has already passed (no validation work, no locks taken — the
+     coordinator rolls the prepared participants back like any abort
+     vote), otherwise validate. *)
+  let prepare_vote c () =
+    if deadline_expired root then Error C_timeout
+    else begin
+      Engine.delay (validation_cost db root.txn c);
+      Result.map_error (fun fr -> C_fail fr)
+        (Occ.Commit.prepare root.txn ~container:c)
+    end
+  in
   (* Phase 1. Validation span on the root's timeline: from entering phase
      one until every participant's vote has resolved. *)
   let t_val = Engine.current_time () in
   let prepares =
     List.map
       (fun c ->
-        if c = ex.cid then begin
-          Engine.delay (validation_cost db root.txn c);
-          (c, `Done (Occ.Commit.prepare root.txn ~container:c))
-        end
-        else
-          ( c,
-            `Pending
-              (remote_step c (fun () ->
-                   Engine.delay (validation_cost db root.txn c);
-                   Occ.Commit.prepare root.txn ~container:c)) ))
+        if c = ex.cid then (c, `Done (prepare_vote c ()))
+        else (c, `Pending (remote_step c (prepare_vote c))))
       containers
   in
   let resolved =
@@ -552,45 +629,58 @@ let two_phase db root ex containers ~epoch =
   in
   Obs.Trace.add root.tr Obs.Phase.Validation (Engine.current_time () -. t_val);
   let t_dec = Engine.current_time () in
-  if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
-    let tid = Occ.Commit.compute_tid root.txn ~epoch in
-    (* Phase 2: install. *)
-    let acks =
-      List.map
-        (fun c ->
-          if c = ex.cid then begin
-            Engine.delay p.Profile.cost_commit_base;
-            Occ.Commit.install root.txn ~container:c ~tid;
-            None
-          end
-          else
-            Some
-              (remote_step c (fun () ->
-                   Engine.delay p.Profile.cost_commit_base;
-                   Occ.Commit.install root.txn ~container:c ~tid)))
-        containers
-    in
-    List.iter (function Some iv -> wait iv | None -> ()) acks;
-    note_history db root tid;
-    Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec);
-    Ok ()
-  end
-  else begin
-    (* Phase 2: rollback every prepared participant. *)
+  (* Phase 2 (abort): roll back every prepared participant. *)
+  let rollback prepared =
     let acks =
       List.filter_map
-        (fun (c, v) ->
-          if Result.is_error v then None
-          else if c = ex.cid then begin
+        (fun c ->
+          if c = ex.cid then begin
             Occ.Commit.release root.txn ~container:c;
             None
           end
           else
             Some (remote_step c (fun () -> Occ.Commit.release root.txn ~container:c)))
-        resolved
+        prepared
     in
     List.iter wait acks;
-    Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec);
+    Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec)
+  in
+  if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
+    let tid = Occ.Commit.compute_tid root.txn ~epoch in
+    (* Write-ahead: append the redo record while every participant still
+       holds its locks, so a failed log device rolls the transaction back
+       instead of leaving installed writes with no durable record. *)
+    match wal_log_checked db root tid with
+    | Error m ->
+      rollback containers;
+      Error (C_wal m)
+    | Ok () ->
+      (* Phase 2: install. *)
+      let acks =
+        List.map
+          (fun c ->
+            if c = ex.cid then begin
+              Engine.delay p.Profile.cost_commit_base;
+              Occ.Commit.install root.txn ~container:c ~tid;
+              None
+            end
+            else
+              Some
+                (remote_step c (fun () ->
+                     Engine.delay p.Profile.cost_commit_base;
+                     Occ.Commit.install root.txn ~container:c ~tid)))
+          containers
+      in
+      List.iter (function Some iv -> wait iv | None -> ()) acks;
+      note_history db root tid;
+      Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec);
+      Ok ()
+  end
+  else begin
+    rollback
+      (List.filter_map
+         (fun (c, v) -> if Result.is_ok v then Some c else None)
+         resolved);
     let reason =
       match
         List.find_map
@@ -619,15 +709,22 @@ let do_commit db root ex =
     (match Occ.Commit.prepare root.txn ~container:c with
     | Error r ->
       Obs.Trace.add root.tr Obs.Phase.Validation (Engine.current_time () -. t0);
-      Error r
+      Error (C_fail r)
     | Ok () ->
       Obs.Trace.add root.tr Obs.Phase.Validation (Engine.current_time () -. t0);
       let t1 = Engine.current_time () in
       let tid = Occ.Commit.compute_tid root.txn ~epoch in
-      Occ.Commit.install root.txn ~container:c ~tid;
-      note_history db root tid;
-      Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t1);
-      Ok ())
+      (* write-ahead: append before install (see two_phase) *)
+      (match wal_log_checked db root tid with
+      | Error m ->
+        Occ.Commit.release root.txn ~container:c;
+        Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t1);
+        Error (C_wal m)
+      | Ok () ->
+        Occ.Commit.install root.txn ~container:c ~tid;
+        note_history db root tid;
+        Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t1);
+        Ok ()))
   | containers -> two_phase db root ex containers ~epoch
 
 (* ------------------------------------------------------------------ *)
@@ -635,9 +732,14 @@ let do_commit db root ex =
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
-let exec_txn ?(retry = 0) db ~reactor ~proc ~args =
+let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
   let p = db.prof in
   let t_start = Engine.current_time () in
+  let deadline =
+    match deadline_us with
+    | Some d -> t_start +. d
+    | None -> Float.infinity
+  in
   Engine.delay p.Profile.cost_input_gen;
   db.txn_counter <- db.txn_counter + 1;
   let txn = Occ.Txn.create ~id:db.txn_counter in
@@ -646,9 +748,9 @@ let exec_txn ?(retry = 0) db ~reactor ~proc ~args =
     match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
   in
   let root =
-    { txn; bd; tr; active_set = Hashtbl.create 8; exec_of_container = [];
-      last_call = 0; call_ctr = 0; worked_since_call = false; doomed = None;
-      logged_epoch = None }
+    { txn; bd; tr; deadline; active_set = Hashtbl.create 8;
+      exec_of_container = []; last_call = 0; call_ctr = 0;
+      worked_since_call = false; doomed = None; logged_epoch = None }
   in
   let rst = reactor_state db reactor in
   let ex = route db rst in
@@ -665,6 +767,9 @@ let exec_txn ?(retry = 0) db ~reactor ~proc ~args =
     Hashtbl.add root.active_set reactor ();
     let res =
       try
+        (* Dequeue boundary: a root whose whole budget went to queueing
+           (or MPL admission) aborts before touching any record. *)
+        check_deadline root ~where:"before execution";
         let v =
           run_procedure db ~root ~rstate:rst ~ex ~on_root_path:true
             ~proc_name:proc ~args
@@ -682,11 +787,24 @@ let exec_txn ?(retry = 0) db ~reactor ~proc ~args =
       -. Obs.Trace.get tr Obs.Phase.Suspend_wait);
     let out =
       match res with
+      | Ok _ when deadline_expired root ->
+        (* Commit entry: nothing is prepared yet, so expiring here just
+           drops the read/write sets — no locks to release. *)
+        Error (Ab_timeout, "deadline expired before commit", Obs.Abort.Timeout)
       | Ok v -> (
-        match do_commit db root ex with
+        (* A log-device failure during commit surfaces as a typed internal
+           abort, not a raw exception unwinding through the engine. *)
+        match
+          try do_commit db root ex with Wal.Io_error m -> Error (C_wal m)
+        with
         | Ok () -> Ok v
-        | Error fr ->
-          Error (Ab_validation, Occ.Commit.fail_message fr, obs_kind_of_fail fr))
+        | Error (C_fail fr) ->
+          Error (Ab_validation, Occ.Commit.fail_message fr, obs_kind_of_fail fr)
+        | Error C_timeout ->
+          Error
+            (Ab_timeout, "deadline expired during 2pc prepare", Obs.Abort.Timeout)
+        | Error (C_wal m) ->
+          Error (Ab_internal, "wal write failed: " ^ m, Obs.Abort.Internal))
       | Error (`Aborted (k, m)) -> Error (k, m, obs_kind_of_class k)
       | Error (`Fatal e) -> (
         match classify_exn e with
@@ -699,9 +817,25 @@ let exec_txn ?(retry = 0) db ~reactor ~proc ~args =
     release_core ex;
     Engine.Ivar.fill done_iv out
   in
-  t_enq := Engine.current_time ();
-  Engine.Mailbox.push ex.queue body;
-  let out = Engine.Ivar.read done_iv in
+  (* Admission control: with a mailbox cap set, a root arriving at a full
+     request queue is shed here — it never occupies a queue slot, an MPL
+     slot or a core. Sub-transactions and commit traffic of admitted roots
+     are never shed. *)
+  let shed =
+    match db.mailbox_cap with
+    | Some cap -> Engine.Mailbox.length ex.queue >= cap
+    | None -> false
+  in
+  let out =
+    if shed then
+      Error
+        (Ab_overload, "overloaded: admission queue full", Obs.Abort.Overloaded)
+    else begin
+      t_enq := Engine.current_time ();
+      Engine.Mailbox.push ex.queue body;
+      Engine.Ivar.read done_iv
+    end
+  in
   (* Durable mode: hold the client until the flush covering this
      transaction's log epoch completes (the executor slot is already free,
      so group commit costs latency, not admission capacity). *)
@@ -823,7 +957,10 @@ let create eng decl cfg prof =
       flush_pending = false;
       epoch_waiters = [];
       n_flushes = 0;
+      wal_error = None;
       obs = None;
+      chaos = Chaos.none;
+      mailbox_cap = None;
     }
   in
   List.iter
@@ -886,6 +1023,9 @@ let attach_wal ?(durable = false) db log =
   db.durable <- durable
 
 let attach_obs db c = db.obs <- Some c
+let attach_chaos db c = db.chaos <- c
+let set_mailbox_cap db cap = db.mailbox_cap <- cap
+let wal_error db = db.wal_error
 let n_log_flushes db = db.n_flushes
 let enable_history db = db.record_history <- true
 let history db = List.rev db.hist

@@ -59,9 +59,23 @@ val profile : t -> Profile.t
     (user aborts, dangerous call structures, validation failures) yield
     [Error reason]; they are fully rolled back. [retry] (default 0) is the
     attempt's retry index, recorded in the lifecycle trace and abort
-    cause — the engine itself never retries. *)
+    cause — the engine itself never retries.
+
+    [deadline_us] gives the root a latency budget in {e virtual}
+    microseconds from submission. The deadline propagates to every
+    cross-container sub-call and is checked at phase boundaries (dequeue,
+    sub-call start, resume after an await, implicit sync, commit entry,
+    each 2PC prepare); an expired root aborts through the normal
+    typed-abort unwinding — children awaited, locks released, 2PC
+    participants rolled back — with a non-transient [Obs.Abort.Timeout]
+    cause.
+
+    If {!set_mailbox_cap} set a bound and the home executor's queue is at
+    it, the root is shed {e at admission} with an [Obs.Abort.Overloaded]
+    outcome (also non-transient) without ever enqueuing. *)
 val exec_txn :
   ?retry:int ->
+  ?deadline_us:float ->
   t ->
   reactor:string ->
   proc:string ->
@@ -112,6 +126,31 @@ val attach_wal : ?durable:bool -> t -> Wal.t -> unit
 
 (** Group-commit flushes performed since bootstrap / {!reset_stats}. *)
 val n_log_flushes : t -> int
+
+(** First WAL device failure ([Wal.Io_error]) observed by the group-commit
+    flusher, if any. Commits whose own append fails abort with a typed
+    [Internal] cause; a flush failure after append is recorded here (the
+    waiting transactions still complete — durability for that epoch is
+    lost, which the caller can detect through this accessor). *)
+val wal_error : t -> string option
+
+(** {1 Overload protection and chaos injection}
+
+    [attach_chaos t chaos] installs a seeded fault injector (see
+    {!Chaos}); the simulator probes it at its catalogued injection points
+    — currently [Stall_flush], charged as {e virtual} delay inside the
+    group-commit flusher before the device flush. Delivery/prepare stalls
+    are wall-clock concepts probed by the parallel runtime.
+
+    [set_mailbox_cap t (Some cap)] bounds every executor's request queue
+    for {e root admission only}: a root arriving when its home executor
+    already holds [cap] queued messages is shed with an
+    [Obs.Abort.Overloaded] outcome. Sub-transactions and commit-protocol
+    steps are never shed. [None] (the default) restores unbounded
+    admission. *)
+val attach_chaos : t -> Chaos.t -> unit
+
+val set_mailbox_cap : t -> int option -> unit
 
 (** {1 Observability}
 

@@ -78,12 +78,15 @@ type t = {
   execs : exec array;
   reactors : (string, Reactdb.Bootstrap.entry) Hashtbl.t;
   entries : Reactdb.Bootstrap.entry list;
+  chaos : Chaos.t;
   txn_counter : int Atomic.t;
   committed : int Atomic.t;
   aborted : int Atomic.t;
   ab_user : int Atomic.t;
   ab_validation : int Atomic.t;
   ab_dangerous : int Atomic.t;
+  ab_timeout : int Atomic.t;
+  ab_overload : int Atomic.t;
   fatal : int Atomic.t;
   fatal_mu : Mutex.t;
   mutable fatal_msgs : string list;
@@ -139,6 +142,9 @@ let domain_loop db ex =
     match Mailbox.pop_wait ex.mb with
     | None -> ()
     | Some job ->
+      (* Chaos: an unresponsive executor domain — everything queued behind
+         this mailbox waits out the stall. One branch when chaos is off. *)
+      Chaos.inject_wall db.chaos Chaos.Stall_domain;
       let t_run = Unix.gettimeofday () in
       run_fiber db ex job;
       ex.busy_s <- ex.busy_s +. (Unix.gettimeofday () -. t_run);
@@ -160,24 +166,32 @@ let fiber_await (iv : 'a Ivar.t) : 'a =
    fiber — each fiber locks only its own root's mutex and never while
    holding another, hence no hold-and-wait and no deadlock. *)
 
-type abort_class = Ab_user | Ab_conflict | Ab_validation | Ab_dangerous
+type abort_class =
+  | Ab_user
+  | Ab_conflict
+  | Ab_validation
+  | Ab_dangerous
+  | Ab_timeout
 
 let classify_exn = function
   | Occ.Txn.Abort m -> Some (Ab_user, m)
   | Occ.Txn.Conflict m -> Some (Ab_conflict, m)
   | Reactor.Dangerous_call m -> Some (Ab_dangerous, m)
+  | Obs.Abort.Timed_out m -> Some (Ab_timeout, m)
   | _ -> None
 
 let bucket_counter db = function
   | Ab_user -> db.ab_user
   | Ab_conflict | Ab_validation -> db.ab_validation
   | Ab_dangerous -> db.ab_dangerous
+  | Ab_timeout -> db.ab_timeout
 
 let obs_kind_of_class = function
   | Ab_user -> Obs.Abort.User
   | Ab_conflict -> Obs.Abort.Conflict
   | Ab_validation -> Obs.Abort.Internal (* refined by fail_reason when known *)
   | Ab_dangerous -> Obs.Abort.Dangerous
+  | Ab_timeout -> Obs.Abort.Timeout
 
 let obs_kind_of_fail = function
   | Occ.Commit.Lock_busy -> Obs.Abort.Lock_busy
@@ -201,10 +215,26 @@ type root = {
   rmu : Mutex.t;
   active_set : (string, unit) Hashtbl.t;
   tr : Obs.Trace.t; (* lifecycle trace; Obs.Trace.none when no collector *)
+  deadline_us : float;
+      (* absolute wall-clock deadline on the [now_us] grid; [infinity] when
+         the root has no deadline, which keeps every check a float compare
+         with no clock read *)
   mutable doomed : (abort_class * string) option;
       (* a sub-transaction aborted: the root may not commit even if
          application code swallowed the exception (§2.2.3) *)
 }
+
+let deadline_expired root =
+  root.deadline_us < Float.infinity && now_us () > root.deadline_us
+
+(* Deadline checks sit at phase boundaries only — dequeue, sub-call start,
+   resume after an await, post-sync, commit entry, 2PC prepare — never
+   inside application code, so an expired deadline always surfaces through
+   the same typed-abort unwinding as any other abort (children awaited,
+   active-set cleaned, locks released). *)
+let check_deadline root ~where =
+  if deadline_expired root then
+    raise (Obs.Abort.Timed_out ("deadline expired " ^ where))
 
 type frame = {
   froot : root;
@@ -266,6 +296,10 @@ let rec run_procedure db ~root ~entry ~ex ~on_root_path ~proc_name ~args =
       | Ok _ -> ()
       | Error e -> if !first_err = None then first_err := Some e)
     (List.rev frame.children);
+  (* Implicit sync done: every child has completed, so raising here cannot
+     leave a sub-transaction mutating the shared context. *)
+  if !first_err = None && frame.children <> [] && deadline_expired root then
+    first_err := Some (Obs.Abort.Timed_out "deadline expired after implicit sync");
   match !first_err with
   | Some e -> raise e
   | None -> (match result with Ok v -> v | Error _ -> assert false)
@@ -312,9 +346,13 @@ and do_call db frame ~reactor ~proc ~args =
       let rex = db.execs.(tentry.Reactdb.Bootstrap.bs_home) in
       let iv = Ivar.create () in
       Mailbox.push rex.mb (fun () ->
+          (* Chaos: the shipped sub-call stalls before it starts executing
+             on the destination domain. *)
+          Chaos.inject_wall db.chaos Chaos.Delay_delivery;
           Mutex.lock root.rmu;
           let res =
             try
+              check_deadline root ~where:"at sub-transaction start";
               Ok
                 (run_procedure db ~root ~entry:tentry ~ex:rex
                    ~on_root_path:false ~proc_name:proc ~args)
@@ -335,7 +373,13 @@ and do_call db frame ~reactor ~proc ~args =
         Reactor.get =
           (fun () ->
             match await_sub root ~on_root_path:frame.fpath sub with
-            | Ok v -> v
+            | Ok v ->
+              (* Resumed after a (possibly long) suspension: re-check the
+                 budget before letting the body continue. Raises inside the
+                 procedure body, so the implicit sync still awaits every
+                 sibling before the frame unwinds. *)
+              check_deadline root ~where:"on resume after sub-transaction";
+              v
             | Error e -> raise e);
       }
     end
@@ -361,19 +405,39 @@ let maybe_advance_epoch db =
    to every participant's writes. Each container's prepare/install/release
    executes on the domain that owns it, preserving data ownership. *)
 
-(* Commit failures carry [Some fail_reason] from validation or [None] when
-   a guarded commit step died on an exception (recorded fatal). *)
+(* Typed commit failures: [C_fail] carries the validation verdict,
+   [C_internal] means a guarded commit step died on an exception (recorded
+   fatal), [C_timeout] is a participant refusing to prepare past the root's
+   deadline. *)
+type commit_err =
+  | C_fail of Occ.Commit.fail_reason
+  | C_internal
+  | C_timeout
+
 let two_phase db root ~home containers ~epoch =
   let remote c f =
     let iv = Ivar.create () in
     Mailbox.push db.execs.(c).mb (fun () -> Ivar.fill iv (f ()));
     iv
   in
+  (* One participant's prepare: refuse outright when the root's deadline
+     has already passed (no locks taken — the coordinator treats the vote
+     like any abort vote and rolls the others back), otherwise validate.
+     The chaos stall fires after a successful prepare, i.e. with this
+     participant's write locks held — the worst place to lose time. *)
+  let prepare_vote c () =
+    if deadline_expired root then Error C_timeout
+    else begin
+      let r = Occ.Commit.prepare root.txn ~container:c in
+      if Result.is_ok r then Chaos.inject_wall db.chaos Chaos.Stall_prepare;
+      Result.map_error (fun fr -> C_fail fr) r
+    end
+  in
   (* An exception out of a commit step would leave the coordinator waiting
      forever; degrade to an abort vote / recorded fatal instead. *)
   let guard_vote f () =
-    try Result.map_error Option.some (f ())
-    with e -> record_fatal db e; Error None
+    try f ()
+    with e -> record_fatal db e; Error C_internal
   in
   let guard_ack f () = try f () with e -> record_fatal db e in
   let timed = Obs.Trace.enabled root.tr in
@@ -382,17 +446,8 @@ let two_phase db root ~home containers ~epoch =
   let prepares =
     List.map
       (fun c ->
-        if c = home then
-          ( c,
-            `Done
-              (Result.map_error Option.some
-                 (Occ.Commit.prepare root.txn ~container:c)) )
-        else
-          ( c,
-            `Pending
-              (remote c
-                 (guard_vote (fun () -> Occ.Commit.prepare root.txn ~container:c)))
-          ))
+        if c = home then (c, `Done (prepare_vote c ()))
+        else (c, `Pending (remote c (guard_vote (prepare_vote c)))))
       containers
   in
   let resolved =
@@ -449,7 +504,7 @@ let two_phase db root ~home containers ~epoch =
         (fun (_, v) -> match v with Error r -> Some r | Ok () -> None)
         resolved
     in
-    finish (Error (Option.join reason))
+    finish (Error (Option.value reason ~default:C_internal))
   end
 
 let do_commit db root ~home =
@@ -464,7 +519,7 @@ let do_commit db root ~home =
     (match Occ.Commit.prepare root.txn ~container:c with
     | Error r ->
       if timed then Obs.Trace.add root.tr Obs.Phase.Validation (now_us () -. t0);
-      Error (Some r)
+      Error (C_fail r)
     | Ok () ->
       if timed then Obs.Trace.add root.tr Obs.Phase.Validation (now_us () -. t0);
       let t1 = if timed then now_us () else 0. in
@@ -478,7 +533,9 @@ let do_commit db root ~home =
 (* Root execution: one mailbox job on the home domain. Guaranteed to call
    [k] and bump [completed] exactly once — quiescence depends on it. *)
 
-let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
+let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k () =
+  (* Chaos: the root dispatch message stalls before execution begins. *)
+  Chaos.inject_wall db.chaos Chaos.Delay_delivery;
   maybe_advance_epoch db;
   let entry = reactor_state db reactor in
   let home = entry.Reactdb.Bootstrap.bs_home in
@@ -489,7 +546,7 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
   in
   let root =
     { txn; rmu = Mutex.create (); active_set = Hashtbl.create 8; tr;
-      doomed = None }
+      deadline_us; doomed = None }
   in
   let timed = Obs.Trace.enabled tr in
   let t_body = if timed then now_us () else 0. in
@@ -501,6 +558,9 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
   Hashtbl.add root.active_set reactor ();
   let res =
     try
+      (* Dequeue boundary: a root whose whole budget went to queueing
+         aborts before touching any record. *)
+      check_deadline root ~where:"before execution";
       let v =
         run_procedure db ~root ~entry ~ex ~on_root_path:true ~proc_name:proc
           ~args
@@ -517,6 +577,10 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
       (now_us () -. t_body -. Obs.Trace.get tr Obs.Phase.Suspend_wait);
   let verdict =
     match res with
+    | Ok _ when deadline_expired root ->
+      (* Commit entry: nothing is prepared yet, so expiring here just drops
+         the read/write sets — no locks to release. *)
+      Error (Some Ab_timeout, "deadline expired before commit", Obs.Abort.Timeout)
     | Ok v -> (
       match
         try `C (do_commit db root ~home)
@@ -525,13 +589,18 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
           `F (Printexc.to_string e)
       with
       | `C (Ok ()) -> Ok v
-      | `C (Error (Some fr)) ->
+      | `C (Error (C_fail fr)) ->
         Error (Some Ab_validation, Occ.Commit.fail_message fr, obs_kind_of_fail fr)
-      | `C (Error None) ->
+      | `C (Error C_internal) ->
         Error
           ( Some Ab_validation,
             "validation failed (2pc): internal vote error",
             Obs.Abort.Internal )
+      | `C (Error C_timeout) ->
+        Error
+          ( Some Ab_timeout,
+            "deadline expired during 2pc prepare",
+            Obs.Abort.Timeout )
       | `F m -> Error (None, "internal commit error: " ^ m, Obs.Abort.Internal))
     | Error (`Aborted (kc, m)) -> Error (Some kc, m, obs_kind_of_class kc)
     | Error (`Fatal e) -> (
@@ -575,28 +644,63 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k () =
   (try k out with e -> record_fatal db e);
   Atomic.incr db.completed
 
-let submit ?(retry = 0) db ~reactor ~proc ~args ~k =
+let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
   let entry = reactor_state db reactor in
   let home = entry.Reactdb.Bootstrap.bs_home in
   Atomic.incr db.submitted;
   let t_submit = now_us () in
-  let job = exec_root db ~reactor ~proc ~args ~retry ~t_submit ~k in
+  let abs_deadline =
+    match deadline_us with
+    | Some d -> t_submit +. d
+    | None -> Float.infinity
+  in
+  let job =
+    exec_root db ~reactor ~proc ~args ~retry ~t_submit
+      ~deadline_us:abs_deadline ~k
+  in
   let ingress =
     match db.cfg.Reactdb.Config.router with
     | Reactdb.Config.Affinity -> home
     | Reactdb.Config.Round_robin ->
       Atomic.fetch_and_add db.rr 1 mod Array.length db.execs
   in
-  if ingress = home then Mailbox.push db.execs.(home).mb job
-  else
-    (* Misrouted ingress pays a forwarding hop to the owner — the locality
-       cost the affinity router avoids. *)
-    Mailbox.push db.execs.(ingress).mb (fun () ->
-        Mailbox.push db.execs.(home).mb job)
+  (* Admission control happens here and only here: root ingress goes
+     through [try_push] against the (possibly bounded) ingress mailbox.
+     Everything the runtime pushes on its own behalf — forwarding hops,
+     suspended-fiber resumptions, 2PC traffic — uses unconditional [push]:
+     shedding those would wedge an in-flight transaction instead of
+     refusing a new one. *)
+  let accepted =
+    if ingress = home then Mailbox.try_push db.execs.(home).mb job
+    else
+      (* Misrouted ingress pays a forwarding hop to the owner — the locality
+         cost the affinity router avoids. *)
+      Mailbox.try_push db.execs.(ingress).mb (fun () ->
+          Mailbox.push db.execs.(home).mb job)
+  in
+  if not accepted then begin
+    (* Shed at admission: the attempt never reaches a domain, so the
+       outcome is synthesized on the submitter's thread. Obs collector
+       slots are owned by home domains, so no lifecycle record is written
+       for sheds — the typed counters still account for them exactly. *)
+    Atomic.incr db.aborted;
+    Atomic.incr db.ab_overload;
+    let out =
+      {
+        result = Error "overloaded: admission queue full";
+        latency_us = now_us () -. t_submit;
+        containers_touched = 0;
+        abort_cause =
+          Some (Obs.Abort.cause ~participants:1 ~retry Obs.Abort.Overloaded);
+      }
+    in
+    (try k out with e -> record_fatal db e);
+    Atomic.incr db.completed
+  end
 
-let exec_txn db ~reactor ~proc ~args =
+let exec_txn ?deadline_us db ~reactor ~proc ~args =
   let iv = Ivar.create () in
-  submit db ~reactor ~proc ~args ~k:(fun out -> Ivar.fill iv out);
+  submit ?deadline_us db ~reactor ~proc ~args ~k:(fun out -> Ivar.fill iv out);
   Ivar.read_block iv
 
 (* Read [completed] before [submitted]: both monotone, every submit precedes
@@ -615,11 +719,12 @@ let quiesce db =
 
 (* ------------------------------------------------------------------ *)
 
-let start decl cfg =
+let start ?(chaos = Chaos.none) ?mailbox_cap decl cfg =
   let entries, _table_owner = Reactdb.Bootstrap.build decl cfg in
   let n = Reactdb.Config.n_containers cfg in
   let execs =
-    Array.init n (fun eid -> { eid; mb = Mailbox.create (); busy_s = 0. })
+    Array.init n (fun eid ->
+        { eid; mb = Mailbox.create ?capacity:mailbox_cap (); busy_s = 0. })
   in
   let reactors = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.add reactors e.Reactdb.Bootstrap.bs_name e) entries;
@@ -629,12 +734,15 @@ let start decl cfg =
       execs;
       reactors;
       entries;
+      chaos;
       txn_counter = Atomic.make 0;
       committed = Atomic.make 0;
       aborted = Atomic.make 0;
       ab_user = Atomic.make 0;
       ab_validation = Atomic.make 0;
       ab_dangerous = Atomic.make 0;
+      ab_timeout = Atomic.make 0;
+      ab_overload = Atomic.make 0;
       fatal = Atomic.make 0;
       fatal_mu = Mutex.create ();
       fatal_msgs = [];
@@ -676,6 +784,8 @@ let aborts_by_reason db =
       ("user", Atomic.get db.ab_user);
       ("validation", Atomic.get db.ab_validation);
       ("dangerous-structure", Atomic.get db.ab_dangerous);
+      ("timeout", Atomic.get db.ab_timeout);
+      ("overloaded", Atomic.get db.ab_overload);
     ]
 
 let attach_obs db c = db.obs <- Some c
@@ -697,11 +807,78 @@ module Load = struct
     measure_s : float;
     seed : int;
     max_retries : int;
+    deadline_us : float option;
+    backoff : Backoff.policy option;
+    shed_pause_us : float;
   }
 
   let spec ?(warmup_s = 0.2) ?(measure_s = 1.0) ?(seed = 42) ?(max_retries = 0)
+      ?deadline_us ?(backoff = Some Backoff.default) ?(shed_pause_us = 500.)
       ~n_workers gen =
-    { n_workers; gen; warmup_s; measure_s; seed; max_retries }
+    { n_workers; gen; warmup_s; measure_s; seed; max_retries; deadline_us;
+      backoff; shed_pause_us = Float.max 0. shed_pause_us }
+
+  (* Deferred-work timer on its own domain, used for backoff pauses between
+     retry attempts and for the post-shed pause — both must not block an
+     executor domain nor recurse on the submitter's stack. [Condition] has
+     no timed wait in the stdlib, so with items pending the loop polls on a
+     0.2 ms quantum; idle, it parks on the condition. *)
+  module Timer = struct
+    type item = { due : float; thunk : unit -> unit }
+
+    type t = {
+      mu : Mutex.t;
+      cond : Condition.t;
+      mutable items : item list;
+      mutable stopped : bool;
+      mutable dom : unit Domain.t option;
+      on_error : exn -> unit;
+    }
+
+    let rec loop t =
+      Mutex.lock t.mu;
+      if t.items = [] then
+        if t.stopped then Mutex.unlock t.mu
+        else begin
+          Condition.wait t.cond t.mu;
+          Mutex.unlock t.mu;
+          loop t
+        end
+      else begin
+        let now = Unix.gettimeofday () in
+        let due, rest = List.partition (fun i -> i.due <= now) t.items in
+        t.items <- rest;
+        Mutex.unlock t.mu;
+        List.iter (fun i -> try i.thunk () with e -> t.on_error e) due;
+        if due = [] then Unix.sleepf 2e-4;
+        loop t
+      end
+
+    let start ~on_error =
+      let t =
+        { mu = Mutex.create (); cond = Condition.create (); items = [];
+          stopped = false; dom = None; on_error }
+      in
+      t.dom <- Some (Domain.spawn (fun () -> loop t));
+      t
+
+    let after t delay_us thunk =
+      let due = Unix.gettimeofday () +. (delay_us *. 1e-6) in
+      Mutex.lock t.mu;
+      t.items <- { due; thunk } :: t.items;
+      Condition.signal t.cond;
+      Mutex.unlock t.mu
+
+    (* Drains remaining items before exiting (callers quiesce first, so
+       there normally are none). *)
+    let stop t =
+      Mutex.lock t.mu;
+      t.stopped <- true;
+      Condition.signal t.cond;
+      Mutex.unlock t.mu;
+      (match t.dom with Some d -> Domain.join d | None -> ());
+      t.dom <- None
+  end
 
   type result = {
     throughput : float;
@@ -721,16 +898,40 @@ module Load = struct
 
   (* Shared attempt loop: submit [req], resubmitting transient aborts up to
      [max_retries] times with an increasing retry index, then hand the final
-     outcome to [k]. [on_retry] observes every resubmission. *)
-  let rec attempt db ~max_retries ~on_retry ~req ~idx ~k =
-    submit ~retry:idx db ~reactor:req.Workloads.Wl.reactor
+     outcome to [k]. Between attempts the worker pauses per the seeded
+     backoff policy, parked on the timer domain (an immediate retry would
+     re-contend on exactly the state it just lost to). [observe] sees every
+     attempt outcome exactly once together with the retry decision made for
+     it, so window accounting can attribute both from one measurement-flag
+     read. *)
+  let rec attempt db ~timer ~backoff ~bseed ~deadline_us ~max_retries ~observe
+      ~req ~idx ~k =
+    submit ~retry:idx ?deadline_us db ~reactor:req.Workloads.Wl.reactor
       ~proc:req.Workloads.Wl.proc ~args:req.Workloads.Wl.args ~k:(fun out ->
-        match (out.result, out.abort_cause) with
-        | Error _, Some cause
-          when Obs.Abort.transient cause.Obs.Abort.kind && idx < max_retries ->
-          on_retry ();
-          attempt db ~max_retries ~on_retry ~req ~idx:(idx + 1) ~k
-        | _ -> k out)
+        let will_retry =
+          match (out.result, out.abort_cause) with
+          | Error _, Some cause ->
+            Obs.Abort.transient cause.Obs.Abort.kind && idx < max_retries
+          | _ -> false
+        in
+        observe out ~will_retry;
+        if will_retry then begin
+          let again () =
+            attempt db ~timer ~backoff ~bseed ~deadline_us ~max_retries
+              ~observe ~req ~idx:(idx + 1) ~k
+          in
+          match backoff with
+          | None -> again ()
+          | Some p ->
+            Timer.after timer (Backoff.delay_us p ~seed:bseed ~attempt:(idx + 1))
+              again
+        end
+        else k out)
+
+  (* Per-worker backoff seed: distinct workers draw distinct jitter
+     schedules from one run seed, which is what de-synchronizes retry
+     stampedes on a contended key. *)
+  let worker_seed seed w = seed lxor (w * 0x9e3779b9)
 
   (* [busy_s] is private to its domain; snapshot it with a mailbox job so
      the read happens on the owner with proper ordering. *)
@@ -743,62 +944,92 @@ module Load = struct
       db.execs
     |> Array.map Ivar.read_block
 
-  let abort_snapshot db =
-    (Atomic.get db.ab_user, Atomic.get db.ab_validation, Atomic.get db.ab_dangerous)
-
   let run db s =
     let stop = Atomic.make false in
     let measuring = Atomic.make false in
+    let live = Atomic.make s.n_workers in
     let n_retries = Atomic.make 0 in
+    let committed_w = Atomic.make 0 in
+    let aborted_w = Atomic.make 0 in
+    let kind_counts = Array.init Obs.Abort.n_kinds (fun _ -> Atomic.make 0) in
     let mu = Mutex.create () in
     let reservoir = Stats.Reservoir.create ~seed:s.seed 8192 in
     let lat = Stats.create () in
-    let on_retry () = if Atomic.get measuring then Atomic.incr n_retries in
+    let timer = Timer.start ~on_error:(record_fatal db) in
+    (* Window accounting lives here, not in global-counter deltas: one
+       [measuring] read attributes the attempt, its latency sample and its
+       retry decision to the same side of the window boundary, so the
+       identity commits + aborts = logical + retries holds exactly within
+       the window — attempts draining after measurement end (sheds,
+       timeouts, stragglers) can't be half-counted. *)
+    let observe out ~will_retry =
+      if Atomic.get measuring then begin
+        (match out.result with
+        | Ok _ ->
+          Atomic.incr committed_w;
+          Mutex.lock mu;
+          Stats.Reservoir.add reservoir out.latency_us;
+          Stats.add lat out.latency_us;
+          Mutex.unlock mu
+        | Error _ ->
+          Atomic.incr aborted_w;
+          (match out.abort_cause with
+          | Some c ->
+            Atomic.incr kind_counts.(Obs.Abort.kind_index c.Obs.Abort.kind)
+          | None -> ()));
+        if will_retry then Atomic.incr n_retries
+      end
+    in
     (* Completion-driven virtual client: worker [w]'s callback records the
        finished logical transaction (after any retries) and submits the
-       next one. *)
+       next one. Every chain ends by decrementing [live], including chains
+       parked on the timer. *)
     let rec step w rng =
-      if not (Atomic.get stop) then
+      if Atomic.get stop then Atomic.decr live
+      else
         match
           try Some (s.gen w rng)
           with e ->
             record_fatal db e;
             None
         with
-        | None -> ()
+        | None -> Atomic.decr live
         | Some req ->
-          attempt db ~max_retries:s.max_retries ~on_retry ~req ~idx:0
+          attempt db ~timer ~backoff:s.backoff ~bseed:(worker_seed s.seed w)
+            ~deadline_us:s.deadline_us ~max_retries:s.max_retries ~observe
+            ~req ~idx:0
             ~k:(fun out ->
-              (if Atomic.get measuring then
-                 match out.result with
-                 | Ok _ ->
-                   Mutex.lock mu;
-                   Stats.Reservoir.add reservoir out.latency_us;
-                   Stats.add lat out.latency_us;
-                   Mutex.unlock mu
-                 | Error _ -> ());
-              step w rng)
+              match out.abort_cause with
+              | Some c when c.Obs.Abort.kind = Obs.Abort.Overloaded ->
+                (* Shed at admission: pause before offering new work (the
+                   backpressure response), and hop through the timer domain
+                   — a synchronous resubmit would recurse submit → shed →
+                   submit on the saturated mailbox. *)
+                Timer.after timer s.shed_pause_us (fun () -> step w rng)
+              | _ -> step w rng)
     in
     for w = 0 to s.n_workers - 1 do
       step w (Rng.stream ~seed:s.seed w)
     done;
     Unix.sleepf s.warmup_s;
     let busy0 = busy_snapshot db in
-    let c0 = n_committed db and a0 = n_aborted db in
-    let u0, v0, d0 = abort_snapshot db in
     let t_start = Unix.gettimeofday () in
     Atomic.set measuring true;
     Unix.sleepf s.measure_s;
     Atomic.set measuring false;
-    let c1 = n_committed db and a1 = n_aborted db in
-    let u1, v1, d1 = abort_snapshot db in
     let t_end = Unix.gettimeofday () in
     Atomic.set stop true;
+    (* Drain worker chains first (they may still be parked on the timer),
+       then the runtime's in-flight roots, then retire the timer. *)
+    while Atomic.get live > 0 do
+      Unix.sleepf 2e-4
+    done;
     quiesce db;
+    Timer.stop timer;
     let busy1 = busy_snapshot db in
     let t_drained = Unix.gettimeofday () in
     let window = Float.max 1e-9 (t_end -. t_start) in
-    let committed = c1 - c0 and aborted = a1 - a0 in
+    let committed = Atomic.get committed_w and aborted = Atomic.get aborted_w in
     let done_ = committed + aborted in
     {
       throughput = float_of_int committed /. window;
@@ -808,13 +1039,11 @@ module Load = struct
       abort_rate =
         (if done_ = 0 then 0. else float_of_int aborted /. float_of_int done_);
       aborts_by_reason =
-        List.filter
-          (fun (_, n) -> n > 0)
-          [
-            ("user", u1 - u0);
-            ("validation", v1 - v0);
-            ("dangerous-structure", d1 - d0);
-          ];
+        List.filter_map
+          (fun k ->
+            let n = Atomic.get kind_counts.(Obs.Abort.kind_index k) in
+            if n > 0 then Some (Obs.Abort.kind_name k, n) else None)
+          Obs.Abort.all_kinds;
       mean_latency_us = Stats.mean lat;
       latency_std_us = Stats.stddev lat;
       p50_us = Stats.Reservoir.percentile reservoir 50.;
@@ -826,9 +1055,13 @@ module Load = struct
             (busy1.(i) -. busy0.(i)) /. Float.max 1e-9 (t_drained -. t_start));
     }
 
-  let run_fixed ?(max_retries = 0) db ~n_workers ~per_worker ~seed gen =
+  let run_fixed ?(max_retries = 0) ?deadline_us
+      ?(backoff = Some Backoff.default) db ~n_workers ~per_worker ~seed gen =
     let n_retries = Atomic.make 0 in
-    let on_retry () = Atomic.incr n_retries in
+    let done_ = Atomic.make 0 in
+    let total = n_workers * per_worker in
+    let timer = Timer.start ~on_error:(record_fatal db) in
+    let observe _out ~will_retry = if will_retry then Atomic.incr n_retries in
     let rec step w rng left =
       if left > 0 then
         match
@@ -837,14 +1070,30 @@ module Load = struct
             record_fatal db e;
             None
         with
-        | None -> ()
+        | None ->
+          (* generator died: account the chain's remaining transactions so
+             the drain below still terminates *)
+          ignore (Atomic.fetch_and_add done_ left)
         | Some req ->
-          attempt db ~max_retries ~on_retry ~req ~idx:0 ~k:(fun _ ->
-              step w rng (left - 1))
+          attempt db ~timer ~backoff ~bseed:(worker_seed seed w) ~deadline_us
+            ~max_retries ~observe ~req ~idx:0
+            ~k:(fun out ->
+              Atomic.incr done_;
+              match out.abort_cause with
+              | Some c when c.Obs.Abort.kind = Obs.Abort.Overloaded ->
+                Timer.after timer 500. (fun () -> step w rng (left - 1))
+              | _ -> step w rng (left - 1))
     in
     for w = 0 to n_workers - 1 do
       step w (Rng.stream ~seed w) per_worker
     done;
+    (* [quiesce] alone is not enough: a retry parked on the timer is not
+       yet submitted, so submitted = completed can hold mid-transaction.
+       Logical completion is the fixpoint that matters. *)
+    while Atomic.get done_ < total do
+      Unix.sleepf 2e-4
+    done;
     quiesce db;
+    Timer.stop timer;
     Atomic.get n_retries
 end

@@ -47,8 +47,18 @@ type outcome = {
 }
 
 (** [start decl cfg] bootstraps catalogs and loaders on the calling domain,
-    then spawns one domain per container. Call {!shutdown} when done. *)
-val start : Reactor.decl -> Reactdb.Config.t -> t
+    then spawns one domain per container. Call {!shutdown} when done.
+
+    [chaos] (default {!Chaos.none}) attaches a seeded fault injector; the
+    runtime probes it at the catalogued injection points (root/sub-call
+    delivery, between jobs on each domain, after a successful 2PC prepare
+    with locks held). [mailbox_cap] bounds each container's mailbox for
+    {e root admission only}: when the ingress mailbox already holds that
+    many messages, {!submit} sheds the root with an
+    [Obs.Abort.Overloaded] outcome instead of enqueuing it — internal
+    runtime traffic is never shed. *)
+val start :
+  ?chaos:Chaos.t -> ?mailbox_cap:int -> Reactor.decl -> Reactdb.Config.t -> t
 
 (** Quiesces (waits for every submitted root to complete), closes all
     mailboxes and joins the domains. The catalogs remain readable. *)
@@ -73,9 +83,23 @@ val catalogs : t -> (string * Storage.Catalog.t) list
     [k outcome] runs on the root's home domain when it completes. Never
     blocks the caller. Thread-safe. [retry] (default 0) is the attempt's
     retry index, recorded in the lifecycle trace and abort cause — the
-    engine itself never retries. *)
+    engine itself never retries.
+
+    [deadline_us] gives the root a latency budget in wall-clock µs from
+    submission. The deadline propagates to every cross-container sub-call
+    and is checked at phase boundaries (dequeue, sub-call start, resume
+    after an await, implicit sync, commit entry, each 2PC prepare); an
+    expired root aborts through the normal typed-abort unwinding —
+    children awaited, locks released, 2PC participants rolled back — with
+    a non-transient [Obs.Abort.Timeout] cause.
+
+    If the runtime was started with [mailbox_cap] and the ingress mailbox
+    is full, the root is shed {e at admission}: [k] runs synchronously on
+    the caller with an [Obs.Abort.Overloaded] outcome (also
+    non-transient), and no domain ever sees the transaction. *)
 val submit :
   ?retry:int ->
+  ?deadline_us:float ->
   t ->
   reactor:string ->
   proc:string ->
@@ -87,7 +111,12 @@ val submit :
     domains (tests, serial oracles). Must not be called from a [k]
     callback or procedure body — it would block an executor domain. *)
 val exec_txn :
-  t -> reactor:string -> proc:string -> args:Util.Value.t list -> outcome
+  ?deadline_us:float ->
+  t ->
+  reactor:string ->
+  proc:string ->
+  args:Util.Value.t list ->
+  outcome
 
 (** Block until every submitted root has completed. *)
 val quiesce : t -> unit
@@ -102,7 +131,8 @@ val n_committed : t -> int
 val n_aborted : t -> int
 
 (** Same typed buckets as the simulator backend: "user", "validation",
-    "dangerous-structure". *)
+    "dangerous-structure", plus "timeout" (deadline expiry) and
+    "overloaded" (admission sheds). *)
 val aborts_by_reason : t -> (string * int) list
 
 (** Runtime-internal failures (a procedure or callback raised something
@@ -135,8 +165,16 @@ val attach_obs : t -> Obs.Collector.t -> unit
 module Load : sig
   (** [max_retries] (default 0): transient aborts — conflicts and
       validation failures, per [Obs.Abort.transient] — are resubmitted up
-      to this many times with an increasing retry index; user aborts and
-      dangerous-call-structure aborts are never retried. *)
+      to this many times with an increasing retry index; user aborts,
+      dangerous-call-structure aborts, deadline timeouts and admission
+      sheds are never retried in-loop.
+
+      [backoff] (default [Some Util.Backoff.default]) paces those
+      resubmissions with seeded exponential backoff + jitter, evaluated on
+      a dedicated timer domain so no executor blocks; [None] restores
+      immediate retry. [deadline_us] gives every attempt that latency
+      budget. After a shed the worker pauses [shed_pause_us] (default
+      500 µs, the backpressure response) before generating new work. *)
   type spec = {
     n_workers : int;
     gen : int -> Util.Rng.t -> Workloads.Wl.request;
@@ -144,6 +182,9 @@ module Load : sig
     measure_s : float;
     seed : int;
     max_retries : int;
+    deadline_us : float option;
+    backoff : Util.Backoff.policy option;
+    shed_pause_us : float;
   }
 
   val spec :
@@ -151,6 +192,9 @@ module Load : sig
     ?measure_s:float ->
     ?seed:int ->
     ?max_retries:int ->
+    ?deadline_us:float ->
+    ?backoff:Util.Backoff.policy option ->
+    ?shed_pause_us:float ->
     n_workers:int ->
     (int -> Util.Rng.t -> Workloads.Wl.request) ->
     spec
@@ -169,7 +213,10 @@ module Load : sig
     retries : int;
     abort_rate : float;  (** aborted / (committed + aborted), attempt-level *)
     aborts_by_reason : (string * int) list;
-        (** same typed buckets as {!aborts_by_reason}, window deltas *)
+        (** aborted attempts in the window bucketed by
+            [Obs.Abort.kind_name] — finer than the engine-level
+            {!aborts_by_reason} buckets ("conflict", "lock-busy",
+            "timeout", "overloaded", …) *)
     mean_latency_us : float;
     latency_std_us : float;  (** per-transaction std (not per-epoch) *)
     p50_us : float;
@@ -181,7 +228,13 @@ module Load : sig
   }
 
   (** Run warm-up, measure, stop and drain. The runtime must be freshly
-      started or quiescent. Does not shut the runtime down. *)
+      started or quiescent. Does not shut the runtime down.
+
+      Window accounting is attributed per attempt at completion time from
+      a single measurement-flag read, so the in-window identity
+      [committed + aborted = logical completions + retries] is exact even
+      when attempts straddle the warmup/measure or measure/drain
+      boundary. *)
   val run : t -> spec -> result
 
   (** [run_fixed t ~n_workers ~per_worker ~seed gen] drives exactly
@@ -189,9 +242,14 @@ module Load : sig
       quiesces — for tests and equivalence audits that need an exact
       transaction count rather than a time window. Returns the number of
       retried attempts, so attempt-level counters satisfy
-      [n_committed + n_aborted = n_workers * per_worker + retries]. *)
+      [n_committed + n_aborted = n_workers * per_worker + retries].
+      A logical transaction shed at admission or expired past
+      [deadline_us] counts as one completed-with-abort transaction.
+      [backoff] defaults to [Some Util.Backoff.default] as in {!spec}. *)
   val run_fixed :
     ?max_retries:int ->
+    ?deadline_us:float ->
+    ?backoff:Util.Backoff.policy option ->
     t ->
     n_workers:int ->
     per_worker:int ->

@@ -7,9 +7,11 @@ type 'a t = {
   mutable batch : 'a Queue.t;  (* consumer-private drained batch *)
   mutable closed : bool;
   mutable waiting : bool;  (* consumer parked in [pop_wait] *)
+  capacity : int;  (* admission bound for [try_push]; max_int = unbounded *)
+  size : int Atomic.t;  (* messages pushed but not yet popped *)
 }
 
-let create () =
+let create ?(capacity = max_int) () =
   {
     mu = Mutex.create ();
     nonempty = Condition.create ();
@@ -17,6 +19,8 @@ let create () =
     batch = Queue.create ();
     closed = false;
     waiting = false;
+    capacity = (if capacity < 1 then 1 else capacity);
+    size = Atomic.make 0;
   }
 
 let push t x =
@@ -26,10 +30,32 @@ let push t x =
     raise Closed
   end;
   Queue.add x t.inbox;
+  Atomic.incr t.size;
   (* Signal only when the consumer is actually parked: a hot mailbox pays
      no condition-variable traffic. *)
   if t.waiting then Condition.signal t.nonempty;
   Mutex.unlock t.mu
+
+let try_push t x =
+  (* Cheap rejection before taking the lock: [size] counts every message
+     pushed and not yet consumed, so a full mailbox turns producers away
+     without touching the mutex the consumer is using. The check-then-add
+     is not atomic — a burst of producers can overshoot by at most one
+     message each — which is fine for admission control; the bound is a
+     shedding threshold, not a memory-safety limit. *)
+  if Atomic.get t.size >= t.capacity then false
+  else begin
+    Mutex.lock t.mu;
+    if t.closed then begin
+      Mutex.unlock t.mu;
+      raise Closed
+    end;
+    Queue.add x t.inbox;
+    Atomic.incr t.size;
+    if t.waiting then Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    true
+  end
 
 (* Swap the shared inbox for the (empty) private batch under the lock. The
    consumer then owns the old inbox outright. *)
@@ -49,9 +75,16 @@ let refill t =
   t.batch <- full;
   Mutex.unlock t.mu
 
+let take_opt t =
+  match Queue.take_opt t.batch with
+  | Some _ as r ->
+    Atomic.decr t.size;
+    r
+  | None -> None
+
 let pop_wait t =
   if Queue.is_empty t.batch then refill t;
-  Queue.take_opt t.batch
+  take_opt t
 
 let try_pop t =
   if Queue.is_empty t.batch then begin
@@ -61,7 +94,7 @@ let try_pop t =
     t.batch <- full;
     Mutex.unlock t.mu
   end;
-  Queue.take_opt t.batch
+  take_opt t
 
 let close t =
   Mutex.lock t.mu;
@@ -71,11 +104,7 @@ let close t =
   end;
   Mutex.unlock t.mu
 
-let length t =
-  Mutex.lock t.mu;
-  let n = Queue.length t.inbox + Queue.length t.batch in
-  Mutex.unlock t.mu;
-  n
+let length t = Atomic.get t.size
 
 let is_closed t =
   Mutex.lock t.mu;

@@ -20,11 +20,23 @@ type 'a t
 (** Raised by {!push} after {!close}. *)
 exception Closed
 
-(** A fresh, open, empty mailbox. *)
-val create : unit -> 'a t
+(** A fresh, open, empty mailbox. [capacity] (default unbounded, clamped to
+    at least 1) bounds admission through {!try_push} only. *)
+val create : ?capacity:int -> unit -> 'a t
 
-(** [push t x] enqueues [x]. Thread-safe. @raise Closed after {!close}. *)
+(** [push t x] enqueues [x] unconditionally, ignoring [capacity]. The
+    runtime uses this for control traffic — resumptions, 2PC votes,
+    forwarded roots — which must never be shed: dropping it would wedge an
+    in-flight transaction rather than refuse a new one. Thread-safe.
+    @raise Closed after {!close}. *)
 val push : 'a t -> 'a -> unit
+
+(** [try_push t x] enqueues [x] if fewer than [capacity] messages are
+    pending, else returns [false] (the overload signal — callers shed the
+    work at admission). Under concurrent producers the bound may overshoot
+    by at most one message per producer. Thread-safe.
+    @raise Closed after {!close}. *)
+val try_push : 'a t -> 'a -> bool
 
 (** [pop_wait t] dequeues the next message, blocking while the mailbox is
     empty and open; [None] once closed and drained. Single consumer only. *)
@@ -36,7 +48,7 @@ val try_pop : 'a t -> 'a option
 (** [close t] rejects subsequent pushes and wakes the consumer. Idempotent. *)
 val close : 'a t -> unit
 
-(** Messages currently enqueued (racy snapshot: both queues). *)
+(** Messages pushed but not yet popped (racy snapshot, lock-free). *)
 val length : 'a t -> int
 
 (** Whether {!close} has been called (there may still be messages left

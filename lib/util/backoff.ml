@@ -1,0 +1,30 @@
+type policy = {
+  base_us : float;
+  multiplier : float;
+  cap_us : float;
+  jitter : float;
+}
+
+let make ?(base_us = 200.) ?(multiplier = 2.) ?(cap_us = 50_000.)
+    ?(jitter = 0.5) () =
+  let base_us = Float.max 1. base_us in
+  let jitter = Float.min 1. (Float.max 0. jitter) in
+  (* multiplier >= 1 + jitter makes the schedule monotone even at the
+     jitter extremes: raw(k+1) = raw(k) * multiplier >= raw(k) * (1 +
+     jitter) >= jittered(k). *)
+  let multiplier = Float.max (1. +. jitter) multiplier in
+  let cap_us = Float.max base_us cap_us in
+  { base_us; multiplier; cap_us; jitter }
+
+let default = make ()
+
+let delay_us p ~seed ~attempt =
+  if attempt < 1 then 0.
+  else begin
+    let raw = p.base_us *. (p.multiplier ** float_of_int (attempt - 1)) in
+    (* One independent draw per (seed, attempt): no generator state is
+       carried between attempts, so concurrent workers can evaluate their
+       schedules in any order. *)
+    let u = Rng.float (Rng.stream ~seed attempt) 1.0 in
+    Float.min p.cap_us (raw *. (1. +. (p.jitter *. u)))
+  end

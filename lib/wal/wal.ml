@@ -216,12 +216,22 @@ let to_file path =
     flush_time_us = 0.;
   }
 
+exception Io_error of string
+
+(* Channel writes fail with [Sys_error] (disk full, revoked fd, …); wrap
+   them so the commit path can turn log-device failure into a typed
+   Internal abort instead of an arbitrary escaping exception. *)
+let wrap_io path f =
+  try f ()
+  with Sys_error m -> raise (Io_error (Printf.sprintf "wal %s: %s" path m))
+
 let append t e =
   (match t.sink with
   | Memory r -> r := e :: !r
-  | File { oc; _ } ->
-    output_string oc (encode_framed e);
-    output_char oc '\n');
+  | File { oc; path } ->
+    wrap_io path (fun () ->
+        output_string oc (encode_framed e);
+        output_char oc '\n'));
   t.count <- t.count + 1
 
 let length t = t.count
@@ -237,9 +247,9 @@ let flush t =
     (* Free, but still a group-commit boundary: count it so flush-wait
        attribution divides by the same flush count in both sink modes. *)
     t.n_flushes <- t.n_flushes + 1
-  | File { oc; _ } ->
+  | File { oc; path } ->
     let t0 = Unix.gettimeofday () in
-    flush oc;
+    wrap_io path (fun () -> flush oc);
     t.n_flushes <- t.n_flushes + 1;
     t.flush_time_us <- t.flush_time_us +. ((Unix.gettimeofday () -. t0) *. 1e6)
 

@@ -24,6 +24,12 @@ type entry = { le_txn : int; le_tid : int; le_writes : write list }
 
 type t
 
+(** Raised by {!append} and {!flush} when the log device fails
+    ([Sys_error] underneath: disk full, revoked descriptor, …). The
+    engines catch it on the commit path and surface a typed [Internal]
+    abort rather than letting a raw exception escape. *)
+exception Io_error of string
+
 (** In-memory log. *)
 val in_memory : unit -> t
 

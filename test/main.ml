@@ -17,6 +17,7 @@ let () =
       Suite_sql.suite;
       Suite_analysis.suite;
       Suite_random.suite;
+      Suite_chaos.suite;
       Suite_mailbox.suite;
       Suite_runtime.suite;
       Suite_obs.suite;

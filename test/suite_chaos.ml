@@ -1,0 +1,105 @@
+(* Tests for the seeded fault injector (lib/chaos): determinism per seed,
+   hit-probability extremes, delay bounds, kind targeting, CLI parsing. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let draws c kind n = List.init n (fun _ -> Chaos.draw_us c kind)
+
+let test_none_inactive () =
+  check_bool "none is inactive" false (Chaos.is_active Chaos.none);
+  check_bool "none never fires" true
+    (List.for_all Option.is_none (draws Chaos.none Chaos.Stall_domain 100));
+  check_int "none counts no probes" 0 (Chaos.probes Chaos.none);
+  check_bool "none renders" true (Chaos.to_string Chaos.none = "none")
+
+let test_deterministic_per_seed () =
+  let run () =
+    let c =
+      Chaos.make ~seed:99 ~kind:Chaos.Delay_delivery ~p:0.3 ~delay_us:500. ()
+    in
+    draws c Chaos.Delay_delivery 200
+  in
+  check_bool "same seed, same fault schedule" true (run () = run ());
+  let other =
+    let c =
+      Chaos.make ~seed:100 ~kind:Chaos.Delay_delivery ~p:0.3 ~delay_us:500. ()
+    in
+    draws c Chaos.Delay_delivery 200
+  in
+  check_bool "different seed, different schedule" true (run () <> other)
+
+let test_probability_extremes () =
+  let never =
+    Chaos.make ~seed:1 ~kind:Chaos.Stall_prepare ~p:0. ~delay_us:100. ()
+  in
+  check_bool "p=0 never fires" true
+    (List.for_all Option.is_none (draws never Chaos.Stall_prepare 100));
+  check_int "probes counted" 100 (Chaos.probes never);
+  check_int "no injections" 0 (Chaos.injections never);
+  let always =
+    Chaos.make ~seed:1 ~kind:Chaos.Stall_prepare ~p:1. ~delay_us:100. ()
+  in
+  check_bool "p=1 always fires" true
+    (List.for_all Option.is_some (draws always Chaos.Stall_prepare 100));
+  check_int "all injections counted" 100 (Chaos.injections always)
+
+let test_delay_bounds () =
+  let c =
+    Chaos.make ~seed:3 ~kind:Chaos.Stall_flush ~p:1. ~delay_us:1000. ()
+  in
+  check_bool "delays within [delay/2, 3*delay/2]" true
+    (List.for_all
+       (function Some d -> d >= 500. && d <= 1500. | None -> false)
+       (draws c Chaos.Stall_flush 200))
+
+let test_kind_targeting () =
+  let c =
+    Chaos.make ~seed:4 ~kind:Chaos.Stall_domain ~p:1. ~delay_us:100. ()
+  in
+  check_bool "other kinds never fire" true
+    (List.for_all Option.is_none (draws c Chaos.Delay_delivery 50));
+  check_bool "target kind fires" true
+    (Option.is_some (Chaos.draw_us c Chaos.Stall_domain));
+  check_bool "target reported" true (Chaos.target c = Some Chaos.Stall_domain)
+
+let test_of_string () =
+  (match Chaos.of_string "7:prepare-stall" with
+  | Ok c ->
+    check_bool "parsed active" true (Chaos.is_active c);
+    check_bool "parsed kind" true (Chaos.target c = Some Chaos.Stall_prepare);
+    check_bool "round-trips" true (Chaos.to_string c = "7:prepare-stall")
+  | Error m -> Alcotest.fail m);
+  (match Chaos.of_string "3:domain-stall:0.5:5000" with
+  | Ok c ->
+    check_bool "full spec parses" true (Chaos.target c = Some Chaos.Stall_domain)
+  | Error m -> Alcotest.fail m);
+  check_bool "bad kind rejected" true
+    (Result.is_error (Chaos.of_string "7:no-such-fault"));
+  check_bool "bad seed rejected" true
+    (Result.is_error (Chaos.of_string "x:domain-stall"));
+  check_bool "names round-trip" true
+    (List.for_all
+       (fun k -> Chaos.kind_of_name (Chaos.kind_name k) = Some k)
+       Chaos.all_kinds)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"chaos: schedule is a pure function of the seed"
+    ~count:50
+    QCheck.(pair small_signed_int (float_range 0. 1.))
+    (fun (seed, p) ->
+      let mk () = Chaos.make ~seed ~kind:Chaos.Delay_delivery ~p ~delay_us:200. () in
+      draws (mk ()) Chaos.Delay_delivery 50 = draws (mk ()) Chaos.Delay_delivery 50)
+
+let suite =
+  ( "chaos",
+    [
+      Alcotest.test_case "none is a no-op" `Quick test_none_inactive;
+      Alcotest.test_case "deterministic per seed" `Quick
+        test_deterministic_per_seed;
+      Alcotest.test_case "probability extremes" `Quick test_probability_extremes;
+      Alcotest.test_case "delay bounds" `Quick test_delay_bounds;
+      Alcotest.test_case "kind targeting" `Quick test_kind_targeting;
+      Alcotest.test_case "of_string parsing" `Quick test_of_string;
+      QCheck_alcotest.to_alcotest prop_deterministic;
+    ] )

@@ -79,6 +79,74 @@ let test_blocking_wakeup () =
   check_bool "woken by push" true (Runtime.Mailbox.pop_wait mb = Some 42);
   Domain.join producer
 
+(* --- bounded capacity / admission control --- *)
+
+let test_capacity_basics () =
+  let mb = Runtime.Mailbox.create ~capacity:2 () in
+  check_bool "accepts below cap" true (Runtime.Mailbox.try_push mb 1);
+  check_bool "accepts at cap-1" true (Runtime.Mailbox.try_push mb 2);
+  check_bool "refuses at cap" false (Runtime.Mailbox.try_push mb 3);
+  (* unconditional push bypasses the cap: internal runtime traffic must
+     never be shed *)
+  Runtime.Mailbox.push mb 4;
+  check_int "length counts both paths" 3 (Runtime.Mailbox.length mb);
+  check_bool "still refusing" false (Runtime.Mailbox.try_push mb 5);
+  (* drain one; admission opens again *)
+  check_bool "drained 1" true (Runtime.Mailbox.pop_wait mb = Some 1);
+  check_bool "drained 2" true (Runtime.Mailbox.pop_wait mb = Some 2);
+  check_bool "accepts after drain" true (Runtime.Mailbox.try_push mb 6);
+  check_bool "order kept" true (Runtime.Mailbox.pop_wait mb = Some 4);
+  check_bool "order kept 2" true (Runtime.Mailbox.pop_wait mb = Some 6)
+
+(* Four real producer domains hammer try_push against a small cap while a
+   consumer drains slowly: some pushes must be refused, every accepted
+   message must be delivered exactly once, and once the consumer fully
+   drains, admission must open again. *)
+let test_capacity_four_producers () =
+  let cap = 8 and n_producers = 4 and per = 500 in
+  let mb = Runtime.Mailbox.create ~capacity:cap () in
+  let accepted = Atomic.make 0 and refused = Atomic.make 0 in
+  let producers =
+    Array.init n_producers (fun pid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              if Runtime.Mailbox.try_push mb (pid, i) then
+                Atomic.incr accepted
+              else Atomic.incr refused
+            done))
+  in
+  let received = ref 0 in
+  (* slow consumer: sleep between pops so the producers saturate the cap *)
+  let rec drain_slow n =
+    if n > 0 then begin
+      Unix.sleepf 0.0002;
+      (match Runtime.Mailbox.try_pop mb with
+      | Some _ -> incr received
+      | None -> ());
+      drain_slow (n - 1)
+    end
+  in
+  drain_slow 50;
+  Array.iter Domain.join producers;
+  (* producers done; drain the remainder *)
+  let rec drain_rest () =
+    match Runtime.Mailbox.try_pop mb with
+    | Some _ ->
+      incr received;
+      drain_rest ()
+    | None -> ()
+  in
+  drain_rest ();
+  check_bool "some pushes refused under saturation" true
+    (Atomic.get refused > 0);
+  check_int "every accepted message delivered exactly once"
+    (Atomic.get accepted) !received;
+  check_int "accepted + refused = offered"
+    (n_producers * per)
+    (Atomic.get accepted + Atomic.get refused);
+  (* fully drained: admission is open again *)
+  check_bool "accepts after full drain" true (Runtime.Mailbox.try_push mb (0, 0))
+
 let prop_no_loss =
   QCheck.Test.make ~name:"mailbox: no loss/dup, per-producer FIFO" ~count:15
     QCheck.(pair (int_range 1 4) (int_range 0 200))
@@ -94,6 +162,9 @@ let suite =
       Alcotest.test_case "drain after close" `Quick test_drain_after_close;
       Alcotest.test_case "push after close raises" `Quick test_push_after_close;
       Alcotest.test_case "try_pop" `Quick test_try_pop;
+      Alcotest.test_case "capacity basics" `Quick test_capacity_basics;
+      Alcotest.test_case "capacity under four producer domains" `Quick
+        test_capacity_four_producers;
       Alcotest.test_case "blocking wakeup" `Quick test_blocking_wakeup;
       QCheck_alcotest.to_alcotest prop_no_loss;
     ] )

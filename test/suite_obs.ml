@@ -46,7 +46,24 @@ let test_abort_kinds () =
   check_bool "dangerous not transient" false
     (Obs.Abort.transient Obs.Abort.Dangerous);
   check_bool "internal not transient" false
-    (Obs.Abort.transient Obs.Abort.Internal)
+    (Obs.Abort.transient Obs.Abort.Internal);
+  (* schema v2 additions: deadline expiry and admission sheds are typed,
+     named, and deliberately NOT transient — retrying an expired budget or
+     a shed defeats the point of both mechanisms *)
+  check_str "timeout name" "timeout" (Obs.Abort.kind_name Obs.Abort.Timeout);
+  check_str "overloaded name" "overloaded"
+    (Obs.Abort.kind_name Obs.Abort.Overloaded);
+  check_bool "timeout not transient" false
+    (Obs.Abort.transient Obs.Abort.Timeout);
+  check_bool "overloaded not transient" false
+    (Obs.Abort.transient Obs.Abort.Overloaded);
+  check_int "ten kinds" 10 Obs.Abort.n_kinds;
+  check_int "kinds indexed densely" (Obs.Abort.n_kinds - 1)
+    (List.fold_left
+       (fun acc k -> max acc (Obs.Abort.kind_index k))
+       0 Obs.Abort.all_kinds);
+  check_int "schema version bumped for the new kinds" 2
+    Obs.Report.schema_version
 
 (* ---- traces ---- *)
 

@@ -275,6 +275,81 @@ let test_config_spec_parsing () =
   check_bool "round robin" true
     (cfg2.Reactdb.Config.router = Reactdb.Config.Round_robin)
 
+(* ------------------------------------------------------------------ *)
+(* Deadlines on the simulator backend: virtual-time budget, checked at
+   phase boundaries; expiry aborts with the Timeout cause, rolls back
+   cleanly and releases locks for subsequent transactions. *)
+
+let test_deadline_timeout_sim () =
+  with_db ~n:2 (sn_config 2) (fun db ->
+      let out =
+        DB.exec_txn ~deadline_us:0.001 db ~reactor:"acct0" ~proc:"transfer_to"
+          ~args:[ Value.Str "acct1"; Value.Float 25. ]
+      in
+      check_bool "expired root aborts" true (Result.is_error out.DB.result);
+      check_bool "cause is Timeout" true
+        (match out.DB.abort_cause with
+        | Some c -> c.Obs.Abort.kind = Obs.Abort.Timeout
+        | None -> false);
+      check_int "timeout bucket counted" 1
+        (match List.assoc_opt "timeout" (DB.aborts_by_reason db) with
+        | Some n -> n
+        | None -> 0);
+      checkf "source untouched" 100. (balance db "acct0");
+      checkf "destination untouched" 100. (balance db "acct1");
+      (* locks released: the same 2PC transfer commits without a deadline *)
+      let ok =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+          ~args:[ Value.Str "acct1"; Value.Float 25. ]
+      in
+      check_bool "subsequent transfer commits" true (Result.is_ok ok.DB.result);
+      checkf "then debited" 75. (balance db "acct0");
+      checkf "then credited" 125. (balance db "acct1"))
+
+let test_generous_deadline_commits () =
+  with_db ~n:2 (sn_config 2) (fun db ->
+      let out =
+        DB.exec_txn ~deadline_us:1e9 db ~reactor:"acct0" ~proc:"transfer_to"
+          ~args:[ Value.Str "acct1"; Value.Float 10. ]
+      in
+      check_bool "generous deadline commits" true (Result.is_ok out.DB.result);
+      checkf "debited" 90. (balance db "acct0"))
+
+(* WAL device failure surfaces as a typed Internal abort through the commit
+   path — the engine keeps running, the transaction rolls back. *)
+let test_wal_failure_typed_abort () =
+  let path = Filename.temp_file "reactdb_walfail" ".log" in
+  let log = Wal.to_file path in
+  with_db ~n:2 (sn_config 2) (fun db ->
+      DB.attach_wal db log;
+      let ok =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+          ~args:[ Value.Float 5. ]
+      in
+      check_bool "append works while device is up" true
+        (Result.is_ok ok.DB.result);
+      (* revoke the device: the next commit's append raises Wal.Io_error,
+         which the commit path must turn into a typed Internal abort *)
+      Wal.close log;
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"deposit"
+          ~args:[ Value.Float 5. ]
+      in
+      check_bool "wal failure aborts the writer" true
+        (Result.is_error out.DB.result);
+      check_bool "abort message names the wal" true
+        (match out.DB.result with
+        | Error m -> Strutil.contains m ~sub:"wal"
+        | Ok _ -> false);
+      check_bool "cause is Internal" true
+        (match out.DB.abort_cause with
+        | Some c -> c.Obs.Abort.kind = Obs.Abort.Internal
+        | None -> false);
+      checkf "failed write rolled back" 100. (balance db "acct1");
+      (* read-only transactions log nothing and still commit *)
+      checkf "engine keeps running" 105. (balance db "acct0"));
+  Sys.remove path
+
 let suite =
   ( "reactdb",
     [
@@ -305,4 +380,10 @@ let suite =
       Alcotest.test_case "utilizations & reset" `Quick test_utilizations_and_reset;
       Alcotest.test_case "cluster deployment" `Quick test_cluster_deployment;
       Alcotest.test_case "config spec parsing" `Quick test_config_spec_parsing;
+      Alcotest.test_case "deadline timeout (sim)" `Quick
+        test_deadline_timeout_sim;
+      Alcotest.test_case "generous deadline commits" `Quick
+        test_generous_deadline_commits;
+      Alcotest.test_case "wal failure is a typed abort" `Quick
+        test_wal_failure_typed_abort;
     ] )

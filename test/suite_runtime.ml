@@ -221,6 +221,113 @@ let test_load_run () =
     (SB.total_money (List.map snd (RDb.catalogs db)));
   audit_clean db
 
+(* ------------------------------------------------------------------ *)
+(* Deadlines: an expired root aborts with the non-transient Timeout cause,
+   leaves no state change behind, and releases every lock — checked by
+   running the same transfer again without a deadline. *)
+
+let abort_kind (out : RDb.outcome) =
+  match out.RDb.abort_cause with
+  | Some c -> Some c.Obs.Abort.kind
+  | None -> None
+
+let test_deadline_expired_at_admission () =
+  let db = RDb.start (Testlib.bank_decl 2) (Testlib.sn_config 2) in
+  let out =
+    RDb.exec_txn ~deadline_us:0. db ~reactor:"acct0" ~proc:"transfer_to"
+      ~args:[ Value.Str "acct1"; Value.Float 25. ]
+  in
+  check_bool "expired root aborts" true (Result.is_error out.RDb.result);
+  check_bool "cause is Timeout" true (abort_kind out = Some Obs.Abort.Timeout);
+  check_int "timeout bucket counted" 1
+    (match List.assoc_opt "timeout" (RDb.aborts_by_reason db) with
+    | Some n -> n
+    | None -> 0);
+  check_float "source untouched" 100. (balance db "acct0");
+  check_float "destination untouched" 100. (balance db "acct1");
+  (* same transfer without a deadline commits: no lock was left behind *)
+  let ok =
+    RDb.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+      ~args:[ Value.Str "acct1"; Value.Float 25. ]
+  in
+  check_bool "subsequent transfer commits" true (Result.is_ok ok.RDb.result);
+  check_float "then debited" 75. (balance db "acct0");
+  RDb.shutdown db;
+  audit_clean db
+
+(* Deadline expiry mid-2PC: a prepare-stall injector (p = 1) stalls the
+   home participant for >= 10 ms with its write locks held; the remote
+   participant's prepare then sees the 5 ms deadline expired and votes
+   C_timeout, so the coordinator rolls back the prepared home participant.
+   The follow-up transfer proves both participants released their locks. *)
+let test_deadline_during_2pc_prepare () =
+  let chaos =
+    Chaos.make ~seed:5 ~kind:Chaos.Stall_prepare ~p:1.0 ~delay_us:20_000. ()
+  in
+  let db = RDb.start ~chaos (Testlib.bank_decl 2) (Testlib.sn_config 2) in
+  (* root on container 0: containers are sorted, so the home prepare (and
+     its stall) happens before the remote prepare is enqueued *)
+  let out =
+    RDb.exec_txn ~deadline_us:5_000. db ~reactor:"acct0" ~proc:"transfer_to"
+      ~args:[ Value.Str "acct1"; Value.Float 25. ]
+  in
+  check_bool "2pc prepare timed out" true (Result.is_error out.RDb.result);
+  check_bool "cause is Timeout" true (abort_kind out = Some Obs.Abort.Timeout);
+  check_bool "injector fired" true (Chaos.injections chaos > 0);
+  check_float "source untouched" 100. (balance db "acct0");
+  check_float "destination untouched" 100. (balance db "acct1");
+  let ok =
+    RDb.exec_txn db ~reactor:"acct0" ~proc:"transfer_to"
+      ~args:[ Value.Str "acct1"; Value.Float 25. ]
+  in
+  check_bool "participants released their locks" true
+    (Result.is_ok ok.RDb.result);
+  check_float "then debited" 75. (balance db "acct0");
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  audit_clean db
+
+(* Admission control: with a stalling domain and a mailbox cap, a burst of
+   submissions must shed — Overloaded, containers_touched = 0, and exactly
+   one completion per submission (the quiescence invariant). *)
+let test_overload_shed () =
+  let chaos =
+    Chaos.make ~seed:11 ~kind:Chaos.Stall_domain ~p:1.0 ~delay_us:2_000. ()
+  in
+  let db =
+    RDb.start ~chaos ~mailbox_cap:2 (Testlib.bank_decl 1)
+      (Testlib.sn_config 1)
+  in
+  let n = 20 in
+  let sheds = ref 0 and done_ = Atomic.make 0 in
+  let shed_ok = ref true in
+  for _ = 1 to n do
+    RDb.submit db ~reactor:"acct0" ~proc:"deposit"
+      ~args:[ Value.Float 1. ]
+      ~k:(fun out ->
+        (match abort_kind out with
+        | Some Obs.Abort.Overloaded ->
+          incr sheds;
+          if out.RDb.containers_touched <> 0 then shed_ok := false
+        | _ -> ());
+        Atomic.incr done_)
+  done;
+  RDb.quiesce db;
+  check_int "every submission completed" n (Atomic.get done_);
+  check_bool "some submissions shed" true (!sheds > 0);
+  check_bool "sheds touched no container" true !shed_ok;
+  check_int "overloaded bucket matches" !sheds
+    (match List.assoc_opt "overloaded" (RDb.aborts_by_reason db) with
+    | Some k -> k
+    | None -> 0);
+  check_int "commit/abort accounting" n (RDb.n_committed db + RDb.n_aborted db);
+  let deposits = RDb.n_committed db in
+  check_float "deposits applied exactly once each"
+    (100. +. float_of_int deposits)
+    (balance db "acct0");
+  RDb.shutdown db;
+  audit_clean db
+
 let suite =
   ( "runtime",
     [
@@ -232,4 +339,10 @@ let suite =
       Alcotest.test_case "serial equivalence vs simulator" `Quick
         test_serial_equivalence;
       Alcotest.test_case "closed-loop load run" `Quick test_load_run;
+      Alcotest.test_case "deadline expired at admission" `Quick
+        test_deadline_expired_at_admission;
+      Alcotest.test_case "deadline during 2pc prepare" `Quick
+        test_deadline_during_2pc_prepare;
+      Alcotest.test_case "overload shed at mailbox cap" `Quick
+        test_overload_shed;
     ] )

@@ -276,6 +276,49 @@ let test_vec_basics () =
   Vec.push v 7;
   check_int "push after clear" 7 (Vec.get v 0)
 
+(* --- Backoff: deterministic, monotone, capped (the three properties the
+   retry loops rely on — see lib/util/backoff.mli) --- *)
+
+let backoff_policy_gen =
+  QCheck.make
+    QCheck.Gen.(
+      map4
+        (fun base mult cap jit ->
+          Backoff.make ~base_us:base ~multiplier:mult ~cap_us:cap ~jitter:jit
+            ())
+        (float_range 0.1 5000.) (float_range 0.5 4.) (float_range 10. 1e6)
+        (float_range (-0.5) 1.5))
+
+let prop_backoff =
+  QCheck.Test.make
+    ~name:"backoff: deterministic per seed, monotone in attempt, capped"
+    ~count:200
+    QCheck.(pair backoff_policy_gen small_signed_int)
+    (fun (p, seed) ->
+      let d k = Backoff.delay_us p ~seed ~attempt:k in
+      let deterministic = List.for_all (fun k -> d k = d k) [ 1; 2; 5; 9 ] in
+      let monotone =
+        List.for_all (fun k -> d (k + 1) >= d k) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      let capped =
+        List.for_all
+          (fun k -> d k <= p.Backoff.cap_us && d k >= 0.)
+          [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 30 ]
+      in
+      deterministic && monotone && capped && d 0 = 0. && d (-3) = 0.)
+
+let test_backoff_default () =
+  let p = Backoff.default in
+  let d1 = Backoff.delay_us p ~seed:7 ~attempt:1 in
+  check_bool "first retry at least base" true (d1 >= p.Backoff.base_us);
+  check_bool "first retry within jitter band" true
+    (d1 <= p.Backoff.base_us *. (1. +. p.Backoff.jitter));
+  check_bool "deep retries hit the cap" true
+    (Backoff.delay_us p ~seed:7 ~attempt:30 = p.Backoff.cap_us);
+  check_bool "seeds decorrelate" true
+    (Backoff.delay_us p ~seed:1 ~attempt:3
+    <> Backoff.delay_us p ~seed:2 ~attempt:3)
+
 let suite =
   ( "util",
     [
@@ -302,4 +345,6 @@ let suite =
       Alcotest.test_case "tablefmt" `Quick test_tablefmt;
       QCheck_alcotest.to_alcotest prop_stats_mean;
       QCheck_alcotest.to_alcotest prop_zipf_theta0_uniformish;
+      Alcotest.test_case "backoff defaults" `Quick test_backoff_default;
+      QCheck_alcotest.to_alcotest prop_backoff;
     ] )
