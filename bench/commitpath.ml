@@ -161,6 +161,125 @@ let write_heavy ~iters =
       end;
       must_commit (Occ.Commit.commit_single txn ~epoch:1 ~container:0))
 
+(* ---- durable write-heavy: the write_heavy transaction shape plus redo
+   logging to a real file. Two durability disciplines:
+
+   - write_heavy_wal appends and flushes one record per commit (every
+     transaction pays its own write syscall);
+   - write_heavy_group_commit coalesces a window of commits into one
+     [Wal.append_many] plus a single flush — the discipline the runtime's
+     group-commit WAL sink applies per epoch.
+
+   In this closed loop the group variant defers durability to the window
+   boundary, so per-iteration latency is bursty by construction (most
+   commits log for free, every [group_window]-th pays the flush);
+   throughput — total time to make all commits durable — is the honest
+   comparison between the two. *)
+
+let write_heavy_durable ~name ~iters ~log_commit ~finish =
+  let n = 10_000 in
+  let tbl =
+    Storage.Table.create ~secondaries:[ ("by_ab", [ "a"; "b" ]) ] wh_schema
+  in
+  for i = 0 to n - 1 do
+    ignore
+      (Storage.Table.insert tbl
+         (Storage.Record.fresh ~absent:false
+            [| Value.Int i; Value.Int (i mod 97); Value.Str "x"; Value.Int 0 |]))
+  done;
+  let rng = Rng.create 11 in
+  let result =
+    run_direct ~name ~warmup:(iters / 10) ~iters (fun i ->
+        let txn = fresh_txn () in
+        let writes = ref [] in
+        let put row =
+          writes := Wal.Put { reactor = "wh"; table = "wh"; row } :: !writes
+        in
+        for _ = 1 to 8 do
+          let k = Rng.int rng n in
+          let key = [| Value.Int k |] in
+          match Storage.Table.find tbl key with
+          | Some r -> (
+            match Occ.Txn.read txn ~container:0 r with
+            | Some data ->
+              let row =
+                [| data.(0); Value.Int (Rng.int rng 97); data.(2);
+                   Value.Int (Value.to_int data.(3) + 1) |]
+              in
+              Occ.Txn.write txn ~container:0 ~table:tbl ~key r row;
+              put row
+            | None -> assert false)
+          | None -> assert false
+        done;
+        let base = n + (2 * i) in
+        let row0 =
+          [| Value.Int base; Value.Int (base mod 97); Value.Str "y";
+             Value.Int 0 |]
+        and row1 =
+          [| Value.Int (base + 1); Value.Int ((base + 1) mod 97); Value.Str "y";
+             Value.Int 0 |]
+        in
+        Occ.Txn.insert txn ~container:0 ~table:tbl row0;
+        put row0;
+        Occ.Txn.insert txn ~container:0 ~table:tbl row1;
+        put row1;
+        if i > 0 then begin
+          let prev = n + (2 * (i - 1)) in
+          List.iter
+            (fun k ->
+              let key = [| Value.Int k |] in
+              match Storage.Table.find tbl key with
+              | Some r ->
+                Occ.Txn.delete txn ~container:0 ~table:tbl ~key r;
+                writes :=
+                  Wal.Del { reactor = "wh"; table = "wh"; key } :: !writes
+              | None -> assert false)
+            [ prev; prev + 1 ]
+        end;
+        match Occ.Commit.commit_single txn ~epoch:1 ~container:0 with
+        | Ok tid ->
+          log_commit
+            { Wal.le_txn = !txn_ids; le_tid = tid;
+              le_writes = List.rev !writes }
+        | Error r ->
+          failwith ("commitpath: unexpected abort: " ^ Occ.Commit.fail_message r))
+  in
+  finish ();
+  result
+
+let write_heavy_wal ~iters =
+  let path = Filename.temp_file "commitpath_wal" ".log" in
+  let log = Wal.to_file path in
+  write_heavy_durable ~name:"write_heavy_wal" ~iters
+    ~log_commit:(fun e ->
+      Wal.append log e;
+      Wal.flush log)
+    ~finish:(fun () ->
+      Wal.close log;
+      Sys.remove path)
+
+let group_window = 64
+
+let write_heavy_group ~iters =
+  let path = Filename.temp_file "commitpath_group" ".log" in
+  let log = Wal.to_file path in
+  let batch = ref [] in
+  let drain () =
+    if !batch <> [] then begin
+      Wal.append_many log (List.rev !batch);
+      Wal.flush log;
+      batch := []
+    end
+  in
+  write_heavy_durable ~name:"write_heavy_group_commit" ~iters
+    ~log_commit:(fun e ->
+      batch := e :: !batch;
+      if List.length !batch >= group_window then drain ())
+    ~finish:(fun () ->
+      drain ();
+      Wal.close log;
+      Sys.remove path)
+
 (* ---- cross-container 2PC: 4 RMWs in each of two containers ---- *)
 
 let cross_2pc ~iters =

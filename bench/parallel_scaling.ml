@@ -45,19 +45,20 @@ let chunk k xs =
 let router_name = function
   | Reactdb.Config.Affinity -> "affinity"
   | Reactdb.Config.Round_robin -> "round-robin"
+  | Reactdb.Config.Cost -> "cost"
 
-(* Same placement for both routers — only the ingress policy differs. *)
+(* Same placement for all routers — only the ingress policy differs. *)
 let make_config router groups =
   match router with
   | Reactdb.Config.Affinity -> Reactdb.Config.shared_nothing groups
-  | Reactdb.Config.Round_robin ->
+  | (Reactdb.Config.Round_robin | Reactdb.Config.Cost) as router ->
     let placement = Hashtbl.create 256 in
     List.iteri
       (fun ci names -> List.iter (fun nm -> Hashtbl.add placement nm ci) names)
       groups;
     Reactdb.Config.custom
       ~executors_per_container:(Array.make (List.length groups) 1)
-      ~router:Reactdb.Config.Round_robin
+      ~router
       ~placement:(Hashtbl.find placement) ()
 
 let secondaries_audit db =

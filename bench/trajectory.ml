@@ -34,6 +34,8 @@ let () =
     [
       Commitpath.read_heavy ~iters;
       Commitpath.write_heavy ~iters;
+      Commitpath.write_heavy_wal ~iters;
+      Commitpath.write_heavy_group ~iters;
       Commitpath.cross_2pc ~iters;
       Commitpath.sim_smallbank ~iters:sim_iters;
     ]

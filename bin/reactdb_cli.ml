@@ -210,20 +210,36 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
    run; the closed-loop load harness retries transient aborts with seeded
    exponential backoff. *)
 let run_parallel_cmd workload scale theta workers domains duration_ms retries
-    deadline_ms mailbox_cap chaos_spec =
+    deadline_ms mailbox_cap chaos_spec router steal =
   let decl, reactors, gen = build_workload workload ~scale ~theta in
   let groups = Array.make domains [] in
   List.iteri
     (fun i r -> groups.(i mod domains) <- r :: groups.(i mod domains))
     reactors;
+  let groups = Array.to_list (Array.map List.rev groups) in
   let config =
-    Reactdb.Config.shared_nothing
-      (Array.to_list (Array.map List.rev groups))
+    match router with
+    | Reactdb.Config.Affinity -> Reactdb.Config.shared_nothing groups
+    | (Reactdb.Config.Round_robin | Reactdb.Config.Cost) as router ->
+      (* same placement; only the ingress policy differs *)
+      let placement = Hashtbl.create 256 in
+      List.iteri
+        (fun ci names -> List.iter (fun nm -> Hashtbl.add placement nm ci) names)
+        groups;
+      Reactdb.Config.custom
+        ~executors_per_container:(Array.make (List.length groups) 1)
+        ~router
+        ~placement:(Hashtbl.find placement) ()
   in
   let chaos = chaos_of_spec chaos_spec in
-  let db = Runtime.Db.start ~chaos ?mailbox_cap decl config in
-  Printf.printf "reactors=%d domains=%d workers=%d%s%s%s\n%!"
+  let db = Runtime.Db.start ~chaos ?mailbox_cap ~steal decl config in
+  Printf.printf "reactors=%d domains=%d workers=%d router=%s%s%s%s%s\n%!"
     (List.length reactors) (Runtime.Db.n_domains db) workers
+    (match router with
+    | Reactdb.Config.Round_robin -> "round-robin"
+    | Reactdb.Config.Affinity -> "affinity"
+    | Reactdb.Config.Cost -> "cost")
+    (if steal then " steal" else "")
     (match deadline_ms with
     | Some d -> Printf.sprintf " deadline=%.1fms" d
     | None -> "")
@@ -252,6 +268,12 @@ let run_parallel_cmd workload scale theta workers domains duration_ms retries
     (fun (reason, n) -> Printf.printf "  %-14s %12d\n" reason n)
     r.Runtime.Db.Load.aborts_by_reason;
   Printf.printf "retries         %12d\n" r.Runtime.Db.Load.retries;
+  if steal || router = Reactdb.Config.Cost then begin
+    let stats = Runtime.Db.sched_stats db in
+    Printf.printf "steals          %12d\n" (Runtime.Db.n_steals db);
+    Printf.printf "cost-routed     %12d\n"
+      (Array.fold_left (fun a s -> a + s.Runtime.Db.ss_routed_by_cost) 0 stats)
+  end;
   if Chaos.is_active chaos then
     Printf.printf "chaos           %12s (%d injections / %d probes)\n"
       (Chaos.to_string chaos) (Chaos.injections chaos) (Chaos.probes chaos);
@@ -320,7 +342,8 @@ let show_config_cmd path reactors =
     cfg.Reactdb.Config.mpl
     (match cfg.Reactdb.Config.router with
     | Reactdb.Config.Round_robin -> "round-robin"
-    | Reactdb.Config.Affinity -> "affinity");
+    | Reactdb.Config.Affinity -> "affinity"
+    | Reactdb.Config.Cost -> "cost");
   List.iter
     (fun r -> Printf.printf "  %-12s -> container %d\n" r (cfg.Reactdb.Config.placement r))
     reactors
@@ -469,11 +492,46 @@ let wall_duration_arg =
     value & opt float 500.
     & info [ "duration" ] ~doc:"Measured wall-clock duration in ms.")
 
+let router_arg =
+  let parse = function
+    | "affinity" -> Ok Reactdb.Config.Affinity
+    | "round-robin" -> Ok Reactdb.Config.Round_robin
+    | "cost" -> Ok Reactdb.Config.Cost
+    | s -> Error (`Msg (Printf.sprintf "unknown router %S" s))
+  in
+  let print ppf r =
+    Fmt.string ppf
+      (match r with
+      | Reactdb.Config.Affinity -> "affinity"
+      | Reactdb.Config.Round_robin -> "round-robin"
+      | Reactdb.Config.Cost -> "cost")
+  in
+  let router_conv = Arg.conv (parse, print) in
+  Arg.(
+    value
+    & opt router_conv Reactdb.Config.Affinity
+    & info [ "router" ] ~docv:"POLICY"
+        ~doc:
+          "Ingress routing policy: $(b,affinity) (home domain), \
+           $(b,round-robin) (distribute, pay a forwarding hop), or \
+           $(b,cost) (cost-model estimate blended with live load signals \
+           picks the least-loaded admissible domain; single-container \
+           commits re-pin to the owner).")
+
+let steal_arg =
+  Arg.(
+    value & flag
+    & info [ "steal" ]
+        ~doc:
+          "Enable work stealing: idle domains take half the waiting root \
+           jobs from the deepest peer mailbox (internal traffic is never \
+           stolen; commits re-pin to the owning domain).")
+
 let run_parallel_term =
   Term.(
     const run_parallel_cmd $ workload_arg $ scale_arg $ theta_arg
     $ workers_arg $ domains_arg $ wall_duration_arg $ retries_arg
-    $ deadline_arg $ mailbox_cap_arg $ chaos_arg)
+    $ deadline_arg $ mailbox_cap_arg $ chaos_arg $ router_arg $ steal_arg)
 
 let run_parallel_info =
   Cmd.info "run-parallel"

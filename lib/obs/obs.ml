@@ -180,6 +180,13 @@ module Collector = struct
     parts : int array; (* participants -> attempts *)
     retries : int array; (* retry index -> attempts *)
     mutable max_dev : float; (* worst |latency - sum phases| / latency *)
+    (* dynamic-scheduling signals, published once at quiescence by the
+       runtime (Runtime.Db.publish_sched_obs); all zero for the simulator
+       and for static-routing runs without stealing *)
+    mutable steals_in : int;
+    mutable steals_out : int;
+    mutable routed_by_cost : int;
+    mutable qdepth_ewma : float;
   }
 
   type t = { clk : clock; slots : slot array }
@@ -201,6 +208,10 @@ module Collector = struct
       parts = Array.make (max_part_bucket + 1) 0;
       retries = Array.make (max_part_bucket + 1) 0;
       max_dev = 0.;
+      steals_in = 0;
+      steals_out = 0;
+      routed_by_cost = 0;
+      qdepth_ewma = 0.;
     }
 
   let create ?(reservoir_cap = 1024) ~clock ~containers () =
@@ -257,6 +268,14 @@ module Collector = struct
     s.commits <- s.commits + 1;
     record_attempt t ~container ~participants ~retry ~latency_us tr
 
+  let set_sched t ~container ~steals_in ~steals_out ~routed_by_cost
+      ~qdepth_ewma =
+    let s = slot_of t container in
+    s.steals_in <- steals_in;
+    s.steals_out <- steals_out;
+    s.routed_by_cost <- routed_by_cost;
+    s.qdepth_ewma <- qdepth_ewma
+
   let record_abort t ~container ~latency_us ~cause tr =
     let s = slot_of t container in
     s.aborts <- s.aborts + 1;
@@ -267,9 +286,13 @@ module Collector = struct
 end
 
 module Report = struct
-  (* v2: abort taxonomy gained the "timeout" and "overloaded" kinds
-     (overload-safe runtime). Readers reject other versions. *)
-  let schema_version = 2
+  (* v3: per-domain dynamic-scheduling rows (steals in/out, cost-routed
+     roots, queue-depth EWMA). v2 added the "timeout" and "overloaded"
+     abort kinds. Readers accept v2 (scheduler rows default to empty) and
+     v3; anything else is rejected. *)
+  let schema_version = 3
+
+  let min_readable_version = 2
 
   type phase_row = {
     pr_phase : string;
@@ -281,6 +304,16 @@ module Report = struct
     pr_p99_us : float;
     pr_share_pct : float;
     pr_hist : (int * int) list;
+  }
+
+  (* One domain's dynamic-scheduling counters (v3). Only domains with at
+     least one non-zero signal are exported. *)
+  type sched_row = {
+    sr_container : int;
+    sr_steals_in : int;
+    sr_steals_out : int;
+    sr_routed_by_cost : int;
+    sr_qdepth_ewma : float;
   }
 
   type t = {
@@ -298,6 +331,7 @@ module Report = struct
     r_aborts_by_kind : (string * int) list;
     r_participants : (int * int) list;
     r_retry_hist : (int * int) list;
+    r_sched : sched_row list;
   }
 
   (* Nearest-rank percentile over pooled reservoir snapshots. *)
@@ -385,6 +419,28 @@ module Report = struct
     let retries =
       List.fold_left (fun a (i, n) -> if i > 0 then a + n else a) 0 retry_hist
     in
+    let sched =
+      List.concat
+        (List.mapi
+           (fun i s ->
+             if
+               s.Collector.steals_in = 0
+               && s.Collector.steals_out = 0
+               && s.Collector.routed_by_cost = 0
+               && s.Collector.qdepth_ewma = 0.
+             then []
+             else
+               [
+                 {
+                   sr_container = i;
+                   sr_steals_in = s.Collector.steals_in;
+                   sr_steals_out = s.Collector.steals_out;
+                   sr_routed_by_cost = s.Collector.routed_by_cost;
+                   sr_qdepth_ewma = s.Collector.qdepth_ewma;
+                 };
+               ])
+           slots)
+    in
     {
       r_clock = clock_name c.Collector.clk;
       r_attempts = attempts;
@@ -401,6 +457,7 @@ module Report = struct
       r_aborts_by_kind = aborts_by_kind;
       r_participants = sparse_ints (fun s -> s.Collector.parts);
       r_retry_hist = retry_hist;
+      r_sched = sched;
     }
 
   let to_table r =
@@ -440,6 +497,25 @@ module Report = struct
         r.r_aborts_by_kind;
       Buffer.add_char buf '\n';
       Buffer.add_string buf (Util.Tablefmt.to_string ta)
+    end;
+    if r.r_sched <> [] then begin
+      let ts =
+        Util.Tablefmt.create ~title:"dynamic scheduling (per domain)"
+          [ "domain"; "steals in"; "steals out"; "cost-routed"; "qdepth ewma" ]
+      in
+      List.iter
+        (fun s ->
+          Util.Tablefmt.row ts
+            [
+              Util.Tablefmt.icell s.sr_container;
+              Util.Tablefmt.icell s.sr_steals_in;
+              Util.Tablefmt.icell s.sr_steals_out;
+              Util.Tablefmt.icell s.sr_routed_by_cost;
+              Util.Tablefmt.fcell ~digits:2 s.sr_qdepth_ewma;
+            ])
+        r.r_sched;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Util.Tablefmt.to_string ts)
     end;
     Buffer.contents buf
 
@@ -483,6 +559,20 @@ module Report = struct
         ("aborts_by_kind", str_pairs r.r_aborts_by_kind);
         ("participants", int_pairs r.r_participants);
         ("retry_hist", int_pairs r.r_retry_hist);
+        ( "scheduler",
+          Json.List
+            (List.map
+               (fun s ->
+                 Json.Obj
+                   [
+                     ("container", Json.Num (float_of_int s.sr_container));
+                     ("steals_in", Json.Num (float_of_int s.sr_steals_in));
+                     ("steals_out", Json.Num (float_of_int s.sr_steals_out));
+                     ( "routed_by_cost",
+                       Json.Num (float_of_int s.sr_routed_by_cost) );
+                     ("qdepth_ewma", Json.Num s.sr_qdepth_ewma);
+                   ])
+               r.r_sched) );
       ]
 
   let ( let* ) o f = match o with Some x -> f x | None -> Error "bad field"
@@ -506,8 +596,10 @@ module Report = struct
   let of_json j =
     match get_i j "schema_version" with
     | None -> Error "missing schema_version"
-    | Some v when v <> schema_version ->
-      Error (Printf.sprintf "unsupported schema_version %d (want %d)" v schema_version)
+    | Some v when v < min_readable_version || v > schema_version ->
+      Error
+        (Printf.sprintf "unsupported schema_version %d (want %d..%d)" v
+           min_readable_version schema_version)
     | Some _ ->
       let parse_phase pj =
         let* phase = get_s pj "phase" in
@@ -557,9 +649,37 @@ module Report = struct
       let* parts = parse_pairs Json.to_int parts in
       let* rh = get_l j "retry_hist" in
       let* rh = parse_pairs Json.to_int rh in
-      (match phases [] phase_list with
-      | Error e -> Error e
-      | Ok r_phases ->
+      (* v2 reports have no "scheduler" field: default to no rows. *)
+      let parse_sched sj =
+        let* c = get_i sj "container" in
+        let* si = get_i sj "steals_in" in
+        let* so = get_i sj "steals_out" in
+        let* rc = get_i sj "routed_by_cost" in
+        let* q = get_f sj "qdepth_ewma" in
+        Ok
+          {
+            sr_container = c;
+            sr_steals_in = si;
+            sr_steals_out = so;
+            sr_routed_by_cost = rc;
+            sr_qdepth_ewma = q;
+          }
+      in
+      let rec scheds acc = function
+        | [] -> Ok (List.rev acc)
+        | sj :: tl -> (
+          match parse_sched sj with
+          | Ok s -> scheds (s :: acc) tl
+          | Error e -> Error e)
+      in
+      let sched_result =
+        match get_l j "scheduler" with
+        | None -> Ok []
+        | Some xs -> scheds [] xs
+      in
+      (match (phases [] phase_list, sched_result) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok r_phases, Ok r_sched ->
         Ok
           {
             r_clock = clock;
@@ -576,5 +696,6 @@ module Report = struct
             r_aborts_by_kind = ab;
             r_participants = parts;
             r_retry_hist = rh;
+            r_sched;
           })
 end

@@ -1,4 +1,4 @@
-type router = Round_robin | Affinity
+type router = Round_robin | Affinity | Cost
 
 type t = {
   executors_per_container : int array;

@@ -12,7 +12,14 @@
     from the small text format used by [bin/reactdb_cli], fulfilling the
     "change a configuration file, not the application" claim. *)
 
-type router = Round_robin | Affinity
+(** Second-level routing of root transactions. [Round_robin] spreads roots
+    over executors regardless of data placement; [Affinity] pins each root
+    to its reactor's home executor; [Cost] (runtime backend only) scores
+    candidate domains with the §2.4 cost model blended with live load
+    signals and places the root on the cheapest one — the simulator treats
+    [Cost] as [Affinity], since its virtual-time executors expose no live
+    load to react to. *)
+type router = Round_robin | Affinity | Cost
 
 type t = {
   executors_per_container : int array;

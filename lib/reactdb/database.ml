@@ -210,7 +210,10 @@ let route db rst =
   | Config.Round_robin ->
     cont.rr <- cont.rr + 1;
     cont.cexecutors.((cont.rr - 1) mod n)
-  | Config.Affinity -> cont.cexecutors.(db.cfg.affinity_slot rst.rname mod n)
+  | Config.Affinity | Config.Cost ->
+    (* Cost routing reacts to live queue depths, which virtual-time
+       executors don't expose; the simulator degrades it to affinity. *)
+    cont.cexecutors.(db.cfg.affinity_slot rst.rname mod n)
 
 (* Silo epoch length in virtual µs: TID epochs advance on this boundary,
    and so does the durable-mode group-commit flush. *)

@@ -67,10 +67,46 @@ type outcome = {
 
 type job = unit -> unit
 
-type exec = {
+(* Mailbox traffic is typed so a thief can tell relocatable work apart:
+   [Root] is an admitted root transaction, parameterized over the executor
+   that actually runs it — work stealing and cost routing rebind it. [Job]
+   is internal traffic (fiber resumptions, 2PC votes and acks, forwarding
+   hops, snapshots), which is never stolen: it must run on the exact domain
+   it was addressed to. *)
+type msg = Job of job | Root of (exec -> unit)
+
+and exec = {
   eid : int;
-  mb : job Mailbox.t;
+  mb : msg Mailbox.t;
   mutable busy_s : float;  (* owning domain only; read via a snapshot job *)
+  (* Dynamic-scheduling signals. Atomics because peers read (and the
+     router writes [qdepth_ewma]) concurrently; all are advisory — a stale
+     read skews a routing score, never correctness. *)
+  qdepth_ewma : float Atomic.t;  (* EWMA of mailbox depth, router-refreshed *)
+  busy_frac : float Atomic.t;  (* owner-published busy fraction per window *)
+  mean_job_us : float Atomic.t;  (* owner-published EWMA of message cost *)
+  steals_in : int Atomic.t;  (* roots this domain stole from peers *)
+  steals_out : int Atomic.t;  (* roots peers stole from this mailbox *)
+  routed_by_cost : int Atomic.t;  (* roots the cost router placed here off-home *)
+  sheds : int Atomic.t;  (* admission refusals against this mailbox *)
+}
+
+(* Group-commit WAL sink (Silo epoch durability; DESIGN.md §8). Root fibers
+   append epoch-tagged redo entries under [wmu]; a dedicated flusher domain
+   coalesces everything up to a safe epoch boundary into one buffered write
+   and one flush per tick, then wakes the epoch's waiters. *)
+type wal_sink = {
+  log : Wal.t;  (* flusher domain only, after [start] *)
+  wmu : Mutex.t;
+  mutable pending : (int * Wal.entry) list;  (* epoch-tagged, newest first *)
+  inflight : (int, int) Hashtbl.t;
+      (* epoch -> commits decided but not yet appended; holds the flush
+         boundary below any epoch that could still produce an entry *)
+  mutable flushed_epoch : int;
+  mutable waiters : (int * unit Ivar.t) list;  (* shared ivar per epoch *)
+  mutable stop : bool;
+  mutable flusher : unit Domain.t option;
+  tick_s : float;
 }
 
 type t = {
@@ -78,6 +114,11 @@ type t = {
   execs : exec array;
   reactors : (string, Reactdb.Bootstrap.entry) Hashtbl.t;
   entries : Reactdb.Bootstrap.entry list;
+  table_owner : (int, string * string) Hashtbl.t;
+      (* table uid -> (reactor, table); read-only after bootstrap *)
+  steal : bool;
+  epoch_len : float;
+  wal : wal_sink option;
   chaos : Chaos.t;
   txn_counter : int Atomic.t;
   committed : int Atomic.t;
@@ -133,24 +174,123 @@ let run_fiber db ex job =
             Some
               (fun (k : (a, unit) continuation) ->
                 register (fun v ->
-                    Mailbox.push ex.mb (fun () -> continue k v)))
+                    Mailbox.push ex.mb (Job (fun () -> continue k v))))
           | _ -> None);
     }
 
+let run_msg db ex = function
+  | Job j -> run_fiber db ex j
+  | Root r -> run_fiber db ex (fun () -> r ex)
+
+(* Work stealing: an idle domain raids the deepest peer mailbox for [Root]
+   messages (DESIGN.md §8 — internal traffic is never relocatable). The
+   first stolen root runs immediately; the rest land on the thief's own
+   mailbox in one batched push, where they stay stealable, so a large haul
+   keeps rebalancing.
+
+   Depth threshold: a victim with a near-empty queue is about to drain it
+   anyway — migrating those messages buys nothing and costs a mailbox
+   round trip plus a re-pinned commit each. Only queues at least this deep
+   are worth raiding. *)
+let min_steal_depth = 4
+
+let try_steal db ex =
+  let best = ref None and bestq = ref (min_steal_depth - 1) in
+  Array.iter
+    (fun px ->
+      if px.eid <> ex.eid then begin
+        let q = Mailbox.length px.mb in
+        if q > !bestq then begin
+          bestq := q;
+          best := Some px
+        end
+      end)
+    db.execs;
+  match !best with
+  | None -> None
+  | Some victim -> (
+    match
+      Mailbox.steal_half victim.mb
+        ~stealable:(function Root _ -> true | Job _ -> false)
+    with
+    | [] -> None
+    | first :: rest ->
+      let n = 1 + List.length rest in
+      ignore (Atomic.fetch_and_add victim.steals_out n);
+      ignore (Atomic.fetch_and_add ex.steals_in n);
+      (match rest with
+      | [] -> ()
+      | _ -> (
+        (* own mailbox can only be closed after quiescence, when no root
+           can remain anywhere to steal; run inline if it somehow is *)
+        try Mailbox.push_many ex.mb rest
+        with Mailbox.Closed -> List.iter (run_msg db ex) rest));
+      Some first)
+
+(* Busy-fraction publication window: long enough to smooth per-message
+   noise, short enough that the cost router sees load shifts quickly. *)
+let busy_window_s = 0.005
+
 let domain_loop db ex =
-  let rec loop () =
-    match Mailbox.pop_wait ex.mb with
-    | None -> ()
-    | Some job ->
-      (* Chaos: an unresponsive executor domain — everything queued behind
-         this mailbox waits out the stall. One branch when chaos is off. *)
-      Chaos.inject_wall db.chaos Chaos.Stall_domain;
-      let t_run = Unix.gettimeofday () in
-      run_fiber db ex job;
-      ex.busy_s <- ex.busy_s +. (Unix.gettimeofday () -. t_run);
-      loop ()
+  let win_start = ref (Unix.gettimeofday ()) in
+  let win_busy = ref 0. in
+  let publish now =
+    let el = now -. !win_start in
+    if el >= busy_window_s then begin
+      Atomic.set ex.busy_frac (Float.min 1. (!win_busy /. el));
+      win_start := now;
+      win_busy := 0.
+    end
   in
-  loop ()
+  let run msg =
+    (* Chaos: an unresponsive executor domain — everything queued behind
+       this mailbox waits out the stall. One branch when chaos is off. *)
+    Chaos.inject_wall db.chaos Chaos.Stall_domain;
+    let t_run = Unix.gettimeofday () in
+    run_msg db ex msg;
+    let t_done = Unix.gettimeofday () in
+    let d = t_done -. t_run in
+    ex.busy_s <- ex.busy_s +. d;
+    win_busy := !win_busy +. d;
+    let m = Atomic.get ex.mean_job_us in
+    Atomic.set ex.mean_job_us ((0.9 *. m) +. (0.1 *. d *. 1e6));
+    publish t_done
+  in
+  if not db.steal then begin
+    (* Classic loop: park in [pop_wait] while empty. *)
+    let rec loop () =
+      match Mailbox.pop_wait ex.mb with
+      | None -> ()
+      | Some msg ->
+        run msg;
+        loop ()
+    in
+    loop ()
+  end
+  else begin
+    (* Stealing domains poll instead of parking ([Condition] has no timed
+       wait): drain own mailbox first, then attempt one steal, then back
+       off exponentially to 1 ms while everything stays dry. Exits once the
+       own mailbox is closed and drained, like [pop_wait] would. *)
+    let rec loop idle_s =
+      match Mailbox.try_pop ex.mb with
+      | Some msg ->
+        run msg;
+        loop 2e-5
+      | None ->
+        if Mailbox.is_closed ex.mb then ()
+        else (
+          match try_steal db ex with
+          | Some msg ->
+            run msg;
+            loop 2e-5
+          | None ->
+            publish (Unix.gettimeofday ());
+            Unix.sleepf idle_s;
+            loop (Float.min (idle_s *. 2.) 1e-3))
+    in
+    loop 2e-5
+  end
 
 (* Await inside a fiber: free if resolved, otherwise suspend until filled. *)
 let fiber_await (iv : 'a Ivar.t) : 'a =
@@ -345,7 +485,9 @@ and do_call db frame ~reactor ~proc ~args =
       Hashtbl.add root.active_set reactor ();
       let rex = db.execs.(tentry.Reactdb.Bootstrap.bs_home) in
       let iv = Ivar.create () in
-      Mailbox.push rex.mb (fun () ->
+      Mailbox.push rex.mb
+        (Job
+           (fun () ->
           (* Chaos: the shipped sub-call stalls before it starts executing
              on the destination domain. *)
           Chaos.inject_wall db.chaos Chaos.Delay_delivery;
@@ -366,7 +508,7 @@ and do_call db frame ~reactor ~proc ~args =
           | Ok _ -> ());
           Hashtbl.remove root.active_set reactor;
           Mutex.unlock root.rmu;
-          Ivar.fill iv res);
+          Ivar.fill iv res));
       let sub = { siv = iv } in
       frame.children <- sub :: frame.children;
       {
@@ -391,12 +533,113 @@ and do_call db frame ~reactor ~proc ~args =
    epoch is advanced opportunistically at root starts with a CAS — a lost
    race just means the next root advances it. *)
 
-let epoch_len_s = 0.04
+let default_epoch_len_s = 0.04
 
 let maybe_advance_epoch db =
-  let target = 1 + int_of_float ((Unix.gettimeofday () -. db.t0) /. epoch_len_s) in
+  let target = 1 + int_of_float ((Unix.gettimeofday () -. db.t0) /. db.epoch_len) in
   let cur = Atomic.get db.epoch in
   if target > cur then ignore (Atomic.compare_and_set db.epoch cur target)
+
+(* ------------------------------------------------------------------ *)
+(* Group-commit WAL sink. The epoch rule (DESIGN.md §8): a redo entry is
+   tagged with the epoch read at registration time, strictly before its
+   commit decision; the flusher may only flush-and-release through boundary
+   [b] once no registered-but-unappended commit with tag <= b remains. By
+   epoch monotonicity, any commit registering after the flusher read the
+   epoch gets a tag beyond the boundary, and Silo's conflict ordering makes
+   the tag monotone along dependency edges — so every flushed prefix is
+   closed under depends-on and replays to a consistent state. *)
+
+(* Register a commit attempt; returns its epoch tag. Reading the epoch
+   under [wmu] is what orders registration against the flusher's own epoch
+   read (also under [wmu]). *)
+let sink_register db s =
+  Mutex.lock s.wmu;
+  let e = Atomic.get db.epoch in
+  Hashtbl.replace s.inflight e
+    (1 + Option.value ~default:0 (Hashtbl.find_opt s.inflight e));
+  Mutex.unlock s.wmu;
+  e
+
+let deregister_locked s e =
+  match Hashtbl.find_opt s.inflight e with
+  | Some n when n > 1 -> Hashtbl.replace s.inflight e (n - 1)
+  | _ -> Hashtbl.remove s.inflight e
+
+(* The attempt aborted (or died): just release the boundary hold. *)
+let sink_cancel s ~epoch =
+  Mutex.lock s.wmu;
+  deregister_locked s epoch;
+  Mutex.unlock s.wmu
+
+(* The attempt committed: queue its redo entry and return the epoch's
+   shared flush ivar for the fiber to await. *)
+let sink_append s ~epoch entry =
+  Mutex.lock s.wmu;
+  deregister_locked s epoch;
+  s.pending <- (epoch, entry) :: s.pending;
+  let iv =
+    match List.assoc_opt epoch s.waiters with
+    | Some iv -> iv
+    | None ->
+      let iv = Ivar.create () in
+      s.waiters <- (epoch, iv) :: s.waiters;
+      iv
+  in
+  Mutex.unlock s.wmu;
+  iv
+
+let flusher_loop db s =
+  let rec loop () =
+    Unix.sleepf s.tick_s;
+    (* Epochs must advance even when no root starts (quiet periods would
+       otherwise pin the flush boundary forever). *)
+    maybe_advance_epoch db;
+    Mutex.lock s.wmu;
+    let stop = s.stop in
+    let bound = ref (if stop then max_int else Atomic.get db.epoch - 1) in
+    Hashtbl.iter (fun e _n -> if e - 1 < !bound then bound := e - 1) s.inflight;
+    let ready, later = List.partition (fun (e, _) -> e <= !bound) s.pending in
+    s.pending <- later;
+    let woken, still = List.partition (fun (e, _) -> e <= !bound) s.waiters in
+    s.waiters <- still;
+    if !bound > s.flushed_epoch then s.flushed_epoch <- !bound;
+    Mutex.unlock s.wmu;
+    if ready <> [] then begin
+      (* The group commit: the whole boundary's worth of entries in one
+         buffered write and one flush. Entries are appended in arbitrary
+         order — replay sorts by TID. A failing log device degrades
+         durability, not liveness: record it, still release the waiters. *)
+      try
+        Wal.append_many s.log (List.rev_map snd ready);
+        Wal.flush s.log
+      with Wal.Io_error m -> record_fatal db (Failure m)
+    end;
+    List.iter (fun (_, iv) -> Ivar.fill iv ()) woken;
+    if not stop then loop ()
+  in
+  loop ()
+
+(* After-images come from the transaction's private buffers, captured
+   before the commit protocol runs: update rows are the buffered arrays,
+   insert records are still locked (lock held from creation) so no later
+   committer can swap their data pointer, delete keys are immutable. *)
+let wal_writes db txn =
+  List.map
+    (fun e ->
+      let reactor, table =
+        match
+          Hashtbl.find_opt db.table_owner e.Occ.Txn.wtable.Storage.Table.uid
+        with
+        | Some rt -> rt
+        | None -> ("?", e.Occ.Txn.wtable.Storage.Table.schema.Storage.Schema.sname)
+      in
+      match e.Occ.Txn.kind with
+      | Occ.Txn.Update row -> Wal.Put { reactor; table; row }
+      | Occ.Txn.Insert ->
+        Wal.Put { reactor; table; row = e.Occ.Txn.wrec.Storage.Record.data }
+      | Occ.Txn.Delete -> Wal.Del { reactor; table; key = e.Occ.Txn.wkey })
+    (Occ.Txn.all_writes txn)
 
 (* ------------------------------------------------------------------ *)
 (* Commit protocols. Runs on the root's fiber with [rmu] released — all
@@ -414,10 +657,14 @@ type commit_err =
   | C_internal
   | C_timeout
 
-let two_phase db root ~home containers ~epoch =
+(* [coord] is the domain the root's fiber is physically running on — its
+   home unless the root was stolen or cost-routed. Each participant's
+   prepare/install/release still executes on the domain owning that
+   container; [coord] only decides which participant (if any) is inlined. *)
+let two_phase db root ~coord containers ~epoch =
   let remote c f =
     let iv = Ivar.create () in
-    Mailbox.push db.execs.(c).mb (fun () -> Ivar.fill iv (f ()));
+    Mailbox.push db.execs.(c).mb (Job (fun () -> Ivar.fill iv (f ())));
     iv
   in
   (* One participant's prepare: refuse outright when the root's deadline
@@ -446,7 +693,7 @@ let two_phase db root ~home containers ~epoch =
   let prepares =
     List.map
       (fun c ->
-        if c = home then (c, `Done (prepare_vote c ()))
+        if c = coord then (c, `Done (prepare_vote c ()))
         else (c, `Pending (remote c (guard_vote (prepare_vote c)))))
       containers
   in
@@ -468,7 +715,7 @@ let two_phase db root ~home containers ~epoch =
     let acks =
       List.map
         (fun c ->
-          if c = home then begin
+          if c = coord then begin
             Occ.Commit.install root.txn ~container:c ~tid;
             None
           end
@@ -480,7 +727,7 @@ let two_phase db root ~home containers ~epoch =
         containers
     in
     List.iter (function Some iv -> fiber_await iv | None -> ()) acks;
-    finish (Ok ())
+    finish (Ok tid)
   end
   else begin
     (* Phase 2: roll back every prepared participant. *)
@@ -488,7 +735,7 @@ let two_phase db root ~home containers ~epoch =
       List.filter_map
         (fun (c, v) ->
           if Result.is_error v then None
-          else if c = home then begin
+          else if c = coord then begin
             Occ.Commit.release root.txn ~container:c;
             None
           end
@@ -507,11 +754,13 @@ let two_phase db root ~home containers ~epoch =
     finish (Error (Option.value reason ~default:C_internal))
   end
 
-let do_commit db root ~home =
+(* Commit coordinated from [run_eid], the domain the root's fiber runs on.
+   Returns the Silo TID on success (0 for an empty write/read set). *)
+let do_commit db root ~run_eid =
   let epoch = Atomic.get db.epoch in
   match Occ.Txn.containers root.txn with
-  | [] -> Ok ()
-  | [ c ] when c = home ->
+  | [] -> Ok 0
+  | [ c ] when c = run_eid ->
     (* commit_single, unrolled so validation and install land in their own
        trace phases. *)
     let timed = Obs.Trace.enabled root.tr in
@@ -526,20 +775,59 @@ let do_commit db root ~home =
       let tid = Occ.Commit.compute_tid root.txn ~epoch in
       Occ.Commit.install root.txn ~container:c ~tid;
       if timed then Obs.Trace.add root.tr Obs.Phase.Commit (now_us () -. t1);
-      Ok ())
-  | containers -> two_phase db root ~home containers ~epoch
+      Ok tid)
+  | [ c ] ->
+    (* Stolen or cost-routed single-container root: the body ran off-home,
+       so the whole prepare/compute-TID/install re-pins to the owning
+       domain as one message — container-local structural access stays
+       owner-serialized at the price of a single round trip. *)
+    let timed = Obs.Trace.enabled root.tr in
+    let t0 = if timed then now_us () else 0. in
+    let iv = Ivar.create () in
+    Mailbox.push db.execs.(c).mb
+      (Job
+         (fun () ->
+           Ivar.fill iv
+             (try
+                if deadline_expired root then (Error C_timeout, 0.)
+                else
+                  match Occ.Commit.prepare root.txn ~container:c with
+                  | Error r -> (Error (C_fail r), 0.)
+                  | Ok () ->
+                    Chaos.inject_wall db.chaos Chaos.Stall_prepare;
+                    let ti = if timed then now_us () else 0. in
+                    let tid = Occ.Commit.compute_tid root.txn ~epoch in
+                    Occ.Commit.install root.txn ~container:c ~tid;
+                    (Ok tid, if timed then now_us () -. ti else 0.)
+              with e ->
+                record_fatal db e;
+                (Error C_internal, 0.))));
+    let r, commit_us = fiber_await iv in
+    if timed then begin
+      (* Messaging and owner-queue residence count toward validation, the
+         install span toward commit — same attribution as 2PC. *)
+      let total = now_us () -. t0 in
+      Obs.Trace.add root.tr Obs.Phase.Validation
+        (Float.max 0. (total -. commit_us));
+      Obs.Trace.add root.tr Obs.Phase.Commit commit_us
+    end;
+    r
+  | containers -> two_phase db root ~coord:run_eid containers ~epoch
 
 (* ------------------------------------------------------------------ *)
-(* Root execution: one mailbox job on the home domain. Guaranteed to call
-   [k] and bump [completed] exactly once — quiescence depends on it. *)
+(* Root execution: one [Root] mailbox message, run by whichever domain
+   dequeued (or stole) it — [run_ex]. The body executes on [run_ex]; the
+   commit protocol re-pins every container's prepare/install to its owning
+   domain. Guaranteed to call [k] and bump [completed] exactly once —
+   quiescence depends on it. *)
 
-let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k () =
+let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
+    (run_ex : exec) =
   (* Chaos: the root dispatch message stalls before execution begins. *)
   Chaos.inject_wall db.chaos Chaos.Delay_delivery;
   maybe_advance_epoch db;
   let entry = reactor_state db reactor in
-  let home = entry.Reactdb.Bootstrap.bs_home in
-  let ex = db.execs.(home) in
+  let ex = run_ex in
   let txn = Occ.Txn.create ~id:(1 + Atomic.fetch_and_add db.txn_counter 1) in
   let tr =
     match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
@@ -582,13 +870,35 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k () =
          the read/write sets — no locks to release. *)
       Error (Some Ab_timeout, "deadline expired before commit", Obs.Abort.Timeout)
     | Ok v -> (
-      match
-        try `C (do_commit db root ~home)
+      (* Durable mode: capture after-images and register against the flush
+         boundary before the commit decision (see the epoch rule above). *)
+      let wal_prep =
+        match db.wal with
+        | None -> None
+        | Some s -> (
+          match wal_writes db txn with
+          | [] -> None
+          | writes -> Some (s, writes, sink_register db s))
+      in
+      let cres =
+        try `C (do_commit db root ~run_eid:ex.eid)
         with e ->
           record_fatal db e;
           `F (Printexc.to_string e)
-      with
-      | `C (Ok ()) -> Ok v
+      in
+      (match (cres, wal_prep) with
+      | _, None -> ()
+      | `C (Ok tid), Some (s, writes, etag) ->
+        let iv =
+          sink_append s ~epoch:etag
+            { Wal.le_txn = Occ.Txn.id txn; le_tid = tid; le_writes = writes }
+        in
+        let tf = if timed then now_us () else 0. in
+        fiber_await iv;
+        if timed then Obs.Trace.add tr Obs.Phase.Flush_wait (now_us () -. tf)
+      | _, Some (s, _, etag) -> sink_cancel s ~epoch:etag);
+      match cres with
+      | `C (Ok _tid) -> Ok v
       | `C (Error (C_fail fr)) ->
         Error (Some Ab_validation, Occ.Commit.fail_message fr, obs_kind_of_fail fr)
       | `C (Error C_internal) ->
@@ -626,13 +936,15 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k () =
   (match db.obs with
   | None -> ()
   | Some c -> (
-    (* this job runs on [home]'s domain, the owner of slot [home] *)
+    (* Slot ownership follows physical execution: this message runs on
+       [ex]'s domain, so it records into slot [ex.eid] — with stealing or
+       cost routing that may differ from the reactor's home container. *)
     match abort_cause with
     | None ->
-      Obs.Collector.record_commit c ~container:home ~participants ~retry
+      Obs.Collector.record_commit c ~container:ex.eid ~participants ~retry
         ~latency_us tr
     | Some cause ->
-      Obs.Collector.record_abort c ~container:home ~latency_us ~cause tr));
+      Obs.Collector.record_abort c ~container:ex.eid ~latency_us ~cause tr));
   let out =
     {
       result = (match verdict with Ok v -> Ok v | Error (_, m, _) -> Error m);
@@ -643,6 +955,62 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k () =
   in
   (try k out with e -> record_fatal db e);
   Atomic.incr db.completed
+
+(* ------------------------------------------------------------------ *)
+(* Cost router. Scores each candidate domain as the §2.4 cost-model latency
+   of the root's fork–join shape when its body runs there — a leaf at home,
+   or a node at [c] with one synchronous child at home standing for the
+   re-pinned commit round trip — plus live load signals: EWMA queue depth
+   times the domain's mean per-message service time (expected drain ahead
+   of us), the published busy fraction, and recent shed pressure. Argmin
+   wins; the home domain wins ties, so an idle system degenerates to
+   affinity routing. *)
+
+let route_costs = Costmodel.uniform_costs ~cs:2. ~cr:2.
+
+let note_qdepth ex =
+  let q = float_of_int (Mailbox.length ex.mb) in
+  let ew = Atomic.get ex.qdepth_ewma in
+  Atomic.set ex.qdepth_ewma ((0.8 *. ew) +. (0.2 *. q))
+
+let choose_cost db ~home =
+  let n = Array.length db.execs in
+  if n = 1 then 0
+  else begin
+    (* body estimate: the home domain's live mean service time *)
+    let body = Float.max 1. (Atomic.get db.execs.(home).mean_job_us) in
+    let submitted = float_of_int (1 + Atomic.get db.submitted) in
+    let score c =
+      let ex = db.execs.(c) in
+      note_qdepth ex;
+      let svc = Float.max 1. (Atomic.get ex.mean_job_us) in
+      let shape =
+        if c = home then Costmodel.leaf ~at:home body
+        else
+          Costmodel.node ~at:c ~p_seq:body
+            ~sync_seq:[ Costmodel.leaf ~at:home (0.2 *. body) ]
+            ()
+      in
+      let model = Costmodel.latency route_costs shape in
+      let backlog = Atomic.get ex.qdepth_ewma *. svc in
+      let busy = Atomic.get ex.busy_frac *. svc in
+      let shed_pressure =
+        float_of_int (Atomic.get ex.sheds) /. submitted *. svc *. 4.
+      in
+      model +. backlog +. busy +. shed_pressure
+    in
+    let best = ref home and best_s = ref (score home) in
+    for c = 0 to n - 1 do
+      if c <> home then begin
+        let s = score c in
+        if s < !best_s then begin
+          best := c;
+          best_s := s
+        end
+      end
+    done;
+    !best
+  end
 
 let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
   let entry = reactor_state db reactor in
@@ -658,11 +1026,14 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
     exec_root db ~reactor ~proc ~args ~retry ~t_submit
       ~deadline_us:abs_deadline ~k
   in
-  let ingress =
+  let ingress, by_cost =
     match db.cfg.Reactdb.Config.router with
-    | Reactdb.Config.Affinity -> home
+    | Reactdb.Config.Affinity -> (home, false)
     | Reactdb.Config.Round_robin ->
-      Atomic.fetch_and_add db.rr 1 mod Array.length db.execs
+      (Atomic.fetch_and_add db.rr 1 mod Array.length db.execs, false)
+    | Reactdb.Config.Cost ->
+      let c = choose_cost db ~home in
+      (c, c <> home)
   in
   (* Admission control happens here and only here: root ingress goes
      through [try_push] against the (possibly bounded) ingress mailbox.
@@ -671,14 +1042,21 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
      shedding those would wedge an in-flight transaction instead of
      refusing a new one. *)
   let accepted =
-    if ingress = home then Mailbox.try_push db.execs.(home).mb job
+    if ingress = home || by_cost then
+      (* Direct admission; a cost-routed off-home root executes at the
+         ingress domain and re-pins its commit. *)
+      Mailbox.try_push db.execs.(ingress).mb (Root job)
     else
-      (* Misrouted ingress pays a forwarding hop to the owner — the locality
-         cost the affinity router avoids. *)
-      Mailbox.try_push db.execs.(ingress).mb (fun () ->
-          Mailbox.push db.execs.(home).mb job)
+      (* Misrouted round-robin ingress pays a forwarding hop to the owner —
+         the locality cost the affinity router avoids. The hop itself is
+         internal traffic; the forwarded root becomes stealable again once
+         it reaches the home mailbox. *)
+      Mailbox.try_push db.execs.(ingress).mb
+        (Job (fun () -> Mailbox.push db.execs.(home).mb (Root job)))
   in
+  if accepted && by_cost then Atomic.incr db.execs.(ingress).routed_by_cost;
   if not accepted then begin
+    Atomic.incr db.execs.(ingress).sheds;
     (* Shed at admission: the attempt never reaches a domain, so the
        outcome is synthesized on the submitter's thread. Obs collector
        slots are owned by home domains, so no lifecycle record is written
@@ -719,21 +1097,53 @@ let quiesce db =
 
 (* ------------------------------------------------------------------ *)
 
-let start ?(chaos = Chaos.none) ?mailbox_cap decl cfg =
-  let entries, _table_owner = Reactdb.Bootstrap.build decl cfg in
+let start ?(chaos = Chaos.none) ?mailbox_cap ?(steal = false) ?wal
+    ?(epoch_len_s = default_epoch_len_s) ?(group_tick_s = 0.001) decl cfg =
+  let entries, table_owner = Reactdb.Bootstrap.build decl cfg in
   let n = Reactdb.Config.n_containers cfg in
   let execs =
     Array.init n (fun eid ->
-        { eid; mb = Mailbox.create ?capacity:mailbox_cap (); busy_s = 0. })
+        {
+          eid;
+          mb = Mailbox.create ?capacity:mailbox_cap ();
+          busy_s = 0.;
+          qdepth_ewma = Atomic.make 0.;
+          busy_frac = Atomic.make 0.;
+          mean_job_us = Atomic.make 0.;
+          steals_in = Atomic.make 0;
+          steals_out = Atomic.make 0;
+          routed_by_cost = Atomic.make 0;
+          sheds = Atomic.make 0;
+        })
   in
   let reactors = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.add reactors e.Reactdb.Bootstrap.bs_name e) entries;
+  let sink =
+    Option.map
+      (fun log ->
+        {
+          log;
+          wmu = Mutex.create ();
+          pending = [];
+          inflight = Hashtbl.create 8;
+          flushed_epoch = 0;
+          waiters = [];
+          stop = false;
+          flusher = None;
+          tick_s = Float.max 1e-4 group_tick_s;
+        })
+      wal
+  in
   let db =
     {
       cfg;
       execs;
       reactors;
       entries;
+      table_owner;
+      steal;
+      epoch_len = Float.max 1e-4 epoch_len_s;
+      wal = sink;
       chaos;
       txn_counter = Atomic.make 0;
       committed = Atomic.make 0;
@@ -757,10 +1167,24 @@ let start ?(chaos = Chaos.none) ?mailbox_cap decl cfg =
   in
   db.domains <-
     Array.map (fun ex -> Domain.spawn (fun () -> domain_loop db ex)) execs;
+  (match db.wal with
+  | Some s -> s.flusher <- Some (Domain.spawn (fun () -> flusher_loop db s))
+  | None -> ());
   db
 
 let shutdown db =
   quiesce db;
+  (* Stop the flusher after quiescence: its final pass flushes everything
+     still pending (no commit can be inflight any more) and releases any
+     remaining waiters before the executor domains are joined. *)
+  (match db.wal with
+  | Some s ->
+    Mutex.lock s.wmu;
+    s.stop <- true;
+    Mutex.unlock s.wmu;
+    (match s.flusher with Some d -> Domain.join d | None -> ());
+    s.flusher <- None
+  | None -> ());
   Array.iter (fun ex -> Mailbox.close ex.mb) db.execs;
   Array.iter Domain.join db.domains;
   db.domains <- [||]
@@ -791,11 +1215,64 @@ let aborts_by_reason db =
 let attach_obs db c = db.obs <- Some c
 let n_fatal db = Atomic.get db.fatal
 
+(* --- dynamic-scheduling observability --- *)
+
+type sched_stat = {
+  ss_steals_in : int;
+  ss_steals_out : int;
+  ss_routed_by_cost : int;
+  ss_sheds : int;
+  ss_qdepth_ewma : float;
+}
+
+let sched_stats db =
+  Array.map
+    (fun ex ->
+      {
+        ss_steals_in = Atomic.get ex.steals_in;
+        ss_steals_out = Atomic.get ex.steals_out;
+        ss_routed_by_cost = Atomic.get ex.routed_by_cost;
+        ss_sheds = Atomic.get ex.sheds;
+        ss_qdepth_ewma = Atomic.get ex.qdepth_ewma;
+      })
+    db.execs
+
+let n_steals db =
+  Array.fold_left
+    (fun a ex -> a + Atomic.get ex.steals_in)
+    0 db.execs
+
+(* Copy the scheduler counters into the attached collector's slots so they
+   ride the versioned report. Call at quiescence, like summarize. *)
+let publish_sched_obs db =
+  match db.obs with
+  | None -> ()
+  | Some c ->
+    Array.iter
+      (fun ex ->
+        Obs.Collector.set_sched c ~container:ex.eid
+          ~steals_in:(Atomic.get ex.steals_in)
+          ~steals_out:(Atomic.get ex.steals_out)
+          ~routed_by_cost:(Atomic.get ex.routed_by_cost)
+          ~qdepth_ewma:(Atomic.get ex.qdepth_ewma))
+      db.execs
+
 let fatal_messages db =
   Mutex.lock db.fatal_mu;
   let m = db.fatal_msgs in
   Mutex.unlock db.fatal_mu;
   m
+
+(* [busy_s] is private to its domain; snapshot it with a mailbox job so the
+   read happens on the owner with proper ordering. *)
+let busy_times db =
+  Array.map
+    (fun ex ->
+      let iv = Ivar.create () in
+      Mailbox.push ex.mb (Job (fun () -> Ivar.fill iv ex.busy_s));
+      iv)
+    db.execs
+  |> Array.map Ivar.read_block
 
 (* ------------------------------------------------------------------ *)
 
@@ -933,16 +1410,7 @@ module Load = struct
      stampedes on a contended key. *)
   let worker_seed seed w = seed lxor (w * 0x9e3779b9)
 
-  (* [busy_s] is private to its domain; snapshot it with a mailbox job so
-     the read happens on the owner with proper ordering. *)
-  let busy_snapshot db =
-    Array.map
-      (fun ex ->
-        let iv = Ivar.create () in
-        Mailbox.push ex.mb (fun () -> Ivar.fill iv ex.busy_s);
-        iv)
-      db.execs
-    |> Array.map Ivar.read_block
+  let busy_snapshot = busy_times
 
   let run db s =
     let stop = Atomic.make false in
@@ -1026,6 +1494,7 @@ module Load = struct
     done;
     quiesce db;
     Timer.stop timer;
+    publish_sched_obs db;
     let busy1 = busy_snapshot db in
     let t_drained = Unix.gettimeofday () in
     let window = Float.max 1e-9 (t_end -. t_start) in

@@ -33,7 +33,10 @@
     simulator's cost {!Reactdb.Profile} does not apply — time is real.
     Round-robin routing is honoured as ingress distribution: the root
     request lands on the round-robin-chosen domain and pays a forwarding
-    hop to the owner, quantifying what affinity routing saves. *)
+    hop to the owner, quantifying what affinity routing saves. The
+    [Cost] router and opt-in work stealing (see {!start}) relax the
+    home-domain-only placement of root {e bodies} while keeping all
+    structural mutations on the owning domain. *)
 
 type t
 
@@ -56,9 +59,40 @@ type outcome = {
     {e root admission only}: when the ingress mailbox already holds that
     many messages, {!submit} sheds the root with an
     [Obs.Abort.Overloaded] outcome instead of enqueuing it — internal
-    runtime traffic is never shed. *)
+    runtime traffic is never shed.
+
+    {3 Dynamic scheduling}
+
+    [steal] (default false) turns on work stealing: an idle domain takes
+    half the {e root} jobs (never internal traffic — resumptions, 2PC
+    messages, forwards) from the deepest peer mailbox and runs their
+    procedure bodies locally; the stolen root's commit is re-pinned to
+    its home domain, so every structural mutation (prepare / install /
+    release) still happens on the owner. Safe for update-in-place
+    workloads; see DESIGN.md §8 for the relocation precondition.
+    [cfg.router = Cost] picks each root's ingress domain by blending the
+    [Costmodel] estimate with live load signals (queue-depth EWMA, busy
+    fraction, shed pressure) instead of always using the home domain.
+
+    {3 Durability}
+
+    [wal] attaches a write-ahead log: each committed root's after-images
+    are appended and the transaction's completion waits for the group
+    commit covering its epoch — one batched append + flush per
+    [group_tick_s] window (default 1 ms), attributed to the
+    [Flush_wait] phase. [epoch_len_s] (default 0.04 s) sets the Silo
+    TID-epoch advance interval, which also bounds group-commit epoch
+    granularity. *)
 val start :
-  ?chaos:Chaos.t -> ?mailbox_cap:int -> Reactor.decl -> Reactdb.Config.t -> t
+  ?chaos:Chaos.t ->
+  ?mailbox_cap:int ->
+  ?steal:bool ->
+  ?wal:Wal.t ->
+  ?epoch_len_s:float ->
+  ?group_tick_s:float ->
+  Reactor.decl ->
+  Reactdb.Config.t ->
+  t
 
 (** Quiesces (waits for every submitted root to complete), closes all
     mailboxes and joins the domains. The catalogs remain readable. *)
@@ -141,6 +175,37 @@ val aborts_by_reason : t -> (string * int) list
 val n_fatal : t -> int
 
 val fatal_messages : t -> string list
+
+(** {1 Dynamic-scheduling statistics} *)
+
+(** One domain's scheduler counters (monotone atomics; [ss_qdepth_ewma]
+    is the last published mailbox-depth EWMA, a gauge). *)
+type sched_stat = {
+  ss_steals_in : int;  (** root jobs this domain stole from peers *)
+  ss_steals_out : int;  (** root jobs peers stole from this domain *)
+  ss_routed_by_cost : int;
+      (** roots the cost router admitted here instead of their home *)
+  ss_sheds : int;  (** roots shed at this ingress (mailbox full) *)
+  ss_qdepth_ewma : float;
+}
+
+(** Per-domain snapshot, indexed by domain id. Safe any time (atomic
+    reads), exact at quiescence. *)
+val sched_stats : t -> sched_stat array
+
+(** Total stolen root jobs ([ss_steals_in] summed over domains). *)
+val n_steals : t -> int
+
+(** Per-domain cumulative busy seconds since start, snapshot through each
+    domain's own mailbox (so the caller must not hold a domain — clients
+    and benches only). Mean utilization over a window of [w] seconds is
+    [sum (busy1 - busy0) / (n * w)]. *)
+val busy_times : t -> float array
+
+(** Copy the scheduler counters into the attached collector (no-op
+    without one) so they ride the schema-v3 report ([r_sched]). Call at
+    quiescence; {!Load.run} calls it automatically. *)
+val publish_sched_obs : t -> unit
 
 (** {1 Observability}
 

@@ -234,6 +234,22 @@ let append t e =
         output_char oc '\n'));
   t.count <- t.count + 1
 
+(* Group-commit append: the whole batch is encoded into one buffer and
+   written with a single channel call, so an epoch's worth of records costs
+   one I/O submission before the covering [flush]. *)
+let append_many t es =
+  (match t.sink with
+  | Memory r -> List.iter (fun e -> r := e :: !r) es
+  | File { oc; path } ->
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun e ->
+        Buffer.add_string b (encode_framed e);
+        Buffer.add_char b '\n')
+      es;
+    wrap_io path (fun () -> Buffer.output_buffer oc b));
+  t.count <- t.count + List.length es
+
 let length t = t.count
 
 let entries t =

@@ -42,6 +42,12 @@ val to_file : string -> t
 
 val append : t -> entry -> unit
 
+(** [append_many t es] appends a batch in order; a file-backed log encodes
+    the whole batch into one buffer and issues a single channel write (the
+    group-commit coalescing half — pair with one {!flush} for the epoch's
+    durability boundary). Equivalent to [List.iter (append t) es]. *)
+val append_many : t -> entry list -> unit
+
 (** Number of entries in the log (existing entries of a reopened file plus
     entries appended since). *)
 val length : t -> int

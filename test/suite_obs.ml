@@ -62,8 +62,9 @@ let test_abort_kinds () =
     (List.fold_left
        (fun acc k -> max acc (Obs.Abort.kind_index k))
        0 Obs.Abort.all_kinds);
-  check_int "schema version bumped for the new kinds" 2
-    Obs.Report.schema_version
+  check_int "schema version bumped for the scheduler rows" 3
+    Obs.Report.schema_version;
+  check_int "v2 reports stay readable" 2 Obs.Report.min_readable_version
 
 (* ---- traces ---- *)
 
@@ -228,6 +229,44 @@ let test_report_json_roundtrip () =
     check_bool "unknown version rejected" true
       (Result.is_error (Obs.Report.of_json bumped))
   | _ -> Alcotest.fail "to_json not an object"
+
+(* Backwards compatibility: a v2 document (no "scheduler" field) still
+   loads, with empty scheduler rows; and v3 sched rows survive a
+   round-trip. *)
+let test_report_v2_readable () =
+  let r = Obs.Report.summarize (synthetic_collector ()) in
+  (match Obs.Report.to_json r with
+  | Obs.Json.Obj fields ->
+    let v2 =
+      Obs.Json.Obj
+        (List.filter_map
+           (function
+             | "schema_version", _ ->
+               Some ("schema_version", Obs.Json.Num 2.)
+             | "scheduler", _ -> None
+             | kv -> Some kv)
+           fields)
+    in
+    (match Obs.Report.of_json v2 with
+    | Ok r2 ->
+      check_bool "v2 loads with no sched rows" true
+        (r2 = { r with Obs.Report.r_sched = [] })
+    | Error e -> Alcotest.failf "v2 rejected: %s" e)
+  | _ -> Alcotest.fail "to_json not an object");
+  (* v3 with sched rows round-trips *)
+  let c = synthetic_collector () in
+  Obs.Collector.set_sched c ~container:1 ~steals_in:3 ~steals_out:0
+    ~routed_by_cost:7 ~qdepth_ewma:2.5;
+  let r3 = Obs.Report.summarize c in
+  (match r3.Obs.Report.r_sched with
+  | [ s ] ->
+    check_int "sched container" 1 s.Obs.Report.sr_container;
+    check_int "sched steals_in" 3 s.Obs.Report.sr_steals_in;
+    check_int "sched routed_by_cost" 7 s.Obs.Report.sr_routed_by_cost
+  | l -> Alcotest.failf "expected one sched row, got %d" (List.length l));
+  match Obs.Report.of_json (Obs.Report.to_json r3) with
+  | Ok r' -> check_bool "v3 sched rows round-trip" true (r' = r3)
+  | Error e -> Alcotest.failf "of_json: %s" e
 
 (* ---- QCheck: generated traces ---- *)
 
@@ -445,6 +484,8 @@ let suite =
       Alcotest.test_case "overcount detected" `Quick test_overcount_detected;
       Alcotest.test_case "report json round-trip" `Quick
         test_report_json_roundtrip;
+      Alcotest.test_case "v2 reports readable, v3 sched rows" `Quick
+        test_report_v2_readable;
       QCheck_alcotest.to_alcotest prop_phase_partition;
       QCheck_alcotest.to_alcotest prop_json_roundtrip;
       Alcotest.test_case "simulator traced run" `Quick

@@ -328,6 +328,163 @@ let test_overload_shed () =
   RDb.shutdown db;
   audit_clean db
 
+(* ------------------------------------------------------------------ *)
+(* Work stealing: a skewed YCSB run (every root homed by a hot container)
+   with stealing on must stay exactly correct — stolen bodies run on thief
+   domains but all structural mutations re-pin to the owner — and the
+   steal counters must balance (every steal-in is someone's steal-out). *)
+
+let test_steal_correctness () =
+  let nk = 32 in
+  let cfg = Reactdb.Config.shared_nothing (chunk 4 (Workloads.Ycsb.keys nk)) in
+  let db = RDb.start ~steal:true (Workloads.Ycsb.decl ~keys:nk ()) cfg in
+  (* theta 0.99: heavy Zipfian skew concentrates roots on a few homes, so
+     idle domains have something to steal *)
+  let p = Workloads.Ycsb.params ~txn_keys:4 ~theta:0.99 nk in
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:8 ~per_worker:100 ~seed:17 (fun _ rng ->
+        Workloads.Ycsb.gen_multi_update rng p
+          ~container_of:(RDb.container_of db))
+  in
+  check_int "every attempt accounted" 800 (RDb.n_committed db + RDb.n_aborted db);
+  check_bool "made progress" true (RDb.n_committed db > 0);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  let stats = RDb.sched_stats db in
+  let total_out =
+    Array.fold_left (fun a s -> a + s.RDb.ss_steals_out) 0 stats
+  in
+  check_int "steals balance" (RDb.n_steals db) total_out;
+  RDb.shutdown db;
+  List.iter
+    (fun (_, _, rows) -> check_int "one row per key reactor" 1 (List.length rows))
+    (Faultsim.snapshot (RDb.catalogs db));
+  audit_clean db
+
+(* Stealing with the Smallbank conserving mix: cross-container transfers go
+   through real 2PC while single-container roots may be stolen; money must
+   still be conserved exactly. *)
+let test_steal_smallbank () =
+  let n = 32 in
+  let cfg = Reactdb.Config.shared_nothing (chunk 4 (SB.customers n)) in
+  let db = RDb.start ~steal:true (SB.decl ~customers:n ()) cfg in
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:8 ~per_worker:75 ~seed:23 (fun _ rng ->
+        SB.gen_conserving rng ~n)
+  in
+  check_int "every attempt accounted" 600 (RDb.n_committed db + RDb.n_aborted db);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  check_float "money conserved under stealing" (float_of_int n *. 2. *. 10_000.)
+    (SB.total_money (List.map snd (RDb.catalogs db)));
+  audit_clean db
+
+(* Cost router: roots may be admitted on a non-home domain (the body runs
+   there; the commit re-pins); correctness and conservation must hold. *)
+let test_cost_router () =
+  let n = 16 in
+  let names = SB.customers n in
+  let placement = Hashtbl.create 16 in
+  List.iteri (fun i nm -> Hashtbl.add placement nm (i mod 2)) names;
+  let cfg =
+    Reactdb.Config.custom
+      ~executors_per_container:[| 1; 1 |]
+      ~router:Reactdb.Config.Cost
+      ~placement:(Hashtbl.find placement) ()
+  in
+  let db = RDb.start (SB.decl ~customers:n ()) cfg in
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:31 (fun _ rng ->
+        SB.gen_conserving rng ~n)
+  in
+  check_int "every attempt accounted" 200 (RDb.n_committed db + RDb.n_aborted db);
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  check_float "money conserved under cost routing"
+    (float_of_int n *. 2. *. 10_000.)
+    (SB.total_money (List.map snd (RDb.catalogs db)));
+  audit_clean db
+
+(* ------------------------------------------------------------------ *)
+(* Durable mode: group-committed WAL must hold exactly the committed
+   transactions' after-images; replaying it onto a freshly-loaded database
+   reconstructs the same physical state. Flush_wait must appear in the
+   lifecycle report and the scheduler rows must ride the v3 export. *)
+
+let test_group_commit_durability () =
+  let n = 16 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let log = Wal.in_memory () in
+  let db = RDb.start ~wal:log ~group_tick_s:0.0005 decl cfg in
+  let collector =
+    Obs.Collector.create ~clock:Obs.Wall ~containers:(RDb.n_domains db) ()
+  in
+  RDb.attach_obs db collector;
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:4 ~per_worker:50 ~seed:13 (fun _ rng ->
+        SB.gen_conserving rng ~n)
+  in
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.publish_sched_obs db;
+  RDb.shutdown db;
+  check_float "money conserved" (float_of_int n *. 2. *. 10_000.)
+    (SB.total_money (List.map snd (RDb.catalogs db)));
+  (* every committed writer is in the log exactly once (read-only commits
+     append nothing) *)
+  check_bool "log bounded by commits" true
+    (Wal.length log <= RDb.n_committed db);
+  check_bool "some transactions logged" true (Wal.length log > 0);
+  check_bool "group commit flushed" true (Wal.n_flushes log > 0);
+  (* replay onto a freshly-loaded copy reconstructs the same state *)
+  let db2 = RDb.start decl cfg in
+  RDb.shutdown db2;
+  let applied =
+    Wal.replay (Wal.entries log) ~catalog_of:(RDb.catalog_of db2)
+  in
+  check_bool "replay applied writes" true (applied > 0);
+  (match
+     Faultsim.diff
+       (Faultsim.snapshot (RDb.catalogs db))
+       (Faultsim.snapshot (RDb.catalogs db2))
+   with
+  | None -> ()
+  | Some d -> Alcotest.fail ("replayed state diverged: " ^ d));
+  (* Flush_wait shows up in the report, and the v3 export round-trips *)
+  let report = Obs.Report.summarize collector in
+  let fw =
+    List.find
+      (fun p -> p.Obs.Report.pr_phase = "flush_wait")
+      report.Obs.Report.r_phases
+  in
+  check_bool "flush_wait attributed" true (fw.Obs.Report.pr_sum_us > 0.);
+  (match Obs.Report.of_json (Obs.Report.to_json report) with
+  | Ok r2 -> check_bool "v3 report round-trips" true (r2 = report)
+  | Error m -> Alcotest.fail ("report round-trip: " ^ m));
+  audit_clean db
+
+(* Durable mode end-to-end through a real file: entries survive close and
+   re-read framed and checksummed. *)
+let test_group_commit_file () =
+  let path = Filename.temp_file "reactdb_gc" ".wal" in
+  let n = 8 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let log = Wal.to_file path in
+  let db = RDb.start ~wal:log decl cfg in
+  let (_ : int) =
+    RDb.Load.run_fixed db ~n_workers:2 ~per_worker:25 ~seed:41 (fun _ rng ->
+        SB.gen_conserving rng ~n)
+  in
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  Wal.close log;
+  let entries, tail = Wal.read_file_tolerant path in
+  check_bool "file log clean" true (tail = Wal.Clean);
+  check_int "file holds every logged entry" (Wal.length log)
+    (List.length entries);
+  Sys.remove path;
+  audit_clean db
+
 let suite =
   ( "runtime",
     [
@@ -345,4 +502,12 @@ let suite =
         test_deadline_during_2pc_prepare;
       Alcotest.test_case "overload shed at mailbox cap" `Quick
         test_overload_shed;
+      Alcotest.test_case "work stealing: skewed ycsb" `Quick
+        test_steal_correctness;
+      Alcotest.test_case "work stealing: smallbank conservation" `Quick
+        test_steal_smallbank;
+      Alcotest.test_case "cost router" `Quick test_cost_router;
+      Alcotest.test_case "group-commit durability + replay" `Quick
+        test_group_commit_durability;
+      Alcotest.test_case "group-commit file log" `Quick test_group_commit_file;
     ] )
