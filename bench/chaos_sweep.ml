@@ -7,6 +7,11 @@
      domain-stall, prepare-stall), fixed transaction counts with retries.
    - deadline: Smallbank under heavy delivery delay with a tight
      per-transaction deadline — timeouts must occur and unwind cleanly.
+   - fanout-delay: the multi-transfer fan-out/collect formulation on a
+     shared-nothing-async deployment under seeded delivery delay — the
+     parallel sub-calls of each root ship concurrently, so a delayed
+     delivery must neither reorder any producer's FIFO nor drop a collect
+     waker (checked by the accounting identity and quiescence).
    - overload: a saturating closed-loop run against a small --mailbox-cap;
      admission sheds must occur and p99 latency must stay bounded.
    - flush-stall: the simulator backend in durable group-commit mode with a
@@ -220,6 +225,78 @@ let run_deadline ~seed ~fast =
     rw_audit = audit;
   }
 
+(* Seeded delivery delay against the fan-out/collect formulation on a
+   shared-nothing-async deployment (the morph knob selects Collect): each
+   root has up to three sub-calls in flight at once, so a delayed delivery
+   lands between concurrently outstanding futures. The audits require that
+   every attempt still completes exactly once (no dropped collect waker),
+   money is conserved (no partial fan-out commits), and the run quiesces
+   within the ceiling (no producer FIFO wedged by reordering). *)
+let run_fanout_delay ~seed ~fast =
+  let n = if fast then 64 else 256 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing_async (chunk 4 (SB.customers n)) in
+  let form = SB.formulation_for cfg in
+  let chaos =
+    Chaos.make ~seed ~kind:Chaos.Delay_delivery ~p:0.2 ~delay_us:2000. ()
+  in
+  let db = RDb.start ~chaos decl cfg in
+  let gen _ rng =
+    let src = Util.Rng.int rng n in
+    let rec pick acc k =
+      if k = 0 then List.rev acc
+      else
+        let d = Util.Rng.pick_except rng n src in
+        if List.mem d acc then pick acc k else pick (d :: acc) (k - 1)
+    in
+    SB.multi_transfer_request form
+      ~src:(SB.customer_name src)
+      ~dests:(List.map SB.customer_name (pick [] 3))
+      ~amount:1.
+  in
+  let n_workers = 8 and per_worker = if fast then 25 else 100 in
+  let t0 = Unix.gettimeofday () in
+  let retries =
+    RDb.Load.run_fixed ~max_retries:3 db ~n_workers ~per_worker ~seed gen
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  RDb.shutdown db;
+  let committed = RDb.n_committed db and aborted = RDb.n_aborted db in
+  let reasons = RDb.aborts_by_reason db in
+  let audit =
+    fatal_audit db
+    >>= (fun () -> money_audit ~n (List.map snd (RDb.catalogs db)))
+    >>= (fun () ->
+          accounting_audit ~committed ~aborted
+            ~logical:(n_workers * per_worker) ~retries)
+    >>= (fun () ->
+          if committed > 0 then Ok ()
+          else Error "no fan-out commits under delivery delay")
+    >>= (fun () ->
+          if Chaos.injections chaos > 0 then Ok ()
+          else Error "delivery-delay injector never fired")
+    >>= (fun () -> bounded_audit ~elapsed_s ~ceiling_s:120.)
+    >>= fun () ->
+    match Faultsim.check_secondaries (RDb.catalogs db) with
+    | Ok () -> Ok ()
+    | Error m -> Error ("secondary-index audit: " ^ m)
+  in
+  {
+    rw_scenario = "fanout-delay";
+    rw_workload = "smallbank-multi-transfer-" ^ SB.formulation_name form;
+    rw_fault = "delivery-delay";
+    rw_domains = 4;
+    rw_committed = committed;
+    rw_aborted = aborted;
+    rw_retries = retries;
+    rw_timeouts = count_reason reasons "timeout";
+    rw_sheds = count_reason reasons "overloaded";
+    rw_injections = Chaos.injections chaos;
+    rw_p99_us = 0.;
+    rw_elapsed_s = elapsed_s;
+    rw_audit = audit;
+  }
+
 (* Saturating closed-loop run against a small admission cap: sheds must
    occur (backpressure is engaged) and committed-transaction p99 must stay
    bounded — shedding keeps the queues, hence the latencies, short. *)
@@ -410,9 +487,10 @@ let () =
       workloads
   in
   let deadline = report (run_deadline ~seed ~fast) in
+  let fanout = report (run_fanout_delay ~seed ~fast) in
   let overload = report (run_overload ~seed ~fast) in
   let flush_stall = report (run_flush_stall ~seed ~fast) in
-  let rows = matrix @ [ deadline; overload; flush_stall ] in
+  let rows = matrix @ [ deadline; fanout; overload; flush_stall ] in
   emit_json !out ~seed rows;
   Printf.printf "wrote %s\n" !out;
   let failures =

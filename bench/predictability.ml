@@ -68,6 +68,12 @@ let deployments =
     { dp_name = "shared-nothing-async";
       dp_config = (fun () -> Reactdb.Config.shared_nothing groups);
       dp_form = SB.Opt };
+    (* The morphed deployment: the config's Parallel morph selects the
+       collect fan-out formulation (Smallbank.formulation_for), so the
+       same request stream runs parallel purely by deployment choice. *)
+    { dp_name = "shared-nothing-async-collect";
+      dp_config = (fun () -> Reactdb.Config.shared_nothing_async groups);
+      dp_form = SB.Collect };
   ]
 
 (* One measured run with a collector attached; returns the report and the
@@ -105,7 +111,7 @@ let predict ~n_calib config form overhead_us =
   let p_credit = p_total /. 2. in
   let tree =
     match form with
-    | SB.Opt ->
+    | SB.Opt | SB.Collect ->
       Costmodel.node ~at:0 ~p_ovp:p_credit
         ~async:
           (List.init txn_size (fun i -> Costmodel.leaf ~at:(i + 1) p_credit))

@@ -48,6 +48,16 @@ echo "== bench smoke: dynamic scheduling (audit- and steal-gated) =="
 dune exec bench/scheduler.exe -- --fast --out BENCH_scheduler_smoke.json
 
 echo
+echo "== bench smoke: intra-transaction parallelism (audit- and speedup-gated) =="
+# Sequential vs fan-out/collect formulations morphed by the deployment
+# (shared-nothing vs shared-nothing-async) at 1/2/4 containers, on the
+# simulator's virtual clock. Exits non-zero if money conservation or
+# history certification fails, if phase sums deviate by more than 1%, or
+# if the 4-container fan-out speedup drops below 1.5x (measured or
+# predicted).
+dune exec bench/intra_txn.exe -- --fast --out BENCH_intra_txn_smoke.json
+
+echo
 echo "== bench smoke: chaos sweep (audit-gated) =="
 # Seeded fault injection across every chaos class on both backends; the
 # runner exits non-zero if any scenario violates its audits (money

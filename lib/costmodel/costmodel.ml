@@ -22,6 +22,18 @@ let node ~at ?(p_seq = 0.) ?(sync_seq = []) ?(async = []) ?(p_ovp = 0.)
     ?(sync_ovp = []) () =
   { at; p_seq; sync_seq; async; p_ovp; sync_ovp }
 
+(* Fan-out/collect: [n] asynchronous sub-calls of [p] µs each, dealt
+   round-robin over the destination executors, overlapped with [p_ovp] µs
+   of caller-side processing (e.g. the combined local debit) before the
+   collect barrier. *)
+let fan_out ~at ~dests ?(p_ovp = 0.) ~n p =
+  if dests = [] then invalid_arg "Costmodel.fan_out: no destinations";
+  let d = Array.of_list dests in
+  let children =
+    List.init n (fun i -> leaf ~at:d.(i mod Array.length d) p)
+  in
+  node ~at ~async:children ~p_ovp ()
+
 let sum f xs = List.fold_left (fun acc x -> acc +. f x) 0. xs
 
 (* The equation of Figure 3, applied recursively. *)
@@ -38,15 +50,28 @@ let rec latency c st =
     +. sum (fun child -> c.cs k child.at +. c.cr child.at k) st.sync_ovp
   in
   (* Each asynchronous child's completion time includes the send costs of
-     every child launched before it (sends are issued sequentially). *)
-  let rec async_part acc_send best = function
+     every child launched before it (sends are issued sequentially), and
+     children targeting the same executor serialize there: a child cannot
+     start before its predecessor on that executor finishes. With distinct
+     executors this degenerates to the plain fork–join max; with a fan-out
+     wider than the executor count it models the queueing that caps the
+     parallel speedup at the number of distinct executors. *)
+  let rec async_part acc_send busy best = function
     | [] -> best
     | child :: rest ->
       let acc_send = acc_send +. c.cs k child.at in
-      let t = latency c child +. c.cr child.at k +. acc_send in
-      async_part acc_send (Float.max best t) rest
+      let start =
+        match List.assoc_opt child.at busy with
+        | Some t -> Float.max t acc_send
+        | None -> acc_send
+      in
+      let fin = start +. latency c child in
+      let t = fin +. c.cr child.at k in
+      async_part acc_send
+        ((child.at, fin) :: List.remove_assoc child.at busy)
+        (Float.max best t) rest
   in
-  let fork_join = Float.max (async_part 0. 0. st.async) ovp_part in
+  let fork_join = Float.max (async_part 0. [] 0. st.async) ovp_part in
   seq_part +. fork_join
 
 type decomposition = {

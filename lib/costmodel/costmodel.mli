@@ -44,8 +44,23 @@ val node :
   unit ->
   st
 
+(** [fan_out ~at ~dests ~n p] — a fan-out/collect transaction: [n]
+    asynchronous sub-calls of [p] µs each, dealt round-robin over the
+    [dests] executors, with [p_ovp] µs of caller-side processing (e.g. a
+    combined local debit) overlapped before the collect barrier. With
+    [n > List.length dests] the queueing term of {!latency} caps the
+    speedup at the number of distinct destination executors. *)
+val fan_out : at:int -> dests:int list -> ?p_ovp:float -> n:int -> float -> st
+
 (** Latency of a sub-transaction per Figure 3. A root transaction is a
-    sub-transaction without a parent; add commitment overhead separately. *)
+    sub-transaction without a parent; add commitment overhead separately.
+
+    Asynchronous children launched at the fork point complete at
+    [accumulated sends + own latency + Cr] — and children targeting the
+    same executor serialize there (a child starts no earlier than its
+    predecessor on that executor finishes), so a fan-out wider than the
+    executor pool is predicted to scale only to the pool size. With
+    distinct destinations the term reduces to the plain Figure 3 max. *)
 val latency : costs -> st -> float
 
 (** Decomposition of the predicted latency into the buckets plotted in

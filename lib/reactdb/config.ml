@@ -1,5 +1,7 @@
 type router = Round_robin | Affinity | Cost
 
+type morph = Sequential | Parallel
+
 type t = {
   executors_per_container : int array;
   router : router;
@@ -7,6 +9,7 @@ type t = {
   placement : string -> int;
   affinity_slot : string -> int;
   machine_of : int -> int;
+  morph : morph;
 }
 
 let default_mpl = 8
@@ -30,6 +33,7 @@ let shared_everything ~executors ~affinity ?(mpl = default_mpl) reactors =
     placement = (fun _ -> 0);
     affinity_slot = slot_of_list reactors;
     machine_of = (fun _ -> 0);
+    morph = Sequential;
   }
 
 let shared_nothing ?(mpl = default_mpl) groups =
@@ -50,18 +54,27 @@ let shared_nothing ?(mpl = default_mpl) groups =
     placement;
     affinity_slot = (fun _ -> 0);
     machine_of = (fun _ -> 0);
+    morph = Sequential;
   }
 
+let shared_nothing_async ?mpl groups =
+  { (shared_nothing ?mpl groups) with morph = Parallel }
+
 let custom ~executors_per_container ~router ?(mpl = default_mpl) ~placement
-    ?(affinity_slot = Hashtbl.hash) ?(machine_of = fun _ -> 0) () =
+    ?(affinity_slot = Hashtbl.hash) ?(machine_of = fun _ -> 0)
+    ?(morph = Sequential) () =
   if Array.length executors_per_container = 0 then
     invalid_arg "Config: need at least one container";
   Array.iter
     (fun n -> if n <= 0 then invalid_arg "Config: executors must be positive")
     executors_per_container;
-  { executors_per_container; router; mpl; placement; affinity_slot; machine_of }
+  { executors_per_container; router; mpl; placement; affinity_slot; machine_of;
+    morph }
 
 let on_machines t machine_of = { t with machine_of }
+let with_morph t morph = { t with morph }
+
+let morph_name = function Sequential -> "sequential" | Parallel -> "parallel"
 
 let n_containers t = Array.length t.executors_per_container
 let total_executors t = Array.fold_left ( + ) 0 t.executors_per_container
@@ -75,11 +88,12 @@ module Spec = struct
     affinity : bool;
     smpl : int;
     groups : [ `Auto of int | `Explicit of string list list ];
+    smorph : morph;
   }
 
   let default_spec =
     { strategy = SE; executors = 1; affinity = true; smpl = default_mpl;
-      groups = `Auto 1 }
+      groups = `Auto 1; smorph = Sequential }
 
   let of_string text =
     let lines = String.split_on_char '\n' text in
@@ -98,6 +112,10 @@ module Spec = struct
         | [] -> spec
         | [ "strategy"; "shared-everything" ] -> { spec with strategy = SE }
         | [ "strategy"; "shared-nothing" ] -> { spec with strategy = SN }
+        | [ "strategy"; "shared-nothing-async" ] ->
+          { spec with strategy = SN; smorph = Parallel }
+        | [ "morph"; "sequential" ] -> { spec with smorph = Sequential }
+        | [ "morph"; "parallel" ] -> { spec with smorph = Parallel }
         | [ "executors"; n ] -> { spec with executors = int_of_string n }
         | [ "affinity"; "on" ] -> { spec with affinity = true }
         | [ "affinity"; "off" ] -> { spec with affinity = false }
@@ -123,20 +141,23 @@ module Spec = struct
     of_string s
 
   let build spec reactors =
-    match spec.strategy with
-    | SE ->
-      shared_everything ~executors:spec.executors ~affinity:spec.affinity
-        ~mpl:spec.smpl reactors
-    | SN ->
-      let groups =
-        match spec.groups with
-        | `Explicit gs -> gs
-        | `Auto n ->
-          (* Deal reactors round-robin over n containers. *)
-          let buckets = Array.make n [] in
-          List.iteri (fun i r -> buckets.(i mod n) <- r :: buckets.(i mod n))
-            reactors;
-          Array.to_list (Array.map List.rev buckets)
-      in
-      shared_nothing ~mpl:spec.smpl groups
+    let base =
+      match spec.strategy with
+      | SE ->
+        shared_everything ~executors:spec.executors ~affinity:spec.affinity
+          ~mpl:spec.smpl reactors
+      | SN ->
+        let groups =
+          match spec.groups with
+          | `Explicit gs -> gs
+          | `Auto n ->
+            (* Deal reactors round-robin over n containers. *)
+            let buckets = Array.make n [] in
+            List.iteri (fun i r -> buckets.(i mod n) <- r :: buckets.(i mod n))
+              reactors;
+            Array.to_list (Array.map List.rev buckets)
+        in
+        shared_nothing ~mpl:spec.smpl groups
+    in
+    with_morph base spec.smorph
 end

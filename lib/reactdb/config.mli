@@ -21,6 +21,16 @@
     load to react to. *)
 type router = Round_robin | Affinity | Cost
 
+(** Deployment morphing of transaction formulations (Shah 2022): whether
+    multi-future-capable procedures should run their {e sequential}
+    (call-then-get one at a time) or {e parallel} (fan out, then collect)
+    formulation on this deployment. Workload request builders that offer
+    both formulations consult this knob (e.g.
+    [Workloads.Smallbank.formulation_for]), fulfilling the "morph the same
+    program onto a different deployment by changing the config" claim for
+    intra-transaction parallelism. *)
+type morph = Sequential | Parallel
+
 type t = {
   executors_per_container : int array;
       (** length = number of containers; entry = executors in it *)
@@ -35,6 +45,10 @@ type t = {
       (** container index -> machine id. Messages between containers on
           different machines pay {!Profile.t.cost_network}. Single-machine
           deployments map everything to machine 0 (the default). *)
+  morph : morph;
+      (** formulation morph for multi-future-capable procedures; builders
+          default to [Sequential], {!shared_nothing_async} selects
+          [Parallel] *)
 }
 
 (** [shared_everything ~executors ~affinity reactors] — one container,
@@ -45,10 +59,18 @@ val shared_everything :
   executors:int -> affinity:bool -> ?mpl:int -> string list -> t
 
 (** [shared_nothing groups] — strategy S3: one container with one executor
-    per group; group [i]'s reactors are placed in container [i]. Whether the
-    deployment behaves as shared-nothing-sync or -async is decided by the
-    application programs (how they use futures), not by the config. *)
+    per group; group [i]'s reactors are placed in container [i]. The
+    deployment behaves as shared-nothing-{e sync}: procedures offering both
+    formulations run sequentially. Application programs that hard-code
+    their future usage are unaffected by the morph knob. *)
 val shared_nothing : ?mpl:int -> string list list -> t
+
+(** [shared_nothing_async groups] — the same placement as
+    {!shared_nothing}, but with [morph = Parallel]: multi-future-capable
+    procedures fan their sub-calls out concurrently and join them with
+    {!Reactor.ctx.collect}. This is the shared-nothing-async deployment the
+    intra-transaction-parallelism evaluation morphs into. *)
+val shared_nothing_async : ?mpl:int -> string list list -> t
 
 (** Fully explicit deployment. *)
 val custom :
@@ -58,6 +80,7 @@ val custom :
   placement:(string -> int) ->
   ?affinity_slot:(string -> int) ->
   ?machine_of:(int -> int) ->
+  ?morph:morph ->
   unit ->
   t
 
@@ -66,11 +89,21 @@ val custom :
     only the physical mapping. *)
 val on_machines : t -> (int -> int) -> t
 
+(** [with_morph t m] re-morphs a deployment without changing placement —
+    the sequential and parallel variants of one deployment differ only in
+    this knob, so A/B sweeps hold everything else fixed. *)
+val with_morph : t -> morph -> t
+
+val morph_name : morph -> string
+
 val n_containers : t -> int
 val total_executors : t -> int
 
 (** Parse the textual config format. Lines: [strategy shared-nothing] |
-    [strategy shared-everything], [executors N] (shared-everything),
+    [strategy shared-nothing-async] | [strategy shared-everything],
+    [morph sequential|parallel] (formulation morph, orthogonal to the
+    strategy line; [shared-nothing-async] implies [morph parallel]),
+    [executors N] (shared-everything),
     [affinity on|off], [mpl N], [groups a,b;c,d] (shared-nothing; reactors
     not listed fall into group 0 — or round-robin over groups when
     [groups auto N] is used with the reactor list given at build time).

@@ -322,6 +322,39 @@ let rec run_procedure db ~root ~rstate ~ex ~on_root_path ~proc_name ~args =
           ~work:(fun us -> work frame us);
       self = rstate.rname;
       call = (fun ~reactor ~proc ~args -> do_call db frame ~reactor ~proc ~args);
+      collect =
+        (fun futures ->
+          (* Fork–join barrier: consume every future (out-of-order
+             completion is fine — resolved ivars are peeked for free),
+             capturing per-future errors so a failure in one sub-call
+             never unwinds while siblings are still outstanding. Only
+             after all futures have completed do we re-raise the first
+             non-deadline error in list order. A deadline expiry seen by
+             any per-future resume check is the root's one budget, so it
+             is reported as the collect-boundary check firing. *)
+          let results =
+            List.map
+              (fun f -> try Ok (f.Reactor.get ()) with e -> Error e)
+              futures
+          in
+          (match
+             List.find_opt
+               (function
+                 | Error (Obs.Abort.Timed_out _) | Ok _ -> false
+                 | Error _ -> true)
+               results
+           with
+          | Some (Error e) -> raise e
+          | _ -> ());
+          if
+            List.exists
+              (function Error _ -> true | Ok _ -> false)
+              results
+          then raise (Obs.Abort.Timed_out "deadline expired at collect boundary");
+          check_deadline root ~where:"at collect boundary";
+          List.map
+            (function Ok v -> v | Error _ -> assert false)
+            results);
     }
   in
   let result = try Ok (procfn ctx args) with e -> Error e in

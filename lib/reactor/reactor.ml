@@ -4,6 +4,7 @@ type ctx = {
   db : Query.Exec.ctx;
   self : string;
   call : reactor:string -> proc:string -> args:Util.Value.t list -> future;
+  collect : future list -> Util.Value.t list;
 }
 
 type proc = ctx -> Util.Value.t list -> Util.Value.t

@@ -35,6 +35,16 @@ type ctx = {
   call : reactor:string -> proc:string -> args:Util.Value.t list -> future;
       (** [procedure_name(args) on reactor reactor_name] — asynchronous;
           force synchrony by calling [get] immediately. *)
+  collect : future list -> Util.Value.t list;
+      (** Fork–join barrier over a fan-out of futures: waits for {e every}
+          future in the list to complete (out-of-order completion is fine —
+          already-resolved futures are consumed without suspending), then
+          returns their results in list order. If any sub-transaction
+          aborted, the first error in list order is re-raised — but only
+          after all siblings have completed, so a collect never unwinds
+          while sub-transactions are still mutating callee state. The
+          enclosing root's deadline is checked once at the collect
+          boundary, after all futures have resolved. *)
 }
 
 (** A stored procedure: receives the invocation context and arguments,

@@ -426,6 +426,40 @@ let rec run_procedure db ~root ~entry ~ex ~on_root_path ~proc_name ~args =
           ~work:(fun _ -> ());
       self = entry.Reactdb.Bootstrap.bs_name;
       call = (fun ~reactor ~proc ~args -> do_call db frame ~reactor ~proc ~args);
+      collect =
+        (fun futures ->
+          (* Fork–join barrier, mirroring the simulator: consume every
+             future before raising anything (resolved ivars are peeked for
+             free, so completion order doesn't matter), then re-raise the
+             first non-deadline error in list order. Raising only after
+             all siblings completed means a timed-out collect never
+             unwinds with sub-transactions still mutating callee state; a
+             deadline expiry seen by any per-future resume check is the
+             root's one budget, so it is reported as the collect-boundary
+             check firing. *)
+          let results =
+            List.map
+              (fun f -> try Ok (f.Reactor.get ()) with e -> Error e)
+              futures
+          in
+          (match
+             List.find_opt
+               (function
+                 | Error (Obs.Abort.Timed_out _) | Ok _ -> false
+                 | Error _ -> true)
+               results
+           with
+          | Some (Error e) -> raise e
+          | _ -> ());
+          if
+            List.exists
+              (function Error _ -> true | Ok _ -> false)
+              results
+          then raise (Obs.Abort.Timed_out "deadline expired at collect boundary");
+          check_deadline root ~where:"at collect boundary";
+          List.map
+            (function Ok v -> v | Error _ -> assert false)
+            results);
     }
   in
   let result = try Ok (procfn ctx args) with e -> Error e in

@@ -140,6 +140,33 @@ let multi_transfer_opt ctx args =
     Value.Null
   | [] -> abort "multi_transfer_opt: missing amount"
 
+(* multi_transfer_collect(amt, dsts...): the Opt formulation written with
+   an explicit fork–join — fan all credits out, debit the combined total
+   from the source while they are in flight, then join the credit futures
+   at a collect barrier. Issues exactly the same sub-calls as
+   [multi_transfer_opt]; the difference is that credit aborts surface at
+   the collect boundary instead of at implicit sync. *)
+let multi_transfer_collect ctx args =
+  match args with
+  | amt :: dsts ->
+    if Value.to_number amt <= 0. then abort "non-positive transfer";
+    let credits =
+      List.map
+        (fun dst ->
+          ctx.call ~reactor:(Value.to_str dst) ~proc:"transact_saving"
+            ~args:[ amt ])
+        dsts
+    in
+    let total = Value.to_number amt *. float_of_int (List.length dsts) in
+    let debit =
+      ctx.call ~reactor:ctx.self ~proc:"transact_saving"
+        ~args:[ Wl.vf (-.total) ]
+    in
+    ignore (debit.get ());
+    ignore (ctx.collect credits);
+    Value.Null
+  | [] -> abort "multi_transfer_collect: missing amount"
+
 (* --- the standard Smallbank transaction mix --- *)
 
 let balance_txn ctx _args =
@@ -188,6 +215,41 @@ let send_payment ctx args =
   ignore (f.get ());
   Value.Null
 
+(* send_payment_multi(amt, dsts...): pay [amt] to each destination out of
+   the source's checking account. The shared debit/overdraft logic runs on
+   the source; [fan_out] selects the sequential formulation (credit each
+   destination and synchronize before the next) or the parallel one (fan
+   every credit out, then join at a collect barrier). *)
+let send_payment_multi ~fan_out ctx args =
+  match args with
+  | amt :: dsts ->
+    let amt = Value.to_number amt in
+    if amt <= 0. then abort "non-positive payment";
+    let cid = cust_id ctx in
+    let total = amt *. float_of_int (List.length dsts) in
+    let bal = balance_of ctx "checking" cid in
+    if bal < total then abort "insufficient checking funds";
+    set_balance ctx "checking" cid (bal -. total);
+    if fan_out then
+      ignore
+        (ctx.collect
+           (List.map
+              (fun dst ->
+                ctx.call ~reactor:(Value.to_str dst) ~proc:"deposit_checking"
+                  ~args:[ Wl.vf amt ])
+              dsts))
+    else
+      List.iter
+        (fun dst ->
+          let f =
+            ctx.call ~reactor:(Value.to_str dst) ~proc:"deposit_checking"
+              ~args:[ Wl.vf amt ]
+          in
+          ignore (f.get ()))
+        dsts;
+    Value.Null
+  | [] -> abort "send_payment_multi: missing amount"
+
 (* Empty transaction for containerization-overhead measurements (App. F.3). *)
 let noop _ctx _args = Value.Null
 
@@ -206,11 +268,14 @@ let customer_type =
           multi_transfer_sync ~transfer_proc:"transfer_ovp" );
         ("multi_transfer_fully_async", multi_transfer_fully_async);
         ("multi_transfer_opt", multi_transfer_opt);
+        ("multi_transfer_collect", multi_transfer_collect);
         ("balance", balance_txn);
         ("deposit_checking", deposit_checking);
         ("write_check", write_check);
         ("amalgamate", amalgamate);
         ("send_payment", send_payment);
+        ("send_payment_multi_seq", send_payment_multi ~fan_out:false);
+        ("send_payment_multi_par", send_payment_multi ~fan_out:true);
         ("noop", noop);
       ]
     ()
@@ -233,25 +298,49 @@ let decl ~customers:n ?(initial = 10_000.) () =
     ~loaders:(List.init n (fun i -> (customer_name i, loader i)))
     ()
 
-(** The four multi-transfer formulations of §4.1.4. *)
-type formulation = Fully_sync | Partially_async | Fully_async | Opt
+(** The four multi-transfer formulations of §4.1.4, plus the explicit
+    fork–join [Collect] formulation (same sub-call fan-out as [Opt], joined
+    with {!Reactor.ctx.collect}). *)
+type formulation = Fully_sync | Partially_async | Fully_async | Opt | Collect
 
 let formulation_proc = function
   | Fully_sync -> "multi_transfer_sync"
   | Partially_async -> "multi_transfer_partial"
   | Fully_async -> "multi_transfer_fully_async"
   | Opt -> "multi_transfer_opt"
+  | Collect -> "multi_transfer_collect"
 
 let formulation_name = function
   | Fully_sync -> "fully-sync"
   | Partially_async -> "partially-async"
   | Fully_async -> "fully-async"
   | Opt -> "opt"
+  | Collect -> "collect"
+
+(** Deployment morphing (Shah 2022): which multi-transfer formulation the
+    deployment's {!Reactdb.Config.morph} knob selects — sequential
+    deployments run fully-sync, parallel (shared-nothing-async) ones run
+    the collect fan-out. *)
+let formulation_for config =
+  match config.Reactdb.Config.morph with
+  | Reactdb.Config.Sequential -> Fully_sync
+  | Reactdb.Config.Parallel -> Collect
 
 (** Build a multi-transfer request from explicit source and destinations. *)
 let multi_transfer_request form ~src ~dests ~amount =
   Wl.request src (formulation_proc form)
     (Wl.vf amount :: List.map Wl.vs dests)
+
+(** Multi-payment request morphed by the deployment: sequential
+    deployments credit one destination at a time, parallel ones fan out
+    and collect. *)
+let send_payment_multi_request config ~src ~dests ~amount =
+  let proc =
+    match config.Reactdb.Config.morph with
+    | Reactdb.Config.Sequential -> "send_payment_multi_seq"
+    | Reactdb.Config.Parallel -> "send_payment_multi_par"
+  in
+  Wl.request src proc (Wl.vf amount :: List.map Wl.vs dests)
 
 (** Generator for the standard Smallbank mix over [n] customers (uniform
     choice). Mix weights follow the H-Store distribution: balance 15%,

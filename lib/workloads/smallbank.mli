@@ -8,9 +8,10 @@
 (** The Customer reactor type. Procedures: [transact_saving],
     [transact_checking], [transfer_seq], [transfer_ovp],
     [multi_transfer_sync], [multi_transfer_partial],
-    [multi_transfer_fully_async], [multi_transfer_opt], [balance],
-    [deposit_checking], [write_check], [amalgamate], [send_payment],
-    [noop]. *)
+    [multi_transfer_fully_async], [multi_transfer_opt],
+    [multi_transfer_collect], [balance], [deposit_checking], [write_check],
+    [amalgamate], [send_payment], [send_payment_multi_seq],
+    [send_payment_multi_par], [noop]. *)
 val customer_type : Reactor.rtype
 
 val customer_name : int -> string
@@ -24,16 +25,34 @@ val customers : int -> string list
 val decl : customers:int -> ?initial:float -> unit -> Reactor.decl
 
 (** The four multi-transfer formulations of §4.1.4, ordered from least to
-    most asynchronous. *)
-type formulation = Fully_sync | Partially_async | Fully_async | Opt
+    most asynchronous, plus [Collect]: the same sub-call fan-out as [Opt]
+    but joined explicitly with {!Reactor.ctx.collect} (credit aborts
+    surface at the collect boundary instead of at implicit sync). *)
+type formulation = Fully_sync | Partially_async | Fully_async | Opt | Collect
 
 val formulation_proc : formulation -> string
 val formulation_name : formulation -> string
+
+(** [formulation_for config] — the deployment morph (Shah 2022): the
+    formulation selected by [config]'s {!Reactdb.Config.morph} knob.
+    [Sequential] deployments run [Fully_sync]; [Parallel]
+    (shared-nothing-async) deployments run [Collect]. *)
+val formulation_for : Reactdb.Config.t -> formulation
 
 (** Build a multi-transfer request: transfer [amount] from [src] to each of
     [dests]. *)
 val multi_transfer_request :
   formulation -> src:string -> dests:string list -> amount:float -> Wl.request
+
+(** Multi-payment request morphed by the deployment: pay [amount] to each
+    destination out of [src]'s checking account —
+    [send_payment_multi_seq] (credit-then-sync per destination) on
+    [Sequential] deployments, [send_payment_multi_par] (fan out all
+    credits, then collect) on [Parallel] ones. Both formulations debit the
+    combined total up front and conserve money. *)
+val send_payment_multi_request :
+  Reactdb.Config.t ->
+  src:string -> dests:string list -> amount:float -> Wl.request
 
 (** One request of the standard Smallbank mix over [n] customers (H-Store
     weights: 15/15/15/15/15/25). *)

@@ -151,9 +151,15 @@ let item_price ctx i_id =
   | None -> abort "unknown item"
 
 (* new_order(d_id, c_id, delay, now, n, (i_id supply qty) repeated) -> o_id.
-   [sync] forces each remote stock sub-transaction's future immediately
-   after invocation: the shared-nothing-sync program variant of §3.3. *)
-let new_order ~sync ctx args =
+   [mode] picks the program variant: [`Sync] forces each remote stock
+   sub-transaction's future immediately after invocation (the
+   shared-nothing-sync variant of §3.3); [`Async] defers each future's get
+   until its order lines are inserted; [`Collect] joins all remote groups
+   at one collect barrier after the local items are handled (the
+   per-item-fan-out formulation of the intra-transaction-parallelism
+   evaluation). All three issue identical sub-calls and insert identical
+   rows in identical order. *)
+let new_order ~mode ctx args =
   let a = Array.of_list args in
   let d_id = geti a.(0) and c_id = geti a.(1) in
   let delay = getf a.(2) and now = getf a.(3) in
@@ -208,7 +214,7 @@ let new_order ~sync ctx args =
           :: List.concat_map (fun (_, i_id, qty) -> [ Wl.vi i_id; Wl.vi qty ]) group
         in
         let f = ctx.call ~reactor:supply ~proc:"stock_updates" ~args in
-        if sync then ignore (f.get ());
+        (match mode with `Sync -> ignore (f.get ()) | `Async | `Collect -> ());
         (supply, group, f) :: acc)
       remote_groups []
   in
@@ -223,13 +229,25 @@ let new_order ~sync ctx args =
       let dist = stock_update_one ctx ~i_id ~qty ~remote:false ~delay in
       insert_ol ~ol ~i_id ~supply:ctx.self ~qty ~dist)
     (List.rev !locals);
-  List.iter
-    (fun (supply, group, future) ->
-      let dists = String.split_on_char '|' (gets (future.get ())) in
-      List.iter2
-        (fun (ol, i_id, qty) dist -> insert_ol ~ol ~i_id ~supply ~qty ~dist)
-        group dists)
-    futures;
+  let insert_group (supply, group) res =
+    let dists = String.split_on_char '|' (gets res) in
+    List.iter2
+      (fun (ol, i_id, qty) dist -> insert_ol ~ol ~i_id ~supply ~qty ~dist)
+      group dists
+  in
+  (match mode with
+  | `Collect ->
+    (* One barrier over every remote group: out-of-order completion, then
+       order lines inserted in the same (group) order as the other modes. *)
+    let results = ctx.collect (List.map (fun (_, _, f) -> f) futures) in
+    List.iter2
+      (fun (supply, group, _) res -> insert_group (supply, group) res)
+      futures results
+  | `Sync | `Async ->
+    List.iter
+      (fun (supply, group, future) ->
+        insert_group (supply, group) (future.get ()))
+      futures);
   Wl.vi o_id
 
 (* Select a customer by last name through the (d_id, last) secondary index:
@@ -398,8 +416,9 @@ let warehouse_type =
         ("orders", [ ("by_cust", [ "d_id"; "c_id" ]) ]) ]
     ~procs:
       [
-        ("new_order", new_order ~sync:false);
-        ("new_order_sync", new_order ~sync:true);
+        ("new_order", new_order ~mode:`Async);
+        ("new_order_sync", new_order ~mode:`Sync);
+        ("new_order_collect", new_order ~mode:`Collect);
         ("stock_updates", stock_updates);
         ("payment", payment);
         ("payment_customer", payment_customer);
@@ -490,13 +509,27 @@ type params = {
   delay_lo : float;
   delay_hi : float;  (** per-item stock-replenishment delay range, µs *)
   sync_new_order : bool;  (** use the new_order_sync program variant *)
+  no_proc : string;  (** new-order procedure generated requests invoke *)
 }
 
 let params ?(sizes = default_sizes) ?(remote_mode = Per_item 0.01)
     ?(remote_payment_prob = 0.15) ?(delay_lo = 0.) ?(delay_hi = 0.)
-    ?(sync_new_order = false) n_warehouses =
+    ?(sync_new_order = false) ?new_order_proc n_warehouses =
+  let no_proc =
+    match new_order_proc with
+    | Some p -> p
+    | None -> if sync_new_order then "new_order_sync" else "new_order"
+  in
   { n_warehouses; sizes; remote_mode; remote_payment_prob; delay_lo;
-    delay_hi; sync_new_order }
+    delay_hi; sync_new_order; no_proc }
+
+(** The new-order variant a deployment morph selects: sequential
+    deployments run [new_order_sync], parallel (shared-nothing-async) ones
+    run the collect fan-out. *)
+let new_order_proc_for config =
+  match config.Reactdb.Config.morph with
+  | Reactdb.Config.Sequential -> "new_order_sync"
+  | Reactdb.Config.Parallel -> "new_order_collect"
 
 let nurand_customer rng sizes =
   let c = sizes.customers_per_district in
@@ -543,8 +576,7 @@ let gen_new_order rng p ~home ~clock =
            in
            [ Wl.vi i_id; Wl.vs supply; Wl.vi (1 + Rng.int rng 10) ]))
   in
-  Wl.request (warehouse_name home)
-    (if p.sync_new_order then "new_order_sync" else "new_order")
+  Wl.request (warehouse_name home) p.no_proc
     (Wl.vi d_id :: Wl.vi c_id :: Wl.vf delay :: Wl.vf clock :: Wl.vi n :: items)
 
 let gen_payment rng p ~home ~h_id =

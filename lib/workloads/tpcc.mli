@@ -22,8 +22,10 @@ val default_sizes : sizes
 val small_sizes : sizes
 
 (** The Warehouse reactor type. Procedures: [new_order], [new_order_sync],
-    [stock_updates], [payment], [payment_customer], [order_status],
-    [delivery], [stock_level]. *)
+    [new_order_collect] (per-remote-warehouse fan-out joined at one
+    {!Reactor.ctx.collect} barrier; same sub-calls and row inserts as the
+    other two variants), [stock_updates], [payment], [payment_customer],
+    [order_status], [delivery], [stock_level]. *)
 val warehouse_type : Reactor.rtype
 
 (** [warehouse_name i] for the 1-based warehouse index. *)
@@ -53,6 +55,9 @@ type params = {
       (** per-item stock-replenishment delay range in µs (the
           new-order-delay variant of §4.3.2); 0 disables *)
   sync_new_order : bool;  (** use the shared-nothing-sync program variant *)
+  no_proc : string;
+      (** new-order procedure generated requests invoke; defaults from
+          [sync_new_order], overridable with [?new_order_proc] *)
 }
 
 val params :
@@ -62,8 +67,14 @@ val params :
   ?delay_lo:float ->
   ?delay_hi:float ->
   ?sync_new_order:bool ->
+  ?new_order_proc:string ->
   int ->
   params
+
+(** [new_order_proc_for config] — the deployment morph: [new_order_sync]
+    on [Sequential] deployments, [new_order_collect] on [Parallel]
+    (shared-nothing-async) ones. Pass as [?new_order_proc] to {!params}. *)
+val new_order_proc_for : Reactdb.Config.t -> string
 
 (** {1 Input generators}
 

@@ -45,11 +45,40 @@ let multi_update ctx args =
     Value.Null
   | [] -> abort "multi_update: missing value"
 
+(* multi_read(keys...): invoked on one of the keys; reads every key and
+   returns the concatenated field lengths (a cheap digest the caller can
+   compare across formulations). [fan_out] selects the sequential
+   read-then-sync-per-key formulation or the parallel fan-out joined at a
+   collect barrier; own key is read inline either way. *)
+let multi_read ~fan_out ctx args =
+  let own = Value.to_str (read_proc ctx []) in
+  let remote_reads =
+    if fan_out then
+      ctx.collect
+        (List.map
+           (fun key ->
+             ctx.call ~reactor:(Value.to_str key) ~proc:"read" ~args:[])
+           args)
+    else
+      List.map
+        (fun key ->
+          (ctx.call ~reactor:(Value.to_str key) ~proc:"read" ~args:[]).get ())
+        args
+  in
+  let total =
+    List.fold_left
+      (fun acc v -> acc + String.length (Value.to_str v))
+      (String.length own) remote_reads
+  in
+  Wl.vi total
+
 let key_type =
   rtype ~name:"YcsbKey" ~schemas:[ s_usertable ]
     ~procs:
       [ ("read", read_proc); ("update", update_proc);
-        ("multi_update", multi_update) ]
+        ("multi_update", multi_update);
+        ("multi_read_seq", multi_read ~fan_out:false);
+        ("multi_read_par", multi_read ~fan_out:true) ]
     ()
 
 let key_name i = Printf.sprintf "k%d" i
@@ -99,3 +128,27 @@ let gen_multi_update rng p ~container_of =
   let ordered = remote @ local in
   Wl.request root "multi_update"
     (Wl.vs (String.make 100 'y') :: List.map (fun k -> Wl.vs (key_name k)) ordered)
+
+(** Generate a multi-key read request morphed by the deployment: same key
+    selection and remote-first ordering as {!gen_multi_update}, dispatched
+    to [multi_read_seq] or [multi_read_par] according to [config]'s
+    {!Reactdb.Config.morph} knob. *)
+let gen_multi_read rng p config ~container_of =
+  let distinct = Hashtbl.create 16 in
+  for _ = 1 to p.txn_keys do
+    Hashtbl.replace distinct (Rng.Zipf.next rng p.zipf) ()
+  done;
+  let ks = Hashtbl.fold (fun k () acc -> k :: acc) distinct [] in
+  let ks = List.sort Int.compare ks in
+  let root = key_name (List.nth ks (Rng.int rng (List.length ks))) in
+  let home = container_of root in
+  let others = List.filter (fun k -> key_name k <> root) ks in
+  let remote, local =
+    List.partition (fun k -> container_of (key_name k) <> home) others
+  in
+  let proc =
+    match config.Reactdb.Config.morph with
+    | Reactdb.Config.Sequential -> "multi_read_seq"
+    | Reactdb.Config.Parallel -> "multi_read_par"
+  in
+  Wl.request root proc (List.map (fun k -> Wl.vs (key_name k)) (remote @ local))

@@ -2,7 +2,10 @@
     reactor holding one 100-byte record; [multi_update] read-modify-writes
     a zipfian set of keys, asynchronously for keys on other containers. *)
 
-(** The key reactor type. Procedures: [read], [update], [multi_update]. *)
+(** The key reactor type. Procedures: [read], [update], [multi_update],
+    [multi_read_seq] (read each key, synchronizing before the next),
+    [multi_read_par] (fan every read out, join at a collect barrier —
+    both return the total payload length across the keys read). *)
 val key_type : Reactor.rtype
 
 val key_name : int -> string
@@ -26,3 +29,11 @@ val params : ?txn_keys:int -> theta:float -> int -> params
     the placement. *)
 val gen_multi_update :
   Util.Rng.t -> params -> container_of:(string -> int) -> Wl.request
+
+(** Generate a multi-key read with the same key selection as
+    {!gen_multi_update}, morphed by the deployment's
+    {!Reactdb.Config.morph} knob: [multi_read_seq] on [Sequential]
+    deployments, [multi_read_par] on [Parallel] ones. *)
+val gen_multi_read :
+  Util.Rng.t ->
+  params -> Reactdb.Config.t -> container_of:(string -> int) -> Wl.request

@@ -334,6 +334,95 @@ let prop_phase_partition =
           r.Obs.Report.r_max_sum_dev_pct;
       r.Obs.Report.r_attempts = List.length attempts)
 
+(* ---- QCheck: overlapping awaits never double-count Suspend_wait ---- *)
+
+(* Model of the engines' await attribution (database.ml await_sub /
+   db.ml await_sub): the root fiber consumes futures one get at a time; a
+   get on a future resolving at absolute time [c] past the cursor [t]
+   blocks the fiber for [c - t] and advances the cursor to [c], while an
+   already-resolved future is peeked for free. Futures whose in-flight
+   windows overlap therefore contribute the *union* of their windows to
+   Suspend_wait, never the sum — the fiber is physically blocked at most
+   once at any instant. The property drives this fold over arbitrary
+   overlapping windows and random consumption orders (collect consumes in
+   list order; implicit sync in reverse issue order — both are covered by
+   random permutations), then pushes the result through the real
+   Trace/Collector arithmetic: the Exec residual (body minus waits, the
+   engines' subtraction) must never go negative, Suspend_wait must fit
+   inside the post-work body window, and phase sums must still partition
+   the end-to-end latency exactly. A naive per-future sum would fail all
+   three as soon as two windows overlap. *)
+let gen_overlapping_waits =
+  QCheck.Gen.(
+    let* n = 1 -- 6 in
+    let* spans =
+      list_size (return n)
+        (pair (float_bound_inclusive 500.) (float_bound_inclusive 300.))
+    in
+    let* order = shuffle_l (List.init n Fun.id) in
+    let* work = float_bound_inclusive 200. in
+    let* extra = float_bound_inclusive 50. in
+    return (spans, order, work, extra))
+
+let prop_no_suspend_double_count =
+  QCheck.Test.make ~name:"overlapping waits: suspend is a union, not a sum"
+    ~count:300
+    (QCheck.make gen_overlapping_waits)
+    (fun (spans, order, work, extra) ->
+      (* absolute resolve time of each future: request offset + in-flight
+         duration (offsets and durations overlap freely) *)
+      let completions =
+        List.map (fun (req, dur) -> req +. dur) spans |> Array.of_list
+      in
+      (* the engines' consumption fold: blocked window only past cursor *)
+      let cursor, suspend =
+        List.fold_left
+          (fun (t, acc) i ->
+            let c = completions.(i) in
+            if c > t then (c, acc +. (c -. t)) else (t, acc))
+          (work, 0.) order
+      in
+      let max_c = Array.fold_left Stdlib.max 0. completions in
+      if suspend < 0. then QCheck.Test.fail_reportf "negative suspend";
+      let eps = 1e-9 *. Stdlib.max 1. (work +. max_c) in
+      (* cursor lands on the latest consumed completion (or stays at the
+         end of the body work when everything already resolved) *)
+      if cursor > Stdlib.max work max_c +. eps then
+        QCheck.Test.fail_reportf "cursor %.17g beyond window end" cursor;
+      (* union bound: all blocked segments are disjoint and live after the
+         body work, so their total fits the post-work window — the naive
+         per-future sum does not whenever windows overlap *)
+      if suspend > cursor -. work +. eps then
+        QCheck.Test.fail_reportf "suspend %.17g exceeds post-work window %.17g"
+          suspend (cursor -. work);
+      let exec = cursor -. suspend in
+      if exec < -.eps then
+        QCheck.Test.fail_reportf "negative exec residual %.17g" exec;
+      (* the real collector arithmetic still partitions latency exactly *)
+      let c = Obs.Collector.create ~clock:Obs.Virtual ~containers:1 () in
+      let tr = Obs.Collector.trace c in
+      Obs.Trace.add tr Obs.Phase.Suspend_wait suspend;
+      Obs.Trace.add tr Obs.Phase.Exec exec;
+      let latency_us = cursor +. extra in
+      Obs.Collector.record_commit c ~container:0 ~participants:1 ~retry:0
+        ~latency_us tr;
+      let r = Obs.Report.summarize c in
+      List.iter
+        (fun p ->
+          if p.Obs.Report.pr_sum_us < 0. then
+            QCheck.Test.fail_reportf "negative phase sum %s"
+              p.Obs.Report.pr_phase)
+        r.Obs.Report.r_phases;
+      if r.Obs.Report.r_max_sum_dev_pct > 1e-6 then
+        QCheck.Test.fail_reportf "sum deviation %.17g"
+          r.Obs.Report.r_max_sum_dev_pct;
+      let sus =
+        List.find
+          (fun p -> p.Obs.Report.pr_phase = "suspend_wait")
+          r.Obs.Report.r_phases
+      in
+      abs_float (sus.Obs.Report.pr_sum_us -. suspend) <= eps)
+
 (* The JSON export round-trips exactly through the same printer/parser
    pair predictability.exe uses to read reports back. *)
 let prop_json_roundtrip =
@@ -487,6 +576,7 @@ let suite =
       Alcotest.test_case "v2 reports readable, v3 sched rows" `Quick
         test_report_v2_readable;
       QCheck_alcotest.to_alcotest prop_phase_partition;
+      QCheck_alcotest.to_alcotest prop_no_suspend_double_count;
       QCheck_alcotest.to_alcotest prop_json_roundtrip;
       Alcotest.test_case "simulator traced run" `Quick
         test_simulator_traced_run;

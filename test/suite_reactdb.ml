@@ -306,6 +306,107 @@ let test_deadline_timeout_sim () =
       checkf "then debited" 75. (balance db "acct0");
       checkf "then credited" 125. (balance db "acct1"))
 
+(* Collect barrier: a fan-out of three credits joined by ctx.collect
+   commits with the same effects as the sequential formulations, and a
+   failing credit surfaces only after every sibling completed. *)
+let test_collect_fan_out_commits () =
+  with_db (sn_config 4) (fun db ->
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_collect"
+          ~args:[ Value.Float 10.; Value.Str "acct1"; Value.Str "acct2";
+                  Value.Str "acct3" ]
+      in
+      ignore (ok_or_fail out);
+      check_int "touched all four containers" 4 out.DB.containers_touched;
+      checkf "source debited" 70. (balance db "acct0");
+      List.iter
+        (fun a -> checkf ("credited " ^ a) 110. (balance db a))
+        [ "acct1"; "acct2"; "acct3" ])
+
+let test_collect_sub_abort_aborts_root () =
+  with_db (sn_config 4) (fun db ->
+      (* negative amount: every remote credit hits insufficient funds; the
+         collect barrier re-raises the first error only after all three
+         siblings completed, and the root rolls back everywhere *)
+      let out =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_collect"
+          ~args:[ Value.Float (-200.); Value.Str "acct1"; Value.Str "acct2";
+                  Value.Str "acct3" ]
+      in
+      (match out.DB.result with
+      | Error m -> check_bool "credit abort surfaced" true
+          (m = "insufficient funds")
+      | Ok _ -> Alcotest.fail "expected abort");
+      List.iter
+        (fun a -> checkf ("untouched " ^ a) 100. (balance db a))
+        [ "acct0"; "acct1"; "acct2"; "acct3" ])
+
+(* Satellite: a root that times out with a fan-out of three futures
+   outstanding must unwind through the ordinary release path on every
+   callee. Virtual time is deterministic, so sweeping deadlines across the
+   transaction's measured lifetime is exact: every aborting fraction must
+   abort with Timeout and leave no state behind, at least one must land
+   inside the collect window (message names the collect boundary), and a
+   fraction may legally commit only when the deadline falls past the last
+   2PC prepare check — in which case its effects must be exactly those of
+   an untimed run. *)
+let test_deadline_mid_collect_sim () =
+  let args =
+    [ Value.Float 10.; Value.Str "acct1"; Value.Str "acct2"; Value.Str "acct3" ]
+  in
+  let lat =
+    with_db (sn_config 4) (fun db ->
+        let out =
+          DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_collect" ~args
+        in
+        ignore (ok_or_fail out);
+        out.DB.latency)
+  in
+  with_db (sn_config 4) (fun db ->
+      let hit_collect = ref false in
+      let expected = Array.make 4 100. in
+      let apply_commit () =
+        expected.(0) <- expected.(0) -. 30.;
+        for i = 1 to 3 do
+          expected.(i) <- expected.(i) +. 10.
+        done
+      in
+      let check_balances what =
+        Array.iteri
+          (fun i e ->
+            let a = Printf.sprintf "acct%d" i in
+            checkf (what ^ " " ^ a) e (balance db a))
+          expected
+      in
+      List.iter
+        (fun frac ->
+          let out =
+            DB.exec_txn ~deadline_us:(frac *. lat) db ~reactor:"acct0"
+              ~proc:"multi_transfer_collect" ~args
+          in
+          (match out.DB.result with
+          | Error m ->
+            if Strutil.contains m ~sub:"collect boundary" then
+              hit_collect := true;
+            check_bool "cause is Timeout" true
+              (match out.DB.abort_cause with
+              | Some c -> c.Obs.Abort.kind = Obs.Abort.Timeout
+              | None -> false)
+          | Ok _ ->
+            (* legal only past the last deadline check (post-prepare) *)
+            check_bool "early deadline must not commit" true (frac >= 0.5);
+            apply_commit ());
+          check_balances "state after run")
+        [ 0.2; 0.35; 0.5; 0.65; 0.8; 0.9 ];
+      check_bool "some deadline expired mid-collect" true !hit_collect;
+      (* every callee released its locks: the same fan-out then commits *)
+      let ok =
+        DB.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_collect" ~args
+      in
+      check_bool "subsequent fan-out commits" true (Result.is_ok ok.DB.result);
+      apply_commit ();
+      check_balances "final state")
+
 let test_generous_deadline_commits () =
   with_db ~n:2 (sn_config 2) (fun db ->
       let out =
@@ -382,6 +483,12 @@ let suite =
       Alcotest.test_case "config spec parsing" `Quick test_config_spec_parsing;
       Alcotest.test_case "deadline timeout (sim)" `Quick
         test_deadline_timeout_sim;
+      Alcotest.test_case "collect fan-out commits" `Quick
+        test_collect_fan_out_commits;
+      Alcotest.test_case "collect sub abort aborts root" `Quick
+        test_collect_sub_abort_aborts_root;
+      Alcotest.test_case "deadline mid-collect (sim)" `Quick
+        test_deadline_mid_collect_sim;
       Alcotest.test_case "generous deadline commits" `Quick
         test_generous_deadline_commits;
       Alcotest.test_case "wal failure is a typed abort" `Quick

@@ -287,6 +287,168 @@ let test_deadline_during_2pc_prepare () =
   RDb.shutdown db;
   audit_clean db
 
+(* Satellite: deadline expiry mid-collect with a fan-out of three futures
+   outstanding. Each credit runs slow_deposit, busy-waiting 40 ms on its
+   own domain; the 15 ms root deadline passes after the fan-out shipped
+   (admission and sub-start checks see microseconds) but long before the
+   slowest credit returns, so the expiry is observed at the collect
+   boundary — with all three sub-transactions' effects pending — and must
+   unwind through the ordinary release path on every callee. *)
+let test_deadline_mid_collect_runtime () =
+  let db = RDb.start (Testlib.bank_decl 4) (Testlib.sn_config 4) in
+  let out =
+    RDb.exec_txn ~deadline_us:15_000. db ~reactor:"acct0"
+      ~proc:"multi_transfer_collect_slow"
+      ~args:
+        [ Value.Float 40_000.; Value.Float 10.; Value.Str "acct1";
+          Value.Str "acct2"; Value.Str "acct3" ]
+  in
+  check_bool "root aborts" true (Result.is_error out.RDb.result);
+  check_bool "cause is Timeout" true (abort_kind out = Some Obs.Abort.Timeout);
+  check_bool "expired at the collect boundary" true
+    (match out.RDb.result with
+    | Error m -> Strutil.contains m ~sub:"collect boundary"
+    | Ok _ -> false);
+  check_int "timeout bucket counted" 1
+    (match List.assoc_opt "timeout" (RDb.aborts_by_reason db) with
+    | Some n -> n
+    | None -> 0);
+  List.iter
+    (fun a -> check_float ("untouched " ^ a) 100. (balance db a))
+    [ "acct0"; "acct1"; "acct2"; "acct3" ];
+  (* all three callees released their locks: the same fan-out (without the
+     spin, without a deadline) commits across all four containers *)
+  let ok =
+    RDb.exec_txn db ~reactor:"acct0" ~proc:"multi_transfer_collect"
+      ~args:
+        [ Value.Float 10.; Value.Str "acct1"; Value.Str "acct2";
+          Value.Str "acct3" ]
+  in
+  check_bool "subsequent fan-out commits" true (Result.is_ok ok.RDb.result);
+  check_int "fan-out spans four containers" 4 ok.RDb.containers_touched;
+  check_float "then debited" 70. (balance db "acct0");
+  List.iter
+    (fun a -> check_float ("then credited " ^ a) 110. (balance db a))
+    [ "acct1"; "acct2"; "acct3" ];
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  audit_clean db
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the multi-future (collect) formulations are serially
+   equivalent to their sequential counterparts — same per-request results
+   and byte-identical physical state — one transaction at a time, on both
+   backends. *)
+
+let run_serial_sim decl cfg names reqs =
+  let db = Harness.build decl cfg in
+  let results = ref [] in
+  let eng = Reactdb.Database.engine db in
+  Sim.Engine.spawn eng (fun () ->
+      results :=
+        List.map
+          (fun r ->
+            (Reactdb.Database.exec_txn db ~reactor:r.Workloads.Wl.reactor
+               ~proc:r.Workloads.Wl.proc ~args:r.Workloads.Wl.args)
+              .Reactdb.Database.result)
+          reqs);
+  ignore (Sim.Engine.run eng);
+  let state =
+    Faultsim.snapshot
+      (List.map (fun nm -> (nm, Reactdb.Database.catalog_of db nm)) names)
+  in
+  (!results, state)
+
+let run_serial_par decl cfg reqs =
+  let db = RDb.start decl cfg in
+  let results =
+    List.map
+      (fun r ->
+        (RDb.exec_txn db ~reactor:r.Workloads.Wl.reactor
+           ~proc:r.Workloads.Wl.proc ~args:r.Workloads.Wl.args)
+          .RDb.result)
+      reqs
+  in
+  check_int "no fatals" 0 (RDb.n_fatal db);
+  RDb.shutdown db;
+  (results, Faultsim.snapshot (RDb.catalogs db))
+
+let check_serial_equiv label (ra, sa) (rb, sb) =
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Ok va, Ok vb ->
+        check_bool (label ^ ": same committed value") true (Value.equal va vb)
+      | Error ma, Error mb -> Alcotest.(check string) (label ^ ": same abort") ma mb
+      | Ok _, Error m -> Alcotest.fail (label ^ ": committed vs aborted: " ^ m)
+      | Error m, Ok _ -> Alcotest.fail (label ^ ": aborted vs committed: " ^ m))
+    ra rb;
+  match Faultsim.diff sa sb with
+  | None -> ()
+  | Some d -> Alcotest.fail (label ^ ": state diverged: " ^ d)
+
+let test_collect_serial_equivalence_smallbank () =
+  let n = 12 in
+  let decl = SB.decl ~customers:n () in
+  let names = SB.customers n in
+  let cfg = Reactdb.Config.shared_nothing (chunk 3 names) in
+  (* request shapes drawn once, then instantiated per formulation, so both
+     runs issue the same transfers; destinations are distinct (concurrent
+     activations of one reactor would trip the safety condition only in
+     the parallel formulation and break equivalence trivially) *)
+  let shapes =
+    let rng = Rng.stream ~seed:77 0 in
+    List.init 40 (fun _ ->
+        let src = Rng.int rng n in
+        let rec pick acc k =
+          if k = 0 then List.rev acc
+          else
+            let d = Rng.pick_except rng n src in
+            if List.mem d acc then pick acc k else pick (d :: acc) (k - 1)
+        in
+        (src, pick [] 3, 1. +. float_of_int (Rng.int rng 5)))
+  in
+  let reqs form =
+    List.map
+      (fun (src, dests, amount) ->
+        SB.multi_transfer_request form ~src:(SB.customer_name src)
+          ~dests:(List.map SB.customer_name dests) ~amount)
+      shapes
+  in
+  let sim_seq = run_serial_sim decl cfg names (reqs SB.Fully_sync) in
+  let sim_col = run_serial_sim decl cfg names (reqs SB.Collect) in
+  let par_seq = run_serial_par decl cfg (reqs SB.Fully_sync) in
+  let par_col = run_serial_par decl cfg (reqs SB.Collect) in
+  check_serial_equiv "sim collect vs sequential" sim_seq sim_col;
+  check_serial_equiv "parallel collect vs sequential" par_seq par_col;
+  check_serial_equiv "collect across backends" sim_col par_col
+
+let test_collect_serial_equivalence_tpcc () =
+  let module T = Workloads.Tpcc in
+  let nw = 3 in
+  let decl = T.decl ~warehouses:nw ~sizes:T.small_sizes () in
+  let names = T.warehouses nw in
+  let cfg = Reactdb.Config.shared_nothing (chunk 3 names) in
+  (* identical generator draws per variant: no_proc only renames the
+     invoked procedure, so a fresh same-seed stream yields identical
+     order lines for both *)
+  let reqs proc =
+    let p =
+      T.params ~sizes:T.small_sizes ~remote_mode:(T.Per_item 0.9)
+        ~new_order_proc:proc nw
+    in
+    let rng = Rng.stream ~seed:9 0 in
+    List.init 25 (fun i ->
+        T.gen_new_order rng p ~home:(1 + (i mod nw)) ~clock:(float_of_int i))
+  in
+  let sim_seq = run_serial_sim decl cfg names (reqs "new_order_sync") in
+  let sim_col = run_serial_sim decl cfg names (reqs "new_order_collect") in
+  let par_seq = run_serial_par decl cfg (reqs "new_order_sync") in
+  let par_col = run_serial_par decl cfg (reqs "new_order_collect") in
+  check_serial_equiv "sim collect vs sequential" sim_seq sim_col;
+  check_serial_equiv "parallel collect vs sequential" par_seq par_col;
+  check_serial_equiv "collect across backends" sim_col par_col
+
 (* Admission control: with a stalling domain and a mailbox cap, a burst of
    submissions must shed — Overloaded, containers_touched = 0, and exactly
    one completion per submission (the quiescence invariant). *)
@@ -500,6 +662,12 @@ let suite =
         test_deadline_expired_at_admission;
       Alcotest.test_case "deadline during 2pc prepare" `Quick
         test_deadline_during_2pc_prepare;
+      Alcotest.test_case "deadline mid-collect (runtime)" `Quick
+        test_deadline_mid_collect_runtime;
+      Alcotest.test_case "collect serial equivalence: smallbank" `Quick
+        test_collect_serial_equivalence_smallbank;
+      Alcotest.test_case "collect serial equivalence: tpcc" `Quick
+        test_collect_serial_equivalence_tpcc;
       Alcotest.test_case "overload shed at mailbox cap" `Quick
         test_overload_shed;
       Alcotest.test_case "work stealing: skewed ycsb" `Quick

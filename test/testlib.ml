@@ -13,7 +13,10 @@ let acct_schema =
    - get_balance () -> float
    - deposit (amount) -> new balance; aborts on negative result
    - transfer_to (other, amount): deposit amount on [other], withdraw here
-   - multi_transfer_sync / multi_transfer_async (dests..., amount)
+   - multi_transfer_sync / multi_transfer_async (amount, dests...)
+   - multi_transfer_collect (amount, dests...): fan-out joined by collect
+   - multi_transfer_collect_slow (spin_us, amount, dests...): credits via
+     slow_deposit, which busy-waits spin_us of wall clock first
    - same_twice (other): two async calls to the same reactor — dangerous
    - noop () *)
 let account_type =
@@ -70,6 +73,63 @@ let account_type =
       Value.Null
     | [] -> abort "no amount"
   in
+  (* Busy-waits [us] of wall clock before depositing: lets runtime deadline
+     tests hold remote sub-transactions open past the root's budget with
+     deterministic timing. The spin is meaningless on the simulator's
+     virtual clock — simulator suites must not call it. *)
+  let slow_deposit ctx args =
+    let us = arg_float args 1 in
+    let t0 = Unix.gettimeofday () in
+    while (Unix.gettimeofday () -. t0) *. 1e6 < us do () done;
+    deposit ctx [ List.nth args 0 ]
+  in
+  (* Fan-out/collect formulation: every credit issued up front, the debit
+     inlined on self, then one explicit collect barrier joins the credits
+     (out-of-order completion; errors surface at the barrier). *)
+  let multi_transfer_collect ctx args =
+    match args with
+    | amount :: dests ->
+      let futures =
+        List.map
+          (fun d ->
+            ctx.call ~reactor:(Value.to_str d) ~proc:"deposit"
+              ~args:[ amount ])
+          dests
+      in
+      let total = Value.to_float amount *. float_of_int (List.length dests) in
+      let fd =
+        ctx.call ~reactor:ctx.self ~proc:"deposit"
+          ~args:[ Value.Float (-.total) ]
+      in
+      ignore (fd.get ());
+      ignore (ctx.collect futures);
+      Value.Null
+    | [] -> abort "no amount"
+  in
+  (* Same fan-out, but each credit runs [slow_deposit] holding its callee
+     busy for [spin] wall-clock microseconds — so a root deadline between
+     the fan-out and the slowest credit expires mid-collect, with every
+     future still outstanding. *)
+  let multi_transfer_collect_slow ctx args =
+    match args with
+    | spin :: amount :: dests ->
+      let futures =
+        List.map
+          (fun d ->
+            ctx.call ~reactor:(Value.to_str d) ~proc:"slow_deposit"
+              ~args:[ amount; spin ])
+          dests
+      in
+      let total = Value.to_float amount *. float_of_int (List.length dests) in
+      let fd =
+        ctx.call ~reactor:ctx.self ~proc:"deposit"
+          ~args:[ Value.Float (-.total) ]
+      in
+      ignore (fd.get ());
+      ignore (ctx.collect futures);
+      Value.Null
+    | _ -> abort "need spin and amount"
+  in
   let same_twice ctx args =
     let dest = arg_str args 0 in
     let f1 = ctx.call ~reactor:dest ~proc:"deposit" ~args:[ Value.Float 1. ] in
@@ -87,6 +147,9 @@ let account_type =
         ("transfer_to", transfer_to);
         ("multi_transfer_sync", multi_transfer true);
         ("multi_transfer_async", multi_transfer false);
+        ("multi_transfer_collect", multi_transfer_collect);
+        ("multi_transfer_collect_slow", multi_transfer_collect_slow);
+        ("slow_deposit", slow_deposit);
         ("same_twice", same_twice);
         ("noop", noop);
       ]
