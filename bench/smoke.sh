@@ -58,6 +58,16 @@ echo "== bench smoke: intra-transaction parallelism (audit- and speedup-gated) =
 dune exec bench/intra_txn.exe -- --fast --out BENCH_intra_txn_smoke.json
 
 echo
+echo "== bench smoke: snapshot reads (audit- and p99-gated) =="
+# Epoch-based snapshot reads vs the OCC read path, zipf theta x read
+# fraction on both backends. Exits non-zero if any read-only transaction
+# aborts, if a committed read observes an unconserved total (the
+# consistency audit), if phase sums deviate by more than 1%, or if the
+# snapshot read p99 is not strictly below the OCC baseline's at theta
+# 0.99.
+dune exec bench/snapshot.exe -- --fast --out BENCH_snapshot_smoke.json
+
+echo
 echo "== bench smoke: chaos sweep (audit-gated) =="
 # Seeded fault injection across every chaos class on both backends; the
 # runner exits non-zero if any scenario violates its audits (money

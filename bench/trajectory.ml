@@ -38,6 +38,7 @@ let () =
       Commitpath.write_heavy_group ~iters;
       Commitpath.cross_2pc ~iters;
       Commitpath.sim_smallbank ~iters:sim_iters;
+      Commitpath.sim_readonly_snapshot ~iters:sim_iters;
     ]
   in
   Printf.printf "  %-22s %12s %10s %10s  %s\n" "scenario" "ops/sec" "p50_us"

@@ -110,6 +110,16 @@ let rec sequential_work st =
   +. sum sequential_work st.sync_ovp
   +. sum sequential_work st.async
 
+let expected_with_retries ~abort_prob l =
+  if abort_prob < 0. || abort_prob >= 1. then
+    invalid_arg "Costmodel.expected_with_retries: abort_prob must be in [0, 1)";
+  l /. (1. -. abort_prob)
+
+let occ_latency c ~commit ~abort_prob st =
+  expected_with_retries ~abort_prob (latency c st +. commit)
+
+let readonly_latency c st = latency c st
+
 type fit = { intercept : float; slope : float; r2 : float }
 
 let linear_fit points =

@@ -81,6 +81,31 @@ val decompose : costs -> st -> decomposition
     communication. *)
 val sequential_work : st -> float
 
+(** {1 Commit overhead and retries}
+
+    {!latency} prices the body only ("add commitment overhead
+    separately"); these helpers price the two commit disciplines around
+    it, so formulations can be compared end to end. *)
+
+(** [expected_with_retries ~abort_prob l] — expected latency of a
+    transaction whose attempts take [l] µs and abort independently with
+    probability [abort_prob], retried until commit (geometric):
+    [l / (1 - abort_prob)]. Raises [Invalid_argument] unless
+    [0 <= abort_prob < 1]. *)
+val expected_with_retries : abort_prob:float -> float -> float
+
+(** [occ_latency c ~commit ~abort_prob st] — predicted end-to-end latency
+    of the OCC formulation: body latency plus [commit] µs of
+    validation/install/2PC overhead, inflated by the retry term. *)
+val occ_latency : costs -> commit:float -> abort_prob:float -> st -> float
+
+(** [readonly_latency c st] — predicted latency of the read-only snapshot
+    formulation of the same body: no commit overhead and {e no retry
+    term}, because snapshot roots skip validation entirely and are
+    abort-free by construction. Equal to [latency c st]; provided as the
+    named counterpart of {!occ_latency}. *)
+val readonly_latency : costs -> st -> float
+
 (** {1 Calibration}
 
     The paper calibrates cost-model parameters from profiled runs (§4.2.2,

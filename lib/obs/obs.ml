@@ -174,6 +174,9 @@ module Collector = struct
     lat_res : Util.Stats.Reservoir.r;
     mutable attempts : int;
     mutable commits : int;
+    mutable ro_commits : int;
+        (* subset of [commits] that ran as read-only snapshot transactions
+           (no validation, no locks — abort-free by construction) *)
     mutable aborts : int;
     mutable lat_sum : float;
     ab_kinds : int array;
@@ -202,6 +205,7 @@ module Collector = struct
       lat_res = Util.Stats.Reservoir.create ~seed:(seed + Phase.count) cap;
       attempts = 0;
       commits = 0;
+      ro_commits = 0;
       aborts = 0;
       lat_sum = 0.;
       ab_kinds = Array.make Abort.n_kinds 0;
@@ -262,10 +266,11 @@ module Collector = struct
         Phase.all
     end
 
-  let record_commit t ~container ?(participants = 1) ?(retry = 0) ~latency_us tr
-      =
+  let record_commit t ~container ?(participants = 1) ?(retry = 0)
+      ?(readonly = false) ~latency_us tr =
     let s = slot_of t container in
     s.commits <- s.commits + 1;
+    if readonly then s.ro_commits <- s.ro_commits + 1;
     record_attempt t ~container ~participants ~retry ~latency_us tr
 
   let set_sched t ~container ~steals_in ~steals_out ~routed_by_cost
@@ -320,6 +325,7 @@ module Report = struct
     r_clock : string;
     r_attempts : int;
     r_commits : int;
+    r_ro_commits : int;
     r_aborts : int;
     r_retries : int;
     r_mean_latency_us : float;
@@ -363,6 +369,7 @@ module Report = struct
     let fold f init = List.fold_left f init slots in
     let attempts = fold (fun a s -> a + s.Collector.attempts) 0 in
     let commits = fold (fun a s -> a + s.Collector.commits) 0 in
+    let ro_commits = fold (fun a s -> a + s.Collector.ro_commits) 0 in
     let aborts = fold (fun a s -> a + s.Collector.aborts) 0 in
     let lat_sum = fold (fun a s -> a +. s.Collector.lat_sum) 0. in
     let max_dev = fold (fun a s -> Float.max a s.Collector.max_dev) 0. in
@@ -445,6 +452,7 @@ module Report = struct
       r_clock = clock_name c.Collector.clk;
       r_attempts = attempts;
       r_commits = commits;
+      r_ro_commits = ro_commits;
       r_aborts = aborts;
       r_retries = retries;
       r_mean_latency_us =
@@ -464,8 +472,9 @@ module Report = struct
     let buf = Buffer.create 1024 in
     let title =
       Printf.sprintf
-        "transaction phase breakdown (clock=%s, attempts=%d, commits=%d, aborts=%d)"
-        r.r_clock r.r_attempts r.r_commits r.r_aborts
+        "transaction phase breakdown (clock=%s, attempts=%d, commits=%d, \
+         ro-commits=%d, aborts=%d)"
+        r.r_clock r.r_attempts r.r_commits r.r_ro_commits r.r_aborts
     in
     let t =
       Util.Tablefmt.create ~title
@@ -532,6 +541,7 @@ module Report = struct
         ("clock", Json.Str r.r_clock);
         ("attempts", Json.Num (float_of_int r.r_attempts));
         ("commits", Json.Num (float_of_int r.r_commits));
+        ("readonly_commits", Json.Num (float_of_int r.r_ro_commits));
         ("aborts", Json.Num (float_of_int r.r_aborts));
         ("retries", Json.Num (float_of_int r.r_retries));
         ("mean_latency_us", Json.Num r.r_mean_latency_us);
@@ -635,6 +645,8 @@ module Report = struct
       let* clock = get_s j "clock" in
       let* attempts = get_i j "attempts" in
       let* commits = get_i j "commits" in
+      (* older reports predate snapshot reads: default to 0 *)
+      let ro_commits = Option.value ~default:0 (get_i j "readonly_commits") in
       let* aborts = get_i j "aborts" in
       let* retries = get_i j "retries" in
       let* mean_lat = get_f j "mean_latency_us" in
@@ -685,6 +697,7 @@ module Report = struct
             r_clock = clock;
             r_attempts = attempts;
             r_commits = commits;
+            r_ro_commits = ro_commits;
             r_aborts = aborts;
             r_retries = retries;
             r_mean_latency_us = mean_lat;

@@ -231,13 +231,15 @@ module Collector : sig
     container:int ->
     ?participants:int ->
     ?retry:int ->
+    ?readonly:bool ->
     latency_us:float ->
     Trace.t ->
     unit
   (** Fold a committed attempt into slot [container]. Derives
       [Phase.Overhead] as the clamped remainder against [latency_us]
       and tracks the worst phase-sum deviation. Out-of-range container
-      ids clamp to slot 0. *)
+      ids clamp to slot 0. [readonly] (default [false]) additionally
+      counts the commit as a read-only snapshot transaction. *)
 
   val record_abort :
     t -> container:int -> latency_us:float -> cause:Abort.cause -> Trace.t -> unit
@@ -317,6 +319,9 @@ module Report : sig
     r_clock : string;
     r_attempts : int;
     r_commits : int;
+    r_ro_commits : int;
+        (** commits that ran as read-only snapshot transactions (subset of
+            [r_commits]); 0 when loaded from a report predating the field *)
     r_aborts : int;
     r_retries : int;
     r_mean_latency_us : float;

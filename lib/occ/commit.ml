@@ -2,17 +2,25 @@ open Txn
 
 let locked_kind e = match e.kind with Update _ | Delete -> true | Insert -> false
 
-(* Remove a reserved insert from its table if the reservation happened. *)
-let unreserve e =
+(* Remove a reserved insert from its table if the reservation happened; a
+   tombstone the reservation displaced goes back into the primary index. *)
+let unreserve ~txn:id e =
   match Storage.Table.find e.wtable e.wkey with
-  | Some r when r == e.wrec -> ignore (Storage.Table.remove e.wtable e.wkey)
+  | Some r when r == e.wrec ->
+    ignore (Storage.Table.remove e.wtable e.wkey);
+    (match e.wdisplaced with
+    | Some tomb ->
+      Storage.Table.reinstate e.wtable tomb;
+      Storage.Record.unlock tomb ~txn:id;
+      e.wdisplaced <- None
+    | None -> ())
   | _ -> ()
 
 let release txn ~container =
   let id = Txn.id txn in
   iter_writes_in txn ~container ~f:(fun e ->
       if locked_kind e then Storage.Record.unlock e.wrec ~txn:id
-      else unreserve e)
+      else unreserve ~txn:id e)
 
 type fail_reason = Lock_busy | Stale_read | Node_changed | Key_exists
 
@@ -84,23 +92,32 @@ let prepare txn ~container =
       end
       else begin
         (* Reserve inserts; a conflict here (concurrent installer beat us past
-           our witness) rolls back this container's work. *)
+           our witness) rolls back this container's work. An unlocked
+           committed-delete tombstone (retained for snapshot readers) is not a
+           conflict: lock it out of circulation and displace it from the
+           index — transactions that observed the key as dead now fail their
+           read validation against the locked tombstone. *)
         let reserved = ref [] in
         let ok =
           try
             iter_writes_in txn ~container ~f:(fun e ->
                 if e.kind = Insert then begin
-                  match Storage.Table.find e.wtable e.wkey with
-                  | Some _ -> raise Invalid
-                  | None ->
-                    ignore (Storage.Table.insert e.wtable e.wrec);
-                    reserved := e :: !reserved
+                  (match Storage.Table.find e.wtable e.wkey with
+                  | Some existing ->
+                    if
+                      existing.Storage.Record.absent
+                      && Storage.Record.try_lock existing ~txn:id
+                    then e.wdisplaced <- Some existing
+                    else raise Invalid
+                  | None -> e.wdisplaced <- None);
+                  ignore (Storage.Table.insert e.wtable e.wrec);
+                  reserved := e :: !reserved
                 end);
             true
           with Invalid -> false
         in
         if not ok then begin
-          List.iter unreserve !reserved;
+          List.iter (unreserve ~txn:id) !reserved;
           unlock_acquired ();
           Error Key_exists
         end
@@ -121,29 +138,62 @@ let compute_tid txn ~epoch =
       if t > !hi then hi := t);
   Storage.Record.next_tid ~epoch (if !hi = 0 then [] else [ !hi ])
 
-let install txn ~container ~tid =
+(* [?horizon] switches on multi-version publishing: the version being
+   overwritten retires into the record's chain (epoch-stamped by its old
+   TID), deletes keep the record in the primary index as a snapshot-visible
+   tombstone, and chains are trimmed to [horizon] — the oldest epoch any
+   live or future snapshot can request — as inline GC. Without [horizon]
+   the original single-version Silo install runs: no chains, deletes
+   physically unlink. *)
+let install ?horizon txn ~container ~tid =
   let id = Txn.id txn in
   iter_writes_in txn ~container ~f:(fun e ->
       let r = e.wrec in
       (match e.kind with
       | Update data ->
-        (* update_data relocates secondary-index entries when indexed
-           columns changed *)
-        Storage.Table.update_data e.wtable r data;
-        r.Storage.Record.tid <- tid
-      | Delete ->
-        r.Storage.Record.absent <- true;
-        r.Storage.Record.tid <- tid;
-        ignore (Storage.Table.remove e.wtable e.wkey)
+        (match horizon with
+        | Some h ->
+          Storage.Record.retire r ~new_tid:tid;
+          (* update_data relocates secondary-index entries when indexed
+             columns changed *)
+          Storage.Table.update_data e.wtable r data;
+          r.Storage.Record.tid <- tid;
+          Storage.Record.trim r ~horizon:h
+        | None ->
+          Storage.Table.update_data e.wtable r data;
+          r.Storage.Record.tid <- tid)
+      | Delete -> (
+        match horizon with
+        | Some h ->
+          Storage.Record.retire r ~new_tid:tid;
+          r.Storage.Record.absent <- true;
+          r.Storage.Record.tid <- tid;
+          Storage.Record.trim r ~horizon:h;
+          Storage.Table.sec_forget e.wtable r
+        | None ->
+          r.Storage.Record.absent <- true;
+          r.Storage.Record.tid <- tid;
+          ignore (Storage.Table.remove e.wtable e.wkey))
       | Insert ->
-        r.Storage.Record.absent <- false;
-        r.Storage.Record.tid <- tid);
+        (match horizon, e.wdisplaced with
+        | Some h, Some tomb ->
+          (* The displaced tombstone (and its older versions) becomes the
+             new record's history: snapshots before this insert still see
+             the key dead, older ones see the pre-delete rows. *)
+          Storage.Record.graft r ~from:tomb;
+          e.wdisplaced <- None;
+          r.Storage.Record.absent <- false;
+          r.Storage.Record.tid <- tid;
+          Storage.Record.trim r ~horizon:h
+        | _, _ ->
+          r.Storage.Record.absent <- false;
+          r.Storage.Record.tid <- tid));
       Storage.Record.unlock r ~txn:id)
 
-let commit_single txn ~epoch ~container =
+let commit_single ?horizon txn ~epoch ~container =
   match prepare txn ~container with
   | Ok () ->
     let tid = compute_tid txn ~epoch in
-    install txn ~container ~tid;
+    install ?horizon txn ~container ~tid;
     Ok tid
   | Error r -> Error r

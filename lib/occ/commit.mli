@@ -42,8 +42,16 @@ val prepare : Txn.t -> container:int -> (unit, fail_reason) result
 val compute_tid : Txn.t -> epoch:int -> int
 
 (** Phase two, success: make writes visible in [container] at [tid] and drop
-    all locks. *)
-val install : Txn.t -> container:int -> tid:int -> unit
+    all locks.
+
+    With [?horizon] the install also publishes multi-version state for
+    snapshot readers: each overwritten version retires into its record's
+    history chain, deletes retain the record as a snapshot-visible tombstone
+    in the primary index (secondary entries dropped), and chains are trimmed
+    to [horizon] — the oldest epoch any live or future snapshot can request
+    — as inline garbage collection. Without [horizon], the original
+    single-version install runs and no chains are built. *)
+val install : ?horizon:int -> Txn.t -> container:int -> tid:int -> unit
 
 (** Phase two, failure (or local validation failure): undo reservations and
     drop locks in [container]. Idempotent, also safe if [prepare] was never
@@ -51,6 +59,7 @@ val install : Txn.t -> container:int -> tid:int -> unit
 val release : Txn.t -> container:int -> unit
 
 (** Validate and commit a transaction that touched only [container].
-    [Error reason] means the transaction was aborted and rolled back. *)
+    [Error reason] means the transaction was aborted and rolled back.
+    [?horizon] is forwarded to {!install}. *)
 val commit_single :
-  Txn.t -> epoch:int -> container:int -> (int, fail_reason) result
+  ?horizon:int -> Txn.t -> epoch:int -> container:int -> (int, fail_reason) result

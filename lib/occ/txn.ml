@@ -21,6 +21,10 @@ type write_entry = {
       (* cleared when a delete cancels this transaction's own insert; dead
          entries stay in their buckets (append-only) and are skipped by every
          iterator *)
+  mutable wdisplaced : Storage.Record.t option;
+      (* Insert entries only: a committed-delete tombstone this insert
+         displaced from the index during prepare, reinstated on rollback and
+         grafted into the new record's version chain at install *)
 }
 
 module IntSet = Set.Make (Int)
@@ -166,7 +170,7 @@ let write t ~container ~table ~key record data =
   | None ->
     add_write_entry t
       { wrec = record; kind = Update data; wtable = table; wkey = key;
-        wcontainer = container; wlive = true }
+        wcontainer = container; wlive = true; wdisplaced = None }
 
 let insert t ~container ~table tuple =
   Storage.Schema.validate table.Storage.Table.schema tuple;
@@ -200,7 +204,7 @@ let insert t ~container ~table tuple =
   ignore (Storage.Record.try_lock record ~txn:t.tid);
   let entry =
     { wrec = record; kind = Insert; wtable = table; wkey = key;
-      wcontainer = container; wlive = true }
+      wcontainer = container; wlive = true; wdisplaced = None }
   in
   add_write_entry t entry;
   Hashtbl.add t.inserts (table.Storage.Table.uid, key) entry
@@ -216,7 +220,7 @@ let delete t ~container ~table ~key record =
   | None ->
     add_write_entry t
       { wrec = record; kind = Delete; wtable = table; wkey = key;
-        wcontainer = container; wlive = true }
+        wcontainer = container; wlive = true; wdisplaced = None }
 
 let note_node t ~container w =
   touch t container;

@@ -42,6 +42,11 @@ type write_entry = {
   wcontainer : int;
   mutable wlive : bool;
       (** cleared when a delete cancels this transaction's own insert *)
+  mutable wdisplaced : Storage.Record.t option;
+      (** Insert entries only: a committed-delete tombstone this insert
+          displaced from the index during prepare (snapshot mode), reinstated
+          on rollback and grafted into the new record's version chain at
+          install *)
 }
 
 type t

@@ -8,10 +8,14 @@ type ctx = {
   catalog : Storage.Catalog.t;
   charge : charge_kind -> int -> unit;
   work : float -> unit;
+  snapshot : int option;
+      (* read-only snapshot epoch: reads resolve through version chains at
+         this epoch with no read-set tracking, no node witnesses and no
+         own-write overlay; mutations abort *)
 }
 
-let make_ctx ~txn ~container ~catalog ~charge ~work =
-  { txn; container; catalog; charge; work }
+let make_ctx ?snapshot ~txn ~container ~catalog ~charge ~work () =
+  { txn; container; catalog; charge; work; snapshot }
 
 let table ctx name =
   try Storage.Catalog.table ctx.catalog name
@@ -19,7 +23,24 @@ let table ctx name =
 
 let schema ctx name = (table ctx name).Storage.Table.schema
 
-let note_node ctx w = Occ.Txn.note_node ctx.txn ~container:ctx.container w
+(* Node witnesses only matter for OCC validation; snapshot readers take a
+   consistent cut by construction and skip them. *)
+let note_node ctx w =
+  if ctx.snapshot = None then Occ.Txn.note_node ctx.txn ~container:ctx.container w
+
+let on_node_opt ctx =
+  if ctx.snapshot = None then Some (note_node ctx) else None
+
+(* Visibility of a physical record to this context: the transaction's view
+   (own writes win, observation recorded) or the frozen snapshot's. *)
+let vis ctx record =
+  match ctx.snapshot with
+  | None -> Occ.Txn.read ctx.txn ~container:ctx.container record
+  | Some s -> Storage.Record.snapshot_read record ~snapshot:s
+
+let ro_guard ctx =
+  if ctx.snapshot <> None then
+    raise (Occ.Txn.Abort "mutation inside a read-only (snapshot) procedure")
 
 let get ctx tname key =
   let tbl = table ctx tname in
@@ -27,11 +48,12 @@ let get ctx tname key =
   match Occ.Txn.own_insert ctx.txn ~table:tbl ~key with
   | Some e -> Some e.Occ.Txn.wrec.Storage.Record.data
   | None -> (
-    match Storage.Table.find ~on_node:(note_node ctx) tbl key with
-    | Some record -> Occ.Txn.read ctx.txn ~container:ctx.container record
+    match Storage.Table.find ?on_node:(on_node_opt ctx) tbl key with
+    | Some record -> vis ctx record
     | None -> None)
 
 let insert ctx tname tuple =
+  ro_guard ctx;
   let tbl = table ctx tname in
   Occ.Txn.insert ctx.txn ~container:ctx.container ~table:tbl tuple;
   ctx.charge `Write 1
@@ -58,7 +80,7 @@ let visible_rows ?phys_limit ?(rev = false) ctx tbl ~lo ~hi =
   let phys = ref [] in
   let visit record =
     incr steps;
-    (match Occ.Txn.read ctx.txn ~container:ctx.container record with
+    (match vis ctx record with
     | Some data ->
       phys := (Storage.Table.key_of_tuple tbl data, data) :: !phys;
       incr taken
@@ -122,7 +144,7 @@ let visible_rows_index ?phys_limit ?(rev = false) ctx tbl sec ~lo ~hi =
   in
   let visit record =
     incr steps;
-    (match Occ.Txn.read ctx.txn ~container:ctx.container record with
+    (match vis ctx record with
     | Some data -> if add data then incr taken
     | None -> ());
     match phys_limit with Some n -> !taken < n | None -> true
@@ -177,6 +199,7 @@ let check_key_stable tbl ~key data =
   then raise (Occ.Txn.Abort "update may not change primary-key columns")
 
 let update_key ctx tname key ~set =
+  ro_guard ctx;
   let tbl = table ctx tname in
   ctx.charge `Read 1;
   match Occ.Txn.own_insert ctx.txn ~table:tbl ~key with
@@ -201,6 +224,7 @@ let update_key ctx tname key ~set =
         true))
 
 let delete_key ctx tname key =
+  ro_guard ctx;
   let tbl = table ctx tname in
   ctx.charge `Read 1;
   match Occ.Txn.own_insert ctx.txn ~table:tbl ~key with

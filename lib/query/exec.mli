@@ -21,14 +21,22 @@ type ctx = {
   work : float -> unit;
       (** charge [µs] of pure computation (e.g. risk simulation) to the
           executing core *)
+  snapshot : int option;
+      (** When set, this context executes a read-only procedure against the
+          frozen snapshot epoch: reads resolve through record version chains
+          ({!Storage.Record.snapshot_read}) with no read-set tracking, no
+          node witnesses and no own-write overlay, and every mutating
+          operation raises [Occ.Txn.Abort]. *)
 }
 
 val make_ctx :
+  ?snapshot:int ->
   txn:Occ.Txn.t ->
   container:int ->
   catalog:Storage.Catalog.t ->
   charge:(charge_kind -> int -> unit) ->
   work:(float -> unit) ->
+  unit ->
   ctx
 
 (** Resolve a table; raises [Invalid_argument] with the table name when

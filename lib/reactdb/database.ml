@@ -18,6 +18,9 @@ type outcome = {
   breakdown : breakdown;
   containers_touched : int;
   abort_cause : Obs.Abort.cause option;
+  snapshot : int option;
+      (* the frozen epoch this root read from, when it ran as a read-only
+         snapshot transaction *)
 }
 
 type executor = {
@@ -85,6 +88,18 @@ type t = {
   mutable mailbox_cap : int option;
       (* root admission bound per executor request queue; [None] =
          unbounded (sheds surface as [Obs.Abort.Overloaded] outcomes) *)
+  mutable snapshots_enabled : bool;
+      (* when set, installs publish version chains and declared-read-only
+         procedures run against a frozen snapshot epoch; off = the
+         single-version OCC-everywhere behavior (benchmark baseline) *)
+  snap_live : (int, int) Hashtbl.t;
+      (* live snapshot readers per snapshot epoch; the GC horizon is the
+         minimum live epoch *)
+  mutable n_ro_commits : int;
+  mutable auto_seq : int;
+  mutable auto_par : int;
+      (* morph-Auto resolution counts: roots routed to the sequential /
+         parallel formulation *)
 }
 
 let engine t = t.eng
@@ -160,6 +175,10 @@ let obs_kind_of_fail = function
 
 type root = {
   txn : Occ.Txn.t;
+  rsnapshot : int option;
+      (* frozen snapshot epoch when this root runs read-only; propagates to
+         every sub-call's query context, so cross-container fan-outs read
+         the same consistent cut *)
   bd : breakdown;
   tr : Obs.Trace.t; (* lifecycle trace; Obs.Trace.none when no collector *)
   deadline : float;
@@ -220,6 +239,36 @@ let route db rst =
 let epoch_len_us = 40_000.
 
 let current_epoch db = 1 + int_of_float (Engine.now db.eng /. epoch_len_us)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot epochs. A read-only root freezes at S = current epoch - 1:
+   every commit of epoch <= S finished at an earlier virtual instant
+   (commits are atomic events and the TID epoch only advances at the
+   boundary), so epoch S is a fully committed, immutable prefix. Versions
+   older than the minimum live snapshot epoch (or, with no readers, older
+   than the next S to be issued) can never be requested again — that
+   minimum is the GC horizon installs trim chains to. *)
+
+let safe_snapshot_epoch db = Stdlib.max 0 (current_epoch db - 1)
+
+let acquire_snapshot db =
+  let s = safe_snapshot_epoch db in
+  Hashtbl.replace db.snap_live s
+    (1 + Option.value ~default:0 (Hashtbl.find_opt db.snap_live s));
+  s
+
+let release_snapshot db s =
+  match Hashtbl.find_opt db.snap_live s with
+  | Some n when n > 1 -> Hashtbl.replace db.snap_live s (n - 1)
+  | Some _ -> Hashtbl.remove db.snap_live s
+  | None -> ()
+
+let gc_horizon db =
+  Hashtbl.fold (fun e _ acc -> Stdlib.min e acc) db.snap_live
+    (safe_snapshot_epoch db)
+
+let install_horizon db =
+  if db.snapshots_enabled then Some (gc_horizon db) else None
 
 (* Extra one-way cost when two containers live on different machines. *)
 let net db c1 c2 =
@@ -316,10 +365,10 @@ let rec run_procedure db ~root ~rstate ~ex ~on_root_path ~proc_name ~args =
   let ctx =
     {
       Reactor.db =
-        Query.Exec.make_ctx ~txn:root.txn ~container:rstate.home
-          ~catalog:rstate.rcatalog
+        Query.Exec.make_ctx ?snapshot:root.rsnapshot ~txn:root.txn
+          ~container:rstate.home ~catalog:rstate.rcatalog
           ~charge:(fun kind n -> charge_data db frame kind n)
-          ~work:(fun us -> work frame us);
+          ~work:(fun us -> work frame us) ();
       self = rstate.rname;
       call = (fun ~reactor ~proc ~args -> do_call db frame ~reactor ~proc ~args);
       collect =
@@ -697,14 +746,16 @@ let two_phase db root ex containers ~epoch =
           (fun c ->
             if c = ex.cid then begin
               Engine.delay p.Profile.cost_commit_base;
-              Occ.Commit.install root.txn ~container:c ~tid;
+              Occ.Commit.install ?horizon:(install_horizon db) root.txn
+                ~container:c ~tid;
               None
             end
             else
               Some
                 (remote_step c (fun () ->
                      Engine.delay p.Profile.cost_commit_base;
-                     Occ.Commit.install root.txn ~container:c ~tid)))
+                     Occ.Commit.install ?horizon:(install_horizon db) root.txn
+                       ~container:c ~tid)))
           containers
       in
       List.iter (function Some iv -> wait iv | None -> ()) acks;
@@ -757,7 +808,8 @@ let do_commit db root ex =
         Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t1);
         Error (C_wal m)
       | Ok () ->
-        Occ.Commit.install root.txn ~container:c ~tid;
+        Occ.Commit.install ?horizon:(install_horizon db) root.txn ~container:c
+          ~tid;
         note_history db root tid;
         Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t1);
         Ok ()))
@@ -767,6 +819,24 @@ let do_commit db root ex =
 
 let bump tbl key =
   Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Morph-Auto load signal: fan a root out into its parallel formulation
+   only when the deployment has idle execution capacity to absorb the
+   concurrent sub-calls — here, when fewer than half the executors are
+   currently running or holding admitted roots. Saturated deployments stay
+   sequential: the fan-out would only add dispatch and coordination
+   overhead to already-queued work. *)
+let auto_parallel_ok db =
+  let busy = ref 0 and total = ref 0 in
+  Array.iter
+    (fun cont ->
+      Array.iter
+        (fun ex ->
+          incr total;
+          if ex.core_busy || ex.active_roots > 0 then incr busy)
+        cont.cexecutors)
+    db.containers;
+  2 * !busy < !total
 
 let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
   let p = db.prof in
@@ -783,12 +853,34 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
   let tr =
     match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
   in
+  let rst = reactor_state db reactor in
+  (* Morph-Auto: resolve a sequential-formulation root to its declared
+     parallel twin when live load signals leave capacity for the fan-out. *)
+  let proc =
+    if db.cfg.Config.morph <> Config.Auto then proc
+    else
+      match Reactor.morph_target rst.rtype proc with
+      | Some par when auto_parallel_ok db ->
+        db.auto_par <- db.auto_par + 1;
+        par
+      | Some _ ->
+        db.auto_seq <- db.auto_seq + 1;
+        proc
+      | None -> proc
+  in
+  (* Declared-read-only roots freeze a snapshot epoch up front: the body
+     reads version chains at that epoch and the commit protocol is skipped
+     entirely (no read set, no locks, no validation, no 2PC). *)
+  let rsnapshot =
+    if db.snapshots_enabled && Reactor.proc_readonly rst.rtype proc then
+      Some (acquire_snapshot db)
+    else None
+  in
   let root =
-    { txn; bd; tr; deadline; active_set = Hashtbl.create 8;
+    { txn; rsnapshot; bd; tr; deadline; active_set = Hashtbl.create 8;
       exec_of_container = []; last_call = 0; call_ctr = 0;
       worked_since_call = false; doomed = None; logged_epoch = None }
   in
-  let rst = reactor_state db reactor in
   let ex = route db rst in
   Engine.delay p.Profile.cost_client_dispatch;
   let done_iv = Engine.Ivar.create () in
@@ -827,6 +919,10 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
         (* Commit entry: nothing is prepared yet, so expiring here just
            drops the read/write sets — no locks to release. *)
         Error (Ab_timeout, "deadline expired before commit", Obs.Abort.Timeout)
+      | Ok v when root.rsnapshot <> None ->
+        (* Read-only snapshot root: nothing to validate, install or log —
+           the result is final the moment the body returns. *)
+        Ok v
       | Ok v -> (
         (* A log-device failure during commit surfaces as a typed internal
            abort, not a raw exception unwinding through the engine. *)
@@ -875,6 +971,9 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
   (* Durable mode: hold the client until the flush covering this
      transaction's log epoch completes (the executor slot is already free,
      so group commit costs latency, not admission capacity). *)
+  (* The snapshot's GC pin is dropped as soon as the outcome is known —
+     including on the admission-shed path, where the body never ran. *)
+  (match root.rsnapshot with Some s -> release_snapshot db s | None -> ());
   (match out with
   | Ok _ ->
     let t_flush = Engine.current_time () in
@@ -899,7 +998,9 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     | Error (_, _, kind) -> Some (Obs.Abort.cause ~participants ~retry kind)
   in
   (match out with
-  | Ok _ -> db.committed <- db.committed + 1
+  | Ok _ ->
+    db.committed <- db.committed + 1;
+    if root.rsnapshot <> None then db.n_ro_commits <- db.n_ro_commits + 1
   | Error (k, _, _) ->
     db.aborted <- db.aborted + 1;
     bump db.abort_reasons (bucket_of_class k));
@@ -909,7 +1010,7 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     match abort_cause with
     | None ->
       Obs.Collector.record_commit c ~container:rst.home ~participants ~retry
-        ~latency_us:latency tr
+        ~readonly:(root.rsnapshot <> None) ~latency_us:latency tr
     | Some cause ->
       Obs.Collector.record_abort c ~container:rst.home ~latency_us:latency
         ~cause tr));
@@ -919,6 +1020,7 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     breakdown = bd;
     containers_touched = List.length (Occ.Txn.containers txn);
     abort_cause;
+    snapshot = root.rsnapshot;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -997,6 +1099,11 @@ let create eng decl cfg prof =
       obs = None;
       chaos = Chaos.none;
       mailbox_cap = None;
+      snapshots_enabled = true;
+      snap_live = Hashtbl.create 16;
+      n_ro_commits = 0;
+      auto_seq = 0;
+      auto_par = 0;
     }
   in
   List.iter
@@ -1040,6 +1147,9 @@ let reset_stats db =
   db.committed <- 0;
   db.aborted <- 0;
   db.n_flushes <- 0;
+  db.n_ro_commits <- 0;
+  db.auto_seq <- 0;
+  db.auto_par <- 0;
   Hashtbl.reset db.abort_reasons;
   (* The history log is NOT cleared: serializability certification needs
      every installed version, including warm-up transactions whose writes
@@ -1061,6 +1171,10 @@ let attach_wal ?(durable = false) db log =
 let attach_obs db c = db.obs <- Some c
 let attach_chaos db c = db.chaos <- c
 let set_mailbox_cap db cap = db.mailbox_cap <- cap
+let set_snapshots db b = db.snapshots_enabled <- b
+let snapshots_enabled db = db.snapshots_enabled
+let n_readonly_commits db = db.n_ro_commits
+let auto_morphs db = (db.auto_seq, db.auto_par)
 let wal_error db = db.wal_error
 let n_log_flushes db = db.n_flushes
 let enable_history db = db.record_history <- true

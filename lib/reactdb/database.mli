@@ -42,6 +42,9 @@ type outcome = {
   abort_cause : Obs.Abort.cause option;
       (** structured abort taxonomy for failed attempts; [None] on commit.
           Drives the retry policy in [Harness] ([Obs.Abort.transient]). *)
+  snapshot : int option;
+      (** the frozen epoch a read-only root executed against, [None] for
+          ordinary OCC transactions *)
 }
 
 (** [create engine decl config profile] validates [decl], builds containers
@@ -88,6 +91,51 @@ val catalog_of : t -> string -> Storage.Catalog.t
 
 (** Container index hosting a reactor. *)
 val container_of : t -> string -> int
+
+(** {1 Snapshot reads (multi-version, epoch-based — see DESIGN.md §10)}
+
+    Procedures declared read-only on their reactor type
+    ({!Reactor.rtype.rt_readonly}) execute against a frozen {e snapshot
+    epoch} [S = current epoch - 1]: every commit of epoch [<= S] completed
+    at an earlier virtual instant, so [S] names an immutable, consistent
+    prefix. Reads resolve through per-record version chains; the commit
+    protocol is skipped entirely — no read-set, no locks, no validation,
+    no 2PC — making read-only roots abort-free by construction.
+
+    While enabled (the default), every install also retires overwritten
+    versions into chains and trims them to the {e GC horizon}: the
+    minimum live snapshot epoch, or the next epoch to be issued when no
+    reader is live — so chains stay bounded under hot keys. *)
+
+(** [set_snapshots t false] disables snapshot execution {e and} version
+    chain maintenance: declared-read-only procedures fall back to the
+    ordinary OCC read path (the benchmark baseline), and installs revert
+    to single-version behavior. *)
+val set_snapshots : t -> bool -> unit
+
+val snapshots_enabled : t -> bool
+
+(** The epoch the next read-only root would freeze ([current epoch - 1],
+    clamped at 0). *)
+val safe_snapshot_epoch : t -> int
+
+(** Pin / unpin a snapshot epoch manually — what a read-only root does
+    around its body; exposed for tests exercising version GC. [release]
+    of an epoch not held is a no-op. *)
+val acquire_snapshot : t -> int
+
+val release_snapshot : t -> int -> unit
+
+(** The horizon installs currently trim version chains to. *)
+val gc_horizon : t -> int
+
+(** Committed roots that ran as read-only snapshot transactions (since
+    bootstrap / {!reset_stats}). *)
+val n_readonly_commits : t -> int
+
+(** [(sequential, parallel)] resolution counts of the [Config.Auto]
+    morph router (since bootstrap / {!reset_stats}). *)
+val auto_morphs : t -> int * int
 
 (** {1 Statistics} *)
 

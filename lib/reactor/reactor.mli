@@ -53,12 +53,25 @@ type proc = ctx -> Util.Value.t list -> Util.Value.t
 
 (** A reactor type: schemas encapsulated by — and procedures invocable on —
     every reactor of this type. [rt_indexes] declares secondary indexes per
-    table: (table name, [(index name, column names); ...]). *)
+    table: (table name, [(index name, column names); ...]).
+
+    [rt_readonly] names procedures declared read-only: the runtime may
+    execute them against a frozen snapshot epoch with no read-set tracking,
+    no locks, no validation and no two-phase commit — they can never abort
+    on a concurrency conflict. A declared-read-only procedure that mutates
+    state aborts with [Occ.Txn.Abort].
+
+    [rt_morphs] pairs alternative formulations of the same logical
+    procedure, (sequential name, parallel name), letting the runtime morph
+    an invocation between them (e.g. under {!Config.Auto} the router picks
+    a formulation per root from live load signals). *)
 type rtype = {
   rt_name : string;
   rt_schemas : Storage.Schema.t list;
   rt_indexes : (string * (string * string list) list) list;
   rt_procs : (string * proc) list;
+  rt_readonly : string list;
+  rt_morphs : (string * string) list;
 }
 
 val rtype :
@@ -66,6 +79,8 @@ val rtype :
   schemas:Storage.Schema.t list ->
   ?indexes:(string * (string * string list) list) list ->
   procs:(string * proc) list ->
+  ?readonly:string list ->
+  ?morphs:(string * string) list ->
   unit ->
   rtype
 
@@ -103,9 +118,19 @@ val type_of_reactor : decl -> string -> rtype
 (** [find_proc rt name] resolves a procedure; raises [Invalid_argument]. *)
 val find_proc : rtype -> string -> proc
 
+(** [proc_readonly rt name] — is [name] declared read-only in [rt]? *)
+val proc_readonly : rtype -> string -> bool
+
+(** [morph_target rt seq] is the parallel formulation paired with [seq],
+    and [morph_of rt par] the sequential one paired with [par], if any. *)
+val morph_target : rtype -> string -> string option
+
+val morph_of : rtype -> string -> string option
+
 (** [validate d] checks the declaration: type names unique, reactor names
     unique, reactor types declared, loader names declared, procedure names
-    unique per type. Raises [Invalid_argument]. *)
+    unique per type, read-only and morph declarations naming real
+    procedures. Raises [Invalid_argument]. *)
 val validate : decl -> unit
 
 (** {1 Argument helpers for stored-procedure code} *)

@@ -63,6 +63,9 @@ type outcome = {
   latency_us : float;
   containers_touched : int;
   abort_cause : Obs.Abort.cause option;
+  snapshot : int option;
+      (* the frozen epoch a read-only root executed against; [None] for
+         ordinary OCC transactions *)
 }
 
 type job = unit -> unit
@@ -134,6 +137,18 @@ type t = {
   epoch : int Atomic.t;
   t0 : float;
   rr : int Atomic.t;
+  (* Snapshot-read state (DESIGN.md §10). [smu] is a leaf lock guarding the
+     two registries; never taken while holding another lock. *)
+  snap_enabled : bool Atomic.t;
+  smu : Mutex.t;
+  snap_live : (int, int) Hashtbl.t;  (* snapshot epoch -> live readers *)
+  commit_inflight : (int, int) Hashtbl.t;
+      (* epoch -> RW roots past their body but with installs possibly still
+         in flight; holds the snapshot boundary below any epoch that could
+         still produce an install *)
+  n_ro_commits : int Atomic.t;
+  auto_seq : int Atomic.t;  (* Config.Auto morphs resolved sequential *)
+  auto_par : int Atomic.t;  (* Config.Auto morphs resolved parallel *)
   submitted : int Atomic.t;
   completed : int Atomic.t;
   mutable domains : unit Domain.t array;
@@ -362,6 +377,9 @@ type root = {
   mutable doomed : (abort_class * string) option;
       (* a sub-transaction aborted: the root may not commit even if
          application code swallowed the exception (§2.2.3) *)
+  rsnapshot : int option;
+      (* read-only root: the frozen snapshot epoch its reads resolve
+         against; [None] for ordinary OCC roots *)
 }
 
 let deadline_expired root =
@@ -419,11 +437,12 @@ let rec run_procedure db ~root ~entry ~ex ~on_root_path ~proc_name ~args =
   let ctx =
     {
       Reactor.db =
-        Query.Exec.make_ctx ~txn:root.txn
+        Query.Exec.make_ctx ?snapshot:root.rsnapshot ~txn:root.txn
           ~container:entry.Reactdb.Bootstrap.bs_home
           ~catalog:entry.Reactdb.Bootstrap.bs_catalog
           ~charge:(fun _ _ -> ())
-          ~work:(fun _ -> ());
+          ~work:(fun _ -> ())
+          ();
       self = entry.Reactdb.Bootstrap.bs_name;
       call = (fun ~reactor ~proc ~args -> do_call db frame ~reactor ~proc ~args);
       collect =
@@ -573,6 +592,86 @@ let maybe_advance_epoch db =
   let target = 1 + int_of_float ((Unix.gettimeofday () -. db.t0) /. db.epoch_len) in
   let cur = Atomic.get db.epoch in
   if target > cur then ignore (Atomic.compare_and_set db.epoch cur target)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot epochs (multi-version reads; DESIGN.md §10). The inflight
+   registry lower-bounds the epoch of any install still in flight: a RW
+   root registers the current epoch strictly before its commit protocol
+   and deregisters after installs complete, and [compute_tid] can only
+   yield that epoch or higher (observed/overwritten TIDs never exceed the
+   epoch current at commit entry). A snapshot frozen at
+   S = min(epoch, min inflight) - 1 therefore names only epochs whose
+   installs have all landed — an immutable, consistent prefix. *)
+
+let commit_register db =
+  Mutex.lock db.smu;
+  let e = Atomic.get db.epoch in
+  Hashtbl.replace db.commit_inflight e
+    (1 + Option.value ~default:0 (Hashtbl.find_opt db.commit_inflight e));
+  Mutex.unlock db.smu;
+  e
+
+let commit_deregister db e =
+  Mutex.lock db.smu;
+  (match Hashtbl.find_opt db.commit_inflight e with
+  | Some n when n > 1 -> Hashtbl.replace db.commit_inflight e (n - 1)
+  | _ -> Hashtbl.remove db.commit_inflight e);
+  Mutex.unlock db.smu
+
+let safe_snapshot_locked db =
+  let s = ref (Atomic.get db.epoch - 1) in
+  Hashtbl.iter (fun e _ -> if e - 1 < !s then s := e - 1) db.commit_inflight;
+  Stdlib.max 0 !s
+
+let safe_snapshot_epoch db =
+  Mutex.lock db.smu;
+  let s = safe_snapshot_locked db in
+  Mutex.unlock db.smu;
+  s
+
+let acquire_snapshot db =
+  Mutex.lock db.smu;
+  let s = safe_snapshot_locked db in
+  Hashtbl.replace db.snap_live s
+    (1 + Option.value ~default:0 (Hashtbl.find_opt db.snap_live s));
+  Mutex.unlock db.smu;
+  s
+
+let release_snapshot db s =
+  Mutex.lock db.smu;
+  (match Hashtbl.find_opt db.snap_live s with
+  | Some n when n > 1 -> Hashtbl.replace db.snap_live s (n - 1)
+  | Some _ -> Hashtbl.remove db.snap_live s
+  | None -> ());
+  Mutex.unlock db.smu
+
+(* Horizon for version-chain trimming: no current or future snapshot can
+   fall below it. Issued snapshots are nondecreasing over time — every
+   registration carries the then-current epoch, which is at least the
+   inflight minimum, so the minimum never moves backwards. *)
+let gc_horizon db =
+  Mutex.lock db.smu;
+  let nxt = safe_snapshot_locked db in
+  let h = Hashtbl.fold (fun e _ acc -> Stdlib.min e acc) db.snap_live nxt in
+  Mutex.unlock db.smu;
+  h
+
+let install_horizon db =
+  if Atomic.get db.snap_enabled then Some (gc_horizon db) else None
+
+(* Config.Auto morph heuristic: resolve a root to its parallel formulation
+   only when at least half the domains have idle capacity to absorb the
+   fan-out — the runtime mirror of the simulator's idle-executor rule, read
+   from the published busy fractions and live queue depths. *)
+let auto_parallel_ok db =
+  let n = Array.length db.execs in
+  let busy = ref 0 in
+  Array.iter
+    (fun ex ->
+      if Atomic.get ex.busy_frac > 0.5 || Mailbox.length ex.mb > 1 then
+        incr busy)
+    db.execs;
+  2 * !busy < n
 
 (* ------------------------------------------------------------------ *)
 (* Group-commit WAL sink. The epoch rule (DESIGN.md §8): a redo entry is
@@ -745,19 +844,20 @@ let two_phase db root ~coord containers ~epoch =
   in
   if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
     let tid = Occ.Commit.compute_tid root.txn ~epoch in
+    let horizon = install_horizon db in
     (* Phase 2: install. *)
     let acks =
       List.map
         (fun c ->
           if c = coord then begin
-            Occ.Commit.install root.txn ~container:c ~tid;
+            Occ.Commit.install ?horizon root.txn ~container:c ~tid;
             None
           end
           else
             Some
               (remote c
                  (guard_ack (fun () ->
-                      Occ.Commit.install root.txn ~container:c ~tid))))
+                      Occ.Commit.install ?horizon root.txn ~container:c ~tid))))
         containers
     in
     List.iter (function Some iv -> fiber_await iv | None -> ()) acks;
@@ -789,9 +889,11 @@ let two_phase db root ~coord containers ~epoch =
   end
 
 (* Commit coordinated from [run_eid], the domain the root's fiber runs on.
-   Returns the Silo TID on success (0 for an empty write/read set). *)
-let do_commit db root ~run_eid =
-  let epoch = Atomic.get db.epoch in
+   [epoch] is the root's registered commit epoch (see [commit_register]) —
+   using it, rather than re-reading the clock, keeps the inflight registry
+   a true lower bound on install epochs. Returns the Silo TID on success
+   (0 for an empty write/read set). *)
+let do_commit db root ~run_eid ~epoch =
   match Occ.Txn.containers root.txn with
   | [] -> Ok 0
   | [ c ] when c = run_eid ->
@@ -807,7 +909,8 @@ let do_commit db root ~run_eid =
       if timed then Obs.Trace.add root.tr Obs.Phase.Validation (now_us () -. t0);
       let t1 = if timed then now_us () else 0. in
       let tid = Occ.Commit.compute_tid root.txn ~epoch in
-      Occ.Commit.install root.txn ~container:c ~tid;
+      Occ.Commit.install ?horizon:(install_horizon db) root.txn ~container:c
+        ~tid;
       if timed then Obs.Trace.add root.tr Obs.Phase.Commit (now_us () -. t1);
       Ok tid)
   | [ c ] ->
@@ -831,7 +934,8 @@ let do_commit db root ~run_eid =
                     Chaos.inject_wall db.chaos Chaos.Stall_prepare;
                     let ti = if timed then now_us () else 0. in
                     let tid = Occ.Commit.compute_tid root.txn ~epoch in
-                    Occ.Commit.install root.txn ~container:c ~tid;
+                    Occ.Commit.install ?horizon:(install_horizon db) root.txn
+                      ~container:c ~tid;
                     (Ok tid, if timed then now_us () -. ti else 0.)
               with e ->
                 record_fatal db e;
@@ -855,7 +959,7 @@ let do_commit db root ~run_eid =
    domain. Guaranteed to call [k] and bump [completed] exactly once —
    quiescence depends on it. *)
 
-let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
+let exec_root db ~reactor ~proc ~args ~ro ~retry ~t_submit ~deadline_us ~k
     (run_ex : exec) =
   (* Chaos: the root dispatch message stalls before execution begins. *)
   Chaos.inject_wall db.chaos Chaos.Delay_delivery;
@@ -866,9 +970,10 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
   let tr =
     match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
   in
+  let rsnapshot = if ro then Some (acquire_snapshot db) else None in
   let root =
     { txn; rmu = Mutex.create (); active_set = Hashtbl.create 8; tr;
-      deadline_us; doomed = None }
+      deadline_us; doomed = None; rsnapshot }
   in
   let timed = Obs.Trace.enabled tr in
   let t_body = if timed then now_us () else 0. in
@@ -899,6 +1004,12 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
       (now_us () -. t_body -. Obs.Trace.get tr Obs.Phase.Suspend_wait);
   let verdict =
     match res with
+    | Ok v when root.rsnapshot <> None ->
+      (* Read-only snapshot root: the result is already final. No read
+         set was tracked and nothing was written, so there is no commit
+         protocol — no validation, no locks, no 2PC, no WAL — and hence
+         nothing that could abort it. *)
+      Ok v
     | Ok _ when deadline_expired root ->
       (* Commit entry: nothing is prepared yet, so expiring here just drops
          the read/write sets — no locks to release. *)
@@ -914,12 +1025,18 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
           | [] -> None
           | writes -> Some (s, writes, sink_register db s))
       in
+      (* Register the commit epoch before the protocol starts and release
+         it once installs have landed (or the attempt aborted), so snapshot
+         acquisition never freezes an epoch with installs still in
+         flight. *)
+      let ce = commit_register db in
       let cres =
-        try `C (do_commit db root ~run_eid:ex.eid)
+        try `C (do_commit db root ~run_eid:ex.eid ~epoch:ce)
         with e ->
           record_fatal db e;
           `F (Printexc.to_string e)
       in
+      commit_deregister db ce;
       (match (cres, wal_prep) with
       | _, None -> ()
       | `C (Ok tid), Some (s, writes, etag) ->
@@ -955,8 +1072,13 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
         Error
           (None, "internal error: " ^ Printexc.to_string e, Obs.Abort.Internal))
   in
+  (match root.rsnapshot with
+  | Some s -> release_snapshot db s
+  | None -> ());
   (match verdict with
-  | Ok _ -> Atomic.incr db.committed
+  | Ok _ ->
+    Atomic.incr db.committed;
+    if root.rsnapshot <> None then Atomic.incr db.n_ro_commits
   | Error (kc, _, _) ->
     Atomic.incr db.aborted;
     (match kc with Some kc -> Atomic.incr (bucket_counter db kc) | None -> ()));
@@ -976,7 +1098,7 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
     match abort_cause with
     | None ->
       Obs.Collector.record_commit c ~container:ex.eid ~participants ~retry
-        ~latency_us tr
+        ~readonly:(root.rsnapshot <> None) ~latency_us tr
     | Some cause ->
       Obs.Collector.record_abort c ~container:ex.eid ~latency_us ~cause tr));
   let out =
@@ -985,6 +1107,7 @@ let exec_root db ~reactor ~proc ~args ~retry ~t_submit ~deadline_us ~k
       latency_us;
       containers_touched = List.length (Occ.Txn.containers txn);
       abort_cause;
+      snapshot = root.rsnapshot;
     }
   in
   (try k out with e -> record_fatal db e);
@@ -1049,6 +1172,23 @@ let choose_cost db ~home =
 let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
   let entry = reactor_state db reactor in
   let home = entry.Reactdb.Bootstrap.bs_home in
+  let rt = entry.Reactdb.Bootstrap.bs_rtype in
+  (* Config.Auto: resolve a declared morph pair per root from live load —
+     parallel when idle capacity can absorb the fan-out, else sequential.
+     Generators emit the sequential name under [Auto]. *)
+  let proc =
+    if db.cfg.Reactdb.Config.morph <> Reactdb.Config.Auto then proc
+    else
+      match Reactor.morph_target rt proc with
+      | Some par when auto_parallel_ok db ->
+        Atomic.incr db.auto_par;
+        par
+      | Some _ ->
+        Atomic.incr db.auto_seq;
+        proc
+      | None -> proc
+  in
+  let ro = Atomic.get db.snap_enabled && Reactor.proc_readonly rt proc in
   Atomic.incr db.submitted;
   let t_submit = now_us () in
   let abs_deadline =
@@ -1057,17 +1197,19 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
     | None -> Float.infinity
   in
   let job =
-    exec_root db ~reactor ~proc ~args ~retry ~t_submit
+    exec_root db ~reactor ~proc ~args ~ro ~retry ~t_submit
       ~deadline_us:abs_deadline ~k
   in
   let ingress, by_cost =
-    match db.cfg.Reactdb.Config.router with
-    | Reactdb.Config.Affinity -> (home, false)
-    | Reactdb.Config.Round_robin ->
-      (Atomic.fetch_and_add db.rr 1 mod Array.length db.execs, false)
-    | Reactdb.Config.Cost ->
-      let c = choose_cost db ~home in
-      (c, c <> home)
+    if ro then (home, false)
+    else
+      match db.cfg.Reactdb.Config.router with
+      | Reactdb.Config.Affinity -> (home, false)
+      | Reactdb.Config.Round_robin ->
+        (Atomic.fetch_and_add db.rr 1 mod Array.length db.execs, false)
+      | Reactdb.Config.Cost ->
+        let c = choose_cost db ~home in
+        (c, c <> home)
   in
   (* Admission control happens here and only here: root ingress goes
      through [try_push] against the (possibly bounded) ingress mailbox.
@@ -1076,7 +1218,14 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
      shedding those would wedge an in-flight transaction instead of
      refusing a new one. *)
   let accepted =
-    if ingress = home || by_cost then
+    if ro then
+      (* Read-only snapshot roots are home-pinned: pushed as [Job] they are
+         never stolen or cost-routed, so a snapshot body only ever walks
+         version chains on the domain that owns the records — reads cannot
+         race a concurrent install. Admission control still applies. *)
+      Mailbox.try_push db.execs.(home).mb
+        (Job (fun () -> job db.execs.(home)))
+    else if ingress = home || by_cost then
       (* Direct admission; a cost-routed off-home root executes at the
          ingress domain and re-pins its commit. *)
       Mailbox.try_push db.execs.(ingress).mb (Root job)
@@ -1104,6 +1253,7 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
         containers_touched = 0;
         abort_cause =
           Some (Obs.Abort.cause ~participants:1 ~retry Obs.Abort.Overloaded);
+        snapshot = None;
       }
     in
     (try k out with e -> record_fatal db e);
@@ -1193,6 +1343,13 @@ let start ?(chaos = Chaos.none) ?mailbox_cap ?(steal = false) ?wal
       epoch = Atomic.make 1;
       t0 = Unix.gettimeofday ();
       rr = Atomic.make 0;
+      snap_enabled = Atomic.make true;
+      smu = Mutex.create ();
+      snap_live = Hashtbl.create 8;
+      commit_inflight = Hashtbl.create 8;
+      n_ro_commits = Atomic.make 0;
+      auto_seq = Atomic.make 0;
+      auto_par = Atomic.make 0;
       submitted = Atomic.make 0;
       completed = Atomic.make 0;
       domains = [||];
@@ -1234,6 +1391,13 @@ let catalogs db =
 
 let n_committed db = Atomic.get db.committed
 let n_aborted db = Atomic.get db.aborted
+
+(* --- snapshot reads --- *)
+
+let set_snapshots db on = Atomic.set db.snap_enabled on
+let snapshots_enabled db = Atomic.get db.snap_enabled
+let n_readonly_commits db = Atomic.get db.n_ro_commits
+let auto_morphs db = (Atomic.get db.auto_seq, Atomic.get db.auto_par)
 
 let aborts_by_reason db =
   List.filter

@@ -47,6 +47,9 @@ type outcome = {
   abort_cause : Obs.Abort.cause option;
       (** structured abort taxonomy for failed attempts; [None] on commit.
           Drives the retry policy in {!Load} ([Obs.Abort.transient]). *)
+  snapshot : int option;
+      (** the frozen epoch a read-only root executed against, [None] for
+          ordinary OCC transactions *)
 }
 
 (** [start decl cfg] bootstraps catalogs and loaders on the calling domain,
@@ -154,6 +157,53 @@ val exec_txn :
 
 (** Block until every submitted root has completed. *)
 val quiesce : t -> unit
+
+(** {1 Snapshot reads (multi-version, epoch-based — see DESIGN.md §10)}
+
+    Procedures declared read-only on their reactor type
+    ({!Reactor.rtype.rt_readonly}) execute against a frozen {e snapshot
+    epoch} [S = min (current epoch, min in-flight commit epoch) - 1]:
+    every install carrying an epoch [<= S] has completed (commits
+    register their epoch before the protocol and deregister after
+    installs land), so [S] names an immutable, consistent prefix. Reads
+    resolve through per-record version chains; the commit protocol is
+    skipped entirely — no read-set, no locks, no validation, no 2PC —
+    making read-only roots abort-free by construction. Read-only roots
+    are additionally home-pinned (never stolen or cost-routed) so every
+    version-chain walk happens on the domain owning the records.
+
+    While enabled (the default), every install also retires overwritten
+    versions into chains and trims them to the {e GC horizon}: the
+    minimum live snapshot epoch, or the next epoch to be issued when no
+    reader is live — so chains stay bounded under hot keys. *)
+
+(** [set_snapshots t false] disables snapshot execution {e and} version
+    chain maintenance: declared-read-only procedures fall back to the
+    ordinary OCC read path (the benchmark baseline), and installs revert
+    to single-version behavior. *)
+val set_snapshots : t -> bool -> unit
+
+val snapshots_enabled : t -> bool
+
+(** The epoch the next read-only root would freeze. *)
+val safe_snapshot_epoch : t -> int
+
+(** Pin / unpin a snapshot epoch manually — what a read-only root does
+    around its body; exposed for tests exercising version GC. [release]
+    of an epoch not held is a no-op. *)
+val acquire_snapshot : t -> int
+
+val release_snapshot : t -> int -> unit
+
+(** The horizon installs currently trim version chains to. *)
+val gc_horizon : t -> int
+
+(** Committed roots that ran as read-only snapshot transactions. *)
+val n_readonly_commits : t -> int
+
+(** [(sequential, parallel)] resolution counts of the [Config.Auto]
+    morph router. *)
+val auto_morphs : t -> int * int
 
 (** {1 Statistics} (monotone; atomic counters shared by all domains) *)
 

@@ -9,5 +9,12 @@ let sql_proc (ctx : Reactor.ctx) args =
     | result -> Util.Value.Str (Fmt.str "%a" Run.pp_result result))
 
 let with_sql rt =
-  if List.mem_assoc "sql" rt.Reactor.rt_procs then rt
-  else { rt with Reactor.rt_procs = ("sql", sql_proc) :: rt.Reactor.rt_procs }
+  let rt =
+    if List.mem_assoc "sql" rt.Reactor.rt_procs then rt
+    else { rt with Reactor.rt_procs = ("sql", sql_proc) :: rt.Reactor.rt_procs }
+  in
+  if List.mem_assoc "sql_ro" rt.Reactor.rt_procs then rt
+  else
+    { rt with
+      Reactor.rt_procs = ("sql_ro", sql_proc) :: rt.Reactor.rt_procs;
+      Reactor.rt_readonly = "sql_ro" :: rt.Reactor.rt_readonly }

@@ -11,7 +11,9 @@
     interactive shell displays).
 
     [with_sql rt] derives a reactor type with the ["sql"] procedure added —
-    handy for ad-hoc inspection of any reactor database. *)
+    handy for ad-hoc inspection of any reactor database — plus a ["sql_ro"]
+    twin declared read-only: it executes against a frozen snapshot epoch
+    (abort-free for queries; DML through it aborts). *)
 
 val sql_proc : Reactor.proc
 

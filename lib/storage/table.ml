@@ -131,6 +131,18 @@ let remove t key =
     r
   | None -> None
 
+(* Tombstone retention (snapshot mode): a logical delete keeps the record in
+   the primary index — version-chain readers must still reach it by key —
+   but drops its secondary entries, exactly what [remove] would have done to
+   them. *)
+let sec_forget t record = sec_remove t record.Record.data
+
+(* Reinstate a displaced tombstone in the primary index only (its secondary
+   entries were already dropped when its delete installed). Used when the
+   insert that displaced it rolls back. *)
+let reinstate t record =
+  ignore (Idx.insert t.idx (Schema.key_of_tuple t.schema record.Record.data) record)
+
 (* In-place data update with secondary-index maintenance; the primary key
    must be unchanged (the query layer enforces this). Called by the commit
    protocol's install phase. *)

@@ -88,6 +88,16 @@ val insert : t -> Record.t -> Record.t option
 (** Remove the index entry for [key]; returns the unlinked record. *)
 val remove : t -> Key.t -> Record.t option
 
+(** [sec_forget t record] drops [record]'s secondary-index entries while
+    leaving its primary entry in place — the physical half of a logical
+    delete that retains the record as a snapshot-visible tombstone. *)
+val sec_forget : t -> Record.t -> unit
+
+(** [reinstate t record] re-links a displaced tombstone into the primary
+    index only (its secondary entries were dropped when its delete
+    installed). Used when the insert that displaced it rolls back. *)
+val reinstate : t -> Record.t -> unit
+
 (** [key_prefix_bounds prefix] gives [(lo, hi)] bounds covering exactly the
     keys extending [prefix]; pass them to {!range}. [hi] is a sentinel upper
     bound that compares greater than any extension of [prefix]. *)

@@ -250,6 +250,22 @@ let send_payment_multi ~fan_out ctx args =
     Value.Null
   | [] -> abort "send_payment_multi: missing amount"
 
+(* sum_all(custs...): this customer's total balance plus every listed
+   customer's, gathered through a fan-out/collect of [balance] reads.
+   Declared read-only: under snapshots the whole sum resolves against one
+   frozen epoch, so summed over all customers it always equals the loaded
+   total — the conservation audit for snapshot consistency. *)
+let sum_all ctx args =
+  let cid = cust_id ctx in
+  let own = balance_of ctx "savings" cid +. balance_of ctx "checking" cid in
+  let remote =
+    ctx.collect
+      (List.map
+         (fun c -> ctx.call ~reactor:(Value.to_str c) ~proc:"balance" ~args:[])
+         args)
+  in
+  Wl.vf (List.fold_left (fun acc v -> acc +. Value.to_number v) own remote)
+
 (* Empty transaction for containerization-overhead measurements (App. F.3). *)
 let noop _ctx _args = Value.Null
 
@@ -276,7 +292,14 @@ let customer_type =
         ("send_payment", send_payment);
         ("send_payment_multi_seq", send_payment_multi ~fan_out:false);
         ("send_payment_multi_par", send_payment_multi ~fan_out:true);
+        ("sum_all", sum_all);
         ("noop", noop);
+      ]
+    ~readonly:[ "balance"; "sum_all" ]
+    ~morphs:
+      [
+        ("multi_transfer_sync", "multi_transfer_collect");
+        ("send_payment_multi_seq", "send_payment_multi_par");
       ]
     ()
 
@@ -320,10 +343,12 @@ let formulation_name = function
 (** Deployment morphing (Shah 2022): which multi-transfer formulation the
     deployment's {!Reactdb.Config.morph} knob selects — sequential
     deployments run fully-sync, parallel (shared-nothing-async) ones run
-    the collect fan-out. *)
+    the collect fan-out. Under [Auto] the builder emits the sequential
+    formulation and the backend morphs per root via the declared
+    {!Reactor.rtype.rt_morphs} pairs. *)
 let formulation_for config =
   match config.Reactdb.Config.morph with
-  | Reactdb.Config.Sequential -> Fully_sync
+  | Reactdb.Config.Sequential | Reactdb.Config.Auto -> Fully_sync
   | Reactdb.Config.Parallel -> Collect
 
 (** Build a multi-transfer request from explicit source and destinations. *)
@@ -337,7 +362,8 @@ let multi_transfer_request form ~src ~dests ~amount =
 let send_payment_multi_request config ~src ~dests ~amount =
   let proc =
     match config.Reactdb.Config.morph with
-    | Reactdb.Config.Sequential -> "send_payment_multi_seq"
+    | Reactdb.Config.Sequential | Reactdb.Config.Auto ->
+      "send_payment_multi_seq"
     | Reactdb.Config.Parallel -> "send_payment_multi_par"
   in
   Wl.request src proc (Wl.vf amount :: List.map Wl.vs dests)
@@ -386,6 +412,29 @@ let gen_conserving rng ~n =
   | _ ->
     let src = c () in
     Wl.request src "send_payment" [ Wl.vs (other src); Wl.vf 1. ]
+
+(** Zipf-skewed, money-conserving mix with a tunable read fraction: with
+    probability [read_frac] a [balance] read of a zipf-chosen customer
+    (declared read-only, so it runs as an abort-free snapshot when
+    snapshots are on); otherwise a conserving writer — amalgamate (3/8)
+    or send-payment (5/8) — rooted at a zipf-chosen customer. The skew
+    concentrates readers and writers on the same hot customers, which is
+    what makes the OCC read path retry under contention. *)
+let gen_conserving_zipf rng ~zipf ~n ~read_frac =
+  let c () = customer_name (Rng.Zipf.next rng zipf) in
+  let other excl =
+    customer_name (Rng.pick_except rng n (int_of_string
+      (String.sub excl 1 (String.length excl - 1))))
+  in
+  if Rng.float rng 1. < read_frac then Wl.request (c ()) "balance" []
+  else if Rng.int rng 8 < 3 then begin
+    let src = c () in
+    Wl.request src "amalgamate" [ Wl.vs (other src) ]
+  end
+  else begin
+    let src = c () in
+    Wl.request src "send_payment" [ Wl.vs (other src); Wl.vf 1. ]
+  end
 
 (** Sum of all balances across all customer reactors — the conservation
     invariant used by tests (requires direct catalog access). *)

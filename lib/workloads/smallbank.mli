@@ -11,7 +11,15 @@
     [multi_transfer_fully_async], [multi_transfer_opt],
     [multi_transfer_collect], [balance], [deposit_checking], [write_check],
     [amalgamate], [send_payment], [send_payment_multi_seq],
-    [send_payment_multi_par], [noop]. *)
+    [send_payment_multi_par], [sum_all], [noop].
+
+    [balance] and [sum_all] (own plus listed customers' balances via a
+    fan-out/collect of [balance] reads) are declared read-only, so they
+    run as abort-free snapshot transactions on backends with snapshots
+    enabled. The morph pairs [multi_transfer_sync] →
+    [multi_transfer_collect] and [send_payment_multi_seq] →
+    [send_payment_multi_par] are declared for {!Reactdb.Config.Auto}
+    per-root morphing. *)
 val customer_type : Reactor.rtype
 
 val customer_name : int -> string
@@ -64,6 +72,16 @@ val gen_standard : Util.Rng.t -> n:int -> Wl.request
     be audited with exact conservation. The deposit/withdraw programs of
     the standard mix legitimately change the total and are excluded. *)
 val gen_conserving : Util.Rng.t -> n:int -> Wl.request
+
+(** Zipf-skewed, money-conserving mix with a tunable read fraction: with
+    probability [read_frac] a read-only [balance] transaction of a
+    zipf-chosen customer, otherwise a conserving writer (amalgamate 3/8,
+    send-payment 5/8) rooted at a zipf-chosen customer. Create [zipf]
+    with [Util.Rng.Zipf.create ~n ~theta]; the skew concentrates readers
+    and writers on the same hot customers. *)
+val gen_conserving_zipf :
+  Util.Rng.t -> zipf:Util.Rng.Zipf.gen -> n:int -> read_frac:float ->
+  Wl.request
 
 (** Physical sum of all savings and checking balances over the given
     catalogs — the conservation invariant used in tests. *)

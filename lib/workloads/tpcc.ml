@@ -284,8 +284,13 @@ let payment_customer ctx args =
   if not ok then abort "missing customer row";
   Wl.vi c_id
 
-(* payment(h_id, d_id, c_id, c_last, amount, cust_warehouse) *)
-let payment ctx args =
+(* payment(h_id, d_id, c_id, c_last, amount, cust_warehouse). [collect]
+   selects the join style: the plain formulation forces the customer
+   update's future directly, the Collect formulation joins it at an
+   explicit collect barrier after the home-warehouse bookkeeping — the
+   fork–join shape the cost model prices as a node with one asynchronous
+   child. Both issue identical sub-calls and write identical rows. *)
+let payment ~collect ctx args =
   let a = Array.of_list args in
   let h_id = geti a.(0) and d_id = geti a.(1) and c_id = geti a.(2) in
   let c_last = gets a.(3) and amount = getf a.(4) in
@@ -306,7 +311,13 @@ let payment ctx args =
         Query.Exec.seti row 2 (Wl.vf (getf row.(2) +. amount)))
   in
   if not ok then abort "missing district row";
-  let charged = geti (fcust.get ()) in
+  let charged =
+    if collect then
+      match ctx.collect [ fcust ] with
+      | [ v ] -> geti v
+      | _ -> abort "payment_collect: collect arity"
+    else geti (fcust.get ())
+  in
   Query.Exec.insert ctx.db "history"
     [| Wl.vi h_id; Wl.vi d_id; Wl.vi charged; Wl.vs cust_w; Wl.vf amount |];
   Value.Null
@@ -336,48 +347,78 @@ let order_status ctx args =
   | [] -> ());
   Wl.vf (getf cust.(4))
 
+(* One district's delivery leg: deliver its oldest undelivered order, if
+   any. Shared by both delivery formulations. *)
+let deliver_one ctx ~d_id ~carrier ~now =
+  match Query.Exec.first ctx.db "new_order" ~prefix:[| Wl.vi d_id |] () with
+  | None -> 0
+  | Some no ->
+    let o_id = geti no.(1) in
+    ignore (Query.Exec.delete_key ctx.db "new_order" [| Wl.vi d_id; Wl.vi o_id |]);
+    let c_id = ref 0 in
+    let ok =
+      Query.Exec.update_key ctx.db "orders" [| Wl.vi d_id; Wl.vi o_id |]
+        ~set:(fun row ->
+          c_id := geti row.(2);
+          Query.Exec.seti row 4 (Wl.vi carrier))
+    in
+    if not ok then abort "missing order row";
+    let total = ref 0. in
+    ignore
+      (Query.Exec.update ctx.db "order_line"
+         ~prefix:[| Wl.vi d_id; Wl.vi o_id |]
+         ~set:(fun row ->
+           total := !total +. getf row.(7);
+           Query.Exec.seti row 5 (Wl.vf now))
+         ());
+    let ok =
+      Query.Exec.update_key ctx.db "customer" [| Wl.vi d_id; Wl.vi !c_id |]
+        ~set:(fun row ->
+          let row = Query.Exec.seti row 4 (Wl.vf (getf row.(4) +. !total)) in
+          Query.Exec.seti row 7 (Wl.vi (geti row.(7) + 1)))
+    in
+    if not ok then abort "missing customer row";
+    1
+
 (* delivery(carrier, now) -> number of districts with a delivered order *)
 let delivery ctx args =
   let carrier = geti (arg args 0) in
   let now = getf (arg args 1) in
-  let delivered = ref 0 in
-  let districts =
-    Query.Exec.scan ctx.db "district" ()
+  let districts = Query.Exec.scan ctx.db "district" () in
+  Wl.vi
+    (List.fold_left
+       (fun acc drow ->
+         acc + deliver_one ctx ~d_id:(geti drow.(0)) ~carrier ~now)
+       0 districts)
+
+(* deliver_district(d_id, carrier, now) -> 0/1: the per-district leg as a
+   procedure, the fan-out unit of [delivery_collect]. *)
+let deliver_district ctx args =
+  let d_id = geti (arg args 0) in
+  let carrier = geti (arg args 1) in
+  let now = getf (arg args 2) in
+  Wl.vi (deliver_one ctx ~d_id ~carrier ~now)
+
+(* delivery_collect(carrier, now): the Collect formulation of delivery —
+   one [deliver_district] sub-call per district, joined at a single collect
+   barrier. Self-calls are inlined on both backends, so the formulations
+   deliver identical orders in identical district order; the explicit
+   fork–join shape is what the morph router and cost model act on. *)
+let delivery_collect ctx args =
+  let carrier = arg args 0 in
+  let now = arg args 1 in
+  let districts = Query.Exec.scan ctx.db "district" () in
+  let futures =
+    List.map
+      (fun drow ->
+        ctx.call ~reactor:ctx.self ~proc:"deliver_district"
+          ~args:[ drow.(0); carrier; now ])
+      districts
   in
-  List.iter
-    (fun drow ->
-      let d_id = geti drow.(0) in
-      match Query.Exec.first ctx.db "new_order" ~prefix:[| Wl.vi d_id |] () with
-      | None -> ()
-      | Some no ->
-        let o_id = geti no.(1) in
-        incr delivered;
-        ignore (Query.Exec.delete_key ctx.db "new_order" [| Wl.vi d_id; Wl.vi o_id |]);
-        let c_id = ref 0 in
-        let ok =
-          Query.Exec.update_key ctx.db "orders" [| Wl.vi d_id; Wl.vi o_id |]
-            ~set:(fun row ->
-              c_id := geti row.(2);
-              Query.Exec.seti row 4 (Wl.vi carrier))
-        in
-        if not ok then abort "missing order row";
-        let total = ref 0. in
-        ignore
-          (Query.Exec.update ctx.db "order_line"
-             ~prefix:[| Wl.vi d_id; Wl.vi o_id |]
-             ~set:(fun row ->
-               total := !total +. getf row.(7);
-               Query.Exec.seti row 5 (Wl.vf now))
-             ());
-        let ok =
-          Query.Exec.update_key ctx.db "customer" [| Wl.vi d_id; Wl.vi !c_id |]
-            ~set:(fun row ->
-              let row = Query.Exec.seti row 4 (Wl.vf (getf row.(4) +. !total)) in
-              Query.Exec.seti row 7 (Wl.vi (geti row.(7) + 1)))
-        in
-        if not ok then abort "missing customer row")
-    districts;
-  Wl.vi !delivered
+  Wl.vi
+    (List.fold_left
+       (fun acc v -> acc + geti v)
+       0 (ctx.collect futures))
 
 (* stock_level(d_id, threshold) -> count of recent items under threshold *)
 let stock_level ctx args =
@@ -420,11 +461,21 @@ let warehouse_type =
         ("new_order_sync", new_order ~mode:`Sync);
         ("new_order_collect", new_order ~mode:`Collect);
         ("stock_updates", stock_updates);
-        ("payment", payment);
+        ("payment", payment ~collect:false);
+        ("payment_collect", payment ~collect:true);
         ("payment_customer", payment_customer);
         ("order_status", order_status);
         ("delivery", delivery);
+        ("deliver_district", deliver_district);
+        ("delivery_collect", delivery_collect);
         ("stock_level", stock_level);
+      ]
+    ~readonly:[ "order_status"; "stock_level" ]
+    ~morphs:
+      [
+        ("new_order_sync", "new_order_collect");
+        ("payment", "payment_collect");
+        ("delivery", "delivery_collect");
       ]
     ()
 
@@ -510,26 +561,46 @@ type params = {
   delay_hi : float;  (** per-item stock-replenishment delay range, µs *)
   sync_new_order : bool;  (** use the new_order_sync program variant *)
   no_proc : string;  (** new-order procedure generated requests invoke *)
+  pay_proc : string;  (** payment procedure generated requests invoke *)
+  dlv_proc : string;  (** delivery procedure generated requests invoke *)
 }
 
 let params ?(sizes = default_sizes) ?(remote_mode = Per_item 0.01)
     ?(remote_payment_prob = 0.15) ?(delay_lo = 0.) ?(delay_hi = 0.)
-    ?(sync_new_order = false) ?new_order_proc n_warehouses =
+    ?(sync_new_order = false) ?new_order_proc ?(payment_proc = "payment")
+    ?(delivery_proc = "delivery") n_warehouses =
   let no_proc =
     match new_order_proc with
     | Some p -> p
     | None -> if sync_new_order then "new_order_sync" else "new_order"
   in
   { n_warehouses; sizes; remote_mode; remote_payment_prob; delay_lo;
-    delay_hi; sync_new_order; no_proc }
+    delay_hi; sync_new_order; no_proc; pay_proc = payment_proc;
+    dlv_proc = delivery_proc }
 
 (** The new-order variant a deployment morph selects: sequential
     deployments run [new_order_sync], parallel (shared-nothing-async) ones
     run the collect fan-out. *)
 let new_order_proc_for config =
   match config.Reactdb.Config.morph with
-  | Reactdb.Config.Sequential -> "new_order_sync"
+  | Reactdb.Config.Sequential | Reactdb.Config.Auto -> "new_order_sync"
   | Reactdb.Config.Parallel -> "new_order_collect"
+
+(** The payment variant a deployment morph selects: the plain future-get
+    join on sequential deployments, the collect-barrier join on parallel
+    ones. *)
+let payment_proc_for config =
+  match config.Reactdb.Config.morph with
+  | Reactdb.Config.Sequential | Reactdb.Config.Auto -> "payment"
+  | Reactdb.Config.Parallel -> "payment_collect"
+
+(** The delivery variant a deployment morph selects: the in-line district
+    loop on sequential deployments, the per-district fan-out/collect on
+    parallel ones. *)
+let delivery_proc_for config =
+  match config.Reactdb.Config.morph with
+  | Reactdb.Config.Sequential | Reactdb.Config.Auto -> "delivery"
+  | Reactdb.Config.Parallel -> "delivery_collect"
 
 let nurand_customer rng sizes =
   let c = sizes.customers_per_district in
@@ -590,7 +661,7 @@ let gen_payment rng p ~home ~h_id =
     else warehouse_name home
   in
   let amount = 1. +. Rng.float rng 4_999. in
-  Wl.request (warehouse_name home) "payment"
+  Wl.request (warehouse_name home) p.pay_proc
     [ Wl.vi h_id; Wl.vi d_id; Wl.vi c_id; Wl.vs c_last; Wl.vf amount;
       Wl.vs cust_w ]
 
@@ -602,8 +673,8 @@ let gen_order_status rng p ~home =
   Wl.request (warehouse_name home) "order_status"
     [ Wl.vi d_id; Wl.vi c_id; Wl.vs c_last ]
 
-let gen_delivery rng ~home ~clock =
-  Wl.request (warehouse_name home) "delivery"
+let gen_delivery ?(proc = "delivery") rng ~home ~clock =
+  Wl.request (warehouse_name home) proc
     [ Wl.vi (1 + Rng.int rng 10); Wl.vf clock ]
 
 let gen_stock_level rng p ~home =
@@ -621,5 +692,5 @@ let gen_mix rng p ~home ~seq =
   | x when x < 45 -> gen_new_order rng p ~home ~clock
   | x when x < 88 -> gen_payment rng p ~home ~h_id:!seq
   | x when x < 92 -> gen_order_status rng p ~home
-  | x when x < 96 -> gen_delivery rng ~home ~clock
+  | x when x < 96 -> gen_delivery ~proc:p.dlv_proc rng ~home ~clock
   | _ -> gen_stock_level rng p ~home

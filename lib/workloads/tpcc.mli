@@ -24,8 +24,16 @@ val small_sizes : sizes
 (** The Warehouse reactor type. Procedures: [new_order], [new_order_sync],
     [new_order_collect] (per-remote-warehouse fan-out joined at one
     {!Reactor.ctx.collect} barrier; same sub-calls and row inserts as the
-    other two variants), [stock_updates], [payment], [payment_customer],
-    [order_status], [delivery], [stock_level]. *)
+    other two variants), [stock_updates], [payment], [payment_collect]
+    (customer update joined at a collect barrier), [payment_customer],
+    [order_status], [delivery], [deliver_district], [delivery_collect]
+    (per-district fan-out joined at a collect barrier), [stock_level].
+
+    [order_status] and [stock_level] are declared read-only, so they run
+    as abort-free snapshot transactions on backends with snapshots
+    enabled. Morph pairs for {!Reactdb.Config.Auto}: [new_order_sync] →
+    [new_order_collect], [payment] → [payment_collect], [delivery] →
+    [delivery_collect]. *)
 val warehouse_type : Reactor.rtype
 
 (** [warehouse_name i] for the 1-based warehouse index. *)
@@ -58,6 +66,8 @@ type params = {
   no_proc : string;
       (** new-order procedure generated requests invoke; defaults from
           [sync_new_order], overridable with [?new_order_proc] *)
+  pay_proc : string;  (** payment procedure generated requests invoke *)
+  dlv_proc : string;  (** delivery procedure generated requests invoke *)
 }
 
 val params :
@@ -68,6 +78,8 @@ val params :
   ?delay_hi:float ->
   ?sync_new_order:bool ->
   ?new_order_proc:string ->
+  ?payment_proc:string ->
+  ?delivery_proc:string ->
   int ->
   params
 
@@ -75,6 +87,16 @@ val params :
     on [Sequential] deployments, [new_order_collect] on [Parallel]
     (shared-nothing-async) ones. Pass as [?new_order_proc] to {!params}. *)
 val new_order_proc_for : Reactdb.Config.t -> string
+
+(** [payment_proc_for config] — [payment] on [Sequential] deployments,
+    [payment_collect] on [Parallel] ones. Pass as [?payment_proc] to
+    {!params}. *)
+val payment_proc_for : Reactdb.Config.t -> string
+
+(** [delivery_proc_for config] — [delivery] on [Sequential] deployments,
+    [delivery_collect] on [Parallel] ones. Pass as [?delivery_proc] to
+    {!params}. *)
+val delivery_proc_for : Reactdb.Config.t -> string
 
 (** {1 Input generators}
 
@@ -84,7 +106,8 @@ val new_order_proc_for : Reactdb.Config.t -> string
 val gen_new_order : Util.Rng.t -> params -> home:int -> clock:float -> Wl.request
 val gen_payment : Util.Rng.t -> params -> home:int -> h_id:int -> Wl.request
 val gen_order_status : Util.Rng.t -> params -> home:int -> Wl.request
-val gen_delivery : Util.Rng.t -> home:int -> clock:float -> Wl.request
+val gen_delivery :
+  ?proc:string -> Util.Rng.t -> home:int -> clock:float -> Wl.request
 val gen_stock_level : Util.Rng.t -> params -> home:int -> Wl.request
 
 (** The standard mix (45/43/4/4/4). [seq] must be shared across all workers

@@ -5,7 +5,12 @@
 (** The key reactor type. Procedures: [read], [update], [multi_update],
     [multi_read_seq] (read each key, synchronizing before the next),
     [multi_read_par] (fan every read out, join at a collect barrier —
-    both return the total payload length across the keys read). *)
+    both return the total payload length across the keys read).
+
+    The three read procedures are declared read-only (abort-free snapshot
+    execution on backends with snapshots enabled); [multi_read_seq] →
+    [multi_read_par] is declared as a morph pair for
+    {!Reactdb.Config.Auto}. *)
 val key_type : Reactor.rtype
 
 val key_name : int -> string

@@ -21,5 +21,6 @@ let () =
       Suite_mailbox.suite;
       Suite_runtime.suite;
       Suite_obs.suite;
+      Suite_snapshot.suite;
       Suite_misc.suite;
     ]

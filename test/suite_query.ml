@@ -74,7 +74,7 @@ let fresh_ctx () =
   let txn = Occ.Txn.create ~id:!ids in
   ( Query.Exec.make_ctx ~txn ~container:0 ~catalog
       ~charge:(fun _ _ -> ())
-      ~work:(fun _ -> ()),
+      ~work:(fun _ -> ()) (),
     txn )
 
 let test_get_and_scan () =
@@ -189,7 +189,7 @@ let test_charge_accounting () =
         | `Read -> reads := !reads + n
         | `Write -> writes := !writes + n
         | `Scan_step -> steps := !steps + n)
-      ~work:(fun _ -> ())
+      ~work:(fun _ -> ()) ()
   in
   ignore (Query.Exec.get ctx "t" [| Value.Int 1 |]);
   ignore (Query.Exec.scan ctx "t" ());

@@ -82,7 +82,7 @@ let fresh_ctx () =
   incr ids;
   ( Query.Exec.make_ctx ~txn:(Occ.Txn.create ~id:!ids) ~container:0 ~catalog
       ~charge:(fun _ _ -> ())
-      ~work:(fun _ -> ()),
+      ~work:(fun _ -> ()) (),
     catalog )
 
 let scan_dept ctx dept =
@@ -142,7 +142,7 @@ let test_index_phantom () =
       Query.Exec.make_ctx ~txn:(Occ.Txn.create ~id:(1000000 + !ids))
         ~container:0 ~catalog
         ~charge:(fun _ _ -> ())
-        ~work:(fun _ -> ()) )
+        ~work:(fun _ -> ()) () )
   in
   ignore mk;
   (* txn A scans hr via the index and writes something; txn B moves an
@@ -152,7 +152,7 @@ let test_index_phantom () =
   let ctx_a =
     Query.Exec.make_ctx ~txn:txn_a ~container:0 ~catalog
       ~charge:(fun _ _ -> ())
-      ~work:(fun _ -> ())
+      ~work:(fun _ -> ()) ()
   in
   Alcotest.(check (list int)) "A sees hr = [4]" [ 4 ] (scan_dept ctx_a "hr");
   ignore
@@ -163,7 +163,7 @@ let test_index_phantom () =
   let ctx_b =
     Query.Exec.make_ctx ~txn:txn_b ~container:0 ~catalog
       ~charge:(fun _ _ -> ())
-      ~work:(fun _ -> ())
+      ~work:(fun _ -> ()) ()
   in
   ignore
     (Query.Exec.update_key ctx_b "emp" [| Value.Int 1 |] ~set:(fun r ->
@@ -182,7 +182,7 @@ let test_index_no_false_phantom () =
   let ctx_a =
     Query.Exec.make_ctx ~txn:txn_a ~container:0 ~catalog
       ~charge:(fun _ _ -> ())
-      ~work:(fun _ -> ())
+      ~work:(fun _ -> ()) ()
   in
   Alcotest.(check (list int)) "A sees hr" [ 4 ] (scan_dept ctx_a "hr");
   ignore
@@ -193,7 +193,7 @@ let test_index_no_false_phantom () =
   let ctx_b =
     Query.Exec.make_ctx ~txn:txn_b ~container:0 ~catalog
       ~charge:(fun _ _ -> ())
-      ~work:(fun _ -> ())
+      ~work:(fun _ -> ()) ()
   in
   (* salary-only change of an eng employee: hr's index leaves untouched *)
   ignore
@@ -234,7 +234,7 @@ let prop_index_matches_filter =
         Query.Exec.make_ctx ~txn:(Occ.Txn.create ~id:!ids) ~container:0
           ~catalog
           ~charge:(fun _ _ -> ())
-          ~work:(fun _ -> ())
+          ~work:(fun _ -> ()) ()
       in
       let via_index = scan_dept ctx (dept_of dept_i) in
       let via_filter =

@@ -154,7 +154,7 @@ let fresh_ctx () =
   incr ids;
   Query.Exec.make_ctx ~txn:(Occ.Txn.create ~id:!ids) ~container:0 ~catalog
     ~charge:(fun _ _ -> ())
-    ~work:(fun _ -> ())
+    ~work:(fun _ -> ()) ()
 
 let test_select_star () =
   let ctx = fresh_ctx () in
