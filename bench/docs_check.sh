@@ -1,0 +1,64 @@
+#!/bin/sh
+# Docs cross-reference check. Fails (non-zero exit) when documentation
+# drifts from the tree it describes:
+#
+#   1. every "DESIGN.md §N" reference (from code, tests, benches or other
+#      docs) must resolve to a "## N." section header in DESIGN.md;
+#   2. every experiment id cited as "EXPERIMENTS.md *id*" (or `id`) must
+#      be a "## id" section in EXPERIMENTS.md;
+#   3. every BENCH_*.json artifact named in the docs must exist at the
+#      repo root (committed baselines);
+#   4. every bench/NAME.exe or docs/NAME.md path named in the docs must
+#      exist as bench/NAME.ml / docs/NAME.md.
+#
+# Run from the repository root: sh bench/docs_check.sh
+set -e
+
+fail=0
+err() { echo "docs-check: $1" >&2; fail=1; }
+
+DOCS="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/OPERATIONS.md"
+SRC_GLOBS="lib bin bench test examples"
+
+# 1. DESIGN.md section references. "§N" and "§N.M" both resolve to the
+# top-level "## N." header; scan docs and source comments.
+sections=$(grep -E '^## [0-9]+\.' DESIGN.md | sed -E 's/^## ([0-9]+)\..*/\1/')
+refs=$(grep -rhoE 'DESIGN\.md §[0-9]+' $DOCS $SRC_GLOBS 2>/dev/null \
+  | sed -E 's/.*§([0-9]+).*/\1/' | sort -un)
+for n in $refs; do
+  echo "$sections" | grep -qx "$n" \
+    || err "DESIGN.md §$n referenced but DESIGN.md has no '## $n.' section"
+done
+
+# 2. EXPERIMENTS.md experiment ids: "## id — ..." headers with short ids
+# (fig5, tab1, predict1, elastic1, ...). Check citations of the form
+# "EXPERIMENTS.md *id*", "EXPERIMENTS.md `id`" and "see id" used in the
+# artifact schema blocks.
+exp_ids=$(grep -E '^## [a-zA-Z0-9]+ ' EXPERIMENTS.md | awk '{print $2}')
+cited=$(grep -rhoE --exclude=docs_check.sh 'EXPERIMENTS\.md [*`]([a-zA-Z0-9]+)[*`]' $DOCS $SRC_GLOBS 2>/dev/null \
+  | sed -E 's/.*[*`]([a-zA-Z0-9]+)[*`].*/\1/' | sort -u)
+for id in $cited; do
+  echo "$exp_ids" | grep -qx "$id" \
+    || err "experiment id '$id' cited but EXPERIMENTS.md has no '## $id' section"
+done
+
+# 3. Committed BENCH artifacts named in the docs must exist (smoke
+# variants are generated, not committed — skip them).
+for f in $(grep -rhoE 'BENCH_[a-z_]+\.json' $DOCS | sort -u); do
+  case "$f" in
+    *_smoke.json) ;;
+    *) [ -f "$f" ] || err "$f named in docs but not committed at the repo root" ;;
+  esac
+done
+
+# 4. bench executables and docs/ pages named in the docs must exist.
+for exe in $(grep -rhoE 'bench/[a-z_]+\.exe' $DOCS | sort -u); do
+  src="bench/$(basename "$exe" .exe).ml"
+  [ -f "$src" ] || err "$exe named in docs but $src does not exist"
+done
+for page in $(grep -rhoE 'docs/[A-Za-z0-9_]+\.md' $DOCS | sort -u); do
+  [ -f "$page" ] || err "$page named in docs but missing"
+done
+
+[ "$fail" -eq 0 ] && echo "docs-check: all cross-references resolve"
+exit "$fail"

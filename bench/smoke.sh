@@ -68,6 +68,18 @@ echo "== bench smoke: snapshot reads (audit- and p99-gated) =="
 dune exec bench/snapshot.exe -- --fast --out BENCH_snapshot_smoke.json
 
 echo
+echo "== bench smoke: elasticity (audit- and recovery-gated) =="
+# Live reconfiguration: forced migrations of a hot reactor under a
+# closed-loop conserving load, the simulator byte-identity oracle
+# (migrated vs static placement), and the signal-driven autoscaler
+# splitting an all-on-one-domain deployment. Exits non-zero if any
+# transaction is lost or duplicated, money is not conserved, throughput
+# fails to recover to 90% of the pre-migration steady state, a migration
+# pause exceeds its bound, the migrated sim run diverges from the static
+# one, or the autoscaler never splits.
+dune exec bench/elasticity.exe -- --fast --out BENCH_elasticity_smoke.json
+
+echo
 echo "== bench smoke: chaos sweep (audit-gated) =="
 # Seeded fault injection across every chaos class on both backends; the
 # runner exits non-zero if any scenario violates its audits (money

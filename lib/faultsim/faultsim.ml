@@ -221,13 +221,35 @@ type recovery = {
   rc_checkpoint : Checkpoint.t option;
   rc_restored : int;
   rc_replayed : int;
+  rc_placements : (string * int) list;
   rc_note : string;
 }
+
+(* Recovered placement: fold the surviving [Migrate] records in TID order —
+   the last move per reactor wins, exactly as the engines applied them.
+   Reactors never migrated are absent (they keep the config placement). *)
+let placements_of entries =
+  let ordered =
+    List.sort (fun a b -> Int.compare a.Wal.le_tid b.Wal.le_tid) entries
+  in
+  let tbl = Hashtbl.create 8 and order = ref [] in
+  List.iter
+    (fun e ->
+      List.iter
+        (function
+          | Wal.Migrate { reactor; dst } ->
+            if not (Hashtbl.mem tbl reactor) then order := reactor :: !order;
+            Hashtbl.replace tbl reactor dst
+          | Wal.Put _ | Wal.Del _ -> ())
+        e.Wal.le_writes)
+    ordered;
+  List.rev_map (fun r -> (r, Hashtbl.find tbl r)) !order
 
 let recover ?checkpoint ~log decl =
   let cats = fresh_catalogs decl in
   let cat = catalog_of cats in
   let entries, tail = Wal.read_file_tolerant log in
+  let placements = placements_of entries in
   let log_only note =
     let replayed = Wal.replay entries ~catalog_of:cat in
     {
@@ -237,6 +259,7 @@ let recover ?checkpoint ~log decl =
       rc_checkpoint = None;
       rc_restored = 0;
       rc_replayed = replayed;
+      rc_placements = placements;
       rc_note = note;
     }
   in
@@ -256,6 +279,7 @@ let recover ?checkpoint ~log decl =
         rc_checkpoint = Some ck;
         rc_restored = restored;
         rc_replayed = replayed;
+        rc_placements = placements;
         rc_note = "checkpoint + log tail";
       })
 

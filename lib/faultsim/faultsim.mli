@@ -67,7 +67,13 @@ type recovery = {
       (** the checkpoint restored, if any; [None] when absent or unreadable
           (log-only replay) *)
   rc_restored : int;  (** checkpoint rows installed *)
-  rc_replayed : int;  (** log writes applied *)
+  rc_replayed : int;  (** log data writes applied (placement records excluded) *)
+  rc_placements : (string * int) list;
+      (** placement recovered from surviving [Wal.Migrate] records, folded
+          in TID order (last move per reactor wins); reactors that never
+          migrated are absent and keep their config placement. Feed this to
+          the engine bootstrap to resume with the pre-crash deployment
+          (DESIGN.md §11). *)
   rc_note : string;  (** recovery path taken, for reports *)
 }
 

@@ -41,12 +41,19 @@ type rstate = {
   rname : string;
   rtype : Reactor.rtype;
   rcatalog : Storage.Catalog.t;
-  home : int;
+  mutable home : int;
+      (* current placement; flipped atomically (in virtual time) by
+         [migrate] — every router/dispatch decision re-reads it *)
   mutable cache_recency : int list;
       (* executors that recently touched this reactor's data, most recent
          first; drives a graded cache-miss penalty (warmest = free, colder
          positions pay proportionally, absent = full penalty) *)
 }
+
+(* One in-progress migration: roots (and sub-calls of roots) admitted after
+   the mark — generation strictly greater than [mg_cutoff] — park here and
+   resume once the placement flips. *)
+type mig = { mg_cutoff : int; mutable mg_parked : (unit -> unit) list }
 
 type hist_entry = {
   h_txn : int;
@@ -100,6 +107,26 @@ type t = {
   mutable auto_par : int;
       (* morph-Auto resolution counts: roots routed to the sequential /
          parallel formulation *)
+  rorder : string list;
+      (* reactor declaration order, for deterministic [placements] *)
+  (* -- live reconfiguration (DESIGN.md §11) ----------------------------
+     Mirrors the parallel runtime's protocol, collapsed to the engine's
+     single thread: a migration marks the reactor (bumping [mig_gen]),
+     drains every root of the pre-mark generation, logs a [Wal.Migrate]
+     record, flips [rstate.home] and replays the parked stub traffic.
+     The two-slot parity counters suffice because [mig_busy] serializes
+     migrations, so at most two generations are ever live. *)
+  mutable mig_gen : int;
+  mig_inflight : int array; (* length 2, indexed by generation parity *)
+  mutable mig_drain : (int * (unit -> unit)) option;
+      (* (parity, waker): the migrating coroutine waiting for that
+         generation slot to empty *)
+  migrating : (string, mig) Hashtbl.t;
+  mutable mig_busy : bool;
+  mutable mig_waiters : (unit -> unit) list;
+  mutable placement_epoch : int;
+  mutable n_migrations : int;
+  mutable mig_pause_last : float;
 }
 
 let engine t = t.eng
@@ -175,6 +202,9 @@ let obs_kind_of_fail = function
 
 type root = {
   txn : Occ.Txn.t;
+  rgen : int;
+      (* migration generation this root was admitted in; a sub-call it
+         issues to a reactor marked with an older cutoff parks at the stub *)
   rsnapshot : int option;
       (* frozen snapshot epoch when this root runs read-only; propagates to
          every sub-call's query context, so cross-container fan-outs read
@@ -233,6 +263,33 @@ let route db rst =
     (* Cost routing reacts to live queue depths, which virtual-time
        executors don't expose; the simulator degrades it to affinity. *)
     cont.cexecutors.(db.cfg.affinity_slot rst.rname mod n)
+
+(* ------------------------------------------------------------------ *)
+(* Live-reconfiguration gates (DESIGN.md §11). [mig_register] pins a root
+   into the current migration generation for its whole lifetime;
+   [mig_retire] drops the pin and fires the drain waker when the slot a
+   migration is waiting on empties. [mig_stub_park] suspends the calling
+   coroutine at a migrating reactor's forwarding stub; it resumes after the
+   placement flip, so the caller's next read of [rst.home] sees the new
+   container. Single-threaded engine: no atomicity concerns, the counters
+   are plain ints. *)
+
+let mig_register db =
+  let g = db.mig_gen in
+  db.mig_inflight.(g land 1) <- db.mig_inflight.(g land 1) + 1;
+  g
+
+let mig_retire db g =
+  let p = g land 1 in
+  db.mig_inflight.(p) <- db.mig_inflight.(p) - 1;
+  match db.mig_drain with
+  | Some (dp, w) when dp = p && db.mig_inflight.(p) = 0 ->
+    db.mig_drain <- None;
+    w ()
+  | _ -> ()
+
+let mig_stub_park m =
+  Engine.suspend (fun waker -> m.mg_parked <- waker :: m.mg_parked)
 
 (* Silo epoch length in virtual µs: TID epochs advance on this boundary,
    and so does the durable-mode group-commit flush. *)
@@ -446,6 +503,17 @@ and do_call db frame ~reactor ~proc ~args =
         (Reactor.Dangerous_call
            (Printf.sprintf "dangerous call structure: reactor %s already active"
               reactor));
+    (* Migration stub: a sub-call from a post-mark root to a migrating
+       reactor parks until the flip, then dispatches against the new
+       placement. The caller's core is released across the park — a parked
+       post-mark root must never hold a core a draining pre-mark root may
+       need. Pre-mark roots pass through: the drain waits for them. *)
+    (match Hashtbl.find_opt db.migrating reactor with
+    | Some m when root.rgen > m.mg_cutoff ->
+      release_core frame.fex;
+      mig_stub_park m;
+      acquire_core frame.fex
+    | _ -> ());
     if tstate.home = frame.frstate.home then begin
       (* Same container: execute synchronously in the caller's executor to
          avoid migration-of-control overhead (§3.2.1). *)
@@ -854,6 +922,17 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     match db.obs with Some c -> Obs.Collector.trace c | None -> Obs.Trace.none
   in
   let rst = reactor_state db reactor in
+  (* Live reconfiguration: register in the current migration generation,
+     and park at the forwarding stub when the target is mid-migration —
+     the root resumes (and routes) against the post-flip placement. The
+     client coroutine holds no core here, so parking cannot starve the
+     drain. Virtual time keeps running while parked: the pause shows up in
+     latency, and a tight deadline can expire at the dequeue boundary —
+     exactly the straggler backstop the deadline machinery provides. *)
+  let rgen = mig_register db in
+  (match Hashtbl.find_opt db.migrating reactor with
+  | Some m when rgen > m.mg_cutoff -> mig_stub_park m
+  | _ -> ());
   (* Morph-Auto: resolve a sequential-formulation root to its declared
      parallel twin when live load signals leave capacity for the fan-out. *)
   let proc =
@@ -877,7 +956,7 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     else None
   in
   let root =
-    { txn; rsnapshot; bd; tr; deadline; active_set = Hashtbl.create 8;
+    { txn; rgen; rsnapshot; bd; tr; deadline; active_set = Hashtbl.create 8;
       exec_of_container = []; last_call = 0; call_ctr = 0;
       worked_since_call = false; doomed = None; logged_epoch = None }
   in
@@ -968,6 +1047,11 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
       Engine.Ivar.read done_iv
     end
   in
+  (* The root can no longer touch any reactor (install/release are done;
+     what remains is client-side flush wait), so its generation pin drops —
+     an in-progress migration drain resumes once the pre-mark slot empties.
+     The shed path retires too: it registered above. *)
+  mig_retire db rgen;
   (* Durable mode: hold the client until the flush covering this
      transaction's log epoch completes (the executor slot is already free,
      so group commit costs latency, not admission capacity). *)
@@ -1022,6 +1106,90 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     abort_cause;
     snapshot = root.rsnapshot;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Live reconfiguration (DESIGN.md §11): online reactor migration.
+
+   mark    — bump the generation and install the forwarding stub: every
+             root (or sub-call of a root) admitted after this instant that
+             targets [reactor] suspends at the stub.
+   drain   — wait until every pre-mark root in the whole database has
+             completed. Global drain is deliberately conservative: any
+             in-flight root might still issue a sub-call into [reactor],
+             and pre-mark sub-calls pass the stub (the alternative —
+             per-reactor tracking — buys little under the engine's
+             cooperative scheduling). The PR 5 deadline machinery is the
+             straggler backstop.
+   log     — append a [Wal.Migrate] record (write-ahead of the flip), so
+             crash recovery replays placement deterministically
+             (Faultsim.rc_placements folds these in TID order).
+   flip    — re-home the reactor: one mutable-field write, atomic in
+             virtual time. Catalogs are shared-heap structures keyed by
+             reactor, not by container, so the storage slice (records,
+             secondary indexes, snapshot version chains) moves with the
+             pointer; snapshot readers keep reading the same chains.
+   replay  — wake the parked stub traffic; each parked coroutine re-reads
+             [rstate.home] and dispatches to the new container.
+
+   Returns the migration pause in virtual µs (mark → flip). Migrations are
+   serialized on [mig_busy]; concurrent callers queue. *)
+
+let migrate db ~reactor ~dst =
+  if dst < 0 || dst >= Array.length db.containers then
+    invalid_arg
+      (Printf.sprintf "ReactDB: migrate %s: no container %d" reactor dst);
+  let rst = reactor_state db reactor in
+  let rec admit () =
+    if db.mig_busy then begin
+      Engine.suspend (fun w -> db.mig_waiters <- w :: db.mig_waiters);
+      admit ()
+    end
+  in
+  admit ();
+  if rst.home = dst then 0.
+  else begin
+    db.mig_busy <- true;
+    let t0 = Engine.current_time () in
+    (* mark *)
+    let cutoff = db.mig_gen in
+    db.mig_gen <- db.mig_gen + 1;
+    let m = { mg_cutoff = cutoff; mg_parked = [] } in
+    Hashtbl.replace db.migrating reactor m;
+    (* drain: pre-mark roots all live in the [cutoff] parity slot (at most
+       two generations are ever live, see the type definition) *)
+    if db.mig_inflight.(cutoff land 1) > 0 then
+      Engine.suspend (fun w -> db.mig_drain <- Some (cutoff land 1, w));
+    (* log (write-ahead of the flip); a failing log device degrades
+       durability of the placement record, never liveness — recovery would
+       boot with the pre-move placement, which is merely slower *)
+    db.n_migrations <- db.n_migrations + 1;
+    (match db.wal with
+    | None -> ()
+    | Some log -> (
+      let tid =
+        Storage.Record.tid_make ~epoch:(current_epoch db)
+          ~seq:db.n_migrations
+      in
+      try
+        Wal.append log
+          { Wal.le_txn = -db.n_migrations; le_tid = tid;
+            le_writes = [ Wal.Migrate { reactor; dst } ] }
+      with Wal.Io_error e ->
+        if db.wal_error = None then db.wal_error <- Some e));
+    (* flip *)
+    rst.home <- dst;
+    db.placement_epoch <- db.placement_epoch + 1;
+    Hashtbl.remove db.migrating reactor;
+    (* replay *)
+    List.iter (fun w -> w ()) (List.rev m.mg_parked);
+    let pause = Engine.current_time () -. t0 in
+    db.mig_pause_last <- pause;
+    db.mig_busy <- false;
+    let ws = db.mig_waiters in
+    db.mig_waiters <- [];
+    List.iter (fun w -> w ()) (List.rev ws);
+    pause
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bootstrap. *)
@@ -1104,6 +1272,16 @@ let create eng decl cfg prof =
       n_ro_commits = 0;
       auto_seq = 0;
       auto_par = 0;
+      rorder = List.map (fun e -> e.Bootstrap.bs_name) entries;
+      mig_gen = 0;
+      mig_inflight = [| 0; 0 |];
+      mig_drain = None;
+      migrating = Hashtbl.create 4;
+      mig_busy = false;
+      mig_waiters = [];
+      placement_epoch = 0;
+      n_migrations = 0;
+      mig_pause_last = 0.;
     }
   in
   List.iter
@@ -1121,6 +1299,25 @@ let create eng decl cfg prof =
 
 let catalog_of db name = (reactor_state db name).rcatalog
 let container_of db name = (reactor_state db name).home
+let n_migrations db = db.n_migrations
+let placement_epoch db = db.placement_epoch
+let migration_pause_last_us db = db.mig_pause_last
+
+let placements db =
+  List.map (fun n -> (n, (reactor_state db n).home)) db.rorder
+
+(* Bootstrap-time only: re-home reactors silently (no drain, no WAL record,
+   no stub) to resume a recovered deployment (Faultsim.rc_placements).
+   Calling this with traffic in flight would route around the migration
+   protocol — don't. *)
+let apply_placements db pl =
+  List.iter
+    (fun (r, dst) ->
+      match Hashtbl.find_opt db.reactors r with
+      | Some rst when dst >= 0 && dst < Array.length db.containers ->
+        rst.home <- dst
+      | Some _ | None -> ())
+    pl
 let n_committed db = db.committed
 let n_aborted db = db.aborted
 

@@ -92,6 +92,54 @@ val catalog_of : t -> string -> Storage.Catalog.t
 (** Container index hosting a reactor. *)
 val container_of : t -> string -> int
 
+(** {1 Live reconfiguration (online reactor migration — see DESIGN.md §11)}
+
+    [migrate t ~reactor ~dst] moves a reactor to container [dst] while
+    traffic runs, and returns the migration pause in virtual µs. The
+    protocol mirrors the parallel runtime's, collapsed onto the engine's
+    single thread: {e mark} (roots and sub-calls admitted after the mark
+    that target the reactor suspend at a forwarding stub), {e drain} (wait
+    until every pre-mark root in the database has completed; the deadline
+    machinery is the straggler backstop), {e log} (a {!Wal.Migrate} record
+    is appended write-ahead of the flip, so {!Faultsim.recover} replays
+    placement deterministically), {e flip} (one re-homing write, atomic in
+    virtual time — catalogs are keyed by reactor, so records, secondary
+    indexes and snapshot version chains move with the pointer and snapshot
+    readers are never broken), {e replay} (parked stub traffic resumes
+    against the new placement).
+
+    Because execution is deterministic in virtual time and placement never
+    affects transaction results, a serial workload interleaved with
+    migrations leaves the database byte-identical ({!Faultsim.diff}) to
+    the same workload on a static deployment — the virtualization claim of
+    the paper, checked by [bench/elasticity.exe].
+
+    Migrations are serialized; concurrent callers queue. Must be called
+    from inside the engine (it suspends). Moving a reactor to its current
+    container returns [0.] without marking. Raises [Invalid_argument] on
+    an unknown reactor or container index. *)
+val migrate : t -> reactor:string -> dst:int -> float
+
+(** Migrations completed since bootstrap. *)
+val n_migrations : t -> int
+
+(** Placement version: bumped by every completed migration. Routers and
+    tests use it to observe flips. *)
+val placement_epoch : t -> int
+
+(** Pause (virtual µs, mark → flip) of the most recent migration. *)
+val migration_pause_last_us : t -> float
+
+(** Current [(reactor, container)] placement, in declaration order. *)
+val placements : t -> (string * int) list
+
+(** Bootstrap-time only: silently re-home reactors (no drain, no log
+    record) to resume a recovered deployment from
+    [Faultsim.rc_placements]. Unknown reactors and out-of-range containers
+    are ignored. Never call with traffic in flight — it bypasses the
+    migration protocol. *)
+val apply_placements : t -> (string * int) list -> unit
+
 (** {1 Snapshot reads (multi-version, epoch-based — see DESIGN.md §10)}
 
     Procedures declared read-only on their reactor type

@@ -1,0 +1,156 @@
+(* Elasticity controller: pure policy over sampled load signals, applied
+   through the migration protocol (see autoscaler.mli). *)
+
+type policy = {
+  hot_busy : float;
+  cold_busy : float;
+  hot_queue : float;
+  max_moves : int;
+}
+
+let default = { hot_busy = 0.75; cold_busy = 0.25; hot_queue = 8.; max_moves = 1 }
+
+type action = {
+  ac_reactor : string;
+  ac_src : int;
+  ac_dst : int;
+  ac_why : [ `Split | `Merge ];
+}
+
+(* Reactors per domain, preserving declaration order within a domain. *)
+let by_domain ~n placements =
+  let doms = Array.make n [] in
+  List.iter
+    (fun (r, c) -> if c >= 0 && c < n then doms.(c) <- r :: doms.(c))
+    placements;
+  Array.map List.rev doms
+
+let decide policy ~load ~placements =
+  let n = Array.length load in
+  if n < 2 then []
+  else begin
+    let doms = by_domain ~n placements in
+    let busy c = load.(c).Db.ld_busy_frac in
+    let queue c = load.(c).Db.ld_qdepth_ewma in
+    (* Saturation score orders candidate split sources; busy fraction
+       dominates, queue depth breaks ties and catches bursts that the 5 ms
+       busy window has not integrated yet. *)
+    let hot c = busy c >= policy.hot_busy || queue c >= policy.hot_queue in
+    let score c = busy c +. (queue c /. Float.max 1. policy.hot_queue) in
+    (* A bursty domain (hot via queue depth, busy not yet integrated) must
+       not read as cold, or the controller would merge into a backlog. *)
+    let all_cold =
+      let rec go c =
+        c >= n || ((busy c < policy.cold_busy && not (hot c)) && go (c + 1))
+      in
+      go 0
+    in
+    let pick_best better init range =
+      List.fold_left
+        (fun acc c -> match acc with
+          | Some b when not (better c b) -> acc
+          | _ -> Some c)
+        init range
+    in
+    let domains = List.init n Fun.id in
+    if not all_cold then begin
+      (* Split: hottest splittable domain sheds to the coolest spare one. *)
+      let src =
+        pick_best
+          (fun c b -> score c > score b)
+          None
+          (List.filter (fun c -> hot c && List.length doms.(c) >= 2) domains)
+      in
+      match src with
+      | None -> []
+      | Some s -> (
+        let dst =
+          pick_best
+            (fun c b -> score c < score b)
+            None
+            (List.filter
+               (fun c -> c <> s && busy c <= policy.cold_busy)
+               domains)
+        in
+        match dst with
+        | None -> []  (* nowhere idle to split into *)
+        | Some d ->
+          let movable = List.sort String.compare doms.(s) in
+          List.filteri (fun i _ -> i < policy.max_moves
+                                   && i < List.length movable - 1)
+            movable
+          |> List.map (fun r ->
+                 { ac_reactor = r; ac_src = s; ac_dst = d; ac_why = `Split }))
+    end
+    else begin
+      (* Merge: everything is cold — empty the smallest non-empty domain
+         into the largest other one, so stragglers consolidate first. *)
+      let nonempty = List.filter (fun c -> doms.(c) <> []) domains in
+      match nonempty with
+      | [] | [ _ ] -> []
+      | _ ->
+        let src =
+          pick_best
+            (fun c b ->
+              let lc = List.length doms.(c) and lb = List.length doms.(b) in
+              lc < lb || (lc = lb && busy c < busy b))
+            None nonempty
+        in
+        let dst =
+          pick_best
+            (fun c b -> List.length doms.(c) > List.length doms.(b))
+            None
+            (List.filter (fun c -> Some c <> src) nonempty)
+        in
+        match (src, dst) with
+        | Some s, Some d when s <> d ->
+          List.filteri (fun i _ -> i < policy.max_moves) doms.(s)
+          |> List.map (fun r ->
+                 { ac_reactor = r; ac_src = s; ac_dst = d; ac_why = `Merge })
+        | _ -> []
+    end
+  end
+
+let step ?(policy = default) db =
+  let load = Db.load_stats db in
+  let placements = Db.placements db in
+  let actions = decide policy ~load ~placements in
+  List.iter
+    (fun a -> ignore (Db.migrate db ~reactor:a.ac_reactor ~dst:a.ac_dst))
+    actions;
+  actions
+
+type t = {
+  stop_flag : bool Atomic.t;
+  splits : int Atomic.t;
+  merges : int Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let start ?(policy = default) ?(interval_s = 0.05) db =
+  let t =
+    { stop_flag = Atomic.make false; splits = Atomic.make 0;
+      merges = Atomic.make 0; dom = None }
+  in
+  t.dom <-
+    Some
+      (Domain.spawn (fun () ->
+           while not (Atomic.get t.stop_flag) do
+             Unix.sleepf interval_s;
+             if not (Atomic.get t.stop_flag) then
+               List.iter
+                 (fun a ->
+                   Atomic.incr
+                     (match a.ac_why with
+                     | `Split -> t.splits
+                     | `Merge -> t.merges))
+                 (step ~policy db)
+           done));
+  t
+
+let moves t = (Atomic.get t.splits, Atomic.get t.merges)
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.dom with Some d -> Domain.join d | None -> ());
+  t.dom <- None

@@ -1,0 +1,84 @@
+(** Signal-driven elasticity controller (DESIGN.md §11).
+
+    The autoscaler closes the loop between the runtime's live load signals
+    ({!Db.load_stats}: busy fraction, mailbox-depth EWMA, shed counts) and
+    the migration protocol ({!Db.migrate}): it {e splits} hot containers by
+    moving reactors off a domain that is saturated while another has idle
+    capacity, and {e merges} cold ones by consolidating reactors from
+    near-idle domains so the rest of the machine can be yielded.
+
+    The policy is split into a {e pure} decision function ({!decide}) over
+    a sampled signal snapshot — deterministic and unit-testable with
+    synthetic signals — and a thin driver that applies decisions through
+    [Db.migrate] either step-by-step ({!step}, for tests and benches) or
+    on a background domain ({!start}/{!stop}). Decisions are advisory;
+    every applied move pays the migration pause, so the thresholds default
+    to conservative values with hysteresis between them. *)
+
+(** Tuning knobs (see docs/OPERATIONS.md for operator guidance). *)
+type policy = {
+  hot_busy : float;
+      (** split when a domain's busy fraction reaches this (default 0.75) *)
+  cold_busy : float;
+      (** a domain is spare split capacity below this busy fraction, and
+          merging engages only while {e every} domain is below it (default
+          0.25); keep well under [hot_busy] — the gap is the hysteresis
+          band that stops split/merge oscillation *)
+  hot_queue : float;
+      (** alternatively, split when the mailbox-depth EWMA reaches this
+          (default 8.) — catches saturation before busy fractions do under
+          bursty arrivals *)
+  max_moves : int;
+      (** migrations per decision step (default 1); each costs a pause *)
+}
+
+val default : policy
+
+(** One decision: move [reactor] from container [src] to [dst], because the
+    source was hot (split) or nearly idle (merge). *)
+type action = {
+  ac_reactor : string;
+  ac_src : int;
+  ac_dst : int;
+  ac_why : [ `Split | `Merge ];
+}
+
+(** [decide policy ~load ~placements] is the pure policy core: given one
+    snapshot of per-domain signals (indexed by domain id) and the current
+    reactor placement, return at most [policy.max_moves] migrations.
+
+    Split: the busiest domain with [busy >= hot_busy] (or queue EWMA
+    [>= hot_queue]) that hosts at least two reactors sheds its
+    lexicographically first reactor to the least-busy domain with
+    [busy <= cold_busy]. Hosting one reactor, there is nothing to split —
+    a single reactor is the unit of placement.
+
+    Merge: only when every domain is below [cold_busy] and none trips the
+    queue trigger (a burst must not merge into a backlog); the non-empty
+    domain hosting the fewest reactors donates them (up to [max_moves]) to
+    the non-empty domain hosting the most, emptying stragglers first.
+
+    Deterministic: equal inputs give equal decisions. *)
+val decide :
+  policy ->
+  load:Db.load_stat array ->
+  placements:(string * int) list ->
+  action list
+
+(** [step ?policy db] samples {!Db.load_stats}, runs {!decide}, applies
+    each action with [Db.migrate] and returns the actions applied. For
+    tests and benches that want scaling decisions at controlled instants.
+    Blocks for the migrations' drains — admin threads only. *)
+val step : ?policy:policy -> Db.t -> action list
+
+(** Background controller: {!step} every [interval_s] (default 0.05) on a
+    dedicated domain until {!stop}. *)
+type t
+
+val start : ?policy:policy -> ?interval_s:float -> Db.t -> t
+
+(** Moves applied so far, split/merge. *)
+val moves : t -> int * int
+
+(** Stop deciding and join the controller domain. Idempotent. *)
+val stop : t -> unit

@@ -112,10 +112,28 @@ type wal_sink = {
   tick_s : float;
 }
 
+(* Mutable placement (DESIGN.md §11): the bootstrap entry stays immutable
+   (name, type, catalog — the logical reactor), while the physical home is
+   an atomic the migration protocol flips. Every routing decision reads
+   [rhome]; nothing may cache it across a suspension point. *)
+type place = {
+  re : Reactdb.Bootstrap.entry;
+  rhome : int Atomic.t;
+}
+
+(* One in-progress migration: roots registered after the mark ([rgen] >
+   [mg_cutoff]) that target the migrating reactor park here as closures and
+   are replayed against the new placement at the flip. Pre-mark roots
+   proceed against the old home; the drain waits for all of them. *)
+type mig = {
+  mg_cutoff : int;
+  mutable mg_parked : (unit -> unit) list;  (* newest first *)
+}
+
 type t = {
   cfg : Reactdb.Config.t;
   execs : exec array;
-  reactors : (string, Reactdb.Bootstrap.entry) Hashtbl.t;
+  reactors : (string, place) Hashtbl.t;
   entries : Reactdb.Bootstrap.entry list;
   table_owner : (int, string * string) Hashtbl.t;
       (* table uid -> (reactor, table); read-only after bootstrap *)
@@ -151,6 +169,25 @@ type t = {
   auto_par : int Atomic.t;  (* Config.Auto morphs resolved parallel *)
   submitted : int Atomic.t;
   completed : int Atomic.t;
+  (* Live-reconfiguration state (DESIGN.md §11). [mig_gen] is the placement
+     generation: bumped at each migration mark, stamped into every root at
+     registration. [mig_inflight] counts live roots by generation parity —
+     migrations are serialized ([mig_admin] held across mark/drain/flip), so
+     at most two generations are ever live and parity disambiguates.
+     [mig_active] is the fast-path gate: when false (no migration anywhere),
+     placement reads skip [mig_mu] entirely; sequential consistency of
+     OCaml atomics guarantees a root registered after a mark observes it
+     true. [mig_mu] is a leaf lock guarding the stub table and parked
+     lists. *)
+  mig_admin : Mutex.t;
+  mig_mu : Mutex.t;
+  mig_active : bool Atomic.t;
+  mig_gen : int Atomic.t;
+  mig_inflight : int Atomic.t array;  (* length 2, indexed by gen parity *)
+  migrating : (string, mig) Hashtbl.t;
+  placement_epoch : int Atomic.t;
+  n_migrations : int Atomic.t;
+  mig_pause_last_us : float Atomic.t;
   mutable domains : unit Domain.t array;
   mutable obs : Obs.Collector.t option;
       (* lifecycle tracing sink; slot [c] only ever written by container
@@ -380,6 +417,10 @@ type root = {
   rsnapshot : int option;
       (* read-only root: the frozen snapshot epoch its reads resolve
          against; [None] for ordinary OCC roots *)
+  rgen : int;
+      (* placement generation stamped at registration ([submit]); a root
+         with [rgen] <= a migration's cutoff may keep using the old home —
+         the drain waits for it — while later roots park at the stub *)
 }
 
 let deadline_expired root =
@@ -397,16 +438,69 @@ let check_deadline root ~where =
 type frame = {
   froot : root;
   fentry : Reactdb.Bootstrap.entry;
+  fhome : int;  (* the frame's resolved container — stable for the frame's
+                   lifetime by the drain argument (§11): a flip only happens
+                   after every root allowed at the old home completed *)
   fex : exec;
   fpath : bool; (* on the root's critical path (root fiber), like the
                    simulator's [on_root_path] *)
   mutable children : sub list;
 }
 
-let reactor_state db name =
+let reactor_place db name =
   match Hashtbl.find_opt db.reactors name with
-  | Some e -> e
+  | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Runtime: unknown reactor %S" name)
+
+(* ------------------------------------------------------------------ *)
+(* Placement resolution under migration. [register_gen] stamps a root with
+   the current generation and registers it in the parity-indexed inflight
+   counter; the increment-recheck-retry dance closes the race with a
+   concurrent mark (a root must never hold a slot of a generation it did
+   not read). [resolve_home] answers "which container may this root use for
+   [reactor] right now?" — [None] means the reactor is mid-migration and
+   the root is post-mark: the caller must park at the stub and will be
+   replayed (against the new home) at the flip. *)
+
+let register_gen db =
+  let rec go () =
+    let g = Atomic.get db.mig_gen in
+    Atomic.incr db.mig_inflight.(g land 1);
+    if Atomic.get db.mig_gen <> g then begin
+      Atomic.decr db.mig_inflight.(g land 1);
+      go ()
+    end
+    else g
+  in
+  go ()
+
+let deregister_gen db g = Atomic.decr db.mig_inflight.(g land 1)
+
+let resolve_home db ~rgen (p : place) =
+  if not (Atomic.get db.mig_active) then Some (Atomic.get p.rhome)
+  else begin
+    Mutex.lock db.mig_mu;
+    let r =
+      match Hashtbl.find_opt db.migrating p.re.Reactdb.Bootstrap.bs_name with
+      | Some m when rgen > m.mg_cutoff -> None
+      | _ -> Some (Atomic.get p.rhome)
+    in
+    Mutex.unlock db.mig_mu;
+    r
+  end
+
+(* Park [k] at [reactor]'s stub; falls back to running it immediately if
+   the migration flipped between the caller's [resolve_home] and here (the
+   closure re-reads the new placement itself). *)
+let park_at_stub db reactor k =
+  Mutex.lock db.mig_mu;
+  match Hashtbl.find_opt db.migrating reactor with
+  | Some m ->
+    m.mg_parked <- k :: m.mg_parked;
+    Mutex.unlock db.mig_mu
+  | None ->
+    Mutex.unlock db.mig_mu;
+    k ()
 
 (* Await a child with the root mutex released: the child itself needs [rmu]
    to run. On the root path the blocked window (suspension until the waker
@@ -428,17 +522,17 @@ let await_sub root ~on_root_path sub =
    inlined, cross-container calls ship to the owning domain and return a
    real future, and implicit synchronization awaits every child before the
    frame completes. Caller holds [root.rmu]. *)
-let rec run_procedure db ~root ~entry ~ex ~on_root_path ~proc_name ~args =
+let rec run_procedure db ~root ~entry ~home ~ex ~on_root_path ~proc_name ~args =
   let procfn = Reactor.find_proc entry.Reactdb.Bootstrap.bs_rtype proc_name in
   let frame =
-    { froot = root; fentry = entry; fex = ex; fpath = on_root_path;
-      children = [] }
+    { froot = root; fentry = entry; fhome = home; fex = ex;
+      fpath = on_root_path; children = [] }
   in
   let ctx =
     {
       Reactor.db =
         Query.Exec.make_ctx ?snapshot:root.rsnapshot ~txn:root.txn
-          ~container:entry.Reactdb.Bootstrap.bs_home
+          ~container:home
           ~catalog:entry.Reactdb.Bootstrap.bs_catalog
           ~charge:(fun _ _ -> ())
           ~work:(fun _ -> ())
@@ -502,26 +596,31 @@ and do_call db frame ~reactor ~proc ~args =
   if reactor = frame.fentry.Reactdb.Bootstrap.bs_name then begin
     (* Self-call: inlined synchronously (§2.2.4). *)
     let v =
-      run_procedure db ~root ~entry:frame.fentry ~ex:frame.fex
-        ~on_root_path:frame.fpath ~proc_name:proc ~args
+      run_procedure db ~root ~entry:frame.fentry ~home:frame.fhome
+        ~ex:frame.fex ~on_root_path:frame.fpath ~proc_name:proc ~args
     in
     { Reactor.get = (fun () -> v) }
   end
   else begin
-    let tentry = reactor_state db reactor in
+    let tplace = reactor_place db reactor in
+    let tentry = tplace.re in
     if Hashtbl.mem root.active_set reactor then
       raise
         (Reactor.Dangerous_call
            (Printf.sprintf "dangerous call structure: reactor %s already active"
               reactor));
-    if tentry.Reactdb.Bootstrap.bs_home = frame.fentry.Reactdb.Bootstrap.bs_home
-    then begin
-      (* Same container = same domain: run inline, no migration. *)
+    (* Placement gate: a post-mark root may not touch a migrating reactor —
+       its sub-call parks at the stub and ships after the flip. Pre-mark
+       roots resolve the (old) home and proceed; the drain waits for them. *)
+    let resolved = resolve_home db ~rgen:root.rgen tplace in
+    match resolved with
+    | Some h when h = frame.fhome ->
+      (* Same container = same domain: run inline, no messaging. *)
       Hashtbl.add root.active_set reactor ();
       let finally () = Hashtbl.remove root.active_set reactor in
       let v =
         try
-          run_procedure db ~root ~entry:tentry ~ex:frame.fex
+          run_procedure db ~root ~entry:tentry ~home:h ~ex:frame.fex
             ~on_root_path:frame.fpath ~proc_name:proc ~args
         with e ->
           finally ();
@@ -529,39 +628,44 @@ and do_call db frame ~reactor ~proc ~args =
       in
       finally ();
       { Reactor.get = (fun () -> v) }
-    end
-    else begin
-      (* Cross-container: ship the body to the owning domain. The child
-         job blocks on [rmu] before touching any shared transaction state;
-         the holder is always a running (never suspended) fiber, so the
-         wait is finite. *)
+    | _ ->
+      (* Cross-container (or parked): ship the body to the owning domain.
+         The child job blocks on [rmu] before touching any shared
+         transaction state; the holder is always a running (never
+         suspended) fiber, so the wait is finite. The home is re-read at
+         dispatch time — for a parked call that is after the flip. *)
       Hashtbl.add root.active_set reactor ();
-      let rex = db.execs.(tentry.Reactdb.Bootstrap.bs_home) in
       let iv = Ivar.create () in
-      Mailbox.push rex.mb
-        (Job
-           (fun () ->
-          (* Chaos: the shipped sub-call stalls before it starts executing
-             on the destination domain. *)
-          Chaos.inject_wall db.chaos Chaos.Delay_delivery;
-          Mutex.lock root.rmu;
-          let res =
-            try
-              check_deadline root ~where:"at sub-transaction start";
-              Ok
-                (run_procedure db ~root ~entry:tentry ~ex:rex
-                   ~on_root_path:false ~proc_name:proc ~args)
-            with e -> Error e
-          in
-          (match res with
-          | Error e -> (
-            match classify_exn e with
-            | Some km -> if root.doomed = None then root.doomed <- Some km
-            | None -> ())
-          | Ok _ -> ());
-          Hashtbl.remove root.active_set reactor;
-          Mutex.unlock root.rmu;
-          Ivar.fill iv res));
+      let ship () =
+        let rex = db.execs.(Atomic.get tplace.rhome) in
+        Mailbox.push rex.mb
+          (Job
+             (fun () ->
+            (* Chaos: the shipped sub-call stalls before it starts executing
+               on the destination domain. *)
+            Chaos.inject_wall db.chaos Chaos.Delay_delivery;
+            Mutex.lock root.rmu;
+            let res =
+              try
+                check_deadline root ~where:"at sub-transaction start";
+                Ok
+                  (run_procedure db ~root ~entry:tentry ~home:rex.eid ~ex:rex
+                     ~on_root_path:false ~proc_name:proc ~args)
+              with e -> Error e
+            in
+            (match res with
+            | Error e -> (
+              match classify_exn e with
+              | Some km -> if root.doomed = None then root.doomed <- Some km
+              | None -> ())
+            | Ok _ -> ());
+            Hashtbl.remove root.active_set reactor;
+            Mutex.unlock root.rmu;
+            Ivar.fill iv res))
+      in
+      (match resolved with
+      | Some _ -> ship ()
+      | None -> park_at_stub db reactor ship);
       let sub = { siv = iv } in
       frame.children <- sub :: frame.children;
       {
@@ -577,7 +681,6 @@ and do_call db frame ~reactor ~proc ~args =
               v
             | Error e -> raise e);
       }
-    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -959,12 +1062,18 @@ let do_commit db root ~run_eid ~epoch =
    domain. Guaranteed to call [k] and bump [completed] exactly once —
    quiescence depends on it. *)
 
-let exec_root db ~reactor ~proc ~args ~ro ~retry ~t_submit ~deadline_us ~k
-    (run_ex : exec) =
+let exec_root db ~reactor ~proc ~args ~ro ~retry ~rgen ~t_submit ~deadline_us
+    ~k (run_ex : exec) =
   (* Chaos: the root dispatch message stalls before execution begins. *)
   Chaos.inject_wall db.chaos Chaos.Delay_delivery;
   maybe_advance_epoch db;
-  let entry = reactor_state db reactor in
+  let place = reactor_place db reactor in
+  let entry = place.re in
+  (* Re-read the home at execution start: a parked root replayed after a
+     flip must run against the new placement. Stable from here on — a
+     subsequent flip waits for this root (its generation is pre-mark
+     relative to any later migration). *)
+  let home = Atomic.get place.rhome in
   let ex = run_ex in
   let txn = Occ.Txn.create ~id:(1 + Atomic.fetch_and_add db.txn_counter 1) in
   let tr =
@@ -973,7 +1082,7 @@ let exec_root db ~reactor ~proc ~args ~ro ~retry ~t_submit ~deadline_us ~k
   let rsnapshot = if ro then Some (acquire_snapshot db) else None in
   let root =
     { txn; rmu = Mutex.create (); active_set = Hashtbl.create 8; tr;
-      deadline_us; doomed = None; rsnapshot }
+      deadline_us; doomed = None; rsnapshot; rgen }
   in
   let timed = Obs.Trace.enabled tr in
   let t_body = if timed then now_us () else 0. in
@@ -989,8 +1098,8 @@ let exec_root db ~reactor ~proc ~args ~ro ~retry ~t_submit ~deadline_us ~k
          aborts before touching any record. *)
       check_deadline root ~where:"before execution";
       let v =
-        run_procedure db ~root ~entry ~ex ~on_root_path:true ~proc_name:proc
-          ~args
+        run_procedure db ~root ~entry ~home ~ex ~on_root_path:true
+          ~proc_name:proc ~args
       in
       match root.doomed with Some km -> Error (`Aborted km) | None -> Ok v
     with e -> Error (`Fatal e)
@@ -1170,9 +1279,8 @@ let choose_cost db ~home =
   end
 
 let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
-  let entry = reactor_state db reactor in
-  let home = entry.Reactdb.Bootstrap.bs_home in
-  let rt = entry.Reactdb.Bootstrap.bs_rtype in
+  let place = reactor_place db reactor in
+  let rt = place.re.Reactdb.Bootstrap.bs_rtype in
   (* Config.Auto: resolve a declared morph pair per root from live load —
      parallel when idle capacity can absorb the fan-out, else sequential.
      Generators emit the sequential name under [Auto]. *)
@@ -1190,6 +1298,14 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
   in
   let ro = Atomic.get db.snap_enabled && Reactor.proc_readonly rt proc in
   Atomic.incr db.submitted;
+  (* Placement-generation registration: the matching deregistration rides
+     the continuation, so a migration drain observes exactly the roots
+     whose outcome is still pending. *)
+  let rgen = register_gen db in
+  let k out =
+    deregister_gen db rgen;
+    k out
+  in
   let t_submit = now_us () in
   let abs_deadline =
     match deadline_us with
@@ -1197,68 +1313,90 @@ let submit ?(retry = 0) ?deadline_us db ~reactor ~proc ~args ~k =
     | None -> Float.infinity
   in
   let job =
-    exec_root db ~reactor ~proc ~args ~ro ~retry ~t_submit
+    exec_root db ~reactor ~proc ~args ~ro ~retry ~rgen ~t_submit
       ~deadline_us:abs_deadline ~k
   in
-  let ingress, by_cost =
-    if ro then (home, false)
-    else
-      match db.cfg.Reactdb.Config.router with
-      | Reactdb.Config.Affinity -> (home, false)
-      | Reactdb.Config.Round_robin ->
-        (Atomic.fetch_and_add db.rr 1 mod Array.length db.execs, false)
-      | Reactdb.Config.Cost ->
-        let c = choose_cost db ~home in
-        (c, c <> home)
-  in
-  (* Admission control happens here and only here: root ingress goes
-     through [try_push] against the (possibly bounded) ingress mailbox.
-     Everything the runtime pushes on its own behalf — forwarding hops,
-     suspended-fiber resumptions, 2PC traffic — uses unconditional [push]:
-     shedding those would wedge an in-flight transaction instead of
-     refusing a new one. *)
-  let accepted =
-    if ro then
-      (* Read-only snapshot roots are home-pinned: pushed as [Job] they are
-         never stolen or cost-routed, so a snapshot body only ever walks
-         version chains on the domain that owns the records — reads cannot
-         race a concurrent install. Admission control still applies. *)
-      Mailbox.try_push db.execs.(home).mb
-        (Job (fun () -> job db.execs.(home)))
-    else if ingress = home || by_cost then
-      (* Direct admission; a cost-routed off-home root executes at the
-         ingress domain and re-pins its commit. *)
-      Mailbox.try_push db.execs.(ingress).mb (Root job)
-    else
-      (* Misrouted round-robin ingress pays a forwarding hop to the owner —
-         the locality cost the affinity router avoids. The hop itself is
-         internal traffic; the forwarded root becomes stealable again once
-         it reaches the home mailbox. *)
-      Mailbox.try_push db.execs.(ingress).mb
-        (Job (fun () -> Mailbox.push db.execs.(home).mb (Root job)))
-  in
-  if accepted && by_cost then Atomic.incr db.execs.(ingress).routed_by_cost;
-  if not accepted then begin
-    Atomic.incr db.execs.(ingress).sheds;
-    (* Shed at admission: the attempt never reaches a domain, so the
-       outcome is synthesized on the submitter's thread. Obs collector
-       slots are owned by home domains, so no lifecycle record is written
-       for sheds — the typed counters still account for them exactly. *)
-    Atomic.incr db.aborted;
-    Atomic.incr db.ab_overload;
-    let out =
-      {
-        result = Error "overloaded: admission queue full";
-        latency_us = now_us () -. t_submit;
-        containers_touched = 0;
-        abort_cause =
-          Some (Obs.Abort.cause ~participants:1 ~retry Obs.Abort.Overloaded);
-        snapshot = None;
-      }
+  (* Dispatch against a resolved home — immediately when the target is not
+     mid-migration, otherwise replayed by the flip. Stub traffic counts as
+     admitted (the stub is its admission queue), so the replay uses
+     unconditional pushes; fresh dispatches go through [try_push]. *)
+  let dispatch ~replayed home =
+    let ingress, by_cost =
+      if ro || replayed then (home, false)
+      else
+        match db.cfg.Reactdb.Config.router with
+        | Reactdb.Config.Affinity -> (home, false)
+        | Reactdb.Config.Round_robin ->
+          (Atomic.fetch_and_add db.rr 1 mod Array.length db.execs, false)
+        | Reactdb.Config.Cost ->
+          let c = choose_cost db ~home in
+          (c, c <> home)
     in
-    (try k out with e -> record_fatal db e);
-    Atomic.incr db.completed
-  end
+    (* Admission control happens here and only here: root ingress goes
+       through [try_push] against the (possibly bounded) ingress mailbox.
+       Everything the runtime pushes on its own behalf — forwarding hops,
+       suspended-fiber resumptions, 2PC traffic, stub replays — uses
+       unconditional [push]: shedding those would wedge an in-flight
+       transaction instead of refusing a new one. *)
+    let accepted =
+      if replayed then begin
+        (if ro then
+           Mailbox.push db.execs.(home).mb (Job (fun () -> job db.execs.(home)))
+         else Mailbox.push db.execs.(home).mb (Root job));
+        true
+      end
+      else if ro then
+        (* Read-only snapshot roots are home-pinned: pushed as [Job] they
+           are never stolen or cost-routed, so a snapshot body only ever
+           walks version chains on the domain that owns the records — reads
+           cannot race a concurrent install. Admission control still
+           applies. *)
+        Mailbox.try_push db.execs.(home).mb
+          (Job (fun () -> job db.execs.(home)))
+      else if ingress = home || by_cost then
+        (* Direct admission; a cost-routed off-home root executes at the
+           ingress domain and re-pins its commit. *)
+        Mailbox.try_push db.execs.(ingress).mb (Root job)
+      else
+        (* Misrouted round-robin ingress pays a forwarding hop to the owner
+           — the locality cost the affinity router avoids. The hop itself is
+           internal traffic; the forwarded root becomes stealable again once
+           it reaches the home mailbox. The owner is re-read at hop time so
+           a flip between ingress and hop can't strand the root on a stale
+           home. *)
+        Mailbox.try_push db.execs.(ingress).mb
+          (Job
+             (fun () ->
+               Mailbox.push db.execs.(Atomic.get place.rhome).mb (Root job)))
+    in
+    if accepted && by_cost then Atomic.incr db.execs.(ingress).routed_by_cost;
+    if not accepted then begin
+      Atomic.incr db.execs.(ingress).sheds;
+      (* Shed at admission: the attempt never reaches a domain, so the
+         outcome is synthesized on the submitter's thread. Obs collector
+         slots are owned by home domains, so no lifecycle record is written
+         for sheds — the typed counters still account for them exactly. *)
+      Atomic.incr db.aborted;
+      Atomic.incr db.ab_overload;
+      let out =
+        {
+          result = Error "overloaded: admission queue full";
+          latency_us = now_us () -. t_submit;
+          containers_touched = 0;
+          abort_cause =
+            Some (Obs.Abort.cause ~participants:1 ~retry Obs.Abort.Overloaded);
+          snapshot = None;
+        }
+      in
+      (try k out with e -> record_fatal db e);
+      Atomic.incr db.completed
+    end
+  in
+  match resolve_home db ~rgen place with
+  | Some home -> dispatch ~replayed:false home
+  | None ->
+    park_at_stub db reactor (fun () ->
+        dispatch ~replayed:true (Atomic.get place.rhome))
 
 let exec_txn ?deadline_us db ~reactor ~proc ~args =
   let iv = Ivar.create () in
@@ -1278,6 +1416,120 @@ let quiesce db =
     end
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Online reactor migration (DESIGN.md §11): mark → drain → handoff →
+   flip → replay. Call from an admin thread (a test driver, the
+   autoscaler loop, an operator shell), never from inside a fiber — the
+   drain blocks until every pre-mark root completes.
+
+   Mark: install the forwarding stub and bump the placement generation
+   under [mig_mu]. From this instant, roots and sub-calls registered after
+   the mark that target [reactor] park at the stub; everything registered
+   before keeps the old home.
+
+   Drain: wait until the pre-mark generation's inflight count hits zero.
+   This is global, not per-reactor — coarser than strictly necessary, but
+   it makes the flip's safety argument one line: nothing that may legally
+   touch the old placement still runs. Stragglers are bounded by the PR 5
+   deadline machinery: a root that outlives its budget aborts through the
+   normal typed unwinding and releases its slot.
+
+   Handoff: in this shared-memory runtime the storage slice — record
+   versions, secondary indexes, snapshot version chains — is the reactor's
+   catalog object, reachable from the immutable bootstrap entry. Ownership
+   is by routing, not by copying: after the drain nobody executes against
+   the slice, so the handoff is the placement flip itself. (A distributed
+   implementation would serialize the catalog here; the protocol shape is
+   the same.) Snapshot readers are unaffected: version chains live in the
+   records, and post-flip readers resolve them from the new domain.
+
+   Flip: write the new home (all routers — affinity, cost, round-robin
+   forwarding hops, 2PC participant resolution — read it through
+   [rhome]), bump the placement epoch, log a durable [Wal.Migrate] record
+   through the group-commit sink, then replay the parked stub traffic
+   against the new placement. *)
+
+let migrate db ~reactor ~dst =
+  let place = reactor_place db reactor in
+  if dst < 0 || dst >= Array.length db.execs then
+    invalid_arg (Printf.sprintf "Runtime.migrate: no container %d" dst);
+  Mutex.lock db.mig_admin;
+  let src = Atomic.get place.rhome in
+  if src = dst then begin
+    Mutex.unlock db.mig_admin;
+    0.
+  end
+  else begin
+    let t0 = now_us () in
+    (* mark *)
+    Mutex.lock db.mig_mu;
+    Atomic.set db.mig_active true;
+    let cutoff = Atomic.fetch_and_add db.mig_gen 1 in
+    Hashtbl.replace db.migrating reactor { mg_cutoff = cutoff; mg_parked = [] };
+    Mutex.unlock db.mig_mu;
+    (* drain: serialized migrations mean at most two generations are live,
+       so the pre-mark generation is alone in its parity slot *)
+    while Atomic.get db.mig_inflight.(cutoff land 1) > 0 do
+      Unix.sleepf 1e-4
+    done;
+    (* durable placement record, ordered by the same epoch-tagged sink as
+       commit records; TID = (epoch, migration ordinal) is strictly
+       increasing across migrations, so recovery's last-wins fold is
+       deterministic *)
+    let seq = 1 + Atomic.fetch_and_add db.n_migrations 1 in
+    let flush_iv =
+      match db.wal with
+      | None -> None
+      | Some s ->
+        let etag = sink_register db s in
+        Some
+          (sink_append s ~epoch:etag
+             {
+               Wal.le_txn = -seq;
+               le_tid = Storage.Record.tid_make ~epoch:etag ~seq;
+               le_writes = [ Wal.Migrate { reactor; dst } ];
+             })
+    in
+    (* flip: new home first, then retire the stub — a racer passing the
+       gate after the stub is gone reads the new placement *)
+    Atomic.set place.rhome dst;
+    Atomic.incr db.placement_epoch;
+    Mutex.lock db.mig_mu;
+    let parked =
+      match Hashtbl.find_opt db.migrating reactor with
+      | Some m ->
+        Hashtbl.remove db.migrating reactor;
+        List.rev m.mg_parked
+      | None -> []
+    in
+    if Hashtbl.length db.migrating = 0 then Atomic.set db.mig_active false;
+    Mutex.unlock db.mig_mu;
+    let pause = now_us () -. t0 in
+    Atomic.set db.mig_pause_last_us pause;
+    (* replay the queued stub traffic against the new placement *)
+    List.iter (fun f -> f ()) parked;
+    Mutex.unlock db.mig_admin;
+    (* durability of the placement record is confirmed off the pause path *)
+    (match flush_iv with Some iv -> Ivar.read_block iv | None -> ());
+    pause
+  end
+
+let n_migrations db = Atomic.get db.n_migrations
+let placement_epoch db = Atomic.get db.placement_epoch
+let migration_pause_last_us db = Atomic.get db.mig_pause_last_us
+
+let placements db =
+  List.map
+    (fun e ->
+      let name = e.Reactdb.Bootstrap.bs_name in
+      (name, Atomic.get (reactor_place db name).rhome))
+    db.entries
+
+let reactors_on db c =
+  List.filter_map
+    (fun (name, home) -> if home = c then Some name else None)
+    (placements db)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1301,7 +1553,11 @@ let start ?(chaos = Chaos.none) ?mailbox_cap ?(steal = false) ?wal
         })
   in
   let reactors = Hashtbl.create 64 in
-  List.iter (fun e -> Hashtbl.add reactors e.Reactdb.Bootstrap.bs_name e) entries;
+  List.iter
+    (fun e ->
+      Hashtbl.add reactors e.Reactdb.Bootstrap.bs_name
+        { re = e; rhome = Atomic.make e.Reactdb.Bootstrap.bs_home })
+    entries;
   let sink =
     Option.map
       (fun log ->
@@ -1352,6 +1608,15 @@ let start ?(chaos = Chaos.none) ?mailbox_cap ?(steal = false) ?wal
       auto_par = Atomic.make 0;
       submitted = Atomic.make 0;
       completed = Atomic.make 0;
+      mig_admin = Mutex.create ();
+      mig_mu = Mutex.create ();
+      mig_active = Atomic.make false;
+      mig_gen = Atomic.make 0;
+      mig_inflight = [| Atomic.make 0; Atomic.make 0 |];
+      migrating = Hashtbl.create 4;
+      placement_epoch = Atomic.make 0;
+      n_migrations = Atomic.make 0;
+      mig_pause_last_us = Atomic.make 0.;
       domains = [||];
       obs = None;
     }
@@ -1381,8 +1646,10 @@ let shutdown db =
   db.domains <- [||]
 
 let n_domains db = Array.length db.execs
-let container_of db name = (reactor_state db name).Reactdb.Bootstrap.bs_home
-let catalog_of db name = (reactor_state db name).Reactdb.Bootstrap.bs_catalog
+let container_of db name = Atomic.get (reactor_place db name).rhome
+
+let catalog_of db name =
+  (reactor_place db name).re.Reactdb.Bootstrap.bs_catalog
 
 let catalogs db =
   List.map
@@ -1439,6 +1706,26 @@ let n_steals db =
   Array.fold_left
     (fun a ex -> a + Atomic.get ex.steals_in)
     0 db.execs
+
+(* --- live load signals (autoscaler inputs) --- *)
+
+type load_stat = {
+  ld_busy_frac : float;  (* owner-published busy fraction, 5 ms window *)
+  ld_qdepth_ewma : float;  (* router-refreshed EWMA of mailbox depth *)
+  ld_mailbox : int;  (* instantaneous mailbox length *)
+  ld_sheds : int;  (* admission refusals against this mailbox so far *)
+}
+
+let load_stats db =
+  Array.map
+    (fun ex ->
+      {
+        ld_busy_frac = Atomic.get ex.busy_frac;
+        ld_qdepth_ewma = Atomic.get ex.qdepth_ewma;
+        ld_mailbox = Mailbox.length ex.mb;
+        ld_sheds = Atomic.get ex.sheds;
+      })
+    db.execs
 
 (* Copy the scheduler counters into the attached collector's slots so they
    ride the versioned report. Call at quiescence, like summarize. *)

@@ -158,6 +158,62 @@ val exec_txn :
 (** Block until every submitted root has completed. *)
 val quiesce : t -> unit
 
+(** {1 Live reconfiguration (online reactor migration — see DESIGN.md §11)}
+
+    Placement is a runtime-mutable property: {!migrate} moves a reactor to
+    a new container under live load with no lost or duplicated
+    transactions. The protocol is mark → drain → handoff → flip → replay:
+
+    - {b mark}: the reactor enters the {e migrating} state; roots and
+      sub-calls submitted after the mark that target it queue at a
+      forwarding stub instead of executing.
+    - {b drain}: the call blocks until every root admitted before the mark
+      has completed (committed or aborted) — after which nothing that may
+      legally touch the old placement is running. Stragglers are bounded
+      by the deadline machinery: give roots a [deadline_us] budget and the
+      drain is bounded by it.
+    - {b handoff}: ownership of the reactor's storage slice (records,
+      secondary indexes, snapshot version chains) passes to the
+      destination domain. In this shared-memory runtime that is a routing
+      change, not a copy — the catalog object is shared heap.
+    - {b flip}: the routing table is atomically updated — affinity and
+      cost ingress, round-robin forwarding hops and 2PC participant
+      resolution all read the new epoch-stamped placement — and a durable
+      [Wal.Migrate] record is appended through the group-commit sink so
+      crash recovery ({!Faultsim.recover}) replays placement
+      deterministically.
+    - {b replay}: the queued stub traffic dispatches against the new home
+      (bypassing admission control — the stub was its admission queue).
+
+    Call from an admin thread (test driver, {!Autoscaler} loop, operator
+    shell), never from a procedure body or [k] callback — the drain
+    blocks. Concurrent calls serialize. *)
+
+(** [migrate t ~reactor ~dst] moves [reactor] to container [dst] and
+    returns the migration pause in wall-clock µs (mark to flip: the window
+    during which new traffic to this reactor queued). Returns [0.] if the
+    reactor already lives on [dst]. Raises [Invalid_argument] on an
+    unknown reactor or container. *)
+val migrate : t -> reactor:string -> dst:int -> float
+
+(** Completed migrations since start. *)
+val n_migrations : t -> int
+
+(** Placement epoch: bumped at every migration flip. Routing decisions made
+    under epoch [e] remain valid for the transactions that made them (the
+    drain guarantees it); the epoch lets observers detect reconfiguration
+    boundaries. *)
+val placement_epoch : t -> int
+
+(** Pause (µs, mark → flip) of the most recent migration; [0.] if none. *)
+val migration_pause_last_us : t -> float
+
+(** Current placement of every reactor, in declaration order. *)
+val placements : t -> (string * int) list
+
+(** Reactors currently homed on container [c], in declaration order. *)
+val reactors_on : t -> int -> string list
+
 (** {1 Snapshot reads (multi-version, epoch-based — see DESIGN.md §10)}
 
     Procedures declared read-only on their reactor type
@@ -245,6 +301,20 @@ val sched_stats : t -> sched_stat array
 
 (** Total stolen root jobs ([ss_steals_in] summed over domains). *)
 val n_steals : t -> int
+
+(** One domain's live load signals — the {!Autoscaler}'s decision inputs.
+    All advisory: a stale read skews a policy decision, never
+    correctness. *)
+type load_stat = {
+  ld_busy_frac : float;
+      (** owner-published busy fraction over the last ~5 ms window *)
+  ld_qdepth_ewma : float;  (** router-refreshed EWMA of mailbox depth *)
+  ld_mailbox : int;  (** instantaneous mailbox length *)
+  ld_sheds : int;  (** cumulative admission refusals at this mailbox *)
+}
+
+(** Per-domain load snapshot, indexed by domain id. *)
+val load_stats : t -> load_stat array
 
 (** Per-domain cumulative busy seconds since start, snapshot through each
     domain's own mailbox (so the caller must not hold a domain — clients

@@ -3,6 +3,7 @@ open Util
 type write =
   | Put of { reactor : string; table : string; row : Value.t array }
   | Del of { reactor : string; table : string; key : Value.t array }
+  | Migrate of { reactor : string; dst : int }
 
 type entry = { le_txn : int; le_tid : int; le_writes : write list }
 
@@ -72,6 +73,10 @@ let encode_write w =
     match w with
     | Put { reactor; table; row } -> ("P", reactor, table, row)
     | Del { reactor; table; key } -> ("D", reactor, table, key)
+    (* Placement records reuse the write frame with an empty table and the
+       destination container as the single value — the v1/v2 line format
+       stays uniform and old readers fail loudly on the unknown kind. *)
+    | Migrate { reactor; dst } -> ("M", reactor, "", [| Value.Int dst |])
   in
   String.concat ","
     (kind :: hex reactor :: hex table
@@ -85,6 +90,10 @@ let decode_write s =
     (match kind with
     | "P" -> Put { reactor; table; row = vals }
     | "D" -> Del { reactor; table; key = vals }
+    | "M" -> (
+      match vals with
+      | [| Value.Int dst |] -> Migrate { reactor; dst }
+      | _ -> failwith "Wal: bad migrate record")
     | _ -> failwith ("Wal: bad write kind " ^ kind))
   | _ -> failwith ("Wal: bad write " ^ s)
 
@@ -274,7 +283,7 @@ let flush_time_us t = t.flush_time_us
 
 let close t = match t.sink with Memory _ -> () | File { oc; _ } -> close_out oc
 
-let replay entries ~catalog_of =
+let replay ?(on_move = fun ~reactor:_ ~dst:_ -> ()) entries ~catalog_of =
   let ordered =
     List.sort (fun a b -> Int.compare a.le_tid b.le_tid) entries
   in
@@ -283,9 +292,14 @@ let replay entries ~catalog_of =
     (fun e ->
       List.iter
         (fun w ->
-          incr applied;
           match w with
+          | Migrate { reactor; dst } ->
+            (* Placement change, not a data write: surface it to the caller
+               (which rebuilds the routing table) and leave the catalogs
+               alone. Not counted in [applied]. *)
+            on_move ~reactor ~dst
           | Put { reactor; table; row } ->
+            incr applied;
             let tbl = Storage.Catalog.table (catalog_of reactor) table in
             let key = Storage.Table.key_of_tuple tbl row in
             (match Storage.Table.find tbl key with
@@ -301,6 +315,7 @@ let replay entries ~catalog_of =
               record.Storage.Record.tid <- e.le_tid;
               ignore (Storage.Table.insert tbl record))
           | Del { reactor; table; key } ->
+            incr applied;
             let tbl = Storage.Catalog.table (catalog_of reactor) table in
             ignore (Storage.Table.remove tbl key))
         e.le_writes)

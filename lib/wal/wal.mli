@@ -14,11 +14,16 @@
     than a silently corrupt log; the legacy unframed v1 format is still
     readable. *)
 
-(** One write in a committed transaction. *)
+(** One write in a committed transaction, or a logged placement change. *)
 type write =
   | Put of { reactor : string; table : string; row : Util.Value.t array }
       (** insert-or-replace of a full row *)
   | Del of { reactor : string; table : string; key : Util.Value.t array }
+  | Migrate of { reactor : string; dst : int }
+      (** live-reconfiguration record: [reactor] now lives on container
+          [dst]. Logged by the engines when an online migration commits, so
+          recovery replays placement deterministically (DESIGN.md §11);
+          carries no data. *)
 
 type entry = { le_txn : int; le_tid : int; le_writes : write list }
 
@@ -96,9 +101,15 @@ val read_file : string -> entry list
 (** [replay entries ~catalog_of] applies entries in TID order: [Put]s
     insert-or-replace rows (maintaining secondary indexes), [Del]s unlink
     keys. [catalog_of] resolves each reactor's catalog (e.g.
-    [Reactdb.Database.catalog_of]). Returns the number of writes applied. *)
+    [Reactdb.Database.catalog_of]). [Migrate] records invoke [on_move]
+    (default: ignore) in TID order — the last call per reactor is its
+    recovered placement — and touch no catalog. Returns the number of data
+    writes applied (placement records excluded). *)
 val replay :
-  entry list -> catalog_of:(string -> Storage.Catalog.t) -> int
+  ?on_move:(reactor:string -> dst:int -> unit) ->
+  entry list ->
+  catalog_of:(string -> Storage.Catalog.t) ->
+  int
 
 (** {1 Encoding (exposed for tests)} *)
 

@@ -22,5 +22,6 @@ let () =
       Suite_runtime.suite;
       Suite_obs.suite;
       Suite_snapshot.suite;
+      Suite_migration.suite;
       Suite_misc.suite;
     ]
