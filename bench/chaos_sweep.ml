@@ -16,6 +16,10 @@
      admission sheds must occur and p99 latency must stay bounded.
    - flush-stall: the simulator backend in durable group-commit mode with a
      stalling WAL flusher (virtual-time injection).
+   - shipping: the durable simulator backend shipping its WAL to two
+     replicas under seeded shipment faults (batches dropped in flight or
+     delayed a round); replicas must still converge to the durable epoch
+     with money conserved.
 
    Every scenario is gated: zero internal errors, exact money conservation
    (Smallbank) / one row per key reactor (YCSB), secondary-index audit,
@@ -404,6 +408,87 @@ let run_flush_stall ~seed ~fast =
     rw_audit = audit;
   }
 
+(* Shipment faults against the log shipper: the simulator backend in
+   durable mode ships its WAL to two replicas while a conserving mix
+   runs, with a seeded probe dropping batches in flight (the replica's
+   unchanged watermark re-requests them next round) or delaying them one
+   round. Gated on the injector actually firing, both replicas
+   converging to the durable epoch after the final hand-off, and money
+   conserved on the replicated state. *)
+let run_shipping ~seed ~fast ~kind =
+  let n = if fast then 64 else 128 in
+  let decl = SB.decl ~customers:n () in
+  let cfg = Reactdb.Config.shared_nothing (chunk 2 (SB.customers n)) in
+  let db = Harness.build decl cfg in
+  let log = Wal.in_memory () in
+  SDb.attach_wal ~durable:true db log;
+  let chaos = Chaos.make ~seed ~kind ~p:0.4 () in
+  let replicas = [ Replica.create ~id:0 decl; Replica.create ~id:1 decl ] in
+  let sh =
+    Replica.Shipper.create ~chaos
+      ~entries:(fun () -> Wal.entries log)
+      ~durable_epoch:(fun () -> SDb.durable_epoch db)
+      ~gen:(fun () -> SDb.generation db)
+      replicas
+  in
+  let txns = if fast then 150 else 400 in
+  let rng = Util.Rng.create seed in
+  let ok = ref 0 and err = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let eng = SDb.engine db in
+  Sim.Engine.spawn eng (fun () ->
+      for i = 1 to txns do
+        let r = SB.gen_conserving rng ~n in
+        (match
+           (SDb.exec_txn db ~reactor:r.Workloads.Wl.reactor
+              ~proc:r.Workloads.Wl.proc ~args:r.Workloads.Wl.args)
+             .SDb.result
+         with
+        | Ok _ -> incr ok
+        | Error _ -> incr err);
+        if i mod 5 = 0 then Replica.Shipper.round sh
+      done);
+  ignore (Sim.Engine.run eng);
+  Replica.Shipper.final_ship sh;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let durable = SDb.durable_epoch db in
+  let audit =
+    (if Chaos.injections chaos > 0 then Ok ()
+     else Error "shipment-fault injector never fired")
+    >>= (fun () ->
+          if List.for_all (fun r -> Replica.watermark r = durable) replicas
+          then Ok ()
+          else Error "replicas did not converge to the durable epoch")
+    >>= (fun () ->
+          if
+            List.for_all
+              (fun r ->
+                money_audit ~n (List.map snd (Replica.catalogs r)) = Ok ())
+              replicas
+          then Ok ()
+          else Error "money not conserved on replicated state")
+    >>= fun () ->
+    List.fold_left
+      (fun acc r ->
+        acc >>= fun () -> Faultsim.check_secondaries (Replica.catalogs r))
+      (Ok ()) replicas
+  in
+  {
+    rw_scenario = "shipping";
+    rw_workload = "smallbank-conserving";
+    rw_fault = Chaos.kind_name kind;
+    rw_domains = 2;
+    rw_committed = !ok;
+    rw_aborted = !err;
+    rw_retries = 0;
+    rw_timeouts = 0;
+    rw_sheds = 0;
+    rw_injections = Chaos.injections chaos;
+    rw_p99_us = 0.;
+    rw_elapsed_s = elapsed_s;
+    rw_audit = audit;
+  }
+
 (* --- output --- *)
 
 let emit_json path ~seed rows =
@@ -490,7 +575,15 @@ let () =
   let fanout = report (run_fanout_delay ~seed ~fast) in
   let overload = report (run_overload ~seed ~fast) in
   let flush_stall = report (run_flush_stall ~seed ~fast) in
-  let rows = matrix @ [ deadline; fanout; overload; flush_stall ] in
+  let ship_drop =
+    report (run_shipping ~seed ~fast ~kind:Chaos.Drop_shipment)
+  in
+  let ship_delay =
+    report (run_shipping ~seed ~fast ~kind:Chaos.Delay_shipment)
+  in
+  let rows =
+    matrix @ [ deadline; fanout; overload; flush_stall; ship_drop; ship_delay ]
+  in
   emit_json !out ~seed rows;
   Printf.printf "wrote %s\n" !out;
   let failures =

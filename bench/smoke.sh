@@ -88,5 +88,16 @@ echo "== bench smoke: chaos sweep (audit-gated) =="
 dune exec bench/chaos_sweep.exe -- --fast --seed 42 --out BENCH_chaos_smoke.json
 
 echo
+echo "== bench smoke: replication (audit- and failover-gated) =="
+# Log shipping to two replicas with frozen-epoch replica-read audits, a
+# seeded kill-primary failover drill (fence -> final ship -> gated
+# promotion -> resumed engine), and shipment chaos (dropped/delayed
+# batches). Exits non-zero if a replica read deviates from the loaded
+# total, replicas fail to converge to the durable epoch, an acked commit
+# is lost across failover, attempt accounting breaks, promotion fails
+# its recovery-equivalence oracle, or the failover pause is unbounded.
+dune exec bench/replication.exe -- --fast --seed 42 --out BENCH_replication_smoke.json
+
+echo
 echo "== $OUT =="
 cat "$OUT"

@@ -208,9 +208,14 @@ let run_cmd workload scale theta workers strategy executors mpl config_file
 (* Real-parallel backend: one OCaml 5 domain per container, wall-clock
    time. Overload knobs (--deadline-ms, --mailbox-cap, --chaos) apply per
    run; the closed-loop load harness retries transient aborts with seeded
-   exponential backoff. *)
+   exponential backoff. With --replicas N the run redo-logs to an
+   in-memory WAL and a background shipper keeps N log-shipping replicas
+   current (DESIGN.md §12); --failover-at-ms T additionally runs a
+   promotion drill T ms into the run — final-ship the durable log,
+   promote the freshest replica through the recovery-equivalence oracle
+   and bump the shipping generation — while the primary keeps serving. *)
 let run_parallel_cmd workload scale theta workers domains duration_ms retries
-    deadline_ms mailbox_cap chaos_spec router steal =
+    deadline_ms mailbox_cap chaos_spec router steal replicas failover_at_ms =
   let decl, reactors, gen = build_workload workload ~scale ~theta in
   let groups = Array.make domains [] in
   List.iteri
@@ -232,7 +237,8 @@ let run_parallel_cmd workload scale theta workers domains duration_ms retries
         ~placement:(Hashtbl.find placement) ()
   in
   let chaos = chaos_of_spec chaos_spec in
-  let db = Runtime.Db.start ~chaos ?mailbox_cap ~steal decl config in
+  let wal = if replicas > 0 then Some (Wal.in_memory ()) else None in
+  let db = Runtime.Db.start ~chaos ?mailbox_cap ~steal ?wal decl config in
   Printf.printf "reactors=%d domains=%d workers=%d router=%s%s%s%s%s\n%!"
     (List.length reactors) (Runtime.Db.n_domains db) workers
     (match router with
@@ -255,7 +261,65 @@ let run_parallel_cmd workload scale theta workers domains duration_ms retries
       ?deadline_us:(Option.map (fun ms -> ms *. 1000.) deadline_ms)
       ~n_workers:workers gen
   in
+  (* Replication: the shipper runs on its own domain, ticking every 5 ms.
+     Only closed (durable) epochs are ever shipped — the runtime's
+     group-commit flusher appends whole epochs to the WAL, so the highest
+     epoch present is the shippable bound. *)
+  let repl =
+    match wal with
+    | None -> None
+    | Some w ->
+      let prim_gen = ref 0 in
+      let rs = List.init replicas (fun i -> Replica.create ~id:i decl) in
+      let sh =
+        Replica.Shipper.create ~chaos
+          ~entries:(fun () -> Wal.entries w)
+          ~durable_epoch:(fun () ->
+            Replica.durable_epoch_of_entries (Wal.entries w))
+          ~gen:(fun () -> !prim_gen)
+          rs
+      in
+      Some (prim_gen, rs, sh)
+  in
+  let stop_ship = Atomic.make false in
+  let promotion = ref None in
+  let drill_pause_us = ref 0. in
+  let ship_dom =
+    match repl with
+    | None -> None
+    | Some (prim_gen, rs, sh) ->
+      Some
+        (Domain.spawn (fun () ->
+             let t0 = Unix.gettimeofday () in
+             let drilled = ref false in
+             while not (Atomic.get stop_ship) do
+               Unix.sleepf 0.005;
+               Replica.Shipper.round sh;
+               match failover_at_ms with
+               | Some t
+                 when (not !drilled)
+                      && (Unix.gettimeofday () -. t0) *. 1000. >= t -> (
+                 drilled := true;
+                 let d0 = Unix.gettimeofday () in
+                 Replica.Shipper.final_ship sh;
+                 match Replica.freshest rs with
+                 | None -> ()
+                 | Some fr ->
+                   let g = !prim_gen + 1 in
+                   (match Replica.promote ~gen:g fr with
+                   | Ok p ->
+                     (* the whole deployment moves to the new generation,
+                        so shipping resumes under the promoted stamp *)
+                     prim_gen := g;
+                     promotion := Some (Ok p)
+                   | Error e -> promotion := Some (Error e));
+                   drill_pause_us := (Unix.gettimeofday () -. d0) *. 1e6)
+               | _ -> ()
+             done))
+  in
   let r = Runtime.Db.Load.run db spec in
+  Atomic.set stop_ship true;
+  (match ship_dom with Some d -> Domain.join d | None -> ());
   Runtime.Db.shutdown db;
   Printf.printf "throughput      %12.1f txn/s\n" r.Runtime.Db.Load.throughput;
   Printf.printf "latency         %12.1f µs (p50 %.1f, p95 %.1f, p99 %.1f)\n"
@@ -277,6 +341,34 @@ let run_parallel_cmd workload scale theta workers domains duration_ms retries
   if Chaos.is_active chaos then
     Printf.printf "chaos           %12s (%d injections / %d probes)\n"
       (Chaos.to_string chaos) (Chaos.injections chaos) (Chaos.probes chaos);
+  (match repl with
+  | None -> ()
+  | Some (_, rs, sh) ->
+    (* post-run catch-up: the primary is quiesced, so one chaos-free ship
+       drains the remaining durable suffix before the lag report *)
+    Replica.Shipper.final_ship sh;
+    Printf.printf "replication     %12d replicas  %d rounds  %d dropped  %d delayed\n"
+      (List.length rs)
+      (Replica.Shipper.rounds sh)
+      (Replica.Shipper.dropped sh)
+      (Replica.Shipper.delayed sh);
+    List.iter2
+      (fun rp (rid, behind, bytes) ->
+        Printf.printf
+          "  replica %-6d watermark %-8d %d epochs / %d bytes behind  \
+           (%d batches, %d torn, %d refused, %d ro served)\n"
+          rid (Replica.watermark rp) behind bytes (Replica.n_batches rp)
+          (Replica.n_torn rp) (Replica.n_refused rp) (Replica.ro_served rp))
+      rs (Replica.Shipper.lag sh);
+    match !promotion with
+    | Some (Ok p) ->
+      Printf.printf
+        "failover drill  promoted replica %d at epoch %d (generation %d, %d \
+         log entries, pause %.1f ms)\n"
+        p.Replica.pm_replica p.Replica.pm_epoch p.Replica.pm_gen
+        p.Replica.pm_entries (!drill_pause_us /. 1000.)
+    | Some (Error e) -> Printf.printf "failover drill  REFUSED: %s\n" e
+    | None -> ());
   if Runtime.Db.n_fatal db > 0 then begin
     Printf.eprintf "FATAL: %d internal errors (first: %s)\n"
       (Runtime.Db.n_fatal db)
@@ -464,8 +556,9 @@ let chaos_arg =
         ~doc:
           "Attach a seeded fault injector, e.g. 7:prepare-stall or \
            3:flush-stall:0.1:5000 (kinds: delivery-delay, domain-stall, \
-           prepare-stall, flush-stall; optional :P hit probability and \
-           :DELAY_US scale).")
+           prepare-stall, flush-stall, kill-primary, drop-shipment, \
+           delay-shipment; optional :P hit probability and :DELAY_US \
+           scale).")
 
 let run_term =
   Term.(
@@ -527,11 +620,34 @@ let steal_arg =
            jobs from the deepest peer mailbox (internal traffic is never \
            stolen; commits re-pin to the owning domain).")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Attach $(docv) log-shipping replicas (DESIGN.md §12): the run \
+           redo-logs to an in-memory WAL and a background shipper keeps \
+           each replica's durable epoch watermark current; per-replica \
+           lag and promotion counters print after the run.")
+
+let failover_at_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "failover-at-ms" ] ~docv:"T"
+        ~doc:
+          "Failover drill (requires --replicas): $(docv) ms into the run, \
+           final-ship the durable log, promote the freshest replica \
+           through the recovery-equivalence oracle and bump the shipping \
+           generation. The primary keeps serving — this drills the \
+           promotion path and measures its pause without ending the run.")
+
 let run_parallel_term =
   Term.(
     const run_parallel_cmd $ workload_arg $ scale_arg $ theta_arg
     $ workers_arg $ domains_arg $ wall_duration_arg $ retries_arg
-    $ deadline_arg $ mailbox_cap_arg $ chaos_arg $ router_arg $ steal_arg)
+    $ deadline_arg $ mailbox_cap_arg $ chaos_arg $ router_arg $ steal_arg
+    $ replicas_arg $ failover_at_arg)
 
 let run_parallel_info =
   Cmd.info "run-parallel"

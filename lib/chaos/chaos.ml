@@ -1,18 +1,33 @@
-type kind = Delay_delivery | Stall_domain | Stall_prepare | Stall_flush
+type kind =
+  | Delay_delivery
+  | Stall_domain
+  | Stall_prepare
+  | Stall_flush
+  | Kill_primary
+  | Drop_shipment
+  | Delay_shipment
 
-let all_kinds = [ Delay_delivery; Stall_domain; Stall_prepare; Stall_flush ]
+let all_kinds =
+  [ Delay_delivery; Stall_domain; Stall_prepare; Stall_flush; Kill_primary;
+    Drop_shipment; Delay_shipment ]
 
 let kind_name = function
   | Delay_delivery -> "delivery-delay"
   | Stall_domain -> "domain-stall"
   | Stall_prepare -> "prepare-stall"
   | Stall_flush -> "flush-stall"
+  | Kill_primary -> "kill-primary"
+  | Drop_shipment -> "drop-shipment"
+  | Delay_shipment -> "delay-shipment"
 
 let kind_of_name = function
   | "delivery-delay" -> Some Delay_delivery
   | "domain-stall" -> Some Stall_domain
   | "prepare-stall" -> Some Stall_prepare
   | "flush-stall" -> Some Stall_flush
+  | "kill-primary" -> Some Kill_primary
+  | "drop-shipment" -> Some Drop_shipment
+  | "delay-shipment" -> Some Delay_shipment
   | _ -> None
 
 let kind_index = function
@@ -20,6 +35,9 @@ let kind_index = function
   | Stall_domain -> 1
   | Stall_prepare -> 2
   | Stall_flush -> 3
+  | Kill_primary -> 4
+  | Drop_shipment -> 5
+  | Delay_shipment -> 6
 
 type active = {
   seed : int;

@@ -16,16 +16,35 @@
       prepare, i.e. with its write locks held, before delivering the vote.
     - {!Stall_flush}: a WAL group-commit flush stalls, delaying every
       transaction waiting on epoch durability.
+    - {!Kill_primary}: the primary crashes mid-2PC — after phase-one votes
+      resolve, before install. The engine fences itself (every subsequent
+      admission is refused with a stale-generation error) and the killed
+      transaction rolls back through the normal release path, modelling a
+      coordinator death whose decision was never installed or flushed
+      (see DESIGN.md §12).
+    - {!Drop_shipment}: a replication log-shipment batch is lost in
+      flight; the replica's watermark does not advance, so the next round
+      re-ships from the unchanged acknowledgment (the re-request path).
+    - {!Delay_shipment}: a shipment batch is held one shipping round
+      before delivery, stretching replica lag without losing data.
 
     The disabled injector {!none} is a no-op: every probe is one branch on
     a constant, so production paths pay nothing when chaos is off. *)
 
-type kind = Delay_delivery | Stall_domain | Stall_prepare | Stall_flush
+type kind =
+  | Delay_delivery
+  | Stall_domain
+  | Stall_prepare
+  | Stall_flush
+  | Kill_primary
+  | Drop_shipment
+  | Delay_shipment
 
 val all_kinds : kind list
 
 (** Stable names: ["delivery-delay"], ["domain-stall"], ["prepare-stall"],
-    ["flush-stall"]. *)
+    ["flush-stall"], ["kill-primary"], ["drop-shipment"],
+    ["delay-shipment"]. *)
 val kind_name : kind -> string
 
 val kind_of_name : string -> kind option

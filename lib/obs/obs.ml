@@ -165,6 +165,18 @@ let log2_bucket d =
 let hist_buckets = 32
 let max_part_bucket = 16 (* participants / retry-index histograms clamp here *)
 
+(* One replica's shipping lag, published at quiescence by whoever runs the
+   log shipper (Replica.Shipper.publish_obs). Applied epoch is the replica's
+   durable watermark; behind = primary durable epoch - watermark. *)
+type repl_row = {
+  rr_replica : int;
+  rr_applied_epoch : int;
+  rr_epochs_behind : int;
+  rr_bytes_behind : int;
+  rr_batches : int; (* shipped batches applied *)
+  rr_drops : int; (* batches lost/refused in flight (chaos or torn) *)
+}
+
 module Collector = struct
   type slot = {
     sums : float array; (* per phase, all attempts *)
@@ -192,7 +204,13 @@ module Collector = struct
     mutable qdepth_ewma : float;
   }
 
-  type t = { clk : clock; slots : slot array }
+  type t = {
+    clk : clock;
+    slots : slot array;
+    mutable repl : repl_row list;
+        (* replication lag rows, published once at quiescence; empty when
+           no replicas are attached *)
+  }
 
   let mk_slot cap seed =
     {
@@ -224,6 +242,7 @@ module Collector = struct
       clk = clock;
       slots =
         Array.init containers (fun c -> mk_slot reservoir_cap (0x0b5 + (c * 64)));
+      repl = [];
     }
 
   let clock t = t.clk
@@ -281,6 +300,13 @@ module Collector = struct
     s.routed_by_cost <- routed_by_cost;
     s.qdepth_ewma <- qdepth_ewma
 
+  let set_repl t rows = t.repl <- rows
+
+  let queue_wait_mean_us t ~container =
+    let s = slot_of t container in
+    if s.attempts = 0 then 0.
+    else s.sums.(Phase.index Phase.Queue_wait) /. float_of_int s.attempts
+
   let record_abort t ~container ~latency_us ~cause tr =
     let s = slot_of t container in
     s.aborts <- s.aborts + 1;
@@ -294,7 +320,9 @@ module Report = struct
   (* v3: per-domain dynamic-scheduling rows (steals in/out, cost-routed
      roots, queue-depth EWMA). v2 added the "timeout" and "overloaded"
      abort kinds. Readers accept v2 (scheduler rows default to empty) and
-     v3; anything else is rejected. *)
+     v3; anything else is rejected. The "replication" array (per-replica
+     lag rows) is additive within v3: emitted only when replicas were
+     attached, defaulted to empty on read. *)
   let schema_version = 3
 
   let min_readable_version = 2
@@ -338,6 +366,7 @@ module Report = struct
     r_participants : (int * int) list;
     r_retry_hist : (int * int) list;
     r_sched : sched_row list;
+    r_repl : repl_row list;
   }
 
   (* Nearest-rank percentile over pooled reservoir snapshots. *)
@@ -466,6 +495,7 @@ module Report = struct
       r_participants = sparse_ints (fun s -> s.Collector.parts);
       r_retry_hist = retry_hist;
       r_sched = sched;
+      r_repl = c.Collector.repl;
     }
 
   let to_table r =
@@ -526,6 +556,29 @@ module Report = struct
       Buffer.add_char buf '\n';
       Buffer.add_string buf (Util.Tablefmt.to_string ts)
     end;
+    if r.r_repl <> [] then begin
+      let tr =
+        Util.Tablefmt.create ~title:"replication lag (per replica)"
+          [
+            "replica"; "applied epoch"; "epochs behind"; "bytes behind";
+            "batches"; "drops";
+          ]
+      in
+      List.iter
+        (fun x ->
+          Util.Tablefmt.row tr
+            [
+              Util.Tablefmt.icell x.rr_replica;
+              Util.Tablefmt.icell x.rr_applied_epoch;
+              Util.Tablefmt.icell x.rr_epochs_behind;
+              Util.Tablefmt.icell x.rr_bytes_behind;
+              Util.Tablefmt.icell x.rr_batches;
+              Util.Tablefmt.icell x.rr_drops;
+            ])
+        r.r_repl;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Util.Tablefmt.to_string tr)
+    end;
     Buffer.contents buf
 
   let pairs_json conv xs =
@@ -535,8 +588,33 @@ module Report = struct
   let str_pairs = pairs_json (fun s -> Json.Str s)
 
   let to_json r =
+    let repl_field =
+      (* additive: omitted entirely when no replicas were attached, so
+         replica-free reports are byte-identical to pre-replication ones *)
+      if r.r_repl = [] then []
+      else
+        [
+          ( "replication",
+            Json.List
+              (List.map
+                 (fun x ->
+                   Json.Obj
+                     [
+                       ("replica", Json.Num (float_of_int x.rr_replica));
+                       ( "applied_epoch",
+                         Json.Num (float_of_int x.rr_applied_epoch) );
+                       ( "epochs_behind",
+                         Json.Num (float_of_int x.rr_epochs_behind) );
+                       ( "bytes_behind",
+                         Json.Num (float_of_int x.rr_bytes_behind) );
+                       ("batches", Json.Num (float_of_int x.rr_batches));
+                       ("drops", Json.Num (float_of_int x.rr_drops));
+                     ])
+                 r.r_repl) );
+        ]
+    in
     Json.Obj
-      [
+      ([
         ("schema_version", Json.Num (float_of_int schema_version));
         ("clock", Json.Str r.r_clock);
         ("attempts", Json.Num (float_of_int r.r_attempts));
@@ -584,6 +662,7 @@ module Report = struct
                    ])
                r.r_sched) );
       ]
+      @ repl_field)
 
   let ( let* ) o f = match o with Some x -> f x | None -> Error "bad field"
 
@@ -689,9 +768,39 @@ module Report = struct
         | None -> Ok []
         | Some xs -> scheds [] xs
       in
-      (match (phases [] phase_list, sched_result) with
-      | Error e, _ | _, Error e -> Error e
-      | Ok r_phases, Ok r_sched ->
+      let parse_repl rj =
+        let* r = get_i rj "replica" in
+        let* ae = get_i rj "applied_epoch" in
+        let* eb = get_i rj "epochs_behind" in
+        let* bb = get_i rj "bytes_behind" in
+        let* ba = get_i rj "batches" in
+        let* dr = get_i rj "drops" in
+        Ok
+          {
+            rr_replica = r;
+            rr_applied_epoch = ae;
+            rr_epochs_behind = eb;
+            rr_bytes_behind = bb;
+            rr_batches = ba;
+            rr_drops = dr;
+          }
+      in
+      let rec repls acc = function
+        | [] -> Ok (List.rev acc)
+        | rj :: tl -> (
+          match parse_repl rj with
+          | Ok r -> repls (r :: acc) tl
+          | Error e -> Error e)
+      in
+      (* reports without replicas omit the field: default to no rows. *)
+      let repl_result =
+        match get_l j "replication" with
+        | None -> Ok []
+        | Some xs -> repls [] xs
+      in
+      (match (phases [] phase_list, sched_result, repl_result) with
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+      | Ok r_phases, Ok r_sched, Ok r_repl ->
         Ok
           {
             r_clock = clock;
@@ -710,5 +819,6 @@ module Report = struct
             r_participants = parts;
             r_retry_hist = rh;
             r_sched;
+            r_repl;
           })
 end

@@ -167,6 +167,20 @@ module Abort : sig
   (** Build a cause; [participants] defaults to 1, [retry] to 0. *)
 end
 
+(** One replica's log-shipping lag (DESIGN.md §12), published at
+    quiescence by whoever runs the shipper ([Replica.Shipper]).
+    [rr_applied_epoch] is the replica's durable watermark;
+    [rr_epochs_behind] / [rr_bytes_behind] measure the unshipped suffix
+    of the primary's durable log at publish time. *)
+type repl_row = {
+  rr_replica : int;
+  rr_applied_epoch : int;
+  rr_epochs_behind : int;
+  rr_bytes_behind : int;
+  rr_batches : int;  (** shipped batches applied *)
+  rr_drops : int;  (** batches lost or refused in flight (chaos, torn) *)
+}
+
 (** Per-attempt phase accumulator. A trace is either live (records into
     a 7-slot float array) or the shared disabled sink {!none}, which
     makes every operation a no-op costing one branch. Backends thread a
@@ -260,6 +274,19 @@ module Collector : sig
       per-domain counters ([Runtime.Db.publish_sched_obs]); the
       simulator never calls it, leaving all slots zero. Out-of-range
       container ids clamp to slot 0. *)
+
+  val set_repl : t -> repl_row list -> unit
+  (** Publish per-replica shipping-lag rows. Same
+      set-once-at-quiescence contract as {!set_sched}: the shipper
+      owner calls this after traffic stops; replica-free runs never
+      call it, leaving the list empty (and the JSON field absent). *)
+
+  val queue_wait_mean_us : t -> container:int -> float
+  (** Mean queue-wait per attempt for slot [container]
+      (queue-wait phase sum / attempts; [0.] before any attempt).
+      Advisory read for controllers (e.g. [Runtime.Autoscaler]): racy
+      against in-flight recording by the owning domain, like
+      [Runtime.Db.load_stats]. Out-of-range ids clamp to slot 0. *)
 end
 
 (** Render and export collected statistics.
@@ -334,6 +361,9 @@ module Report : sig
     r_participants : (int * int) list;
     r_retry_hist : (int * int) list;
     r_sched : sched_row list;
+    r_repl : repl_row list;
+        (** per-replica shipping lag ({!Collector.set_repl}); empty — and
+            absent from the JSON — when no replicas were attached *)
   }
 
   val summarize : Collector.t -> t

@@ -127,6 +127,16 @@ type t = {
   mutable placement_epoch : int;
   mutable n_migrations : int;
   mutable mig_pause_last : float;
+  (* -- replication / failover (DESIGN.md §12) --------------------------
+     Generation-stamped admission, mirroring the migration drain's
+     [mig_gen] pattern at the whole-primary scale: a primary serves at
+     generation [prim_gen]; once [fenced] (a newer generation was
+     promoted, or the Kill_primary chaos probe fired), every admission is
+     refused with a typed error and an in-flight 2PC may no longer
+     install. *)
+  mutable prim_gen : int;
+  mutable fenced : bool;
+  mutable n_fenced : int; (* admissions refused while fenced *)
 }
 
 let engine t = t.eng
@@ -717,7 +727,14 @@ let wait_durable db root =
    [C_timeout] is a participant refusing to prepare past the root's
    deadline, [C_wal] a log-device failure while appending the redo
    record. *)
-type commit_err = C_fail of Occ.Commit.fail_reason | C_timeout | C_wal of string
+type commit_err =
+  | C_fail of Occ.Commit.fail_reason
+  | C_timeout
+  | C_wal of string
+  | C_killed
+      (* the Kill_primary chaos probe fenced the engine mid-2PC: votes
+         resolved but nothing was installed or logged durable — the
+         transaction rolls back exactly like an abort vote *)
 
 (* Two-phase commit (§3.2.2): phase one runs Silo validation with locks on
    every participant; phase two installs or releases. Remote phases execute
@@ -798,7 +815,22 @@ let two_phase db root ex containers ~epoch =
     List.iter wait acks;
     Obs.Trace.add root.tr Obs.Phase.Commit (Engine.current_time () -. t_dec)
   in
-  if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
+  (* Chaos: the primary dies mid-2PC — phase-one votes have resolved,
+     nothing is installed, no redo record was appended. The engine fences
+     itself (generation-stamped admission refuses everything from here
+     on) and this transaction rolls back through the normal release path,
+     so no replica or recovery replay can ever observe it. *)
+  (match Chaos.draw_us db.chaos Chaos.Kill_primary with
+  | Some _ -> db.fenced <- true
+  | None -> ());
+  if db.fenced then begin
+    rollback
+      (List.filter_map
+         (fun (c, v) -> if Result.is_ok v then Some c else None)
+         resolved);
+    Error C_killed
+  end
+  else if List.for_all (fun (_, v) -> Result.is_ok v) resolved then begin
     let tid = Occ.Commit.compute_tid root.txn ~epoch in
     (* Write-ahead: append the redo record while every participant still
        holds its locks, so a failed log device rolls the transaction back
@@ -1015,7 +1047,9 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
           Error
             (Ab_timeout, "deadline expired during 2pc prepare", Obs.Abort.Timeout)
         | Error (C_wal m) ->
-          Error (Ab_internal, "wal write failed: " ^ m, Obs.Abort.Internal))
+          Error (Ab_internal, "wal write failed: " ^ m, Obs.Abort.Internal)
+        | Error C_killed ->
+          Error (Ab_internal, "primary killed mid-2pc", Obs.Abort.Internal))
       | Error (`Aborted (k, m)) -> Error (k, m, obs_kind_of_class k)
       | Error (`Fatal e) -> (
         match classify_exn e with
@@ -1038,7 +1072,15 @@ let exec_txn ?(retry = 0) ?deadline_us db ~reactor ~proc ~args =
     | None -> false
   in
   let out =
-    if shed then
+    if db.fenced then begin
+      (* Generation fencing: a fenced primary refuses every admission
+         outright — the root never enqueues, never touches a record. The
+         refusal is a typed outcome so drivers can count it exactly. *)
+      db.n_fenced <- db.n_fenced + 1;
+      Error
+        (Ab_internal, "fenced: stale primary generation", Obs.Abort.Internal)
+    end
+    else if shed then
       Error
         (Ab_overload, "overloaded: admission queue full", Obs.Abort.Overloaded)
     else begin
@@ -1282,6 +1324,9 @@ let create eng decl cfg prof =
       placement_epoch = 0;
       n_migrations = 0;
       mig_pause_last = 0.;
+      prim_gen = 0;
+      fenced = false;
+      n_fenced = 0;
     }
   in
   List.iter
@@ -1375,4 +1420,19 @@ let auto_morphs db = (db.auto_seq, db.auto_par)
 let wal_error db = db.wal_error
 let n_log_flushes db = db.n_flushes
 let enable_history db = db.record_history <- true
+
+(* -- replication / failover (DESIGN.md §12) -------------------------- *)
+
+(* Highest epoch whose redo records a group-commit flush has covered. In
+   durable mode an acknowledged commit's epoch is always <= this (the
+   client waited for the covering flush), so the durable log prefix up to
+   this epoch contains every acknowledged transaction — the salvage bound
+   promotion uses after a primary crash. *)
+let durable_epoch db = db.flushed_epoch
+
+let generation db = db.prim_gen
+let set_generation db g = db.prim_gen <- g
+let fence db = db.fenced <- true
+let fenced db = db.fenced
+let n_fenced_refusals db = db.n_fenced
 let history db = List.rev db.hist

@@ -223,6 +223,38 @@ val attach_wal : ?durable:bool -> t -> Wal.t -> unit
 (** Group-commit flushes performed since bootstrap / {!reset_stats}. *)
 val n_log_flushes : t -> int
 
+(** Highest epoch whose redo records a group-commit flush has covered.
+    In durable mode every {e acknowledged} commit's epoch is [<= this]
+    (the client waited for the covering flush), so the log prefix up to
+    this epoch contains every acknowledged transaction. Replication ships
+    this prefix, and failover salvages up to it (DESIGN.md §12). *)
+val durable_epoch : t -> int
+
+(** {1 Replication fencing (generation-stamped admission — DESIGN.md §12)}
+
+    A primary serves at a {e generation} (default 0). When a replica is
+    promoted it takes generation + 1; the old primary, were it to limp
+    back, is {!fence}d: every subsequent {!exec_txn} is refused at
+    admission with a typed [Internal] outcome ("fenced: stale primary
+    generation") before it touches a queue or a record, and an in-flight
+    two-phase commit rolls back instead of installing. The
+    [Chaos.Kill_primary] injection point fences the engine mid-2PC,
+    modelling a coordinator crash whose decision never installed. *)
+
+val generation : t -> int
+
+val set_generation : t -> int -> unit
+
+(** Mark this primary's generation stale. Irreversible for the lifetime
+    of the engine — a fenced primary only ever refuses. *)
+val fence : t -> unit
+
+val fenced : t -> bool
+
+(** Admissions refused while fenced (exact attempt accounting for
+    failover drills). *)
+val n_fenced_refusals : t -> int
+
 (** First WAL device failure ([Wal.Io_error]) observed by the group-commit
     flusher, if any. Commits whose own append fails abort with a typed
     [Internal] cause; a flush failure after append is recorded here (the
@@ -234,9 +266,11 @@ val wal_error : t -> string option
 
     [attach_chaos t chaos] installs a seeded fault injector (see
     {!Chaos}); the simulator probes it at its catalogued injection points
-    — currently [Stall_flush], charged as {e virtual} delay inside the
-    group-commit flusher before the device flush. Delivery/prepare stalls
-    are wall-clock concepts probed by the parallel runtime.
+    — [Stall_flush], charged as {e virtual} delay inside the group-commit
+    flusher before the device flush, and [Kill_primary], which fences the
+    engine mid-2PC (votes resolved, nothing installed — see the fencing
+    section above). Delivery/prepare stalls are wall-clock concepts
+    probed by the parallel runtime.
 
     [set_mailbox_cap t (Some cap)] bounds every executor's request queue
     for {e root admission only}: a root arriving when its home executor

@@ -5,10 +5,13 @@ type policy = {
   hot_busy : float;
   cold_busy : float;
   hot_queue : float;
+  hot_queue_wait_us : float;
   max_moves : int;
 }
 
-let default = { hot_busy = 0.75; cold_busy = 0.25; hot_queue = 8.; max_moves = 1 }
+let default =
+  { hot_busy = 0.75; cold_busy = 0.25; hot_queue = 8.;
+    hot_queue_wait_us = 5000.; max_moves = 1 }
 
 type action = {
   ac_reactor : string;
@@ -25,18 +28,31 @@ let by_domain ~n placements =
     placements;
   Array.map List.rev doms
 
-let decide policy ~load ~placements =
+let decide ?(queue_wait = [||]) policy ~load ~placements =
   let n = Array.length load in
   if n < 2 then []
   else begin
     let doms = by_domain ~n placements in
     let busy c = load.(c).Db.ld_busy_frac in
     let queue c = load.(c).Db.ld_qdepth_ewma in
+    (* Observed mean queue-wait per attempt (Obs phase signal), when a
+       collector is attached; 0 — never trips — otherwise. It measures
+       what the other two signals only predict: microseconds roots
+       actually waited before executing. *)
+    let qwait c = if c < Array.length queue_wait then queue_wait.(c) else 0. in
     (* Saturation score orders candidate split sources; busy fraction
-       dominates, queue depth breaks ties and catches bursts that the 5 ms
-       busy window has not integrated yet. *)
-    let hot c = busy c >= policy.hot_busy || queue c >= policy.hot_queue in
-    let score c = busy c +. (queue c /. Float.max 1. policy.hot_queue) in
+       dominates, queue depth and observed queue-wait break ties and catch
+       bursts that the 5 ms busy window has not integrated yet. *)
+    let hot c =
+      busy c >= policy.hot_busy
+      || queue c >= policy.hot_queue
+      || qwait c >= policy.hot_queue_wait_us
+    in
+    let score c =
+      busy c
+      +. (queue c /. Float.max 1. policy.hot_queue)
+      +. (qwait c /. Float.max 1. policy.hot_queue_wait_us)
+    in
     (* A bursty domain (hot via queue depth, busy not yet integrated) must
        not read as cold, or the controller would merge into a backlog. *)
     let all_cold =
@@ -111,10 +127,17 @@ let decide policy ~load ~placements =
     end
   end
 
-let step ?(policy = default) db =
+let step ?(policy = default) ?obs db =
   let load = Db.load_stats db in
   let placements = Db.placements db in
-  let actions = decide policy ~load ~placements in
+  let queue_wait =
+    match obs with
+    | None -> [||]
+    | Some c ->
+      Array.init (Array.length load) (fun i ->
+          Obs.Collector.queue_wait_mean_us c ~container:i)
+  in
+  let actions = decide ~queue_wait policy ~load ~placements in
   List.iter
     (fun a -> ignore (Db.migrate db ~reactor:a.ac_reactor ~dst:a.ac_dst))
     actions;
@@ -127,7 +150,7 @@ type t = {
   mutable dom : unit Domain.t option;
 }
 
-let start ?(policy = default) ?(interval_s = 0.05) db =
+let start ?(policy = default) ?obs ?(interval_s = 0.05) db =
   let t =
     { stop_flag = Atomic.make false; splits = Atomic.make 0;
       merges = Atomic.make 0; dom = None }
@@ -144,7 +167,7 @@ let start ?(policy = default) ?(interval_s = 0.05) db =
                      (match a.ac_why with
                      | `Split -> t.splits
                      | `Merge -> t.merges))
-                 (step ~policy db)
+                 (step ~policy ?obs db)
            done));
   t
 

@@ -28,6 +28,14 @@ type policy = {
       (** alternatively, split when the mailbox-depth EWMA reaches this
           (default 8.) — catches saturation before busy fractions do under
           bursty arrivals *)
+  hot_queue_wait_us : float;
+      (** alternatively, split when a domain's {e observed} mean
+          queue-wait per attempt (the [Obs] Queue_wait phase signal, in
+          µs) reaches this (default 5000.). Busy fraction and queue EWMA
+          predict waiting; this one measures it — attempts that actually
+          sat in the mailbox. Only live when a collector is wired in
+          ([?queue_wait] / [?obs]); otherwise the signal reads 0 and
+          never trips. *)
   max_moves : int;
       (** migrations per decision step (default 1); each costs a pause *)
 }
@@ -46,36 +54,45 @@ type action = {
 (** [decide policy ~load ~placements] is the pure policy core: given one
     snapshot of per-domain signals (indexed by domain id) and the current
     reactor placement, return at most [policy.max_moves] migrations.
+    [queue_wait] optionally supplies each domain's observed mean
+    queue-wait per attempt in µs ([Obs.Collector.queue_wait_mean_us]);
+    missing indexes read as 0.
 
     Split: the busiest domain with [busy >= hot_busy] (or queue EWMA
-    [>= hot_queue]) that hosts at least two reactors sheds its
-    lexicographically first reactor to the least-busy domain with
-    [busy <= cold_busy]. Hosting one reactor, there is nothing to split —
-    a single reactor is the unit of placement.
+    [>= hot_queue], or observed queue-wait [>= hot_queue_wait_us]) that
+    hosts at least two reactors sheds its lexicographically first reactor
+    to the least-busy domain with [busy <= cold_busy]. Hosting one
+    reactor, there is nothing to split — a single reactor is the unit of
+    placement.
 
     Merge: only when every domain is below [cold_busy] and none trips the
-    queue trigger (a burst must not merge into a backlog); the non-empty
-    domain hosting the fewest reactors donates them (up to [max_moves]) to
-    the non-empty domain hosting the most, emptying stragglers first.
+    queue or queue-wait triggers (a burst must not merge into a backlog);
+    the non-empty domain hosting the fewest reactors donates them (up to
+    [max_moves]) to the non-empty domain hosting the most, emptying
+    stragglers first.
 
     Deterministic: equal inputs give equal decisions. *)
 val decide :
+  ?queue_wait:float array ->
   policy ->
   load:Db.load_stat array ->
   placements:(string * int) list ->
   action list
 
-(** [step ?policy db] samples {!Db.load_stats}, runs {!decide}, applies
-    each action with [Db.migrate] and returns the actions applied. For
-    tests and benches that want scaling decisions at controlled instants.
-    Blocks for the migrations' drains — admin threads only. *)
-val step : ?policy:policy -> Db.t -> action list
+(** [step ?policy ?obs db] samples {!Db.load_stats} — and, when [obs] is
+    given, each domain's mean queue-wait from the collector — runs
+    {!decide}, applies each action with [Db.migrate] and returns the
+    actions applied. For tests and benches that want scaling decisions at
+    controlled instants. Blocks for the migrations' drains — admin
+    threads only. *)
+val step : ?policy:policy -> ?obs:Obs.Collector.t -> Db.t -> action list
 
 (** Background controller: {!step} every [interval_s] (default 0.05) on a
     dedicated domain until {!stop}. *)
 type t
 
-val start : ?policy:policy -> ?interval_s:float -> Db.t -> t
+val start :
+  ?policy:policy -> ?obs:Obs.Collector.t -> ?interval_s:float -> Db.t -> t
 
 (** Moves applied so far, split/merge. *)
 val moves : t -> int * int

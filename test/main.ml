@@ -24,4 +24,5 @@ let () =
       Suite_snapshot.suite;
       Suite_migration.suite;
       Suite_misc.suite;
+      Suite_replica.suite;
     ]
